@@ -1,0 +1,416 @@
+// Benchmark harness: one benchmark per table/figure of the paper (the
+// Benchmark*Fig*/Benchmark*Sec* functions regenerate and log the figure's
+// rows at bench scale) plus microbenchmarks of the substrates.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// Regenerate the figures at full paper scale instead with:
+//
+//	go run ./cmd/spal-bench -exp all -scale full
+package spal_test
+
+import (
+	"testing"
+
+	"spal"
+	"spal/internal/cache"
+	"spal/internal/experiments"
+	"spal/internal/ip"
+	"spal/internal/lpm"
+	"spal/internal/lpm/bintrie"
+	"spal/internal/lpm/dptrie"
+	"spal/internal/lpm/lctrie"
+	"spal/internal/lpm/lulea"
+	"spal/internal/lpm/multibit"
+	"spal/internal/lpm/rangebs"
+	"spal/internal/lpm/stride24"
+	"spal/internal/lpm/wbs"
+	"spal/internal/partition"
+	"spal/internal/router"
+	"spal/internal/rtable"
+	"spal/internal/sim"
+	"spal/internal/stats"
+	"spal/internal/trace"
+)
+
+// benchScale keeps the full figure matrix tractable under testing.B while
+// preserving the paper's qualitative shapes.
+var benchScale = experiments.Scale{TableN: 12000, PacketsPerLC: 12000, Name: "bench"}
+
+// --- Figure/table regeneration benches (one per paper artifact) ---
+
+// BenchmarkPartitionBits regenerates the Sec. 4 bit-selection table.
+func BenchmarkPartitionBits(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.PartitionBits(benchScale)
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+		}
+	}
+}
+
+// BenchmarkFig3StorageSizes regenerates Fig. 3 (total SRAM per trie).
+func BenchmarkFig3StorageSizes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.Fig3Storage(benchScale)
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+		}
+	}
+}
+
+// BenchmarkMemoryAccesses regenerates the Sec. 5.1 access-count table.
+func BenchmarkMemoryAccesses(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.MemoryAccesses(benchScale)
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+		}
+	}
+}
+
+// BenchmarkFig4MixValue regenerates Fig. 4 (mean lookup vs γ).
+func BenchmarkFig4MixValue(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Fig4Mix(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+		}
+	}
+}
+
+// BenchmarkFig5CacheSize regenerates Fig. 5 (mean lookup vs β).
+func BenchmarkFig5CacheSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Fig5CacheSize(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+		}
+	}
+}
+
+// BenchmarkFig6NumLCs regenerates Fig. 6 (mean lookup vs ψ).
+func BenchmarkFig6NumLCs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Fig6NumLCs(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+		}
+	}
+}
+
+// BenchmarkHeadlineSpeedup regenerates the 4.2x headline comparison.
+func BenchmarkHeadlineSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Headline(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+		}
+	}
+}
+
+// BenchmarkAblation regenerates the design-choice ablation table.
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Ablation(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+		}
+	}
+}
+
+// BenchmarkUpdateFlush regenerates the route-update flush table.
+func BenchmarkUpdateFlush(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.UpdateFlush(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+		}
+	}
+}
+
+// BenchmarkSpeedsMatrix regenerates the Sec. 5.2 speed/lookup-time cases.
+func BenchmarkSpeedsMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Speeds(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+		}
+	}
+}
+
+// BenchmarkWorstCase regenerates the worst-case lookup-accesses table.
+func BenchmarkWorstCase(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.WorstCase(benchScale)
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+		}
+	}
+}
+
+// BenchmarkCoverage regenerates the hit-rate-vs-psi coverage table.
+func BenchmarkCoverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Coverage(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+		}
+	}
+}
+
+// BenchmarkRebuild regenerates the engine build-time table.
+func BenchmarkRebuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.Rebuild(benchScale)
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+		}
+	}
+}
+
+// BenchmarkSurvey regenerates the all-structures comparison.
+func BenchmarkSurvey(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.Survey(benchScale)
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+		}
+	}
+}
+
+// BenchmarkIPv6Storage regenerates the IPv6 SRAM comparison.
+func BenchmarkIPv6Storage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.IPv6Storage(benchScale)
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+		}
+	}
+}
+
+// BenchmarkHotspot regenerates the home-LC load-balance table.
+func BenchmarkHotspot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Hotspot(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+		}
+	}
+}
+
+// BenchmarkDrift regenerates the locality-drift table.
+func BenchmarkDrift(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Drift(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+		}
+	}
+}
+
+// BenchmarkLatencyDistribution regenerates the latency-shape table.
+func BenchmarkLatencyDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.LatencyDistribution(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+		}
+	}
+}
+
+// BenchmarkWarmup regenerates the cold-start warmup curve.
+func BenchmarkWarmup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Warmup(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+		}
+	}
+}
+
+// BenchmarkComparatorPartitioning regenerates the Sec. 2.3 comparison.
+func BenchmarkComparatorPartitioning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.LengthPartitionComparison(benchScale)
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+		}
+	}
+}
+
+// --- Substrate microbenchmarks ---
+
+func benchTable() *rtable.Table { return rtable.Small(40000, 3) }
+
+func benchAddrs(tbl *rtable.Table, n int) []ip.Addr {
+	rng := stats.NewRNG(7)
+	addrs := make([]ip.Addr, n)
+	for i := range addrs {
+		addrs[i] = tbl.RandomMatchedAddr(rng)
+	}
+	return addrs
+}
+
+func benchLookup(b *testing.B, build lpm.Builder) {
+	tbl := benchTable()
+	addrs := benchAddrs(tbl, 1<<14)
+	e := build(tbl)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Lookup(addrs[i&(len(addrs)-1)])
+	}
+}
+
+func BenchmarkLookupLulea(b *testing.B)    { benchLookup(b, lulea.NewEngine) }
+func BenchmarkLookupDPTrie(b *testing.B)   { benchLookup(b, dptrie.NewEngine) }
+func BenchmarkLookupLCTrie(b *testing.B)   { benchLookup(b, lctrie.NewEngine) }
+func BenchmarkLookupBinTrie(b *testing.B)  { benchLookup(b, bintrie.NewEngine) }
+func BenchmarkLookupStride24(b *testing.B) { benchLookup(b, stride24.NewEngine) }
+func BenchmarkLookupMultibit(b *testing.B) { benchLookup(b, multibit.NewEngine) }
+func BenchmarkLookupWBS(b *testing.B)      { benchLookup(b, wbs.NewEngine) }
+func BenchmarkLookupRangeBS(b *testing.B)  { benchLookup(b, rangebs.NewEngine) }
+func BenchmarkLookupOracle(b *testing.B)   { benchLookup(b, lpm.NewReferenceEngine) }
+
+func benchBuild(b *testing.B, build lpm.Builder) {
+	tbl := benchTable()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		build(tbl)
+	}
+}
+
+func BenchmarkBuildLulea(b *testing.B)  { benchBuild(b, lulea.NewEngine) }
+func BenchmarkBuildDPTrie(b *testing.B) { benchBuild(b, dptrie.NewEngine) }
+func BenchmarkBuildLCTrie(b *testing.B) { benchBuild(b, lctrie.NewEngine) }
+
+// BenchmarkPartitionSelect measures the Sec. 3.1 bit-selection algorithm.
+func BenchmarkPartitionSelect(b *testing.B) {
+	tbl := benchTable()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		partition.Partition(tbl, 16)
+	}
+}
+
+// BenchmarkCacheProbeHit measures the LR-cache hot path.
+func BenchmarkCacheProbeHit(b *testing.B) {
+	c := cache.New(cache.DefaultConfig())
+	addrs := make([]ip.Addr, 1024)
+	rng := stats.NewRNG(3)
+	for i := range addrs {
+		addrs[i] = rng.Uint32()
+		c.RecordMiss(addrs[i], cache.LOC, 0)
+		c.Fill(addrs[i], 1, cache.LOC)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Probe(addrs[i&1023])
+	}
+}
+
+// BenchmarkSimulatorCycles measures raw simulator speed (simulated packets
+// per wall second at the headline configuration).
+func BenchmarkSimulatorCycles(b *testing.B) {
+	tbl := benchTable()
+	for i := 0; i < b.N; i++ {
+		cfg := sim.DefaultConfig(tbl)
+		cfg.NumLCs = 16
+		cfg.PacketsPerLC = 5000
+		r, err := sim.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := r.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.PacketsCompleted), "packets/op")
+	}
+}
+
+// BenchmarkRouterLookup measures the concurrent forwarding plane
+// end-to-end (channel round trip + cache + occasional FE).
+func BenchmarkRouterLookup(b *testing.B) {
+	tbl := benchTable()
+	r, err := router.New(router.Config{
+		NumLCs:       4,
+		Table:        tbl,
+		Cache:        cache.DefaultConfig(),
+		CacheEnabled: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Stop()
+	addrs := benchAddrs(tbl, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Lookup(i&3, addrs[i&1023]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceGeneration measures the synthetic trace stream.
+func BenchmarkTraceGeneration(b *testing.B) {
+	tbl := benchTable()
+	cfg := trace.PresetConfig(trace.D75)
+	pool := trace.NewPool(tbl, cfg)
+	src := trace.NewSynthetic(pool, cfg, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Next()
+	}
+}
+
+// BenchmarkFacadeSimulate exercises the public API end to end.
+func BenchmarkFacadeSimulate(b *testing.B) {
+	tbl := spal.SynthesizeTable(8000, 5)
+	for i := 0; i < b.N; i++ {
+		cfg := spal.DefaultSimConfig(tbl)
+		cfg.NumLCs = 4
+		cfg.PacketsPerLC = 4000
+		if _, err := spal.Simulate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

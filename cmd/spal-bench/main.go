@@ -1,0 +1,121 @@
+// Command spal-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	spal-bench -exp all -scale quick
+//	spal-bench -exp fig5 -scale full
+//
+// Experiments: bits, fig3, access, fig4, fig5, fig6, headline, ablation,
+// updates, comparator, all. Scale "full" uses the paper's parameters
+// (RT_1/RT_2-sized tables, 300k packets per LC) and takes minutes; "quick"
+// preserves every qualitative shape in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"spal/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: bits|fig3|access|fig4|fig5|fig6|headline|speeds|ablation|updates|coverage|worstcase|rebuild|drift|latency|warmup|comparator|all")
+	scaleName := flag.String("scale", "quick", "quick or full")
+	format := flag.String("format", "table", "table or csv")
+	outDir := flag.String("o", "", "also write each experiment as <dir>/<name>.csv")
+	flag.Parse()
+	if *format != "table" && *format != "csv" {
+		fmt.Fprintf(os.Stderr, "unknown format %q\n", *format)
+		os.Exit(2)
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "quick":
+		scale = experiments.Quick
+	case "full":
+		scale = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	type runner struct {
+		name string
+		run  func() (*experiments.Table, error)
+	}
+	wrap := func(f func(experiments.Scale) *experiments.Table) func() (*experiments.Table, error) {
+		return func() (*experiments.Table, error) { return f(scale), nil }
+	}
+	wrapE := func(f func(experiments.Scale) (*experiments.Table, error)) func() (*experiments.Table, error) {
+		return func() (*experiments.Table, error) { return f(scale) }
+	}
+	all := []runner{
+		{"bits", wrap(experiments.PartitionBits)},
+		{"fig3", wrap(experiments.Fig3Storage)},
+		{"access", wrap(experiments.MemoryAccesses)},
+		{"fig4", wrapE(experiments.Fig4Mix)},
+		{"fig5", wrapE(experiments.Fig5CacheSize)},
+		{"fig6", wrapE(experiments.Fig6NumLCs)},
+		{"headline", wrapE(experiments.Headline)},
+		{"speeds", wrapE(experiments.Speeds)},
+		{"ablation", wrapE(experiments.Ablation)},
+		{"updates", wrapE(experiments.UpdateFlush)},
+		{"coverage", wrapE(experiments.Coverage)},
+		{"worstcase", wrap(experiments.WorstCase)},
+		{"rebuild", wrap(experiments.Rebuild)},
+		{"survey", wrap(experiments.Survey)},
+		{"ipv6", wrap(experiments.IPv6Storage)},
+		{"drift", wrapE(experiments.Drift)},
+		{"hotspot", wrapE(experiments.Hotspot)},
+		{"latency", wrapE(experiments.LatencyDistribution)},
+		{"warmup", wrapE(experiments.Warmup)},
+		{"comparator", wrap(experiments.LengthPartitionComparison)},
+	}
+
+	selected := all
+	if *exp != "all" {
+		selected = nil
+		for _, r := range all {
+			if r.name == *exp {
+				selected = []runner{r}
+			}
+		}
+		if selected == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+			os.Exit(2)
+		}
+	}
+
+	fmt.Printf("spal-bench: scale=%s\n\n", scale.Name)
+	for _, r := range selected {
+		start := time.Now()
+		tbl, err := r.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		if *format == "csv" {
+			fmt.Printf("# %s\n%s\n", tbl.Title, tbl.CSV())
+		} else {
+			fmt.Print(tbl.String())
+			fmt.Printf("(%s in %.1fs)\n\n", r.name, time.Since(start).Seconds())
+		}
+		if *outDir != "" {
+			path := filepath.Join(*outDir, r.name+".csv")
+			if err := os.WriteFile(path, []byte("# "+tbl.Title+"\n"+tbl.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Command spal-router runs the concurrent goroutine-per-LC SPAL
+// forwarding plane and drives it with destination addresses — from a
+// trace file, from a synthetic generator, or interactively from stdin —
+// printing verdicts and per-LC statistics.
+//
+// Examples:
+//
+//	spal-router -psi 8 -n 100000            # synthetic load, print stats
+//	spal-router -trace d75.trace            # replay a stored trace
+//	echo 10.1.2.3 | spal-router -i          # interactive lookups
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"spal"
+	"spal/internal/cache"
+	"spal/internal/ip"
+	"spal/internal/router"
+	"spal/internal/rtable"
+	"spal/internal/trace"
+)
+
+func main() {
+	psi := flag.Int("psi", 8, "number of line cards")
+	tableN := flag.Int("table", 41709, "synthetic routing table size")
+	beta := flag.Int("beta", 4096, "LR-cache blocks")
+	gamma := flag.Int("gamma", 50, "mix value %")
+	n := flag.Int("n", 100000, "packets for synthetic load")
+	preset := flag.String("preset", "D_75", "synthetic trace preset")
+	tracePath := flag.String("trace", "", "replay a trace file instead of synthetic load")
+	interactive := flag.Bool("i", false, "read addresses from stdin, print verdicts")
+	noCache := flag.Bool("no-cache", false, "disable LR-caches")
+	engineName := flag.String("engine", "lulea", "matching engine: reference|bintrie|dptrie|lctrie|lulea|multibit|stride24")
+	flag.Parse()
+
+	tbl := rtable.Synthesize(rtable.SynthConfig{N: *tableN, NextHops: 16, NestProb: 0.35, Seed: 0x5e3d_0001})
+	cfg := router.Config{
+		NumLCs:       *psi,
+		Table:        tbl,
+		Cache:        cache.Config{Blocks: *beta, Assoc: 4, VictimBlocks: 8, MixPercent: *gamma, Policy: cache.LRU},
+		CacheEnabled: !*noCache,
+	}
+	builder, ok := spal.Engines()[*engineName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engineName)
+		os.Exit(2)
+	}
+	cfg.Engine = builder
+
+	r, err := router.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer r.Stop()
+	fmt.Printf("router up: psi=%d, table=%d prefixes, control bits %v, engine=%s\n",
+		*psi, tbl.Len(), r.PartitionBits(), *engineName)
+
+	switch {
+	case *interactive:
+		runInteractive(r)
+	case *tracePath != "":
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fs, err := trace.Read(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		addrs := trace.Slice(fs, fs.Len())
+		drive(r, *psi, addrs)
+	default:
+		tc := trace.PresetConfig(trace.Preset(*preset))
+		pool := trace.NewPool(tbl, tc)
+		addrs := trace.Slice(trace.NewSynthetic(pool, tc, 0), *n)
+		drive(r, *psi, addrs)
+	}
+}
+
+// drive spreads the addresses across LCs round-robin with one goroutine
+// per LC and reports aggregate throughput and per-LC counters.
+func drive(r *router.Router, psi int, addrs []ip.Addr) {
+	start := time.Now()
+	var wg sync.WaitGroup
+	for lc := 0; lc < psi; lc++ {
+		wg.Add(1)
+		go func(lc int) {
+			defer wg.Done()
+			for i := lc; i < len(addrs); i += psi {
+				if _, err := r.Lookup(lc, addrs[i]); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					return
+				}
+			}
+		}(lc)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	fmt.Printf("forwarded %d packets in %.2fs (%.2f Mpps software)\n",
+		len(addrs), elapsed.Seconds(), float64(len(addrs))/elapsed.Seconds()/1e6)
+	fmt.Printf("%-4s %10s %10s %8s %9s %9s %10s\n",
+		"LC", "lookups", "hits", "FE", "reqSent", "repSent", "coalesced")
+	for lc, s := range r.Stats() {
+		fmt.Printf("%-4d %10d %10d %8d %9d %9d %10d\n",
+			lc, s.Lookups.Load(), s.CacheHits.Load(), s.FEExecs.Load(),
+			s.RequestsSent.Load(), s.RepliesSent.Load(), s.Coalesced.Load())
+	}
+}
+
+// runInteractive reads one address per line and prints the verdict.
+func runInteractive(r *router.Router) {
+	sc := bufio.NewScanner(os.Stdin)
+	lc := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		a, err := ip.ParseAddr(line)
+		if err != nil {
+			fmt.Printf("%s: %v\n", line, err)
+			continue
+		}
+		v, err := r.Lookup(lc, a)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		if v.OK {
+			fmt.Printf("%s -> next hop %d (home LC %d, served by %s)\n",
+				line, v.NextHop, r.HomeLC(a), v.ServedBy)
+		} else {
+			fmt.Printf("%s -> no route\n", line)
+		}
+		lc = (lc + 1) % r.NumLCs()
+	}
+}

@@ -1,0 +1,88 @@
+// Command spal-tracegen generates a synthetic destination trace (or
+// inspects an existing one) and reports its locality metrics.
+//
+// Examples:
+//
+//	spal-tracegen -preset D_75 -n 300000 -o d75.trace
+//	spal-tracegen -inspect d75.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spal/internal/rtable"
+	"spal/internal/trace"
+)
+
+func report(addrs []uint32) {
+	fmt.Printf("packets: %d\n", len(addrs))
+	for _, d := range []int{1024, 4096, 8192} {
+		fmt.Printf("LRU stack hit ratio @%d: %.4f\n", d, trace.StackHitRatio(addrs, d))
+	}
+	fmt.Printf("working set (per 10k window): %.0f\n", trace.WorkingSet(addrs, 10000))
+	fmt.Printf("top-1000 destination share: %.3f\n", trace.TopShare(addrs, 1000))
+}
+
+func main() {
+	preset := flag.String("preset", "D_75", "trace preset: D_75 D_81 L_92-0 L_92-1 B_L")
+	n := flag.Int("n", 300000, "packets to generate")
+	tableN := flag.Int("table", 140838, "synthetic routing table size")
+	salt := flag.Uint64("salt", 0, "per-stream salt (one per LC)")
+	out := flag.String("o", "", "output file (default stdout)")
+	binaryFmt := flag.Bool("binary", false, "write/read the compact binary format instead of text")
+	inspect := flag.String("inspect", "", "inspect an existing trace file instead of generating")
+	flag.Parse()
+
+	if *inspect != "" {
+		f, err := os.Open(*inspect)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		var fs *trace.FileSource
+		if *binaryFmt {
+			fs, err = trace.ReadBinary(f)
+		} else {
+			fs, err = trace.Read(f)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		report(trace.Slice(fs, fs.Len()))
+		return
+	}
+
+	tbl := rtable.Synthesize(rtable.SynthConfig{N: *tableN, NextHops: 16, NestProb: 0.35, Seed: 0x5e3d_0002})
+	cfg := trace.PresetConfig(trace.Preset(*preset))
+	pool := trace.NewPool(tbl, cfg)
+	addrs := trace.Slice(trace.NewSynthetic(pool, cfg, *salt), *n)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	var werr error
+	if *binaryFmt {
+		werr = trace.WriteBinary(w, addrs)
+	} else {
+		werr = trace.Write(w, addrs)
+	}
+	if werr != nil {
+		fmt.Fprintln(os.Stderr, werr)
+		os.Exit(1)
+	}
+	if *out != "" {
+		fmt.Printf("wrote %d destinations to %s\n", len(addrs), *out)
+		report(addrs)
+	}
+}

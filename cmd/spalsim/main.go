@@ -1,0 +1,99 @@
+// Command spalsim runs one trace-driven cycle simulation of a SPAL router
+// and prints the result, mirroring the paper's Sec. 5 methodology.
+//
+// Examples:
+//
+//	spalsim -psi 16 -beta 4096 -packets 300000 -trace D_75
+//	spalsim -psi 1 -no-partition -no-cache          # conventional router
+//	spalsim -speed 10 -lookup 62                    # 10 Gbps, DP-trie FE
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spal/internal/cache"
+	"spal/internal/rtable"
+	"spal/internal/sim"
+	"spal/internal/trace"
+)
+
+func main() {
+	psi := flag.Int("psi", 16, "number of line cards")
+	beta := flag.Int("beta", 4096, "LR-cache blocks")
+	gamma := flag.Int("gamma", 50, "mix value: % of blocks for REM results")
+	assoc := flag.Int("assoc", 4, "cache set associativity")
+	victim := flag.Int("victim", 8, "victim cache blocks")
+	lookup := flag.Int("lookup", 40, "FE lookup time in cycles (40=Lulea, 62=DP)")
+	packets := flag.Int("packets", 300000, "packets per LC")
+	speed := flag.Int("speed", 40, "LC speed in Gbps (10 or 40)")
+	traceName := flag.String("trace", "D_75", "trace preset: D_75 D_81 L_92-0 L_92-1 B_L")
+	tableN := flag.Int("table", 140838, "synthetic routing table size (prefixes)")
+	seed := flag.Uint64("seed", 42, "random seed")
+	noCache := flag.Bool("no-cache", false, "disable LR-caches")
+	noPart := flag.Bool("no-partition", false, "keep the full table at every LC")
+	flushMS := flag.Float64("flush-ms", 0, "flush caches every N milliseconds (0 = never)")
+	perLC := flag.Bool("per-lc", false, "print per-LC statistics")
+	configPath := flag.String("config", "", "JSON config file (flags for table size still apply)")
+	flag.Parse()
+
+	tbl := rtable.Synthesize(rtable.SynthConfig{N: *tableN, NextHops: 16, NestProb: 0.35, Seed: 0x5e3d_0002})
+	var cfg sim.Config
+	if *configPath != "" {
+		f, err := os.Open(*configPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg, err = sim.LoadConfig(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg.Table = tbl
+	} else {
+		cfg = sim.DefaultConfig(tbl)
+		cfg.NumLCs = *psi
+		cfg.LookupCycles = *lookup
+		cfg.Cache = cache.Config{Blocks: *beta, Assoc: *assoc, VictimBlocks: *victim, MixPercent: *gamma, Policy: cache.LRU}
+		cfg.CacheEnabled = !*noCache
+		cfg.PartitionEnabled = !*noPart
+		cfg.PacketsPerLC = *packets
+		cfg.Trace = trace.Preset(*traceName)
+		cfg.Seed = *seed
+		switch *speed {
+		case 40:
+			cfg.GapMin, cfg.GapMax = sim.Gaps40Gbps()
+		case 10:
+			cfg.GapMin, cfg.GapMax = sim.Gaps10Gbps()
+		default:
+			fmt.Fprintln(os.Stderr, "speed must be 10 or 40")
+			os.Exit(2)
+		}
+		if *flushMS > 0 {
+			cfg.FlushEveryCycles = int64(*flushMS * 1e6 / 5) // 5 ns cycles
+		}
+	}
+
+	r, err := sim.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res, err := r.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(res.String())
+	if *perLC {
+		fmt.Println("per-LC:")
+		for i, l := range res.PerLC {
+			fmt.Printf("  LC%-2d gen=%d hitLOC=%d hitREM=%d miss=%d reqSent=%d feLookups=%d feUtil=%.3f part=%d\n",
+				i, l.Generated, l.HitLoc, l.HitRem, l.MissLocal, l.RequestsSent,
+				l.FELookups, l.FEUtilization, l.PartitionSize)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package spal_test
+
+import (
+	"fmt"
+
+	"spal"
+	"spal/internal/cache"
+	"spal/internal/ip"
+	"spal/internal/partition"
+	"spal/internal/rtable"
+	"spal/internal/trace"
+)
+
+// ExamplePartition shows the core SPAL operation: fragment a routing
+// table and find an address's home line card.
+func ExamplePartition() {
+	table := spal.NewTable([]spal.Route{
+		{Prefix: mustPrefix("10.0.0.0/8"), NextHop: 1},
+		{Prefix: mustPrefix("10.128.0.0/9"), NextHop: 2},
+		{Prefix: mustPrefix("192.168.0.0/16"), NextHop: 3},
+		{Prefix: mustPrefix("172.16.0.0/12"), NextHop: 4},
+	})
+	p := spal.Partition(table, 2)
+
+	addr, _ := spal.ParseAddr("10.200.0.1")
+	home := p.HomeLC(addr)
+	nh, ok := p.Table(home).LookupLinear(addr)
+	fmt.Println(len(p.Bits), ok, nh)
+	// Output: 1 true 2
+}
+
+// ExampleSimulate runs the paper's cycle simulator on a small setup.
+func ExampleSimulate() {
+	cfg := spal.DefaultSimConfig(spal.SynthesizeTable(5000, 1))
+	cfg.NumLCs = 4
+	cfg.PacketsPerLC = 2000
+	res, err := spal.Simulate(cfg)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(res.PacketsCompleted, res.MeanLookupCycles < 40)
+	// Output: 8000 true
+}
+
+// ExampleNewRouter drives the concurrent forwarding plane.
+func ExampleNewRouter() {
+	table := spal.NewTable([]spal.Route{
+		{Prefix: mustPrefix("10.0.0.0/8"), NextHop: 7},
+	})
+	r, err := spal.NewRouter(spal.RouterConfig{
+		NumLCs:       2,
+		Table:        table,
+		Cache:        spal.DefaultCacheConfig(),
+		CacheEnabled: true,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer r.Stop()
+
+	addr, _ := spal.ParseAddr("10.1.2.3")
+	v, _ := r.Lookup(0, addr)
+	fmt.Println(v.OK, v.NextHop)
+	// Output: true 7
+}
+
+// ExampleEngines builds a Lulea trie and performs a lookup, reporting the
+// modelled memory accesses the paper's 40-cycle FE time derives from.
+func ExampleEngines() {
+	table := spal.NewTable([]spal.Route{
+		{Prefix: mustPrefix("10.0.0.0/8"), NextHop: 1},
+		{Prefix: mustPrefix("10.1.0.0/16"), NextHop: 2},
+	})
+	engine := spal.Engines()["lulea"](table)
+
+	addr, _ := spal.ParseAddr("10.1.2.3")
+	nh, accesses, ok := engine.Lookup(addr)
+	fmt.Println(ok, nh, accesses)
+	// Output: true 2 4
+}
+
+// ExampleCache demonstrates the LR-cache's miss-coalescing protocol: a
+// miss reserves a W block, later packets park on it, and the fill
+// releases them all.
+func ExampleCache() {
+	c := cache.New(cache.DefaultConfig())
+	addr := ip.Addr(0x0a000001)
+
+	fmt.Println(c.Probe(addr).Kind == cache.Miss)
+	c.RecordMiss(addr, cache.LOC, 100)
+	fmt.Println(c.Probe(addr).Kind == cache.HitWaiting)
+	c.AddWaiter(addr, 101)
+	released := c.Fill(addr, 7, cache.LOC)
+	fmt.Println(released)
+	fmt.Println(c.Probe(addr).NextHop)
+	// Output:
+	// true
+	// true
+	// [100 101]
+	// 7
+}
+
+// ExampleNewPool builds a locality-bearing trace stream the way the
+// simulator does.
+func ExampleNewPool() {
+	table := rtable.Small(1000, 1)
+	cfg := trace.Config{PoolSize: 100, ZipfS: 1.1, MeanTrain: 4, Seed: 1}
+	pool := trace.NewPool(table, cfg)
+	src := trace.NewSynthetic(pool, cfg, 0)
+
+	addrs := trace.Slice(src, 10000)
+	fmt.Println(len(addrs), trace.StackHitRatio(addrs, 64) > 0.5)
+	// Output: 10000 true
+}
+
+// ExampleSelectBits runs the paper's Sec. 3.1 worked example: seven
+// simplified prefixes for which bits {b0, b4} beat bits {b2, b4}.
+func ExampleSelectBits() {
+	mk := func(bits string, nh spal.NextHop) spal.Route {
+		var v uint32
+		for i, c := range bits {
+			if c == '1' {
+				v |= 1 << (31 - i)
+			}
+		}
+		return spal.Route{Prefix: spal.Prefix{Value: v, Len: uint8(len(bits))}, NextHop: nh}
+	}
+	table := spal.NewTable([]spal.Route{
+		mk("101", 1), mk("1011", 2), mk("01", 3), mk("001110", 4),
+		mk("10010011", 5), mk("10011", 6), mk("011001", 7),
+	})
+	good := partition.WithBits(table, 4, []int{0, 4}).Stats()
+	bad := partition.WithBits(table, 4, []int{2, 4}).Stats()
+	fmt.Println(good.Max, bad.Max)
+	// Output: 3 4
+}
+
+func mustPrefix(s string) spal.Prefix {
+	p, err := spal.ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

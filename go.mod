@@ -1,0 +1,3 @@
+module spal
+
+go 1.22

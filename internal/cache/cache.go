@@ -1,0 +1,474 @@
+// Package cache implements the LR-cache of Sec. 3.2: the small on-chip
+// set-associative cache each line card uses to hold lookup results
+// (<IP address, next-hop>), together with its 8-block fully-associative
+// victim cache.
+//
+// Paper-specific mechanisms:
+//
+//   - M bit: every entry is tagged LOC (result produced by the local FE)
+//     or REM (result obtained from a remote home LC). The γ "mix value"
+//     is a hard per-set allocation — γ% of each set's blocks are devoted
+//     to REM results, the rest to LOC (the paper: at γ=25% "only one
+//     cache block per set is for the REM results"). An insert that would
+//     push its class past its share replaces within the class (base
+//     policy LRU/FIFO/random picks among the candidates); a class with
+//     zero quota is not cached at all.
+//   - W bit ("early cache block recording"): a block is reserved the
+//     moment a miss occurs, before its result exists. Packets that hit a
+//     waiting block are parked on its waiting list and released when the
+//     reply fills the block. Waiting blocks are never evicted; when every
+//     block of a set is waiting, the requester bypasses the cache
+//     (counted in Stats.Bypasses).
+//   - Flush: a routing-table update invalidates every block (paper
+//     assumption); pending waiters are returned to the caller so the
+//     simulator can reissue them.
+package cache
+
+import (
+	"fmt"
+
+	"spal/internal/ip"
+	"spal/internal/rtable"
+	"spal/internal/stats"
+)
+
+// Origin is the M status bit: where a cached result was produced.
+type Origin uint8
+
+// M bit values.
+const (
+	LOC Origin = iota // produced by the local forwarding engine
+	REM               // produced by a remote home LC
+)
+
+// String renders the M bit for reports.
+func (o Origin) String() string {
+	if o == LOC {
+		return "LOC"
+	}
+	return "REM"
+}
+
+// Policy is the base replacement policy applied among eviction candidates.
+type Policy uint8
+
+// Replacement policies.
+const (
+	LRU Policy = iota
+	FIFO
+	Random
+)
+
+// Config specifies an LR-cache organization.
+type Config struct {
+	// Blocks is β, the total number of blocks (paper range: 1K..8K).
+	Blocks int
+	// Assoc is the set associativity (paper: 4).
+	Assoc int
+	// VictimBlocks is the fully-associative victim cache size (paper: 8).
+	// Zero disables the victim cache.
+	VictimBlocks int
+	// MixPercent is γ: the share of each set's blocks devoted to REM
+	// results, with the remainder devoted to LOC (paper sweeps
+	// 0/25/50/75%; 50% is typically best, 25% for β = 1K). 0 disables
+	// REM caching entirely; 100 disables LOC caching.
+	MixPercent int
+	// Policy is the base replacement policy (paper uses LRU).
+	Policy Policy
+	// Seed drives the Random policy.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's standard organization: 4K blocks,
+// 4-way, 8 victim blocks, γ = 50%, LRU.
+func DefaultConfig() Config {
+	return Config{Blocks: 4096, Assoc: 4, VictimBlocks: 8, MixPercent: 50, Policy: LRU}
+}
+
+type entry struct {
+	valid   bool
+	waiting bool // W bit
+	origin  Origin
+	addr    ip.Addr
+	nextHop rtable.NextHop
+	stamp   uint64  // LRU: touch time; FIFO: fill time
+	waiters []int64 // packets parked on this waiting block
+}
+
+// ProbeKind classifies a Probe outcome.
+type ProbeKind uint8
+
+// Probe outcomes.
+const (
+	Miss       ProbeKind = iota
+	Hit                  // complete entry, result available
+	HitWaiting           // W=1 entry: caller must park the packet via AddWaiter
+	HitVictim            // complete entry found in the victim cache (promoted)
+)
+
+// ProbeResult is a Probe outcome plus the result when Kind is Hit or
+// HitVictim.
+type ProbeResult struct {
+	Kind    ProbeKind
+	NextHop rtable.NextHop
+	Origin  Origin
+}
+
+// Stats counts cache events since construction (or the last ResetStats).
+type Stats struct {
+	Probes, Hits, HitWaitings, HitVictims, Misses int64
+	Recorded, Bypasses, Evictions, Fills          int64
+	Flushes                                       int64
+	// Waiting-list pressure: packets parked on W blocks, and the largest
+	// list one block ever accumulated (coalescing depth).
+	Parked, MaxWaitList int64
+}
+
+// Cache is one LR-cache instance. It is not safe for concurrent use: in
+// both the cycle simulator and the concurrent router each LC goroutine
+// owns its cache exclusively, mirroring the single cache port of Fig. 2.
+type Cache struct {
+	cfg    Config
+	sets   [][]entry
+	victim []entry
+	clock  uint64
+	rng    *stats.RNG
+	stat   Stats
+}
+
+// New validates cfg and builds an empty cache. Blocks/Assoc must give a
+// power-of-two number of sets so the set index is a bit mask of the
+// address, as in hardware.
+func New(cfg Config) *Cache {
+	if cfg.Assoc < 1 || cfg.Blocks < cfg.Assoc || cfg.Blocks%cfg.Assoc != 0 {
+		panic(fmt.Sprintf("cache: bad geometry blocks=%d assoc=%d", cfg.Blocks, cfg.Assoc))
+	}
+	numSets := cfg.Blocks / cfg.Assoc
+	if numSets&(numSets-1) != 0 {
+		panic(fmt.Sprintf("cache: sets=%d not a power of two", numSets))
+	}
+	if cfg.MixPercent < 0 || cfg.MixPercent > 100 {
+		panic("cache: MixPercent out of range")
+	}
+	c := &Cache{cfg: cfg, rng: stats.NewRNG(cfg.Seed ^ 0xcafe)}
+	c.sets = make([][]entry, numSets)
+	for i := range c.sets {
+		c.sets[i] = make([]entry, cfg.Assoc)
+	}
+	c.victim = make([]entry, cfg.VictimBlocks)
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) setOf(a ip.Addr) []entry {
+	return c.sets[int(a)&(len(c.sets)-1)]
+}
+
+func (c *Cache) tick() uint64 {
+	c.clock++
+	return c.clock
+}
+
+// Probe looks an address up in the set and the victim cache (one combined
+// access per Fig. 2). A victim hit promotes the block back into its set.
+func (c *Cache) Probe(a ip.Addr) ProbeResult {
+	c.stat.Probes++
+	set := c.setOf(a)
+	for i := range set {
+		e := &set[i]
+		if e.valid && e.addr == a {
+			if e.waiting {
+				c.stat.HitWaitings++
+				return ProbeResult{Kind: HitWaiting}
+			}
+			c.stat.Hits++
+			if c.cfg.Policy == LRU {
+				e.stamp = c.tick()
+			}
+			return ProbeResult{Kind: Hit, NextHop: e.nextHop, Origin: e.origin}
+		}
+	}
+	for i := range c.victim {
+		v := &c.victim[i]
+		if v.valid && v.addr == a {
+			c.stat.HitVictims++
+			res := ProbeResult{Kind: HitVictim, NextHop: v.nextHop, Origin: v.origin}
+			c.promote(i)
+			return res
+		}
+	}
+	c.stat.Misses++
+	return ProbeResult{Kind: Miss}
+}
+
+// promote swaps victim block vi back into its home set, demoting the
+// set's replacement choice into the victim slot.
+func (c *Cache) promote(vi int) {
+	v := c.victim[vi]
+	set := c.setOf(v.addr)
+	slot := c.chooseVictim(set, v.origin)
+	if slot < 0 {
+		// No slot for this class (zero quota or all waiting): leave the
+		// entry in the victim cache but refresh its recency.
+		c.victim[vi].stamp = c.tick()
+		return
+	}
+	evicted := set[slot]
+	v.stamp = c.tick()
+	set[slot] = v
+	if evicted.valid {
+		evicted.stamp = c.tick()
+		c.victim[vi] = evicted
+	} else {
+		c.victim[vi] = entry{}
+	}
+}
+
+// classCounts tallies valid blocks per M class, counting waiting blocks in
+// their tentative class (the caller declared the origin at RecordMiss).
+func classCounts(set []entry) (loc, rem int) {
+	for i := range set {
+		if !set[i].valid {
+			continue
+		}
+		if set[i].origin == LOC {
+			loc++
+		} else {
+			rem++
+		}
+	}
+	return loc, rem
+}
+
+// chooseVictim picks the slot for inserting a block of the given class.
+// The mix value γ is a hard per-set allocation (the paper: "% of blocks
+// devoted for REM results"): an insert that would push its class past its
+// share replaces within the class, even when free blocks remain, and a
+// class with zero quota is simply not cached. It returns -1 when no slot
+// is available (zero quota, or every candidate is waiting).
+func (c *Cache) chooseVictim(set []entry, class Origin) int {
+	loc, rem := classCounts(set)
+	remQuota := c.cfg.Assoc * c.cfg.MixPercent / 100
+	locQuota := c.cfg.Assoc - remQuota
+
+	candidate := func(class Origin, restrict bool) int {
+		best, seen := -1, 0
+		for i := range set {
+			e := &set[i]
+			if !e.valid || e.waiting || (restrict && e.origin != class) {
+				continue
+			}
+			seen++
+			if best < 0 {
+				best = i
+				continue
+			}
+			switch c.cfg.Policy {
+			case Random:
+				// Reservoir sampling: the k-th candidate replaces the
+				// choice with probability 1/k, giving a uniform pick.
+				if c.rng.Intn(seen) == 0 {
+					best = i
+				}
+			default: // LRU and FIFO both evict the smallest stamp
+				if e.stamp < set[best].stamp {
+					best = i
+				}
+			}
+		}
+		return best
+	}
+
+	// Class at (or past) its allocation: replace within the class. With a
+	// zero quota there are no candidates and the insert is declined.
+	if class == REM && rem >= remQuota {
+		return candidate(REM, true)
+	}
+	if class == LOC && loc >= locQuota {
+		return candidate(LOC, true)
+	}
+	for i := range set {
+		if !set[i].valid {
+			return i
+		}
+	}
+	// Set full but this class is under quota: the other class must be
+	// over its share; evict from it.
+	if rem > remQuota {
+		if i := candidate(REM, true); i >= 0 {
+			return i
+		}
+	}
+	if loc > locQuota {
+		if i := candidate(LOC, true); i >= 0 {
+			return i
+		}
+	}
+	return candidate(LOC, false)
+}
+
+// RecordMiss reserves a waiting block for addr ("early cache block
+// recording"): origin is the block's tentative class (LOC when the address
+// is homed locally, REM otherwise) and waiter is the packet that caused
+// the miss. It reports false — cache bypass — when no block is available
+// for the class: its γ allocation is zero, or every candidate block is
+// waiting. RecordMiss panics if addr is already present; callers must
+// Probe first.
+func (c *Cache) RecordMiss(a ip.Addr, origin Origin, waiter int64) bool {
+	set := c.setOf(a)
+	for i := range set {
+		if set[i].valid && set[i].addr == a {
+			panic("cache: RecordMiss on a resident address")
+		}
+	}
+	slot := c.chooseVictim(set, origin)
+	if slot < 0 {
+		c.stat.Bypasses++
+		return false
+	}
+	if set[slot].valid {
+		c.evictToVictim(set, slot)
+	}
+	set[slot] = entry{
+		valid:   true,
+		waiting: true,
+		origin:  origin,
+		addr:    a,
+		stamp:   c.tick(),
+		waiters: []int64{waiter},
+	}
+	c.stat.Recorded++
+	return true
+}
+
+// evictToVictim moves a complete block into the victim cache (LRU among
+// victim slots).
+func (c *Cache) evictToVictim(set []entry, slot int) {
+	c.stat.Evictions++
+	if len(c.victim) == 0 {
+		return
+	}
+	vslot := 0
+	for i := range c.victim {
+		if !c.victim[i].valid {
+			vslot = i
+			break
+		}
+		if c.victim[i].stamp < c.victim[vslot].stamp {
+			vslot = i
+		}
+	}
+	e := set[slot]
+	e.stamp = c.tick()
+	c.victim[vslot] = e
+}
+
+// AddWaiter parks a packet on addr's waiting block (after Probe returned
+// HitWaiting). It panics when no waiting block for addr exists.
+func (c *Cache) AddWaiter(a ip.Addr, waiter int64) {
+	set := c.setOf(a)
+	for i := range set {
+		if set[i].valid && set[i].addr == a && set[i].waiting {
+			set[i].waiters = append(set[i].waiters, waiter)
+			c.stat.Parked++
+			if n := int64(len(set[i].waiters)); n > c.stat.MaxWaitList {
+				c.stat.MaxWaitList = n
+			}
+			return
+		}
+	}
+	panic("cache: AddWaiter without a waiting block")
+}
+
+// Fill completes addr's waiting block with a result, clears its W bit and
+// returns the parked packets. origin overrides the tentative class (a
+// reply from a remote LC fills as REM, a local FE result as LOC). When no
+// waiting block exists — the miss bypassed a fully-waiting set, or a flush
+// intervened — the result is inserted as a fresh complete block when
+// possible, and no waiters are returned.
+func (c *Cache) Fill(a ip.Addr, nh rtable.NextHop, origin Origin) []int64 {
+	c.stat.Fills++
+	set := c.setOf(a)
+	for i := range set {
+		e := &set[i]
+		if e.valid && e.addr == a {
+			if !e.waiting {
+				// Duplicate fill (e.g. two LCs resolved the same address);
+				// refresh the result.
+				e.nextHop = nh
+				e.origin = origin
+				return nil
+			}
+			w := e.waiters
+			e.waiting = false
+			e.waiters = nil
+			e.nextHop = nh
+			e.origin = origin
+			e.stamp = c.tick()
+			return w
+		}
+	}
+	// No reserved block: best-effort insert.
+	if slot := c.chooseVictim(set, origin); slot >= 0 {
+		if set[slot].valid {
+			c.evictToVictim(set, slot)
+		}
+		set[slot] = entry{valid: true, origin: origin, addr: a, nextHop: nh, stamp: c.tick()}
+	}
+	return nil
+}
+
+// Flush invalidates every block (routing-table update, Sec. 3.2) and
+// returns all parked packets so the caller can reissue their lookups.
+func (c *Cache) Flush() []int64 {
+	c.stat.Flushes++
+	var orphans []int64
+	for _, set := range c.sets {
+		for i := range set {
+			orphans = append(orphans, set[i].waiters...)
+			set[i] = entry{}
+		}
+	}
+	for i := range c.victim {
+		c.victim[i] = entry{}
+	}
+	return orphans
+}
+
+// Stats returns the event counters.
+func (c *Cache) Stats() Stats { return c.stat }
+
+// ResetStats zeroes the event counters (e.g. after a warm-up phase).
+func (c *Cache) ResetStats() { c.stat = Stats{} }
+
+// HitRate returns (Hits + HitVictims) / Probes.
+func (s Stats) HitRate() float64 {
+	if s.Probes == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.HitVictims) / float64(s.Probes)
+}
+
+// Occupancy reports the number of valid blocks per class, for mix-policy
+// diagnostics.
+func (c *Cache) Occupancy() (loc, rem, waiting int) {
+	for _, set := range c.sets {
+		for i := range set {
+			if !set[i].valid {
+				continue
+			}
+			if set[i].waiting {
+				waiting++
+				continue
+			}
+			if set[i].origin == LOC {
+				loc++
+			} else {
+				rem++
+			}
+		}
+	}
+	return loc, rem, waiting
+}

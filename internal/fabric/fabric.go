@@ -1,0 +1,146 @@
+// Package fabric models the switching fabric interconnecting line cards
+// (Fig. 1). The paper deliberately abstracts the fabric to a latency that
+// depends on its size — a few nanoseconds for recent crossbars, a
+// multistage structure for larger ψ — and that is what this package
+// provides: a latency model per fabric kind plus an in-order delay pipe
+// that carries request/reply messages between LCs.
+//
+// Injection bandwidth (one message per cycle per port) is enforced by the
+// line card's outgoing queue in the simulator, not here; the pipe itself
+// is non-blocking, as a crossbar with per-port queues would be.
+package fabric
+
+import (
+	"fmt"
+
+	"spal/internal/ip"
+	"spal/internal/rtable"
+)
+
+// Kind selects a fabric organization.
+type Kind uint8
+
+// Fabric organizations.
+const (
+	// Bus is a shared bus: cheap at small ψ, latency grows linearly.
+	Bus Kind = iota
+	// Crossbar is a single-stage crossbar: flat low latency up to its
+	// port count (the paper cites 10-port crossbars at 133 MHz).
+	Crossbar
+	// Multistage is a network of small crossbars: latency grows with
+	// log2(ψ) stage count.
+	Multistage
+)
+
+// String names the fabric kind.
+func (k Kind) String() string {
+	switch k {
+	case Bus:
+		return "bus"
+	case Crossbar:
+		return "crossbar"
+	case Multistage:
+		return "multistage"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Latency returns the one-way message latency in cycles for a fabric of
+// the given kind connecting numLCs line cards. The numbers target the
+// paper's regime: "packet latency over the fabric being 10 ns or less"
+// (<= 2 cycles of 5 ns) for a moderate number of LCs.
+func Latency(k Kind, numLCs int) int {
+	if numLCs <= 1 {
+		return 0
+	}
+	switch k {
+	case Bus:
+		// Arbitration plus transfer; degrades with contention domain size.
+		return 1 + numLCs/4
+	case Crossbar:
+		// One switching hop: 2 cycles (10 ns) regardless of size, valid
+		// up to a 16-port part.
+		return 2
+	default: // Multistage
+		// One cycle per stage of 4x4 crossbars plus injection.
+		stages := 0
+		for n := 1; n < numLCs; n *= 4 {
+			stages++
+		}
+		return 1 + stages
+	}
+}
+
+// MsgKind distinguishes lookup requests from replies.
+type MsgKind uint8
+
+// Message kinds.
+const (
+	Request MsgKind = iota // packet forwarded to its home LC for lookup
+	Reply                  // lookup result returned to the arrival LC
+)
+
+// Message is one unit crossing the fabric.
+type Message struct {
+	Kind     MsgKind
+	Src, Dst int
+	PacketID int64
+	Addr     ip.Addr
+	NextHop  rtable.NextHop // valid for Reply
+}
+
+type inflight struct {
+	arrival int64
+	msg     Message
+}
+
+// Pipe is a fixed-latency, in-order message channel. Sends must use
+// non-decreasing timestamps (the simulator's cycle counter).
+type Pipe struct {
+	latency int64
+	queue   []inflight // FIFO; arrival times are non-decreasing
+	head    int
+	sent    int64
+}
+
+// NewPipe builds a pipe with the given one-way latency in cycles.
+func NewPipe(latencyCycles int) *Pipe {
+	if latencyCycles < 0 {
+		panic("fabric: negative latency")
+	}
+	return &Pipe{latency: int64(latencyCycles)}
+}
+
+// Latency returns the pipe's one-way latency in cycles.
+func (p *Pipe) Latency() int64 { return p.latency }
+
+// Send injects a message at cycle now; it will arrive at now+latency.
+func (p *Pipe) Send(now int64, m Message) {
+	if n := len(p.queue); n > p.head && p.queue[n-1].arrival > now+p.latency {
+		panic("fabric: out-of-order send")
+	}
+	p.queue = append(p.queue, inflight{arrival: now + p.latency, msg: m})
+	p.sent++
+}
+
+// Deliver pops every message whose arrival time is <= now.
+func (p *Pipe) Deliver(now int64) []Message {
+	var out []Message
+	for p.head < len(p.queue) && p.queue[p.head].arrival <= now {
+		out = append(out, p.queue[p.head].msg)
+		p.head++
+	}
+	// Compact once the consumed prefix dominates, keeping amortized O(1).
+	if p.head > 1024 && p.head*2 > len(p.queue) {
+		p.queue = append(p.queue[:0], p.queue[p.head:]...)
+		p.head = 0
+	}
+	return out
+}
+
+// Pending returns the number of undelivered messages.
+func (p *Pipe) Pending() int { return len(p.queue) - p.head }
+
+// Sent returns the total number of messages injected.
+func (p *Pipe) Sent() int64 { return p.sent }

@@ -1,0 +1,90 @@
+package fabric
+
+import "testing"
+
+func TestLatencyModels(t *testing.T) {
+	if Latency(Crossbar, 1) != 0 || Latency(Bus, 1) != 0 {
+		t.Error("single LC needs no fabric")
+	}
+	if Latency(Crossbar, 16) != 2 {
+		t.Errorf("crossbar(16) = %d, want 2 (10 ns)", Latency(Crossbar, 16))
+	}
+	if Latency(Bus, 4) >= Latency(Bus, 32) {
+		t.Error("bus latency must grow with size")
+	}
+	// Multistage: 4 LCs -> 1 stage, 16 -> 2 stages, 64 -> 3 stages.
+	if Latency(Multistage, 4) != 2 || Latency(Multistage, 16) != 3 || Latency(Multistage, 64) != 4 {
+		t.Errorf("multistage = %d/%d/%d", Latency(Multistage, 4), Latency(Multistage, 16), Latency(Multistage, 64))
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Bus.String() != "bus" || Crossbar.String() != "crossbar" || Multistage.String() != "multistage" {
+		t.Error("kind names wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+func TestPipeDelivery(t *testing.T) {
+	p := NewPipe(3)
+	p.Send(10, Message{PacketID: 1})
+	p.Send(11, Message{PacketID: 2})
+	if got := p.Deliver(12); len(got) != 0 {
+		t.Fatalf("early delivery: %v", got)
+	}
+	got := p.Deliver(13)
+	if len(got) != 1 || got[0].PacketID != 1 {
+		t.Fatalf("at t=13: %v", got)
+	}
+	got = p.Deliver(14)
+	if len(got) != 1 || got[0].PacketID != 2 {
+		t.Fatalf("at t=14: %v", got)
+	}
+	if p.Pending() != 0 {
+		t.Errorf("Pending = %d", p.Pending())
+	}
+	if p.Sent() != 2 {
+		t.Errorf("Sent = %d", p.Sent())
+	}
+}
+
+func TestPipeZeroLatency(t *testing.T) {
+	p := NewPipe(0)
+	p.Send(5, Message{PacketID: 7})
+	if got := p.Deliver(5); len(got) != 1 {
+		t.Fatal("zero-latency message must arrive the same cycle")
+	}
+}
+
+func TestPipeCompaction(t *testing.T) {
+	p := NewPipe(1)
+	for i := int64(0); i < 5000; i++ {
+		p.Send(i, Message{PacketID: i})
+		p.Deliver(i + 1)
+	}
+	if p.Pending() != 0 {
+		t.Errorf("Pending = %d after drain", p.Pending())
+	}
+}
+
+func TestPipeNegativeLatencyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	NewPipe(-1)
+}
+
+func TestPipeOutOfOrderSendPanics(t *testing.T) {
+	p := NewPipe(2)
+	p.Send(10, Message{})
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	p.Send(5, Message{})
+}

@@ -1,0 +1,42 @@
+package ip
+
+import "testing"
+
+// FuzzParsePrefix checks that the parser never panics and that every
+// accepted input round-trips through String.
+func FuzzParsePrefix(f *testing.F) {
+	for _, seed := range []string{
+		"10.0.0.0/8", "0.0.0.0/0", "255.255.255.255/32", "1.2.3.4",
+		"256.1.1.1/8", "1.2.3.4/33", "", "/", "a.b.c.d/x", "1.2.3.4/08",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePrefix(s)
+		if err != nil {
+			return
+		}
+		q, err := ParsePrefix(p.String())
+		if err != nil || q != p {
+			t.Fatalf("round trip of %q -> %v failed: %v", s, p, err)
+		}
+	})
+}
+
+// FuzzParsePrefix6 is the 128-bit counterpart.
+func FuzzParsePrefix6(f *testing.F) {
+	f.Add("2001:0db8:0000:0000:0000:0000:0000:0000/32")
+	f.Add("ffff:ffff:ffff:ffff:ffff:ffff:ffff:ffff/128")
+	f.Add("::1/128")
+	f.Add("x:y:z/8")
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePrefix6(s)
+		if err != nil {
+			return
+		}
+		q, err := ParsePrefix6(p.String())
+		if err != nil || q != p {
+			t.Fatalf("round trip of %q -> %v failed: %v", s, p, err)
+		}
+	})
+}

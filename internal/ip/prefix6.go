@@ -1,0 +1,117 @@
+package ip
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Addr6 is a 128-bit IPv6 address, Hi holding bits b0..b63 (b0 = MSB of Hi).
+type Addr6 struct {
+	Hi, Lo uint64
+}
+
+// Prefix6 is an IPv6 prefix of Len bits, left-aligned in Value.
+// It exists to demonstrate the paper's claim that SPAL "is feasibly
+// applicable to IPv6": the partitioner and the binary trie accept it.
+type Prefix6 struct {
+	Value Addr6
+	Len   uint8 // 0..128
+}
+
+// Mask6 returns the netmask of an l-bit IPv6 prefix.
+func Mask6(l uint8) Addr6 {
+	switch {
+	case l == 0:
+		return Addr6{}
+	case l <= 64:
+		return Addr6{Hi: ^uint64(0) << (64 - l)}
+	case l >= 128:
+		return Addr6{Hi: ^uint64(0), Lo: ^uint64(0)}
+	default:
+		return Addr6{Hi: ^uint64(0), Lo: ^uint64(0) << (128 - l)}
+	}
+}
+
+// And returns the bitwise AND of two 128-bit values.
+func (a Addr6) And(b Addr6) Addr6 { return Addr6{Hi: a.Hi & b.Hi, Lo: a.Lo & b.Lo} }
+
+// Canon returns p with don't-care bits cleared.
+func (p Prefix6) Canon() Prefix6 {
+	p.Value = p.Value.And(Mask6(p.Len))
+	return p
+}
+
+// Bit reports bit pos (b0 = MSB) of p; known is false when pos >= Len.
+func (p Prefix6) Bit(pos int) (bit uint64, known bool) {
+	if pos < 0 || pos >= int(p.Len) {
+		return 0, false
+	}
+	return Addr6Bit(p.Value, pos), true
+}
+
+// Addr6Bit returns bit pos (b0 = MSB) of a 128-bit address.
+func Addr6Bit(a Addr6, pos int) uint64 {
+	if pos < 64 {
+		return (a.Hi >> (63 - uint(pos))) & 1
+	}
+	return (a.Lo >> (127 - uint(pos))) & 1
+}
+
+// Matches reports whether address a falls inside prefix p.
+func (p Prefix6) Matches(a Addr6) bool {
+	return a.And(Mask6(p.Len)) == p.Value
+}
+
+// Contains reports whether p covers q.
+func (p Prefix6) Contains(q Prefix6) bool {
+	return p.Len <= q.Len && q.Value.And(Mask6(p.Len)) == p.Value
+}
+
+// String renders p as full (uncompressed) hex groups plus length.
+func (p Prefix6) String() string {
+	return FormatAddr6(p.Value) + "/" + strconv.Itoa(int(p.Len))
+}
+
+// FormatAddr6 renders a as eight uncompressed hex groups.
+func FormatAddr6(a Addr6) string {
+	groups := make([]string, 8)
+	for i := 0; i < 4; i++ {
+		groups[i] = fmt.Sprintf("%04x", uint16(a.Hi>>uint(48-16*i)))
+		groups[i+4] = fmt.Sprintf("%04x", uint16(a.Lo>>uint(48-16*i)))
+	}
+	return strings.Join(groups, ":")
+}
+
+// ParsePrefix6 parses "h:h:h:h:h:h:h:h/len" with all eight groups present
+// (no "::" compression; this is a simulation input format, not a general
+// IPv6 parser).
+func ParsePrefix6(s string) (Prefix6, error) {
+	addr := s
+	length := 128
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		addr = s[:i]
+		v, err := strconv.Atoi(s[i+1:])
+		if err != nil || v < 0 || v > 128 {
+			return Prefix6{}, fmt.Errorf("ip: bad prefix6 length in %q", s)
+		}
+		length = v
+	}
+	groups := strings.Split(addr, ":")
+	if len(groups) != 8 {
+		return Prefix6{}, fmt.Errorf("ip: want 8 groups in %q", s)
+	}
+	var a Addr6
+	for i, g := range groups {
+		v, err := strconv.ParseUint(g, 16, 16)
+		if err != nil {
+			return Prefix6{}, fmt.Errorf("ip: bad group %q in %q", g, s)
+		}
+		if i < 4 {
+			a.Hi = a.Hi<<16 | v
+		} else {
+			a.Lo = a.Lo<<16 | v
+		}
+	}
+	return Prefix6{Value: a, Len: uint8(length)}.Canon(), nil
+}

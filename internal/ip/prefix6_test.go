@@ -1,0 +1,108 @@
+package ip
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustP6(t *testing.T, s string) Prefix6 {
+	t.Helper()
+	p, err := ParsePrefix6(s)
+	if err != nil {
+		t.Fatalf("ParsePrefix6(%q): %v", s, err)
+	}
+	return p
+}
+
+func TestMask6(t *testing.T) {
+	cases := []struct {
+		l    uint8
+		want Addr6
+	}{
+		{0, Addr6{}},
+		{1, Addr6{Hi: 1 << 63}},
+		{64, Addr6{Hi: ^uint64(0)}},
+		{65, Addr6{Hi: ^uint64(0), Lo: 1 << 63}},
+		{128, Addr6{Hi: ^uint64(0), Lo: ^uint64(0)}},
+	}
+	for _, c := range cases {
+		if got := Mask6(c.l); got != c.want {
+			t.Errorf("Mask6(%d) = %+v, want %+v", c.l, got, c.want)
+		}
+	}
+}
+
+func TestParsePrefix6(t *testing.T) {
+	p := mustP6(t, "2001:0db8:0000:0000:0000:0000:0000:0000/32")
+	if p.Value.Hi != 0x20010db800000000 || p.Value.Lo != 0 || p.Len != 32 {
+		t.Errorf("got %+v", p)
+	}
+	// Canonicalization clears don't-care bits.
+	p = mustP6(t, "2001:0db8:ffff:ffff:ffff:ffff:ffff:ffff/32")
+	if p.Value.Hi != 0x20010db800000000 || p.Value.Lo != 0 {
+		t.Errorf("not canonical: %+v", p)
+	}
+	for _, bad := range []string{"", "1:2:3/16", "2001:db8:0:0:0:0:0:0/129", "xyzw:0:0:0:0:0:0:0/8"} {
+		if _, err := ParsePrefix6(bad); err == nil {
+			t.Errorf("ParsePrefix6(%q): want error", bad)
+		}
+	}
+}
+
+func TestPrefix6MatchContains(t *testing.T) {
+	p := mustP6(t, "2001:0db8:0000:0000:0000:0000:0000:0000/32")
+	q := mustP6(t, "2001:0db8:0001:0000:0000:0000:0000:0000/48")
+	if !p.Contains(q) || q.Contains(p) {
+		t.Error("containment wrong")
+	}
+	if !p.Matches(q.Value) {
+		t.Error("p should match q's base address")
+	}
+	other := Addr6{Hi: 0x20020db800000000}
+	if p.Matches(other) {
+		t.Error("p should not match 2002:db8::")
+	}
+}
+
+func TestPrefix6Bits(t *testing.T) {
+	p := mustP6(t, "8000:0000:0000:0000:0000:0000:0000:0001/128")
+	if b, known := p.Bit(0); !known || b != 1 {
+		t.Errorf("Bit(0) = %d,%v", b, known)
+	}
+	if b, known := p.Bit(127); !known || b != 1 {
+		t.Errorf("Bit(127) = %d,%v", b, known)
+	}
+	if b, known := p.Bit(64); !known || b != 0 {
+		t.Errorf("Bit(64) = %d,%v", b, known)
+	}
+	short := mustP6(t, "8000:0000:0000:0000:0000:0000:0000:0000/1")
+	if _, known := short.Bit(1); known {
+		t.Error("Bit(1) of /1 should be don't-care")
+	}
+}
+
+func TestPrefix6RoundTrip(t *testing.T) {
+	f := func(hi, lo uint64, lenSeed uint8) bool {
+		l := uint8(int(lenSeed) % 129)
+		p := Prefix6{Value: Addr6{Hi: hi, Lo: lo}, Len: l}.Canon()
+		q, err := ParsePrefix6(p.String())
+		return err == nil && q == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a /l prefix matches exactly the addresses it canonically equals
+// under the mask.
+func TestPrefix6MatchProperty(t *testing.T) {
+	f := func(hi, lo, ahi, alo uint64, lenSeed uint8) bool {
+		l := uint8(int(lenSeed) % 129)
+		p := Prefix6{Value: Addr6{Hi: hi, Lo: lo}, Len: l}.Canon()
+		a := Addr6{Hi: ahi, Lo: alo}
+		return p.Matches(a) == (a.And(Mask6(l)) == p.Value)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,218 @@
+package ip
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMask(t *testing.T) {
+	cases := []struct {
+		l    uint8
+		want uint32
+	}{
+		{0, 0x00000000},
+		{1, 0x80000000},
+		{8, 0xff000000},
+		{16, 0xffff0000},
+		{24, 0xffffff00},
+		{31, 0xfffffffe},
+		{32, 0xffffffff},
+	}
+	for _, c := range cases {
+		if got := Mask(c.l); got != c.want {
+			t.Errorf("Mask(%d) = %#x, want %#x", c.l, got, c.want)
+		}
+	}
+}
+
+func TestParseFormatAddr(t *testing.T) {
+	cases := []struct {
+		s string
+		a Addr
+	}{
+		{"0.0.0.0", 0},
+		{"255.255.255.255", 0xffffffff},
+		{"10.1.2.3", 0x0a010203},
+		{"192.168.0.1", 0xc0a80001},
+	}
+	for _, c := range cases {
+		got, err := ParseAddr(c.s)
+		if err != nil {
+			t.Fatalf("ParseAddr(%q): %v", c.s, err)
+		}
+		if got != c.a {
+			t.Errorf("ParseAddr(%q) = %#x, want %#x", c.s, got, c.a)
+		}
+		if back := FormatAddr(c.a); back != c.s {
+			t.Errorf("FormatAddr(%#x) = %q, want %q", c.a, back, c.s)
+		}
+	}
+}
+
+func TestParseAddrErrors(t *testing.T) {
+	for _, s := range []string{"", "1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "1..2.3"} {
+		if _, err := ParseAddr(s); err == nil {
+			t.Errorf("ParseAddr(%q): want error", s)
+		}
+	}
+}
+
+func TestParsePrefix(t *testing.T) {
+	p, err := ParsePrefix("10.1.0.0/16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Value != 0x0a010000 || p.Len != 16 {
+		t.Errorf("got %v", p)
+	}
+	// Non-canonical input gets masked.
+	p, err = ParsePrefix("10.1.2.3/16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Value != 0x0a010000 {
+		t.Errorf("ParsePrefix did not canonicalize: %v", p)
+	}
+	// Missing length = host route.
+	p, err = ParsePrefix("1.2.3.4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len != 32 {
+		t.Errorf("want /32, got %v", p)
+	}
+	for _, s := range []string{"10.0.0.0/33", "10.0.0.0/-1", "10.0.0.0/x", "300.0.0.0/8"} {
+		if _, err := ParsePrefix(s); err == nil {
+			t.Errorf("ParsePrefix(%q): want error", s)
+		}
+	}
+}
+
+func TestPrefixString(t *testing.T) {
+	if got := MustPrefix("10.1.0.0/16").String(); got != "10.1.0.0/16" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestBit(t *testing.T) {
+	p := MustPrefix("160.0.0.0/4") // 1010...
+	wantBits := []uint32{1, 0, 1, 0}
+	for i, w := range wantBits {
+		b, known := p.Bit(i)
+		if !known || b != w {
+			t.Errorf("Bit(%d) = (%d,%v), want (%d,true)", i, b, known, w)
+		}
+	}
+	if _, known := p.Bit(4); known {
+		t.Error("Bit(4) should be don't-care")
+	}
+	if _, known := p.Bit(-1); known {
+		t.Error("Bit(-1) should be don't-care")
+	}
+	if _, known := p.Bit(32); known {
+		t.Error("Bit(32) should be don't-care")
+	}
+}
+
+func TestAddrBit(t *testing.T) {
+	a := Addr(0x80000001)
+	if AddrBit(a, 0) != 1 || AddrBit(a, 1) != 0 || AddrBit(a, 31) != 1 {
+		t.Errorf("AddrBit wrong for %#x", a)
+	}
+}
+
+func TestMatchesContains(t *testing.T) {
+	p := MustPrefix("10.0.0.0/8")
+	q := MustPrefix("10.1.0.0/16")
+	if !p.Matches(0x0a123456) {
+		t.Error("10/8 should match 10.18.52.86")
+	}
+	if p.Matches(0x0b000000) {
+		t.Error("10/8 should not match 11.0.0.0")
+	}
+	if !p.Contains(q) {
+		t.Error("10/8 should contain 10.1/16")
+	}
+	if q.Contains(p) {
+		t.Error("10.1/16 should not contain 10/8")
+	}
+	if !p.Contains(p) {
+		t.Error("prefix should contain itself")
+	}
+	def := Prefix{}
+	if !def.Matches(0xffffffff) || !def.Matches(0) {
+		t.Error("default route should match everything")
+	}
+}
+
+func TestFirstLastAddr(t *testing.T) {
+	p := MustPrefix("10.1.0.0/16")
+	if p.FirstAddr() != 0x0a010000 {
+		t.Errorf("FirstAddr = %#x", p.FirstAddr())
+	}
+	if p.LastAddr() != 0x0a01ffff {
+		t.Errorf("LastAddr = %#x", p.LastAddr())
+	}
+	host := MustPrefix("1.2.3.4/32")
+	if host.FirstAddr() != host.LastAddr() {
+		t.Error("host route should span one address")
+	}
+}
+
+func TestDedup(t *testing.T) {
+	ps := []Prefix{
+		MustPrefix("10.0.0.0/8"),
+		MustPrefix("10.0.0.0/16"),
+		MustPrefix("10.0.0.0/8"),
+		MustPrefix("9.0.0.0/8"),
+	}
+	out := Dedup(ps)
+	if len(out) != 3 {
+		t.Fatalf("Dedup kept %d, want 3", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		if !out[i-1].Less(out[i]) {
+			t.Errorf("not sorted at %d: %v %v", i, out[i-1], out[i])
+		}
+	}
+}
+
+// Property: address matches prefix iff masking the address with the prefix
+// mask yields the prefix value — and Bit/AddrBit agree inside the length.
+func TestPrefixProperties(t *testing.T) {
+	f := func(v uint32, lenSeed uint8, a uint32) bool {
+		l := uint8(int(lenSeed) % 33)
+		p := Prefix{Value: v, Len: l}.Canon()
+		if p.Matches(a) != ((a & Mask(l)) == p.Value) {
+			return false
+		}
+		for pos := 0; pos < int(l); pos++ {
+			b, known := p.Bit(pos)
+			if !known || b != AddrBit(p.Value, pos) {
+				return false
+			}
+		}
+		// Round-trip through string form.
+		q, err := ParsePrefix(p.String())
+		return err == nil && q == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Contains is consistent with Matches over the covered range
+// endpoints.
+func TestContainsProperty(t *testing.T) {
+	f := func(v1, v2 uint32, l1, l2 uint8) bool {
+		p := Prefix{Value: v1, Len: uint8(int(l1) % 33)}.Canon()
+		q := Prefix{Value: v2, Len: uint8(int(l2) % 33)}.Canon()
+		if p.Contains(q) {
+			return p.Matches(q.FirstAddr()) && p.Matches(q.LastAddr())
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

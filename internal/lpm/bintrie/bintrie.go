@@ -1,0 +1,98 @@
+// Package bintrie implements the plain (uncompressed) binary trie. It is
+// the simplest single-bit-inspection structure: one node per distinct
+// prefix bit-path, search walks one address bit per step.
+//
+// It serves three roles in this repository: a readable reference structure,
+// the upper bound on single-bit search cost that the DP trie improves on,
+// and the worst-case-depth datapoint for the storage/latency comparisons.
+//
+// Memory model: each node holds two child pointers (4 bytes each in the
+// modelled 32-bit SRAM layout), a 2-byte next hop, and a 1-byte valid flag:
+// 11 bytes per node.
+package bintrie
+
+import (
+	"spal/internal/ip"
+	"spal/internal/lpm"
+	"spal/internal/rtable"
+)
+
+const nodeBytes = 11
+
+type node struct {
+	child    [2]*node
+	nextHop  rtable.NextHop
+	hasRoute bool
+}
+
+// Trie is an immutable binary trie built by New.
+type Trie struct {
+	root     *node
+	nodes    int
+	maxDepth int
+}
+
+var _ lpm.Engine = (*Trie)(nil)
+
+// New builds the trie from a table snapshot.
+func New(t *rtable.Table) *Trie {
+	tr := &Trie{root: &node{}, nodes: 1}
+	for _, r := range t.Routes() {
+		tr.insert(r.Prefix, r.NextHop)
+	}
+	return tr
+}
+
+// NewEngine adapts New to the lpm.Builder signature.
+func NewEngine(t *rtable.Table) lpm.Engine { return New(t) }
+
+func (tr *Trie) insert(p ip.Prefix, nh rtable.NextHop) {
+	n := tr.root
+	for d := 0; d < int(p.Len); d++ {
+		b := ip.AddrBit(p.Value, d)
+		if n.child[b] == nil {
+			n.child[b] = &node{}
+			tr.nodes++
+		}
+		n = n.child[b]
+	}
+	n.nextHop = nh
+	n.hasRoute = true
+	if int(p.Len) > tr.maxDepth {
+		tr.maxDepth = int(p.Len)
+	}
+}
+
+// Lookup walks one bit per step, remembering the deepest route passed.
+// Every node visit is one modelled memory access.
+func (tr *Trie) Lookup(a ip.Addr) (rtable.NextHop, int, bool) {
+	n := tr.root
+	best := rtable.NoNextHop
+	found := false
+	accesses := 0
+	for d := 0; n != nil; d++ {
+		accesses++
+		if n.hasRoute {
+			best = n.nextHop
+			found = true
+		}
+		if d == 32 {
+			break
+		}
+		n = n.child[ip.AddrBit(a, d)]
+	}
+	return best, accesses, found
+}
+
+// MemoryBytes reports the modelled footprint (11 bytes per node).
+func (tr *Trie) MemoryBytes() int { return tr.nodes * nodeBytes }
+
+// Name implements lpm.Engine.
+func (tr *Trie) Name() string { return "bintrie" }
+
+// Nodes returns the node count (for structure statistics).
+func (tr *Trie) Nodes() int { return tr.nodes }
+
+// MaxDepth returns the deepest route length, a lower bound on the
+// worst-case access count.
+func (tr *Trie) MaxDepth() int { return tr.maxDepth }

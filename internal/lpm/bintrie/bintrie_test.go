@@ -1,0 +1,73 @@
+package bintrie
+
+import (
+	"testing"
+
+	"spal/internal/ip"
+	"spal/internal/rtable"
+)
+
+func table(cidrs ...string) *rtable.Table {
+	var routes []rtable.Route
+	for i, c := range cidrs {
+		routes = append(routes, rtable.Route{Prefix: ip.MustPrefix(c), NextHop: rtable.NextHop(i + 1)})
+	}
+	return rtable.New(routes)
+}
+
+func TestNodeCount(t *testing.T) {
+	// 10.0.0.0/8 creates 8 new nodes below the root; 10.0.0.0/16 adds 8
+	// more along the same path.
+	tr := New(table("10.0.0.0/8", "10.0.0.0/16"))
+	if tr.Nodes() != 1+16 {
+		t.Errorf("Nodes = %d, want 17", tr.Nodes())
+	}
+	if tr.MemoryBytes() != 17*11 {
+		t.Errorf("MemoryBytes = %d", tr.MemoryBytes())
+	}
+	if tr.MaxDepth() != 16 {
+		t.Errorf("MaxDepth = %d", tr.MaxDepth())
+	}
+}
+
+func TestLookupAccessesBounded(t *testing.T) {
+	tr := New(table("10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24"))
+	a, _ := ip.ParseAddr("10.1.2.3")
+	nh, acc, ok := tr.Lookup(a)
+	if !ok || nh != 3 {
+		t.Fatalf("Lookup = (%d,%v)", nh, ok)
+	}
+	// Walks at most depth+1 nodes (root..deepest existing node on path).
+	if acc < 25 || acc > 33 {
+		t.Errorf("accesses = %d, want ~25 (24-bit path + root)", acc)
+	}
+}
+
+func TestDefaultRoute(t *testing.T) {
+	tr := New(table("0.0.0.0/0"))
+	nh, acc, ok := tr.Lookup(0xdeadbeef)
+	if !ok || nh != 1 {
+		t.Fatalf("default route miss: (%d,%v)", nh, ok)
+	}
+	if acc != 1 {
+		t.Errorf("default-only lookup should touch 1 node, got %d", acc)
+	}
+}
+
+func TestHostRoute(t *testing.T) {
+	tr := New(table("1.2.3.4/32", "1.2.3.0/24"))
+	a, _ := ip.ParseAddr("1.2.3.4")
+	if nh, _, _ := tr.Lookup(a); nh != 1 {
+		t.Errorf("host route should win: nh=%d", nh)
+	}
+	a, _ = ip.ParseAddr("1.2.3.5")
+	if nh, _, _ := tr.Lookup(a); nh != 2 {
+		t.Errorf("/24 should match neighbour: nh=%d", nh)
+	}
+}
+
+func TestName(t *testing.T) {
+	if New(table()).Name() != "bintrie" {
+		t.Error("Name mismatch")
+	}
+}

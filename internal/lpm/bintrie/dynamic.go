@@ -1,0 +1,47 @@
+package bintrie
+
+import (
+	"spal/internal/ip"
+	"spal/internal/rtable"
+)
+
+// Insert adds or replaces a route in place. The binary trie supports
+// incremental updates (cf. the paper's Basu/Narlikar citation on
+// incremental forwarding-engine updates); SPAL proper rebuilds per-LC
+// tables and flushes LR-caches, but a downstream user updating a single
+// LC's trie between rebuilds can do so here.
+func (tr *Trie) Insert(p ip.Prefix, nh rtable.NextHop) {
+	tr.insert(p.Canon(), nh)
+}
+
+// Delete removes a route, pruning now-useless nodes along the path. It
+// reports whether the prefix was present.
+func (tr *Trie) Delete(p ip.Prefix) bool {
+	p = p.Canon()
+	// Collect the path so pruning can walk back up.
+	path := make([]*node, 0, int(p.Len)+1)
+	n := tr.root
+	for d := 0; d < int(p.Len); d++ {
+		path = append(path, n)
+		n = n.child[ip.AddrBit(p.Value, d)]
+		if n == nil {
+			return false
+		}
+	}
+	if !n.hasRoute {
+		return false
+	}
+	n.hasRoute = false
+	n.nextHop = 0
+	// Prune childless, routeless nodes bottom-up (never the root).
+	for d := int(p.Len) - 1; d >= 0; d-- {
+		if n.hasRoute || n.child[0] != nil || n.child[1] != nil {
+			break
+		}
+		parent := path[d]
+		parent.child[ip.AddrBit(p.Value, d)] = nil
+		tr.nodes--
+		n = parent
+	}
+	return true
+}

@@ -1,0 +1,119 @@
+package bintrie
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spal/internal/ip"
+	"spal/internal/lpm"
+	"spal/internal/rtable"
+	"spal/internal/stats"
+)
+
+func TestInsertDeleteRoundTrip(t *testing.T) {
+	tr := New(rtable.New(nil))
+	p := ip.MustPrefix("10.1.0.0/16")
+	tr.Insert(p, 5)
+	a, _ := ip.ParseAddr("10.1.2.3")
+	if nh, _, ok := tr.Lookup(a); !ok || nh != 5 {
+		t.Fatalf("after insert: (%d,%v)", nh, ok)
+	}
+	if !tr.Delete(p) {
+		t.Fatal("Delete returned false")
+	}
+	if _, _, ok := tr.Lookup(a); ok {
+		t.Fatal("route survives delete")
+	}
+	if tr.Nodes() != 1 {
+		t.Errorf("pruning left %d nodes, want 1 (root)", tr.Nodes())
+	}
+}
+
+func TestDeleteAbsent(t *testing.T) {
+	tr := New(table("10.0.0.0/8"))
+	if tr.Delete(ip.MustPrefix("11.0.0.0/8")) {
+		t.Error("deleting absent prefix should report false")
+	}
+	if tr.Delete(ip.MustPrefix("10.0.0.0/16")) {
+		t.Error("deleting non-route node should report false")
+	}
+	a, _ := ip.ParseAddr("10.1.1.1")
+	if _, _, ok := tr.Lookup(a); !ok {
+		t.Error("failed deletes must not damage the trie")
+	}
+}
+
+func TestDeleteKeepsNestedRoutes(t *testing.T) {
+	tr := New(table("10.0.0.0/8", "10.1.0.0/16"))
+	if !tr.Delete(ip.MustPrefix("10.0.0.0/8")) {
+		t.Fatal("delete /8")
+	}
+	a, _ := ip.ParseAddr("10.1.2.3")
+	if nh, _, _ := tr.Lookup(a); nh != 2 {
+		t.Error("/16 must survive deleting its covering /8")
+	}
+	a, _ = ip.ParseAddr("10.200.0.1")
+	if _, _, ok := tr.Lookup(a); ok {
+		t.Error("address outside /16 must now miss")
+	}
+}
+
+// Property: a random interleaving of inserts and deletes leaves the trie
+// agreeing with a shadow map-based oracle.
+func TestDynamicMatchesShadow(t *testing.T) {
+	f := func(ops []uint64) bool {
+		tr := New(rtable.New(nil))
+		shadow := map[ip.Prefix]rtable.NextHop{}
+		for i, op := range ops {
+			p := ip.Prefix{Value: uint32(op), Len: uint8((op >> 32) % 33)}.Canon()
+			if op>>40&1 == 0 || len(shadow) == 0 {
+				nh := rtable.NextHop(i % 1000)
+				tr.Insert(p, nh)
+				shadow[p] = nh
+			} else {
+				delete(shadow, p)
+				tr.Delete(p)
+			}
+		}
+		// Rebuild the oracle from the shadow and compare lookups.
+		var routes []rtable.Route
+		for p, nh := range shadow {
+			routes = append(routes, rtable.Route{Prefix: p, NextHop: nh})
+		}
+		oracle := lpm.NewReference(rtable.New(routes))
+		rng := stats.NewRNG(9)
+		for i := 0; i < 200; i++ {
+			a := rng.Uint32()
+			wNH, _, wOK := oracle.Lookup(a)
+			gNH, _, gOK := tr.Lookup(a)
+			if wOK != gOK || (wOK && wNH != gNH) {
+				return false
+			}
+		}
+		// Probing each live prefix's base address too.
+		for p := range shadow {
+			wNH, _, _ := oracle.Lookup(p.FirstAddr())
+			gNH, _, gOK := tr.Lookup(p.FirstAddr())
+			if !gOK || wNH != gNH {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeleteDefaultRoute(t *testing.T) {
+	tr := New(table("0.0.0.0/0"))
+	if !tr.Delete(ip.Prefix{}) {
+		t.Fatal("delete default route")
+	}
+	if _, _, ok := tr.Lookup(123); ok {
+		t.Error("default route survives delete")
+	}
+	if tr.Nodes() != 1 {
+		t.Errorf("nodes = %d", tr.Nodes())
+	}
+}

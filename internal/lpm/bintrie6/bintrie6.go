@@ -1,0 +1,124 @@
+// Package bintrie6 is the 128-bit counterpart of package bintrie: a plain
+// binary trie over IPv6 prefixes. Together with partition.Partition6 it
+// makes the paper's closing claim — "SPAL is feasibly applicable to IPv6"
+// — executable end to end: fragment an IPv6 table, build one trie per
+// line card, and look up at the home LC.
+//
+// Memory model: 11 bytes per node, as for the IPv4 binary trie (two
+// 4-byte child pointers, 2-byte next hop, 1-byte flag). IPv6 tries are
+// deeper, which is exactly the SRAM pressure the paper argues SPAL
+// relieves (Sec. 1: "when IPv6 addressing is dealt with, the SRAM amount
+// needed is likely to be several times higher").
+package bintrie6
+
+import (
+	"spal/internal/ip"
+)
+
+const nodeBytes = 11
+
+type node struct {
+	child    [2]*node
+	nextHop  uint16
+	hasRoute bool
+}
+
+// Route pairs an IPv6 prefix with a next hop (mirrors partition.Route6).
+type Route struct {
+	Prefix  ip.Prefix6
+	NextHop uint16
+}
+
+// Trie is a binary trie over IPv6 prefixes.
+type Trie struct {
+	root     *node
+	nodes    int
+	maxDepth int
+}
+
+// New builds the trie from routes; later duplicates replace earlier ones.
+func New(routes []Route) *Trie {
+	tr := &Trie{root: &node{}, nodes: 1}
+	for _, r := range routes {
+		tr.Insert(r.Prefix, r.NextHop)
+	}
+	return tr
+}
+
+// Insert adds or replaces a route in place.
+func (tr *Trie) Insert(p ip.Prefix6, nh uint16) {
+	p = p.Canon()
+	n := tr.root
+	for d := 0; d < int(p.Len); d++ {
+		b := ip.Addr6Bit(p.Value, d)
+		if n.child[b] == nil {
+			n.child[b] = &node{}
+			tr.nodes++
+		}
+		n = n.child[b]
+	}
+	n.nextHop = nh
+	n.hasRoute = true
+	if int(p.Len) > tr.maxDepth {
+		tr.maxDepth = int(p.Len)
+	}
+}
+
+// Delete removes a route, pruning dead branches; it reports presence.
+func (tr *Trie) Delete(p ip.Prefix6) bool {
+	p = p.Canon()
+	path := make([]*node, 0, int(p.Len))
+	n := tr.root
+	for d := 0; d < int(p.Len); d++ {
+		path = append(path, n)
+		n = n.child[ip.Addr6Bit(p.Value, d)]
+		if n == nil {
+			return false
+		}
+	}
+	if !n.hasRoute {
+		return false
+	}
+	n.hasRoute = false
+	n.nextHop = 0
+	for d := int(p.Len) - 1; d >= 0; d-- {
+		if n.hasRoute || n.child[0] != nil || n.child[1] != nil {
+			break
+		}
+		parent := path[d]
+		parent.child[ip.Addr6Bit(p.Value, d)] = nil
+		tr.nodes--
+		n = parent
+	}
+	return true
+}
+
+// Lookup walks one address bit per modelled memory access, remembering
+// the deepest route passed.
+func (tr *Trie) Lookup(a ip.Addr6) (nh uint16, accesses int, ok bool) {
+	n := tr.root
+	for d := 0; n != nil; d++ {
+		accesses++
+		if n.hasRoute {
+			nh = n.nextHop
+			ok = true
+		}
+		if d == 128 {
+			break
+		}
+		n = n.child[ip.Addr6Bit(a, d)]
+	}
+	return nh, accesses, ok
+}
+
+// MemoryBytes reports the modelled footprint.
+func (tr *Trie) MemoryBytes() int { return tr.nodes * nodeBytes }
+
+// Nodes returns the node count.
+func (tr *Trie) Nodes() int { return tr.nodes }
+
+// MaxDepth returns the deepest route length.
+func (tr *Trie) MaxDepth() int { return tr.maxDepth }
+
+// Name identifies the structure.
+func (tr *Trie) Name() string { return "bintrie6" }

@@ -1,0 +1,170 @@
+package bintrie6
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spal/internal/ip"
+	"spal/internal/stats"
+)
+
+func mustP6(t testing.TB, s string) ip.Prefix6 {
+	p, err := ip.ParsePrefix6(s)
+	if err != nil {
+		t.Fatalf("ParsePrefix6(%q): %v", s, err)
+	}
+	return p
+}
+
+// lookupLinear is the oracle.
+func lookupLinear(routes []Route, a ip.Addr6) (uint16, bool) {
+	bestLen := -1
+	var nh uint16
+	for _, r := range routes {
+		// >= so later duplicates win, matching the trie's replace-on-insert.
+		if r.Prefix.Matches(a) && int(r.Prefix.Len) >= bestLen {
+			bestLen = int(r.Prefix.Len)
+			nh = r.NextHop
+		}
+	}
+	return nh, bestLen >= 0
+}
+
+func synth(n int, seed uint64) []Route {
+	rng := stats.NewRNG(seed)
+	routes := make([]Route, 0, n)
+	for i := 0; i < n; i++ {
+		l := uint8(8 + rng.Intn(57)) // /8../64
+		v := ip.Addr6{Hi: rng.Uint64(), Lo: rng.Uint64()}
+		routes = append(routes, Route{
+			Prefix:  ip.Prefix6{Value: v, Len: l}.Canon(),
+			NextHop: uint16(rng.Intn(64)),
+		})
+	}
+	return routes
+}
+
+func TestAgreesWithLinear(t *testing.T) {
+	routes := synth(2000, 3)
+	tr := New(routes)
+	rng := stats.NewRNG(5)
+	for i := 0; i < 3000; i++ {
+		var a ip.Addr6
+		if i%2 == 0 {
+			r := routes[rng.Intn(len(routes))]
+			a = r.Prefix.Value
+			a.Lo |= rng.Uint64() & ^ip.Mask6(r.Prefix.Len).Lo
+			a.Hi |= rng.Uint64() & ^ip.Mask6(r.Prefix.Len).Hi
+		} else {
+			a = ip.Addr6{Hi: rng.Uint64(), Lo: rng.Uint64()}
+		}
+		wNH, wOK := lookupLinear(routes, a)
+		gNH, _, gOK := tr.Lookup(a)
+		if wOK != gOK || (wOK && wNH != gNH) {
+			t.Fatalf("Lookup(%s) = (%d,%v), want (%d,%v)",
+				ip.FormatAddr6(a), gNH, gOK, wNH, wOK)
+		}
+	}
+}
+
+func TestNestedAndHostRoutes(t *testing.T) {
+	routes := []Route{
+		{Prefix: mustP6(t, "2001:0db8:0000:0000:0000:0000:0000:0000/32"), NextHop: 1},
+		{Prefix: mustP6(t, "2001:0db8:0001:0000:0000:0000:0000:0000/48"), NextHop: 2},
+		{Prefix: mustP6(t, "2001:0db8:0001:0002:0000:0000:0000:0001/128"), NextHop: 3},
+	}
+	tr := New(routes)
+	cases := []struct {
+		addr string
+		want uint16
+	}{
+		{"2001:0db8:0001:0002:0000:0000:0000:0001/128", 3},
+		{"2001:0db8:0001:0002:0000:0000:0000:0002/128", 2},
+		{"2001:0db8:00ff:0000:0000:0000:0000:0001/128", 1},
+	}
+	for _, c := range cases {
+		a := mustP6(t, c.addr).Value
+		if nh, _, _ := tr.Lookup(a); nh != c.want {
+			t.Errorf("Lookup(%s) = %d, want %d", c.addr, nh, c.want)
+		}
+	}
+	if _, _, ok := tr.Lookup(ip.Addr6{Hi: 0x3000 << 48}); ok {
+		t.Error("unrelated address should miss")
+	}
+}
+
+func TestInsertDelete(t *testing.T) {
+	tr := New(nil)
+	p := mustP6(t, "2001:0db8:0000:0000:0000:0000:0000:0000/32")
+	tr.Insert(p, 7)
+	if nh, _, ok := tr.Lookup(p.Value); !ok || nh != 7 {
+		t.Fatal("insert failed")
+	}
+	if !tr.Delete(p) {
+		t.Fatal("delete failed")
+	}
+	if _, _, ok := tr.Lookup(p.Value); ok {
+		t.Fatal("route survives delete")
+	}
+	if tr.Nodes() != 1 {
+		t.Errorf("nodes = %d after prune", tr.Nodes())
+	}
+	if tr.Delete(p) {
+		t.Error("double delete should report false")
+	}
+}
+
+func TestDepthAndMemory(t *testing.T) {
+	routes := synth(500, 9)
+	tr := New(routes)
+	if tr.MaxDepth() > 64 || tr.MaxDepth() < 8 {
+		t.Errorf("MaxDepth = %d", tr.MaxDepth())
+	}
+	if tr.MemoryBytes() != tr.Nodes()*11 {
+		t.Error("memory model mismatch")
+	}
+	if tr.Name() != "bintrie6" {
+		t.Error("Name mismatch")
+	}
+	// IPv6 tries on equal prefix counts are markedly larger than the
+	// table itself — the paper's SRAM-pressure argument.
+	if tr.Nodes() < len(routes)*4 {
+		t.Errorf("nodes = %d for %d routes: suspiciously compact", tr.Nodes(), len(routes))
+	}
+}
+
+// Property: insert/delete interleavings agree with a shadow map.
+func TestDynamicShadow(t *testing.T) {
+	f := func(ops []uint64) bool {
+		tr := New(nil)
+		shadow := map[ip.Prefix6]uint16{}
+		for i, op := range ops {
+			p := ip.Prefix6{
+				Value: ip.Addr6{Hi: op * 0x9e3779b97f4a7c15, Lo: op},
+				Len:   uint8(op % 65),
+			}.Canon()
+			if op>>40&1 == 0 || len(shadow) == 0 {
+				tr.Insert(p, uint16(i))
+				shadow[p] = uint16(i)
+			} else {
+				delete(shadow, p)
+				tr.Delete(p)
+			}
+		}
+		var routes []Route
+		for p, nh := range shadow {
+			routes = append(routes, Route{Prefix: p, NextHop: nh})
+		}
+		for p := range shadow {
+			wNH, _ := lookupLinear(routes, p.Value)
+			gNH, _, gOK := tr.Lookup(p.Value)
+			if !gOK || wNH != gNH {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

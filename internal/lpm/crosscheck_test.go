@@ -1,0 +1,218 @@
+package lpm_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spal/internal/ip"
+	"spal/internal/lpm"
+	"spal/internal/lpm/bintrie"
+	"spal/internal/lpm/dptrie"
+	"spal/internal/lpm/lctrie"
+	"spal/internal/lpm/lulea"
+	"spal/internal/lpm/multibit"
+	"spal/internal/lpm/rangebs"
+	"spal/internal/lpm/stride24"
+	"spal/internal/lpm/wbs"
+	"spal/internal/rtable"
+	"spal/internal/stats"
+)
+
+// builders lists every engine under test. stride24 is excluded from the
+// high-volume sweeps (each instance allocates 32 MiB) and covered by its
+// own cross-check below.
+var builders = []lpm.Builder{
+	bintrie.NewEngine,
+	dptrie.NewEngine,
+	lctrie.NewEngine,
+	lulea.NewEngine,
+	multibit.NewEngine,
+	wbs.NewEngine,
+	rangebs.NewEngine,
+}
+
+// checkAgainstOracle verifies that an engine agrees with the hash oracle on
+// a mixed workload of matched and uniform-random addresses.
+func checkAgainstOracle(t *testing.T, e lpm.Engine, tbl *rtable.Table, n int, seed uint64) {
+	t.Helper()
+	oracle := lpm.NewReference(tbl)
+	rng := stats.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		var a ip.Addr
+		if i%2 == 0 && tbl.Len() > 0 {
+			a = tbl.RandomMatchedAddr(rng)
+		} else {
+			a = rng.Uint32()
+		}
+		wantNH, _, wantOK := oracle.Lookup(a)
+		gotNH, acc, gotOK := e.Lookup(a)
+		if gotOK != wantOK || (gotOK && gotNH != wantNH) {
+			t.Fatalf("%s: Lookup(%s) = (%d,%v), oracle says (%d,%v)",
+				e.Name(), ip.FormatAddr(a), gotNH, gotOK, wantNH, wantOK)
+		}
+		if acc < 0 {
+			t.Fatalf("%s: negative access count", e.Name())
+		}
+	}
+}
+
+func TestEnginesAgreeWithOracleSynthetic(t *testing.T) {
+	sizes := []int{1, 5, 73, 1000, 20000}
+	for _, size := range sizes {
+		tbl := rtable.Small(size, uint64(size)*13+1)
+		for _, build := range builders {
+			e := build(tbl)
+			checkAgainstOracle(t, e, tbl, 4000, uint64(size))
+		}
+	}
+}
+
+func TestStride24AgreesWithOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocates 32 MiB per table")
+	}
+	tbl := rtable.Small(5000, 99)
+	checkAgainstOracle(t, stride24.NewEngine(tbl), tbl, 4000, 7)
+}
+
+// TestEnginesAgreeOnAdversarialTables exercises hand-built corner cases:
+// default routes, nested chains, adjacent short/long prefixes (the LC-trie
+// rescue path), and host routes.
+func TestEnginesAgreeOnAdversarialTables(t *testing.T) {
+	tables := map[string][]string{
+		"default-only": {"0.0.0.0/0"},
+		"deep-nest": {
+			"0.0.0.0/0", "128.0.0.0/1", "192.0.0.0/2", "224.0.0.0/3",
+			"240.0.0.0/4", "248.0.0.0/5", "252.0.0.0/6", "254.0.0.0/7",
+			"255.0.0.0/8", "255.255.255.255/32",
+		},
+		"short-long-siblings": {
+			// A short leaf next to a deep cluster: stresses level
+			// compression over padded strings.
+			"10.128.0.0/9", "10.0.0.0/15", "10.2.0.0/15", "10.4.1.0/24",
+			"10.4.2.0/24", "10.4.3.0/24", "10.4.4.0/24", "10.4.5.0/24",
+		},
+		"host-routes": {
+			"1.2.3.4/32", "1.2.3.5/32", "1.2.3.0/24", "1.2.0.0/16",
+		},
+		"exceptions": {
+			"20.0.0.0/8", "20.1.0.0/16", "20.1.1.0/24", "20.1.1.128/25",
+			"20.1.1.192/26", "20.1.1.224/27",
+		},
+	}
+	for name, cidrs := range tables {
+		var routes []rtable.Route
+		for i, c := range cidrs {
+			routes = append(routes, rtable.Route{Prefix: ip.MustPrefix(c), NextHop: rtable.NextHop(i + 1)})
+		}
+		tbl := rtable.New(routes)
+		for _, build := range builders {
+			e := build(tbl)
+			// Exhaustive-ish: probe all boundary addresses of every prefix
+			// plus randoms.
+			oracle := lpm.NewReference(tbl)
+			probe := func(a ip.Addr) {
+				wantNH, _, wantOK := oracle.Lookup(a)
+				gotNH, _, gotOK := e.Lookup(a)
+				if gotOK != wantOK || (gotOK && gotNH != wantNH) {
+					t.Errorf("%s/%s: Lookup(%s) = (%d,%v), want (%d,%v)",
+						name, e.Name(), ip.FormatAddr(a), gotNH, gotOK, wantNH, wantOK)
+				}
+			}
+			for _, r := range tbl.Routes() {
+				probe(r.Prefix.FirstAddr())
+				probe(r.Prefix.LastAddr())
+				if r.Prefix.Len < 32 {
+					probe(r.Prefix.FirstAddr() + 1)
+					probe(r.Prefix.LastAddr() - 1)
+				}
+			}
+			rng := stats.NewRNG(3)
+			for i := 0; i < 2000; i++ {
+				probe(rng.Uint32())
+			}
+		}
+	}
+}
+
+func TestEnginesEmptyTable(t *testing.T) {
+	tbl := rtable.New(nil)
+	all := append(append([]lpm.Builder{}, builders...), stride24.NewEngine)
+	if testing.Short() {
+		all = builders
+	}
+	for _, build := range all {
+		e := build(tbl)
+		if nh, _, ok := e.Lookup(0x01020304); ok || nh != rtable.NoNextHop {
+			t.Errorf("%s: empty table lookup should miss, got (%d,%v)", e.Name(), nh, ok)
+		}
+	}
+}
+
+// Property test: random tiny tables generated via quick must agree with
+// the oracle at random addresses. This hits degenerate shapes (duplicate
+// values, chains, /0, /32) the synthetic generator avoids.
+func TestEnginesQuickProperty(t *testing.T) {
+	f := func(raw []uint64, addrs []uint32) bool {
+		var routes []rtable.Route
+		for i, v := range raw {
+			if i >= 50 {
+				break
+			}
+			l := uint8((v >> 32) % 33)
+			routes = append(routes, rtable.Route{
+				Prefix:  ip.Prefix{Value: uint32(v), Len: l}.Canon(),
+				NextHop: rtable.NextHop(i),
+			})
+		}
+		tbl := rtable.New(routes)
+		oracle := lpm.NewReference(tbl)
+		for _, build := range builders {
+			e := build(tbl)
+			for _, a := range addrs {
+				wantNH, _, wantOK := oracle.Lookup(a)
+				gotNH, _, gotOK := e.Lookup(a)
+				if gotOK != wantOK || (gotOK && gotNH != wantNH) {
+					return false
+				}
+			}
+			// Also probe each prefix's own base address.
+			for _, r := range tbl.Routes() {
+				wantNH, _, wantOK := oracle.Lookup(r.Prefix.FirstAddr())
+				gotNH, _, gotOK := e.Lookup(r.Prefix.FirstAddr())
+				if gotOK != wantOK || (gotOK && gotNH != wantNH) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanAccesses(t *testing.T) {
+	tbl := rtable.Small(5000, 3)
+	e := lulea.New(tbl)
+	rng := stats.NewRNG(8)
+	addrs := make([]ip.Addr, 2000)
+	for i := range addrs {
+		addrs[i] = tbl.RandomMatchedAddr(rng)
+	}
+	m := lpm.MeanAccesses(e, addrs)
+	if m < 4 || m > 12 {
+		t.Errorf("lulea mean accesses = %.2f, want within [4,12]", m)
+	}
+	if lpm.MeanAccesses(e, nil) != 0 {
+		t.Error("MeanAccesses over no addresses should be 0")
+	}
+}
+
+func TestReferenceMemoryAndName(t *testing.T) {
+	tbl := rtable.Small(10, 2)
+	r := lpm.NewReference(tbl)
+	if r.Name() != "reference" || r.MemoryBytes() != 70 {
+		t.Errorf("got %s/%d", r.Name(), r.MemoryBytes())
+	}
+}

@@ -1,0 +1,94 @@
+package dptrie
+
+import (
+	"spal/internal/ip"
+	"spal/internal/rtable"
+)
+
+// Insert adds or replaces a route in place — the "dynamic" in dynamic
+// prefix trie: Doeringer et al.'s structure was designed for online
+// insertion and deletion.
+func (tr *Trie) Insert(p ip.Prefix, nh rtable.NextHop) {
+	tr.insert(p.Canon(), nh)
+}
+
+// Delete removes a route and re-compresses the path (a routeless node
+// with one child merges into it; a routeless leaf disappears). It reports
+// whether the prefix was present.
+func (tr *Trie) Delete(p ip.Prefix) bool {
+	p = p.Canon()
+	// Walk down, remembering parents.
+	var path []step
+	n := tr.root
+	for {
+		c := commonLen(n.path, p)
+		if c < n.path.Len {
+			return false // diverges mid-edge: not present
+		}
+		if n.path.Len == p.Len {
+			break
+		}
+		b := ip.AddrBit(p.Value, int(n.path.Len))
+		next := n.child[b]
+		if next == nil {
+			return false
+		}
+		path = append(path, step{parent: n, bit: b})
+		n = next
+	}
+	if n.path != p || !n.hasRoute {
+		return false
+	}
+	n.hasRoute = false
+	n.nextHop = 0
+	tr.compress(n, path)
+	return true
+}
+
+// compress merges or removes a routeless node, then re-examines its
+// parent (removing a child can leave the parent routeless with a single
+// child, which path compression must also fold).
+func (tr *Trie) compress(n *node, path []step) {
+	for {
+		if n.hasRoute {
+			return
+		}
+		left, right := n.child[0], n.child[1]
+		switch {
+		case left != nil && right != nil:
+			return // genuine branch point stays
+		case left == nil && right == nil:
+			// Routeless leaf: detach from parent (the root always stays).
+			if len(path) == 0 {
+				return
+			}
+			last := path[len(path)-1]
+			last.parent.child[last.bit] = nil
+			tr.nodes--
+			n = last.parent
+			path = path[:len(path)-1]
+		default:
+			// One child: merge it up, extending this node's edge. The
+			// root (path.Len == 0 with no route) also folds this way
+			// unless it IS the root sentinel — merging the root would
+			// re-root the trie, which parents elsewhere don't reference,
+			// so fold the child's payload into the node instead.
+			child := left
+			if child == nil {
+				child = right
+			}
+			if n == tr.root {
+				return // keep the empty root as a stable entry point
+			}
+			*n = *child
+			tr.nodes--
+			return
+		}
+	}
+}
+
+// step records one parent-to-child edge on a Delete walk.
+type step struct {
+	parent *node
+	bit    uint32
+}

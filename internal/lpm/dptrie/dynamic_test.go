@@ -1,0 +1,141 @@
+package dptrie
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spal/internal/ip"
+	"spal/internal/lpm"
+	"spal/internal/rtable"
+	"spal/internal/stats"
+)
+
+func TestInsertDeleteRoundTrip(t *testing.T) {
+	tr := New(rtable.New(nil))
+	p := ip.MustPrefix("10.1.0.0/16")
+	tr.Insert(p, 5)
+	a, _ := ip.ParseAddr("10.1.2.3")
+	if nh, _, ok := tr.Lookup(a); !ok || nh != 5 {
+		t.Fatalf("after insert: (%d,%v)", nh, ok)
+	}
+	if !tr.Delete(p) {
+		t.Fatal("Delete returned false")
+	}
+	if _, _, ok := tr.Lookup(a); ok {
+		t.Fatal("route survives delete")
+	}
+	if tr.Nodes() != 1 {
+		t.Errorf("nodes = %d, want 1 (root)", tr.Nodes())
+	}
+}
+
+func TestDeleteMergesSplitNodes(t *testing.T) {
+	// Two /24s create a split node; deleting one should fold the split
+	// back into a single compressed edge.
+	tr := New(table("10.1.2.0/24", "10.1.3.0/24"))
+	before := tr.Nodes() // root + split + 2 leaves = 4
+	if !tr.Delete(ip.MustPrefix("10.1.3.0/24")) {
+		t.Fatal("delete")
+	}
+	if tr.Nodes() >= before-1 {
+		t.Errorf("nodes = %d (was %d): split node not merged", tr.Nodes(), before)
+	}
+	a, _ := ip.ParseAddr("10.1.2.9")
+	if nh, _, _ := tr.Lookup(a); nh != 1 {
+		t.Error("surviving /24 broken by merge")
+	}
+	a, _ = ip.ParseAddr("10.1.3.9")
+	if _, _, ok := tr.Lookup(a); ok {
+		t.Error("deleted /24 still matches")
+	}
+}
+
+func TestDeleteRouteOnBranchNodeKeepsBranch(t *testing.T) {
+	// /16 sits on the branch node covering both /24s: deleting it must
+	// keep the branch (it still has two children).
+	tr := New(table("10.1.0.0/16", "10.1.2.0/24", "10.1.3.0/24"))
+	if !tr.Delete(ip.MustPrefix("10.1.0.0/16")) {
+		t.Fatal("delete /16")
+	}
+	for addr, want := range map[string]rtable.NextHop{"10.1.2.1": 2, "10.1.3.1": 3} {
+		a, _ := ip.ParseAddr(addr)
+		if nh, _, _ := tr.Lookup(a); nh != want {
+			t.Errorf("Lookup(%s) = %d, want %d", addr, nh, want)
+		}
+	}
+	a, _ := ip.ParseAddr("10.1.200.1")
+	if _, _, ok := tr.Lookup(a); ok {
+		t.Error("deleted /16 still matches")
+	}
+}
+
+func TestDeleteAbsent(t *testing.T) {
+	tr := New(table("10.0.0.0/8"))
+	for _, s := range []string{"11.0.0.0/8", "10.0.0.0/16", "10.128.0.0/9"} {
+		if tr.Delete(ip.MustPrefix(s)) {
+			t.Errorf("Delete(%s) on absent prefix reported true", s)
+		}
+	}
+}
+
+// Property: random insert/delete interleavings agree with a shadow oracle.
+func TestDynamicMatchesShadow(t *testing.T) {
+	f := func(ops []uint64) bool {
+		tr := New(rtable.New(nil))
+		shadow := map[ip.Prefix]rtable.NextHop{}
+		for i, op := range ops {
+			p := ip.Prefix{Value: uint32(op), Len: uint8((op >> 32) % 33)}.Canon()
+			if op>>40&1 == 0 || len(shadow) == 0 {
+				nh := rtable.NextHop(i % 1000)
+				tr.Insert(p, nh)
+				shadow[p] = nh
+			} else {
+				delete(shadow, p)
+				tr.Delete(p)
+			}
+		}
+		var routes []rtable.Route
+		for p, nh := range shadow {
+			routes = append(routes, rtable.Route{Prefix: p, NextHop: nh})
+		}
+		oracle := lpm.NewReference(rtable.New(routes))
+		rng := stats.NewRNG(11)
+		for i := 0; i < 200; i++ {
+			a := rng.Uint32()
+			wNH, _, wOK := oracle.Lookup(a)
+			gNH, _, gOK := tr.Lookup(a)
+			if wOK != gOK || (wOK && wNH != gNH) {
+				return false
+			}
+		}
+		for p := range shadow {
+			wNH, _, _ := oracle.Lookup(p.FirstAddr())
+			gNH, _, gOK := tr.Lookup(p.FirstAddr())
+			if !gOK || wNH != gNH {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Deleting everything returns the trie to a single root and node count
+// must never leak.
+func TestDeleteAllPrunesEverything(t *testing.T) {
+	tbl := rtable.Small(500, 17)
+	tr := New(tbl)
+	for _, r := range tbl.Routes() {
+		if !tr.Delete(r.Prefix) {
+			t.Fatalf("Delete(%s) failed", r.Prefix)
+		}
+	}
+	if tr.Nodes() != 1 {
+		t.Errorf("nodes after deleting all = %d, want 1", tr.Nodes())
+	}
+	if _, _, ok := tr.Lookup(0x0a000001); ok {
+		t.Error("empty trie still matches")
+	}
+}

@@ -1,0 +1,121 @@
+// Package expand implements controlled prefix expansion (Srinivasan &
+// Varghese), the transformation behind every fixed-stride multibit trie:
+// each prefix whose length falls between two stride boundaries is expanded
+// into the set of boundary-length prefixes it covers, with longer original
+// prefixes taking precedence over expansions of shorter ones.
+//
+// The SPAL paper's survey section (Sec. 2.1, citing Ruiz-Sanchez et al.)
+// discusses exactly this trade: larger strides buy fewer memory accesses
+// with more storage. Package multibit consumes this package.
+package expand
+
+import (
+	"fmt"
+	"sort"
+
+	"spal/internal/ip"
+	"spal/internal/rtable"
+)
+
+// Boundaries converts a stride vector (e.g. 16,8,8) into cumulative depth
+// boundaries (16,24,32). It validates that strides are positive and sum
+// to at most 32.
+func Boundaries(strides []int) ([]int, error) {
+	if len(strides) == 0 {
+		return nil, fmt.Errorf("expand: empty stride vector")
+	}
+	var out []int
+	sum := 0
+	for _, s := range strides {
+		if s <= 0 {
+			return nil, fmt.Errorf("expand: non-positive stride %d", s)
+		}
+		sum += s
+		out = append(out, sum)
+	}
+	if sum > 32 {
+		return nil, fmt.Errorf("expand: strides sum to %d > 32", sum)
+	}
+	return out, nil
+}
+
+// RoundUp returns the smallest boundary >= l, and ok=false when l exceeds
+// the deepest boundary (the prefix cannot be represented).
+func RoundUp(boundaries []int, l int) (int, bool) {
+	for _, b := range boundaries {
+		if l <= b {
+			return b, true
+		}
+	}
+	return 0, false
+}
+
+// MaxExpansion bounds the number of expanded prefixes Expand will
+// materialize; beyond it the stride vector is considered pathological for
+// the table (e.g. a {32} boundary turns every /8 into 2^24 host routes)
+// and Expand fails instead of exhausting memory.
+const MaxExpansion = 1 << 26
+
+// Expand rewrites the table so every prefix length lies on a boundary.
+// A prefix of length l becomes 2^(b-l) prefixes of boundary length b;
+// when two expansions collide, the one from the longer original prefix
+// wins (longest-match semantics are preserved exactly). The final
+// boundary must be >= the longest prefix in the table.
+func Expand(t *rtable.Table, strides []int) (*rtable.Table, error) {
+	boundaries, err := Boundaries(strides)
+	if err != nil {
+		return nil, err
+	}
+	if n, err := Cost(t, strides); err != nil {
+		return nil, err
+	} else if n > MaxExpansion {
+		return nil, fmt.Errorf("expand: %d expanded prefixes exceed MaxExpansion=%d", n, MaxExpansion)
+	}
+	routes := append([]rtable.Route(nil), t.Routes()...)
+	// Shorter originals first so longer ones overwrite on collision.
+	sort.SliceStable(routes, func(i, j int) bool {
+		return routes[i].Prefix.Len < routes[j].Prefix.Len
+	})
+	won := make(map[ip.Prefix]rtable.Route)
+	for _, r := range routes {
+		b, ok := RoundUp(boundaries, int(r.Prefix.Len))
+		if !ok {
+			return nil, fmt.Errorf("expand: prefix %s longer than deepest boundary", r.Prefix)
+		}
+		span := 1 << (b - int(r.Prefix.Len))
+		for k := 0; k < span; k++ {
+			p := ip.Prefix{
+				Value: r.Prefix.Value | uint32(k)<<(32-b),
+				Len:   uint8(b),
+			}
+			won[p] = rtable.Route{Prefix: p, NextHop: r.NextHop}
+		}
+	}
+	out := make([]rtable.Route, 0, len(won))
+	for _, r := range won {
+		out = append(out, r)
+	}
+	return rtable.New(out), nil
+}
+
+// Cost reports the number of boundary-length prefixes Expand would
+// produce, without materializing them — the storage side of the stride
+// trade-off.
+func Cost(t *rtable.Table, strides []int) (int, error) {
+	boundaries, err := Boundaries(strides)
+	if err != nil {
+		return 0, err
+	}
+	// Expansion collisions make the exact count require the full
+	// computation; this returns the pre-dedup count, an upper bound that
+	// is exact for tables without nested prefixes.
+	total := 0
+	for _, r := range t.Routes() {
+		b, ok := RoundUp(boundaries, int(r.Prefix.Len))
+		if !ok {
+			return 0, fmt.Errorf("expand: prefix %s longer than deepest boundary", r.Prefix)
+		}
+		total += 1 << (b - int(r.Prefix.Len))
+	}
+	return total, nil
+}

@@ -1,0 +1,159 @@
+package expand
+
+import (
+	"testing"
+
+	"spal/internal/ip"
+	"spal/internal/lpm"
+	"spal/internal/rtable"
+	"spal/internal/stats"
+)
+
+func table(cidrs ...string) *rtable.Table {
+	var routes []rtable.Route
+	for i, c := range cidrs {
+		routes = append(routes, rtable.Route{Prefix: ip.MustPrefix(c), NextHop: rtable.NextHop(i + 1)})
+	}
+	return rtable.New(routes)
+}
+
+func TestBoundaries(t *testing.T) {
+	b, err := Boundaries([]int{16, 8, 8})
+	if err != nil || len(b) != 3 || b[0] != 16 || b[1] != 24 || b[2] != 32 {
+		t.Fatalf("Boundaries = %v, %v", b, err)
+	}
+	for _, bad := range [][]int{{}, {0, 8}, {-1}, {16, 17}} {
+		if _, err := Boundaries(bad); err == nil {
+			t.Errorf("Boundaries(%v): want error", bad)
+		}
+	}
+}
+
+func TestRoundUp(t *testing.T) {
+	b, _ := Boundaries([]int{16, 8, 8})
+	cases := []struct {
+		l, want int
+		ok      bool
+	}{{0, 16, true}, {16, 16, true}, {17, 24, true}, {24, 24, true}, {32, 32, true}}
+	for _, c := range cases {
+		got, ok := RoundUp(b, c.l)
+		if got != c.want || ok != c.ok {
+			t.Errorf("RoundUp(%d) = %d,%v", c.l, got, ok)
+		}
+	}
+	short, _ := Boundaries([]int{16})
+	if _, ok := RoundUp(short, 20); ok {
+		t.Error("RoundUp beyond deepest boundary should fail")
+	}
+}
+
+func TestExpandPreservesLPM(t *testing.T) {
+	// Note: a single-boundary stride like {32} would expand every short
+	// prefix to host routes (a /8 alone becomes 2^24 entries), so the
+	// sweep stays on multi-level vectors; {32} is covered by the small
+	// fixed table below.
+	tbl := rtable.Small(3000, 9)
+	for _, strides := range [][]int{{16, 8, 8}, {8, 8, 8, 8}, {24, 8}} {
+		ex, err := Expand(tbl, strides)
+		if err != nil {
+			t.Fatalf("strides %v: %v", strides, err)
+		}
+		// Every expanded length lies on a boundary.
+		b, _ := Boundaries(strides)
+		onBoundary := map[int]bool{}
+		for _, v := range b {
+			onBoundary[v] = true
+		}
+		for _, r := range ex.Routes() {
+			if !onBoundary[int(r.Prefix.Len)] {
+				t.Fatalf("strides %v: off-boundary length %d", strides, r.Prefix.Len)
+			}
+		}
+		// LPM is preserved exactly.
+		want := lpm.NewReference(tbl)
+		got := lpm.NewReference(ex)
+		rng := stats.NewRNG(3)
+		for i := 0; i < 3000; i++ {
+			var a ip.Addr
+			if i%2 == 0 {
+				a = tbl.RandomMatchedAddr(rng)
+			} else {
+				a = rng.Uint32()
+			}
+			wNH, _, wOK := want.Lookup(a)
+			gNH, _, gOK := got.Lookup(a)
+			if wOK != gOK || (wOK && wNH != gNH) {
+				t.Fatalf("strides %v addr %s: (%d,%v) != (%d,%v)",
+					strides, ip.FormatAddr(a), gNH, gOK, wNH, wOK)
+			}
+		}
+	}
+}
+
+func TestExpandCollisionLongerWins(t *testing.T) {
+	// /12 and /14 both expand to /16; inside the /14 the /14 must win.
+	tbl := table("10.0.0.0/12", "10.4.0.0/14")
+	ex, err := Expand(tbl, []int{16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := lpm.NewReference(ex)
+	a, _ := ip.ParseAddr("10.5.0.1") // inside the /14
+	if nh, _, _ := ref.Lookup(a); nh != 2 {
+		t.Errorf("inside /14: nh = %d, want 2", nh)
+	}
+	a, _ = ip.ParseAddr("10.9.0.1") // inside /12 only
+	if nh, _, _ := ref.Lookup(a); nh != 1 {
+		t.Errorf("inside /12: nh = %d, want 1", nh)
+	}
+}
+
+func TestExpandSingleBoundarySmallTable(t *testing.T) {
+	tbl := table("1.2.3.0/30", "1.2.3.0/32")
+	ex, err := Expand(tbl, []int{32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Len() != 4 { // /30 covers 4 hosts, one overridden by the /32
+		t.Errorf("expanded len = %d, want 4", ex.Len())
+	}
+	ref := lpm.NewReference(ex)
+	if nh, _, _ := ref.Lookup(0x01020300); nh != 2 {
+		t.Errorf("host route should win: %d", nh)
+	}
+	if nh, _, _ := ref.Lookup(0x01020301); nh != 1 {
+		t.Errorf("/30 expansion wrong: %d", nh)
+	}
+}
+
+func TestExpandRefusesExplosion(t *testing.T) {
+	tbl := table("10.0.0.0/4")
+	if _, err := Expand(tbl, []int{32}); err == nil {
+		t.Error("want MaxExpansion error for /4 -> 2^28 host routes")
+	}
+}
+
+func TestExpandRejectsTooLong(t *testing.T) {
+	tbl := table("10.0.0.0/24")
+	if _, err := Expand(tbl, []int{16}); err == nil {
+		t.Error("want error for /24 with 16-bit boundary")
+	}
+}
+
+func TestCost(t *testing.T) {
+	tbl := table("10.0.0.0/14", "20.0.0.0/16", "30.1.2.0/24")
+	c, err := Cost(tbl, []int{16, 8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// /14 -> 4 at /16; /16 -> 1; /24 -> 1.
+	if c != 6 {
+		t.Errorf("Cost = %d, want 6", c)
+	}
+	if _, err := Cost(table("10.0.0.0/24"), []int{16}); err == nil {
+		t.Error("want error")
+	}
+	if _, err := Cost(tbl, nil); err == nil {
+		t.Error("want error for empty strides")
+	}
+}

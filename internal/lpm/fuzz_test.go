@@ -1,0 +1,60 @@
+package lpm_test
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"spal/internal/ip"
+	"spal/internal/lpm"
+	"spal/internal/rtable"
+)
+
+// decodeTable derives a routing table and probe addresses from raw fuzz
+// bytes: 5 bytes per route (4 value + 1 length), the tail as addresses.
+func decodeTable(data []byte) (*rtable.Table, []ip.Addr) {
+	var routes []rtable.Route
+	i := 0
+	for ; i+5 <= len(data) && len(routes) < 64; i += 5 {
+		v := binary.BigEndian.Uint32(data[i:])
+		l := uint8(data[i+4]) % 33
+		routes = append(routes, rtable.Route{
+			Prefix:  ip.Prefix{Value: v, Len: l}.Canon(),
+			NextHop: rtable.NextHop(i),
+		})
+	}
+	var addrs []ip.Addr
+	for ; i+4 <= len(data) && len(addrs) < 64; i += 4 {
+		addrs = append(addrs, binary.BigEndian.Uint32(data[i:]))
+	}
+	return rtable.New(routes), addrs
+}
+
+// FuzzEnginesAgree cross-checks every engine against the oracle on
+// fuzz-derived tables — the deepest correctness net in the repository.
+func FuzzEnginesAgree(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{10, 0, 0, 0, 8, 10, 1, 0, 0, 16, 10, 1, 2, 3})
+	f.Add([]byte{0, 0, 0, 0, 0, 255, 255, 255, 255, 32, 1, 2, 3, 4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tbl, addrs := decodeTable(data)
+		oracle := lpm.NewReference(tbl)
+		for _, build := range builders {
+			e := build(tbl)
+			probe := func(a ip.Addr) {
+				wNH, _, wOK := oracle.Lookup(a)
+				gNH, _, gOK := e.Lookup(a)
+				if wOK != gOK || (wOK && wNH != gNH) {
+					t.Fatalf("%s: Lookup(%s) = (%d,%v), want (%d,%v)",
+						e.Name(), ip.FormatAddr(a), gNH, gOK, wNH, wOK)
+				}
+			}
+			for _, a := range addrs {
+				probe(a)
+			}
+			for _, r := range tbl.Routes() {
+				probe(r.Prefix.FirstAddr())
+				probe(r.Prefix.LastAddr())
+			}
+		}
+	})
+}

@@ -1,0 +1,319 @@
+// Package lctrie implements the level-compressed trie of Nilsson and
+// Karlsson ("IP-Address Lookup Using LC-Tries", IEEE JSAC 1999), the third
+// matching algorithm the SPAL paper sizes and times.
+//
+// Construction follows the original:
+//
+//   - the prefix set is split into a prefix-free *base vector* (prefixes
+//     that are not proper prefixes of any other) and a *prefix vector*
+//     (the rest); every vector entry carries a chain pointer to its longest
+//     proper prefix in the prefix vector;
+//   - the trie over the sorted base vector uses path compression (skip) and
+//     level compression (branch): the branching factor at a node is the
+//     largest k whose 2^k subintervals are filled to at least the fill
+//     factor (0.25 in the paper's experiments);
+//   - a trie node packs branch, skip and a child/base pointer into 4 bytes;
+//   - search walks the node array, lands on a base entry, compares it with
+//     the address, and on mismatch rescues through the entry's chain.
+//
+// Empty subintervals reference the neighbouring entry sharing the longest
+// bit pattern, as in Nilsson's code. Because that heuristic (and short base
+// strings spanned by a wide branch) can land the search on an entry whose
+// chain does not contain the true longest match, Lookup falls back — only
+// when both the landed entry and its chain fail — to a binary search for
+// the address's predecessor and successor base entries and their chains,
+// which is guaranteed to contain any matching prefix. The fallback accesses
+// are counted honestly and its activation rate is exposed via Fallbacks.
+//
+// Memory model: 4 bytes per trie node, 12 bytes per base-vector entry
+// (string + length + next hop + chain pointer), 8 bytes per prefix-vector
+// entry.
+package lctrie
+
+import (
+	"sort"
+
+	"spal/internal/ip"
+	"spal/internal/lpm"
+	"spal/internal/rtable"
+)
+
+const (
+	trieNodeBytes    = 4
+	baseEntryBytes   = 12
+	prefixEntryBytes = 8
+	// DefaultFillFactor is the paper's fill factor for the SPAL storage
+	// comparison (Sec. 4).
+	DefaultFillFactor = 0.25
+)
+
+// node is one packed trie node. branch == 0 marks a leaf whose adr indexes
+// the base vector; otherwise adr is the index of the first of 2^branch
+// children in the node array.
+type node struct {
+	branch uint8
+	skip   uint8
+	adr    uint32
+}
+
+// baseEntry is a prefix-free (maximal) prefix with its route and chain.
+type baseEntry struct {
+	prefix  ip.Prefix
+	nextHop rtable.NextHop
+	chain   int32 // index into pre, -1 when none
+}
+
+// preEntry is a prefix of some base entry, with its own chain link.
+type preEntry struct {
+	prefix  ip.Prefix
+	nextHop rtable.NextHop
+	chain   int32
+}
+
+// Trie is an immutable LC-trie built by New.
+type Trie struct {
+	nodes     []node
+	base      []baseEntry
+	pre       []preEntry
+	fill      float64
+	fallbacks int64
+}
+
+var _ lpm.Engine = (*Trie)(nil)
+
+// New builds an LC-trie with the paper's default fill factor.
+func New(t *rtable.Table) *Trie { return NewWithFill(t, DefaultFillFactor) }
+
+// NewEngine adapts New to the lpm.Builder signature.
+func NewEngine(t *rtable.Table) lpm.Engine { return New(t) }
+
+// NewWithFill builds an LC-trie with an explicit fill factor in (0, 1].
+func NewWithFill(t *rtable.Table, fill float64) *Trie {
+	if fill <= 0 || fill > 1 {
+		panic("lctrie: fill factor must be in (0,1]")
+	}
+	tr := &Trie{fill: fill}
+	tr.split(t)
+	if len(tr.base) > 0 {
+		tr.nodes = append(tr.nodes, node{})
+		tr.build(0, 0, len(tr.base), 0)
+	}
+	return tr
+}
+
+// split separates the table into base and prefix vectors and links chains.
+// Routes are already sorted in (value, length) order, which puts a covering
+// prefix immediately before everything it covers.
+func (tr *Trie) split(t *rtable.Table) {
+	routes := t.Routes()
+	isInternal := make([]bool, len(routes))
+	for i := range routes {
+		if i+1 < len(routes) && routes[i].Prefix.Contains(routes[i+1].Prefix) {
+			isInternal[i] = true
+		}
+	}
+	// Nesting scan: the stack holds the chain of internal prefixes covering
+	// the current route.
+	type frame struct {
+		prefix ip.Prefix
+		preIdx int32
+	}
+	var stack []frame
+	for i, r := range routes {
+		for len(stack) > 0 && !stack[len(stack)-1].prefix.Contains(r.Prefix) {
+			stack = stack[:len(stack)-1]
+		}
+		chain := int32(-1)
+		if len(stack) > 0 {
+			chain = stack[len(stack)-1].preIdx
+		}
+		if isInternal[i] {
+			tr.pre = append(tr.pre, preEntry{prefix: r.Prefix, nextHop: r.NextHop, chain: chain})
+			stack = append(stack, frame{prefix: r.Prefix, preIdx: int32(len(tr.pre) - 1)})
+		} else {
+			tr.base = append(tr.base, baseEntry{prefix: r.Prefix, nextHop: r.NextHop, chain: chain})
+		}
+	}
+}
+
+// bitsOf extracts k bits of v starting at bit position pos (b0 = MSB),
+// reading zero padding beyond bit 31.
+func bitsOf(v uint32, pos, k int) uint32 {
+	if pos >= 32 || k == 0 {
+		return 0
+	}
+	w := v << uint(pos) // drop consumed bits
+	return w >> uint(32-k)
+}
+
+// commonPrefixLen returns the number of leading bits p and q share, capped
+// at 32 (padding bits count: base strings are compared as 32-bit values, as
+// in the original implementation).
+func commonPrefixLen(p, q uint32) int {
+	x := p ^ q
+	if x == 0 {
+		return 32
+	}
+	n := 0
+	for x&0x80000000 == 0 {
+		x <<= 1
+		n++
+	}
+	return n
+}
+
+// build recursively constructs the subtrie for base[first:first+n] into
+// nodes[pos], with "prefix" bits already consumed.
+func (tr *Trie) build(pos, first, n, prefix int) {
+	if n == 1 {
+		tr.nodes[pos] = node{branch: 0, skip: 0, adr: uint32(first)}
+		return
+	}
+	// Path compression: skip the bits all strings share beyond prefix.
+	newPrefix := commonPrefixLen(tr.base[first].prefix.Value, tr.base[first+n-1].prefix.Value)
+	if newPrefix > 32 {
+		newPrefix = 32
+	}
+	skip := newPrefix - prefix
+
+	// Level compression: grow branch while the fill criterion holds.
+	branch := 1
+	for {
+		b := branch + 1
+		if newPrefix+b > 32 || float64(n) < tr.fill*float64(int(1)<<b) {
+			break
+		}
+		cnt := 0
+		i := first
+		for pat := 0; pat < 1<<b; pat++ {
+			found := false
+			for i < first+n && bitsOf(tr.base[i].prefix.Value, newPrefix, b) == uint32(pat) {
+				i++
+				found = true
+			}
+			if found {
+				cnt++
+			}
+		}
+		if float64(cnt) < tr.fill*float64(int(1)<<b) {
+			break
+		}
+		branch = b
+	}
+
+	adr := len(tr.nodes)
+	for i := 0; i < 1<<branch; i++ {
+		tr.nodes = append(tr.nodes, node{})
+	}
+	tr.nodes[pos] = node{branch: uint8(branch), skip: uint8(skip), adr: uint32(adr)}
+
+	p := first
+	for pat := 0; pat < 1<<branch; pat++ {
+		k := 0
+		for p+k < first+n && bitsOf(tr.base[p+k].prefix.Value, newPrefix, branch) == uint32(pat) {
+			k++
+		}
+		if k == 0 {
+			// Empty subinterval: point at the neighbour sharing the longer
+			// bit pattern with pat (Nilsson's heuristic).
+			idx := p
+			if p > first {
+				patBits := uint32(pat)
+				prevBits := bitsOf(tr.base[p-1].prefix.Value, newPrefix, branch)
+				var nextBits uint32
+				hasNext := p < first+n
+				if hasNext {
+					nextBits = bitsOf(tr.base[p].prefix.Value, newPrefix, branch)
+				}
+				if !hasNext || commonPrefixLen(prevBits<<(32-branch), patBits<<(32-branch)) >=
+					commonPrefixLen(nextBits<<(32-branch), patBits<<(32-branch)) {
+					idx = p - 1
+				}
+			}
+			if idx >= first+n {
+				idx = first + n - 1
+			}
+			tr.nodes[adr+pat] = node{branch: 0, skip: 0, adr: uint32(idx)}
+			continue
+		}
+		tr.build(adr+pat, p, k, newPrefix+branch)
+		p += k
+	}
+}
+
+// matchChain walks a chain looking for the longest prefix matching a.
+func (tr *Trie) matchChain(chain int32, a ip.Addr, accesses *int) (rtable.NextHop, bool) {
+	for c := chain; c >= 0; c = tr.pre[c].chain {
+		*accesses++
+		if tr.pre[c].prefix.Matches(a) {
+			return tr.pre[c].nextHop, true
+		}
+	}
+	return rtable.NoNextHop, false
+}
+
+// Lookup implements lpm.Engine: trie descent, base-entry comparison, chain
+// rescue, and (rarely) the guaranteed predecessor/successor fallback.
+func (tr *Trie) Lookup(a ip.Addr) (rtable.NextHop, int, bool) {
+	if len(tr.base) == 0 {
+		return rtable.NoNextHop, 0, false
+	}
+	accesses := 0
+	n := tr.nodes[0]
+	accesses++
+	pos := int(n.skip)
+	for n.branch != 0 {
+		idx := bitsOf(a, pos, int(n.branch))
+		pos += int(n.branch)
+		n = tr.nodes[int(n.adr)+int(idx)]
+		accesses++
+		pos += int(n.skip) // child's skip; unused garbage when the child is a leaf
+	}
+	e := &tr.base[n.adr]
+	accesses++ // base-entry fetch
+	if e.prefix.Matches(a) {
+		return e.nextHop, accesses, true
+	}
+	if nh, ok := tr.matchChain(e.chain, a, &accesses); ok {
+		return nh, accesses, true
+	}
+
+	// Guaranteed fallback: any prefix matching a must cover either the
+	// predecessor or the successor base entry of a (see package comment).
+	tr.fallbacks++
+	lo := sort.Search(len(tr.base), func(i int) bool { return tr.base[i].prefix.Value > a })
+	accesses += 5 // modelled binary-search cost (log2 of a 32-entry window)
+	for _, i := range []int{lo - 1, lo} {
+		if i < 0 || i >= len(tr.base) {
+			continue
+		}
+		cand := &tr.base[i]
+		accesses++
+		if cand.prefix.Matches(a) {
+			return cand.nextHop, accesses, true
+		}
+		if nh, ok := tr.matchChain(cand.chain, a, &accesses); ok {
+			return nh, accesses, true
+		}
+	}
+	return rtable.NoNextHop, accesses, false
+}
+
+// MemoryBytes reports the modelled footprint: packed trie nodes plus base
+// and prefix vectors.
+func (tr *Trie) MemoryBytes() int {
+	return len(tr.nodes)*trieNodeBytes + len(tr.base)*baseEntryBytes + len(tr.pre)*prefixEntryBytes
+}
+
+// Name implements lpm.Engine.
+func (tr *Trie) Name() string { return "lctrie" }
+
+// Nodes returns the trie-node count.
+func (tr *Trie) Nodes() int { return len(tr.nodes) }
+
+// Vectors returns the base- and prefix-vector sizes.
+func (tr *Trie) Vectors() (base, pre int) { return len(tr.base), len(tr.pre) }
+
+// Fallbacks returns how many lookups needed the predecessor/successor
+// rescue path since construction.
+func (tr *Trie) Fallbacks() int64 { return tr.fallbacks }

@@ -1,0 +1,157 @@
+package lctrie
+
+import (
+	"testing"
+
+	"spal/internal/ip"
+	"spal/internal/lpm"
+	"spal/internal/rtable"
+	"spal/internal/stats"
+)
+
+func table(cidrs ...string) *rtable.Table {
+	var routes []rtable.Route
+	for i, c := range cidrs {
+		routes = append(routes, rtable.Route{Prefix: ip.MustPrefix(c), NextHop: rtable.NextHop(i + 1)})
+	}
+	return rtable.New(routes)
+}
+
+func TestSplitVectors(t *testing.T) {
+	// 10/8 covers both /16s -> internal; the /16s are maximal -> base.
+	tr := New(table("10.0.0.0/8", "10.1.0.0/16", "10.2.0.0/16"))
+	base, pre := tr.Vectors()
+	if base != 2 || pre != 1 {
+		t.Errorf("vectors = %d/%d, want 2/1", base, pre)
+	}
+}
+
+func TestChainRescue(t *testing.T) {
+	tr := New(table("10.0.0.0/8", "10.1.0.0/16", "10.2.0.0/16"))
+	// 10.200.0.1 matches only the internal /8: must be rescued via chain.
+	a, _ := ip.ParseAddr("10.200.0.1")
+	nh, _, ok := tr.Lookup(a)
+	if !ok || nh != 1 {
+		t.Errorf("chain rescue failed: (%d,%v)", nh, ok)
+	}
+}
+
+func TestNestedChains(t *testing.T) {
+	tr := New(table("10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24", "10.1.2.128/25", "10.3.0.0/16"))
+	cases := []struct {
+		addr string
+		want rtable.NextHop
+	}{
+		{"10.1.2.200", 4},
+		{"10.1.2.3", 3},
+		{"10.1.77.1", 2},
+		{"10.99.0.1", 1},
+		{"10.3.3.3", 5},
+	}
+	for _, c := range cases {
+		a, _ := ip.ParseAddr(c.addr)
+		if nh, _, _ := tr.Lookup(a); nh != c.want {
+			t.Errorf("Lookup(%s) = %d, want %d", c.addr, nh, c.want)
+		}
+	}
+}
+
+func TestFillFactorAffectsNodeCount(t *testing.T) {
+	tbl := rtable.Small(20000, 31)
+	loose := NewWithFill(tbl, 0.25)
+	strict := NewWithFill(tbl, 1.0)
+	// Lower fill factor -> wider branches -> shallower but larger trie.
+	if loose.Nodes() <= strict.Nodes() {
+		t.Errorf("fill 0.25 nodes (%d) should exceed fill 1.0 nodes (%d)",
+			loose.Nodes(), strict.Nodes())
+	}
+	// Both must agree with the oracle.
+	oracle := lpm.NewReference(tbl)
+	rng := stats.NewRNG(5)
+	for i := 0; i < 3000; i++ {
+		a := tbl.RandomMatchedAddr(rng)
+		w, _, _ := oracle.Lookup(a)
+		if g, _, _ := loose.Lookup(a); g != w {
+			t.Fatalf("fill 0.25 wrong at %s", ip.FormatAddr(a))
+		}
+		if g, _, _ := strict.Lookup(a); g != w {
+			t.Fatalf("fill 1.0 wrong at %s", ip.FormatAddr(a))
+		}
+	}
+}
+
+func TestFillFactorValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("fill factor 0 should panic")
+		}
+	}()
+	NewWithFill(rtable.Small(10, 1), 0)
+}
+
+func TestBitsOf(t *testing.T) {
+	v := uint32(0b10110000_00000000_00000000_00000000)
+	if got := bitsOf(v, 0, 4); got != 0b1011 {
+		t.Errorf("bitsOf(v,0,4) = %b", got)
+	}
+	if got := bitsOf(v, 1, 3); got != 0b011 {
+		t.Errorf("bitsOf(v,1,3) = %b", got)
+	}
+	if got := bitsOf(v, 30, 4); got != 0 {
+		t.Errorf("padding read: %b", got)
+	}
+	if got := bitsOf(v, 32, 4); got != 0 {
+		t.Errorf("out of range: %b", got)
+	}
+}
+
+func TestCommonPrefixLen(t *testing.T) {
+	if commonPrefixLen(0xff000000, 0xff000000) != 32 {
+		t.Error("identical values")
+	}
+	if commonPrefixLen(0x80000000, 0) != 0 {
+		t.Error("MSB differs")
+	}
+	if commonPrefixLen(0x0a000000, 0x0b000000) != 7 {
+		t.Error("10.x vs 11.x should share 7 bits")
+	}
+}
+
+func TestSingleEntryAndEmpty(t *testing.T) {
+	tr := New(table("10.0.0.0/8"))
+	a, _ := ip.ParseAddr("10.5.5.5")
+	if nh, _, ok := tr.Lookup(a); !ok || nh != 1 {
+		t.Errorf("single-entry lookup = (%d,%v)", nh, ok)
+	}
+	empty := New(rtable.New(nil))
+	if _, _, ok := empty.Lookup(a); ok {
+		t.Error("empty trie must miss")
+	}
+}
+
+func TestMemoryModel(t *testing.T) {
+	tr := New(table("10.0.0.0/8", "10.1.0.0/16", "10.2.0.0/16"))
+	want := tr.Nodes()*4 + 2*12 + 1*8
+	if tr.MemoryBytes() != want {
+		t.Errorf("MemoryBytes = %d, want %d", tr.MemoryBytes(), want)
+	}
+	if tr.Name() != "lctrie" {
+		t.Error("Name mismatch")
+	}
+}
+
+// The guaranteed fallback must keep the structure correct even on tables
+// engineered to stress empty subintervals and short strings; count how
+// often it fires on a realistic table (should be rare).
+func TestFallbackRate(t *testing.T) {
+	tbl := rtable.Small(20000, 37)
+	tr := New(tbl)
+	rng := stats.NewRNG(11)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		tr.Lookup(tbl.RandomMatchedAddr(rng))
+	}
+	if rate := float64(tr.Fallbacks()) / n; rate > 0.05 {
+		t.Errorf("fallback rate = %.4f, want <= 0.05", rate)
+	}
+}

@@ -1,0 +1,371 @@
+// Package lulea implements the Degermark/Brodnik/Carlsson/Pink compressed
+// forwarding table ("Small Forwarding Tables for Fast Routing Lookups",
+// SIGCOMM 1997) — the "Lulea trie" the SPAL paper adopts for its 40-cycle
+// FE lookup model.
+//
+// The structure has three levels with strides 16, 8 and 8. Each level is a
+// conceptual array of slots (2^16 for level 1, 256 per chunk for levels 2
+// and 3) compressed with the head/bit-vector scheme:
+//
+//   - a slot is a *head* when its pointer differs from the previous slot's
+//     (slot 0 is always a head), so runs of equal pointers cost one entry;
+//   - the bit vector is split into 16-bit masks; a codeword per mask holds
+//     the mask plus a 6-bit offset (heads since the enclosing base point);
+//   - a base index per four codewords anchors the offsets;
+//   - maptable[mask][bit] gives the number of heads in the mask up to a bit
+//     position, so pointer index = base + offset + maptable(...) - 1.
+//
+// Pointers are tagged: a leaf pointer carries the next hop (or "no route"),
+// a chunk pointer the index of a next-level chunk. Level 2/3 chunks come in
+// the paper's three densities: sparse (<= 8 heads: eight 1-byte offsets +
+// pointers, 2 memory accesses), dense (<= 64 heads: codewords without base
+// indexes, 3 accesses) and very dense (codewords + base indexes, 4
+// accesses, same as level 1).
+//
+// Fidelity note: genuine Lulea encodes the 16-bit mask as a 10-bit index
+// into the table of 678 masks realizable by complete prune expansion; we
+// store the mask verbatim (the Go struct is wider) but model MemoryBytes
+// with the paper's on-chip sizes: 2-byte codewords, 2-byte base indexes,
+// 2-byte pointers, and one shared 5,424-byte maptable. Access counting
+// charges the maptable lookup as one memory access, as the original does.
+package lulea
+
+import (
+	"math/bits"
+	"sort"
+
+	"spal/internal/ip"
+	"spal/internal/lpm"
+	"spal/internal/rtable"
+)
+
+// Tagged pointer: bit 31 set means "chunk index at the next level";
+// otherwise the payload is a next hop, with noRoute meaning no match.
+type pointer uint32
+
+const (
+	chunkTag         = pointer(1) << 31
+	noRoute          = pointer(0x7fffffff)
+	maptableBytes    = 678 * 16 / 2 // 678 masks x 16 positions x 4 bits
+	codewordBytes    = 2
+	baseIndexBytes   = 2
+	pointerBytes     = 2
+	chunkHandleBytes = 4 // per-chunk directory entry
+	sparseChunkHeads = 8
+	denseChunkHeads  = 64
+	level1Slots      = 1 << 16
+	chunkSlots       = 256
+	wordsPerBase     = 4 // one base index anchors four codewords
+	slotsPerWord     = 16
+)
+
+func leaf(nh rtable.NextHop) pointer { return pointer(nh) }
+
+func (p pointer) isChunk() bool { return p&chunkTag != 0 }
+
+func (p pointer) payload() uint32 { return uint32(p &^ chunkTag) }
+
+// codeword is the genuine 16-bit Lulea codeword: a 10-bit maptable id
+// naming the word's head mask (one of the 678 legal masks, see
+// maptable.go) plus the 6-bit head count since the enclosing base point.
+type codeword struct {
+	mask   maskID
+	offset uint16
+}
+
+// chunkKind selects the chunk encoding by head count.
+type chunkKind uint8
+
+const (
+	sparse chunkKind = iota
+	dense
+	veryDense
+)
+
+// chunk is a compressed 256-slot array at level 2 or 3.
+type chunk struct {
+	kind    chunkKind
+	offsets []uint8    // sparse: head slot positions, ascending
+	code    []codeword // dense/veryDense: 16 codewords
+	base    []uint32   // veryDense: 4 base indexes
+	ptrs    []pointer
+}
+
+// Trie is an immutable Lulea forwarding table built by New.
+type Trie struct {
+	code     []codeword // 4096 level-1 codewords
+	base     []uint32   // 1024 level-1 base indexes
+	ptrs     []pointer  // level-1 head pointers
+	l2, l3   []chunk
+	memBytes int
+}
+
+var _ lpm.Engine = (*Trie)(nil)
+
+// NewEngine adapts New to the lpm.Builder signature.
+func NewEngine(t *rtable.Table) lpm.Engine { return New(t) }
+
+// New builds the three-level structure from a table snapshot.
+func New(t *rtable.Table) *Trie {
+	b := builder{}
+	b.bucket(t)
+	tr := b.build()
+	tr.memBytes = tr.computeMemory()
+	return tr
+}
+
+// builder groups prefixes by level before painting slot arrays.
+type builder struct {
+	l1 []rtable.Route            // len <= 16
+	l2 map[uint32][]rtable.Route // len 17..24, keyed by top 16 bits
+	l3 map[uint32][]rtable.Route // len 25..32, keyed by top 24 bits
+}
+
+func (b *builder) bucket(t *rtable.Table) {
+	b.l2 = make(map[uint32][]rtable.Route)
+	b.l3 = make(map[uint32][]rtable.Route)
+	for _, r := range t.Routes() {
+		switch {
+		case r.Prefix.Len <= 16:
+			b.l1 = append(b.l1, r)
+		case r.Prefix.Len <= 24:
+			b.l2[r.Prefix.Value>>16] = append(b.l2[r.Prefix.Value>>16], r)
+		default:
+			b.l3[r.Prefix.Value>>8] = append(b.l3[r.Prefix.Value>>8], r)
+		}
+	}
+}
+
+// paint writes routes into a slot array in increasing prefix-length order,
+// so longer prefixes overwrite shorter ones. levelLen is the address depth
+// the level's last slot bit corresponds to (16, 24 or 32); the slot index
+// is the address bits ending at levelLen, modulo the array size.
+func paint(vals []pointer, routes []rtable.Route, levelLen uint8) {
+	sort.SliceStable(routes, func(i, j int) bool {
+		return routes[i].Prefix.Len < routes[j].Prefix.Len
+	})
+	for _, r := range routes {
+		span := 1 << (levelLen - r.Prefix.Len)
+		start := int(r.Prefix.Value>>(32-levelLen)) & (len(vals) - 1)
+		for s := start; s < start+span; s++ {
+			vals[s] = leaf(r.NextHop)
+		}
+	}
+}
+
+func (b *builder) build() *Trie {
+	tr := &Trie{}
+
+	// Level 1: paint the 2^16 genuine values.
+	vals := make([]pointer, level1Slots)
+	for i := range vals {
+		vals[i] = noRoute
+	}
+	paint(vals, b.l1, 16)
+
+	// Which /16 slots need a level-2 chunk: any with a 17..24-bit prefix,
+	// or with a deeper (25..32) prefix even when no mid-length one exists.
+	need2 := make(map[uint32]bool, len(b.l2))
+	for k := range b.l2 {
+		need2[k] = true
+	}
+	for k := range b.l3 {
+		need2[k>>8] = true
+	}
+	keys2 := make([]uint32, 0, len(need2))
+	for k := range need2 {
+		keys2 = append(keys2, k)
+	}
+	sort.Slice(keys2, func(i, j int) bool { return keys2[i] < keys2[j] })
+
+	for _, s := range keys2 {
+		def := vals[s] // genuine <=16 LPM for the whole /16
+		cvals := make([]pointer, chunkSlots)
+		for i := range cvals {
+			cvals[i] = def
+		}
+		paint(cvals, b.l2[s], 24)
+
+		// Level-3 chunks nested under this /16.
+		for u := 0; u < chunkSlots; u++ {
+			key3 := s<<8 | uint32(u)
+			routes3, ok := b.l3[key3]
+			if !ok {
+				continue
+			}
+			def3 := cvals[u]
+			c3vals := make([]pointer, chunkSlots)
+			for i := range c3vals {
+				c3vals[i] = def3
+			}
+			paint(c3vals, routes3, 32)
+			tr.l3 = append(tr.l3, compress(c3vals))
+			cvals[u] = chunkTag | pointer(len(tr.l3)-1)
+		}
+
+		tr.l2 = append(tr.l2, compress(cvals))
+		vals[s] = chunkTag | pointer(len(tr.l2)-1)
+	}
+
+	// Compress level 1 into codewords / base indexes / pointers. Heads
+	// follow the complete-prune rule (aligned leaves), so every word's
+	// mask is one of the 678 legal maptable masks.
+	headBits := make([]bool, level1Slots)
+	markHeads(vals, headBits, 0, level1Slots)
+	tr.code = make([]codeword, level1Slots/slotsPerWord)
+	tr.base = make([]uint32, level1Slots/(slotsPerWord*wordsPerBase))
+	heads := 0
+	for w := 0; w < len(tr.code); w++ {
+		if w%wordsPerBase == 0 {
+			tr.base[w/wordsPerBase] = uint32(heads)
+		}
+		var mask uint16
+		for i := 0; i < slotsPerWord; i++ {
+			s := w*slotsPerWord + i
+			if headBits[s] {
+				mask |= 1 << (15 - uint(i))
+				tr.ptrs = append(tr.ptrs, vals[s])
+			}
+		}
+		tr.code[w] = codeword{mask: idOf(mask), offset: uint16(heads - int(tr.base[w/wordsPerBase]))}
+		heads += bits.OnesCount16(mask)
+	}
+	return tr
+}
+
+// compress encodes a 256-slot value array as a chunk, choosing the density
+// by head count. Heads follow the complete-prune rule so dense and very
+// dense chunks get legal maptable masks.
+func compress(vals []pointer) chunk {
+	headBits := make([]bool, len(vals))
+	markHeads(vals, headBits, 0, len(vals))
+	var headPos []uint8
+	var ptrs []pointer
+	for s := range vals {
+		if headBits[s] {
+			headPos = append(headPos, uint8(s))
+			ptrs = append(ptrs, vals[s])
+		}
+	}
+	switch {
+	case len(headPos) <= sparseChunkHeads:
+		return chunk{kind: sparse, offsets: headPos, ptrs: ptrs}
+	default:
+		c := chunk{ptrs: ptrs, code: make([]codeword, chunkSlots/slotsPerWord)}
+		heads := 0
+		if len(headPos) <= denseChunkHeads {
+			c.kind = dense
+		} else {
+			c.kind = veryDense
+			c.base = make([]uint32, len(c.code)/wordsPerBase)
+		}
+		hi := 0
+		for w := 0; w < len(c.code); w++ {
+			if c.kind == veryDense && w%wordsPerBase == 0 {
+				c.base[w/wordsPerBase] = uint32(heads)
+			}
+			var mask uint16
+			for i := 0; i < slotsPerWord; i++ {
+				s := uint8(w*slotsPerWord + i)
+				if hi < len(headPos) && headPos[hi] == s {
+					mask |= 1 << (15 - uint(i))
+					hi++
+				}
+			}
+			off := heads
+			if c.kind == veryDense {
+				off -= int(c.base[w/wordsPerBase])
+			}
+			c.code[w] = codeword{mask: idOf(mask), offset: uint16(off)}
+			heads += bits.OnesCount16(mask)
+		}
+		return c
+	}
+}
+
+// headIndex is the maptable lookup: the number of heads at slot positions
+// <= bit within the word named by the mask id. Charged as one memory
+// access by the callers, exactly as the hardware maptable access.
+func headIndex(id maskID, bit uint32) int {
+	return int(headCount[id][bit])
+}
+
+// lookup resolves one slot within a chunk, adding its memory accesses.
+func (c *chunk) lookup(slot uint8, accesses *int) pointer {
+	switch c.kind {
+	case sparse:
+		// All eight offsets fit one 64-bit word: one access, plus the
+		// pointer fetch.
+		*accesses += 2
+		i := len(c.offsets) - 1
+		for i > 0 && c.offsets[i] > slot {
+			i--
+		}
+		return c.ptrs[i]
+	case dense:
+		*accesses += 3 // codeword + maptable + pointer
+		w := slot / slotsPerWord
+		cw := c.code[w]
+		return c.ptrs[int(cw.offset)+headIndex(cw.mask, uint32(slot%slotsPerWord))-1]
+	default: // veryDense
+		*accesses += 4 // codeword + base + maptable + pointer
+		w := slot / slotsPerWord
+		cw := c.code[w]
+		base := c.base[w/wordsPerBase]
+		return c.ptrs[int(base)+int(cw.offset)+headIndex(cw.mask, uint32(slot%slotsPerWord))-1]
+	}
+}
+
+// Lookup implements lpm.Engine. Level 1 always costs 4 accesses (codeword,
+// base index, maptable, pointer); each deeper level adds its chunk cost.
+func (tr *Trie) Lookup(a ip.Addr) (rtable.NextHop, int, bool) {
+	accesses := 4
+	ix := a >> 16
+	cw := tr.code[ix/slotsPerWord]
+	base := tr.base[ix/(slotsPerWord*wordsPerBase)]
+	p := tr.ptrs[int(base)+int(cw.offset)+headIndex(cw.mask, ix%slotsPerWord)-1]
+	if p.isChunk() {
+		p = tr.l2[p.payload()].lookup(uint8(a>>8), &accesses)
+		if p.isChunk() {
+			p = tr.l3[p.payload()].lookup(uint8(a), &accesses)
+		}
+	}
+	if p == noRoute {
+		return rtable.NoNextHop, accesses, false
+	}
+	return rtable.NextHop(p.payload()), accesses, true
+}
+
+func (c *chunk) memory() int {
+	m := chunkHandleBytes + len(c.ptrs)*pointerBytes
+	switch c.kind {
+	case sparse:
+		m += sparseChunkHeads // eight 1-byte offsets
+	case dense:
+		m += len(c.code) * codewordBytes
+	default:
+		m += len(c.code)*codewordBytes + len(c.base)*baseIndexBytes
+	}
+	return m
+}
+
+func (tr *Trie) computeMemory() int {
+	m := maptableBytes
+	m += len(tr.code)*codewordBytes + len(tr.base)*baseIndexBytes + len(tr.ptrs)*pointerBytes
+	for i := range tr.l2 {
+		m += tr.l2[i].memory()
+	}
+	for i := range tr.l3 {
+		m += tr.l3[i].memory()
+	}
+	return m
+}
+
+// MemoryBytes reports the modelled on-chip footprint.
+func (tr *Trie) MemoryBytes() int { return tr.memBytes }
+
+// Name implements lpm.Engine.
+func (tr *Trie) Name() string { return "lulea" }
+
+// Chunks returns the level-2 and level-3 chunk counts (structure stats).
+func (tr *Trie) Chunks() (l2, l3 int) { return len(tr.l2), len(tr.l3) }

@@ -1,0 +1,225 @@
+package lulea
+
+import (
+	"testing"
+
+	"spal/internal/ip"
+	"spal/internal/rtable"
+)
+
+func table(cidrs ...string) *rtable.Table {
+	var routes []rtable.Route
+	for i, c := range cidrs {
+		routes = append(routes, rtable.Route{Prefix: ip.MustPrefix(c), NextHop: rtable.NextHop(i + 1)})
+	}
+	return rtable.New(routes)
+}
+
+func TestLevel1OnlyLookup(t *testing.T) {
+	tr := New(table("10.0.0.0/8", "10.1.0.0/16"))
+	a, _ := ip.ParseAddr("10.1.0.5")
+	nh, acc, ok := tr.Lookup(a)
+	if !ok || nh != 2 {
+		t.Fatalf("Lookup = (%d,%v)", nh, ok)
+	}
+	if acc != 4 {
+		t.Errorf("level-1 lookup must cost exactly 4 accesses, got %d", acc)
+	}
+	l2, l3 := tr.Chunks()
+	if l2 != 0 || l3 != 0 {
+		t.Errorf("short prefixes must not allocate chunks: %d/%d", l2, l3)
+	}
+}
+
+func TestLevel2ChunkCreation(t *testing.T) {
+	tr := New(table("10.1.0.0/16", "10.1.2.0/24"))
+	l2, l3 := tr.Chunks()
+	if l2 != 1 || l3 != 0 {
+		t.Fatalf("chunks = %d/%d, want 1/0", l2, l3)
+	}
+	// Inside the /24.
+	a, _ := ip.ParseAddr("10.1.2.9")
+	nh, acc, ok := tr.Lookup(a)
+	if !ok || nh != 2 {
+		t.Fatalf("Lookup = (%d,%v)", nh, ok)
+	}
+	if acc < 6 || acc > 8 {
+		t.Errorf("two-level lookup accesses = %d, want 6..8", acc)
+	}
+	// Inside the /16 but outside the /24: the chunk default must be the
+	// genuine /16 result.
+	a, _ = ip.ParseAddr("10.1.99.1")
+	if nh, _, _ := tr.Lookup(a); nh != 1 {
+		t.Errorf("chunk default = %d, want 1", nh)
+	}
+}
+
+func TestLevel3ChunkCreation(t *testing.T) {
+	tr := New(table("10.1.0.0/16", "10.1.2.0/24", "10.1.2.128/25", "10.1.2.255/32"))
+	l2, l3 := tr.Chunks()
+	if l2 != 1 || l3 != 1 {
+		t.Fatalf("chunks = %d/%d, want 1/1", l2, l3)
+	}
+	cases := []struct {
+		addr string
+		want rtable.NextHop
+	}{
+		{"10.1.2.255", 4}, // /32
+		{"10.1.2.200", 3}, // /25
+		{"10.1.2.7", 2},   // /24 (level-3 default)
+		{"10.1.9.9", 2},   // wait: /24 covers only 10.1.2.x
+	}
+	cases[3].want = 1 // 10.1.9.9 matches only the /16
+	for _, c := range cases {
+		a, _ := ip.ParseAddr(c.addr)
+		if nh, _, _ := tr.Lookup(a); nh != c.want {
+			t.Errorf("Lookup(%s) = %d, want %d", c.addr, nh, c.want)
+		}
+	}
+}
+
+// A /16 containing only a >24-bit prefix (no 17..24 route) must still get
+// a level-2 chunk routing into the level-3 chunk.
+func TestDeepPrefixWithoutMidLevel(t *testing.T) {
+	tr := New(table("10.0.0.0/8", "10.1.2.240/28"))
+	l2, l3 := tr.Chunks()
+	if l2 != 1 || l3 != 1 {
+		t.Fatalf("chunks = %d/%d, want 1/1", l2, l3)
+	}
+	a, _ := ip.ParseAddr("10.1.2.245")
+	if nh, _, _ := tr.Lookup(a); nh != 2 {
+		t.Error("/28 not reachable")
+	}
+	a, _ = ip.ParseAddr("10.1.2.1")
+	if nh, _, _ := tr.Lookup(a); nh != 1 {
+		t.Error("level-3 default should fall back to /8")
+	}
+}
+
+func TestNoRoute(t *testing.T) {
+	tr := New(table("10.0.0.0/8"))
+	a, _ := ip.ParseAddr("11.0.0.1")
+	if _, _, ok := tr.Lookup(a); ok {
+		t.Error("should miss outside 10/8")
+	}
+}
+
+func TestChunkDensities(t *testing.T) {
+	// Head counts follow the complete-prune (aligned leaf) rule. A /25
+	// splitting a /24 chunk in half costs 2 heads -> sparse. n alternating
+	// /32s in the first 2n slots cost 2n single-slot heads plus the
+	// log-many leaves covering the rest: 16 routes -> 35 heads (dense),
+	// 64 routes -> 129 heads (very dense).
+	alt := func(n int) *rtable.Table {
+		var routes []rtable.Route
+		routes = append(routes, rtable.Route{Prefix: ip.MustPrefix("10.1.0.0/16"), NextHop: 1})
+		for i := 0; i < n; i++ {
+			p := ip.Prefix{Value: 0x0a010200 | uint32(i*2), Len: 32}
+			routes = append(routes, rtable.Route{Prefix: p, NextHop: rtable.NextHop(i + 2)})
+		}
+		return rtable.New(routes)
+	}
+	sparseT := New(rtable.New([]rtable.Route{
+		{Prefix: ip.MustPrefix("10.1.0.0/16"), NextHop: 1},
+		{Prefix: ip.MustPrefix("10.1.2.128/25"), NextHop: 2},
+	}))
+	denseT := New(alt(16))
+	vdenseT := New(alt(64))
+	if k := sparseT.l3[0].kind; k != sparse {
+		t.Errorf("2 host routes: kind = %d, want sparse", k)
+	}
+	if k := denseT.l3[0].kind; k != dense {
+		t.Errorf("32 host routes: kind = %d, want dense", k)
+	}
+	if k := vdenseT.l3[0].kind; k != veryDense {
+		t.Errorf("128 host routes: kind = %d, want veryDense", k)
+	}
+	// All three must still answer correctly at every slot of the /24.
+	for name, tr := range map[string]*Trie{"sparse": sparseT, "dense": denseT, "vdense": vdenseT} {
+		for s := 0; s < 256; s++ {
+			a := ip.Addr(0x0a010200 | uint32(s))
+			nh, _, ok := tr.Lookup(a)
+			if !ok {
+				t.Fatalf("%s: miss at slot %d", name, s)
+			}
+			_ = nh
+		}
+	}
+}
+
+func TestHeadIndex(t *testing.T) {
+	// mask 1000 0000 1000 0000: two size-8 leaves — a legal complete-prune
+	// mask with heads at slots 0 and 8.
+	id := idOf(0x8080)
+	if headIndex(id, 0) != 1 {
+		t.Errorf("headIndex(.,0) = %d", headIndex(id, 0))
+	}
+	if headIndex(id, 7) != 1 {
+		t.Errorf("headIndex(.,7) = %d", headIndex(id, 7))
+	}
+	if headIndex(id, 8) != 2 {
+		t.Errorf("headIndex(.,8) = %d", headIndex(id, 8))
+	}
+	if headIndex(id, 15) != 2 {
+		t.Errorf("headIndex(.,15) = %d", headIndex(id, 15))
+	}
+}
+
+func TestMaskRegistry(t *testing.T) {
+	// The paper's constant: 677 pruned-tree masks plus the zero mask.
+	if MaskCount() != 678 {
+		t.Fatalf("MaskCount = %d, want 678", MaskCount())
+	}
+	// Zero mask is id 0 with zero counts.
+	if idOf(0) != 0 {
+		t.Error("zero mask should be id 0")
+	}
+	for slot := uint32(0); slot < 16; slot++ {
+		if headIndex(0, slot) != 0 {
+			t.Error("zero mask must count no heads")
+		}
+	}
+	// An illegal mask (head at slot 3 without one at slot 0) panics.
+	defer func() {
+		if recover() == nil {
+			t.Error("illegal mask should panic")
+		}
+	}()
+	idOf(0x1000)
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	tr := New(table("10.0.0.0/8"))
+	// Base cost: maptable + codewords + base indexes + at least 3 pointers
+	// (noroute, 10/8 head, noroute tail).
+	min := maptableBytes + 4096*codewordBytes + 1024*baseIndexBytes
+	if tr.MemoryBytes() <= min {
+		t.Errorf("MemoryBytes = %d, want > %d", tr.MemoryBytes(), min)
+	}
+	if tr.Name() != "lulea" {
+		t.Error("Name mismatch")
+	}
+}
+
+// Head compression: a table whose /16 slots all share one next hop must
+// produce very few level-1 pointers.
+func TestRunCompression(t *testing.T) {
+	tr := New(table("0.0.0.0/0"))
+	if len(tr.ptrs) != 1 {
+		t.Errorf("default route should compress to 1 head, got %d", len(tr.ptrs))
+	}
+}
+
+func TestAccessBounds(t *testing.T) {
+	tbl := rtable.Small(20000, 23)
+	tr := New(tbl)
+	for i, r := range tbl.Routes() {
+		if i%50 != 0 {
+			continue
+		}
+		_, acc, _ := tr.Lookup(r.Prefix.FirstAddr())
+		if acc < 4 || acc > 12 {
+			t.Fatalf("accesses = %d outside [4,12] for %s", acc, r.Prefix)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+// Package multibit implements a fixed-stride multibit trie with controlled
+// prefix expansion — the general form of the multiple-bit-inspection
+// structures the SPAL paper surveys in Sec. 2.1 (the Lulea trie is a
+// compressed 16/8/8 instance; the Gupta 24/8 hardware table is an
+// uncompressed 24/8 instance). The stride vector is configurable, making
+// the storage-versus-accesses trade directly measurable: each visited
+// level costs one memory access, and every slot costs SlotBytes of SRAM.
+//
+// Construction inserts prefixes in increasing length order, expanding each
+// prefix within the node whose boundary first covers it, so longer
+// prefixes overwrite the expansions of shorter ones (longest-match
+// semantics are exact).
+package multibit
+
+import (
+	"fmt"
+
+	"spal/internal/ip"
+	"spal/internal/lpm"
+	"spal/internal/lpm/expand"
+	"spal/internal/rtable"
+)
+
+// SlotBytes models one slot: a 2-byte next hop plus a 4-byte child
+// pointer.
+const SlotBytes = 6
+
+// DefaultStrides is the Lulea-shaped 16/8/8 stride vector.
+var DefaultStrides = []int{16, 8, 8}
+
+type slot struct {
+	nextHop  rtable.NextHop
+	hasRoute bool
+	child    int32 // node index, -1 when none
+}
+
+type node struct {
+	slots []slot
+}
+
+// Trie is an immutable fixed-stride multibit trie built by New.
+type Trie struct {
+	strides    []int
+	boundaries []int
+	nodes      []node // nodes[0] is the root (level 0)
+	levelOf    []int  // level of each node
+}
+
+var _ lpm.Engine = (*Trie)(nil)
+
+// New builds a trie with DefaultStrides.
+func New(t *rtable.Table) *Trie {
+	tr, err := NewWithStrides(t, DefaultStrides)
+	if err != nil {
+		panic(err) // DefaultStrides always validate
+	}
+	return tr
+}
+
+// NewEngine adapts New to the lpm.Builder signature.
+func NewEngine(t *rtable.Table) lpm.Engine { return New(t) }
+
+// NewWithStrides builds a trie with an explicit stride vector. The strides
+// must be positive and sum to at least the longest prefix length in t
+// (and at most 32).
+func NewWithStrides(t *rtable.Table, strides []int) (*Trie, error) {
+	boundaries, err := expand.Boundaries(strides)
+	if err != nil {
+		return nil, err
+	}
+	tr := &Trie{
+		strides:    append([]int(nil), strides...),
+		boundaries: boundaries,
+	}
+	tr.newNode(0)
+	// Increasing length order: later (longer) prefixes overwrite the
+	// expansions of earlier (shorter) ones.
+	hist := t.LengthHistogram()
+	routes := t.Routes()
+	for l := 0; l <= 32; l++ {
+		if hist[l] == 0 {
+			continue
+		}
+		if _, ok := expand.RoundUp(boundaries, l); !ok {
+			return nil, fmt.Errorf("multibit: /%d prefixes exceed stride depth %d",
+				l, boundaries[len(boundaries)-1])
+		}
+		for _, r := range routes {
+			if int(r.Prefix.Len) == l {
+				tr.insert(r.Prefix, r.NextHop)
+			}
+		}
+	}
+	return tr, nil
+}
+
+func (tr *Trie) newNode(level int) int {
+	tr.nodes = append(tr.nodes, node{slots: make([]slot, 1<<tr.strides[level])})
+	tr.levelOf = append(tr.levelOf, level)
+	n := len(tr.nodes) - 1
+	for i := range tr.nodes[n].slots {
+		tr.nodes[n].slots[i].child = -1
+	}
+	return n
+}
+
+// levelBits extracts the stride-sized slot index for a level from a value.
+func (tr *Trie) levelBits(v uint32, level int) int {
+	start := 0
+	if level > 0 {
+		start = tr.boundaries[level-1]
+	}
+	width := tr.strides[level]
+	return int(v << uint(start) >> uint(32-width))
+}
+
+func (tr *Trie) insert(p ip.Prefix, nh rtable.NextHop) {
+	ni := 0
+	for level := 0; ; level++ {
+		b := tr.boundaries[level]
+		if int(p.Len) <= b {
+			// Expand within this node: the prefix covers 2^(b-len) slots.
+			base := tr.levelBits(p.Value, level)
+			span := 1 << (b - int(p.Len))
+			// base already has the don't-care low bits zeroed (canonical
+			// prefix), so the covered slots are base..base+span-1.
+			for k := 0; k < span; k++ {
+				s := &tr.nodes[ni].slots[base+k]
+				s.nextHop = nh
+				s.hasRoute = true
+			}
+			return
+		}
+		idx := tr.levelBits(p.Value, level)
+		s := &tr.nodes[ni].slots[idx]
+		if s.child < 0 {
+			// Appending may grow tr.nodes and invalidate s; recompute.
+			child := tr.newNode(level + 1)
+			tr.nodes[ni].slots[idx].child = int32(child)
+		}
+		ni = int(tr.nodes[ni].slots[idx].child)
+	}
+}
+
+// Lookup walks one level per memory access, remembering the deepest
+// route slot passed.
+func (tr *Trie) Lookup(a ip.Addr) (rtable.NextHop, int, bool) {
+	best := rtable.NoNextHop
+	found := false
+	accesses := 0
+	ni := 0
+	for level := 0; ni >= 0 && level < len(tr.strides); level++ {
+		accesses++
+		s := &tr.nodes[ni].slots[tr.levelBits(a, level)]
+		if s.hasRoute {
+			best = s.nextHop
+			found = true
+		}
+		ni = int(s.child)
+	}
+	return best, accesses, found
+}
+
+// MemoryBytes reports the modelled footprint (SlotBytes per slot).
+func (tr *Trie) MemoryBytes() int {
+	total := 0
+	for i := range tr.nodes {
+		total += len(tr.nodes[i].slots) * SlotBytes
+	}
+	return total
+}
+
+// Name implements lpm.Engine.
+func (tr *Trie) Name() string { return "multibit" }
+
+// Nodes returns the trie-node count.
+func (tr *Trie) Nodes() int { return len(tr.nodes) }
+
+// Strides returns the stride vector.
+func (tr *Trie) Strides() []int { return append([]int(nil), tr.strides...) }
+
+// MaxAccesses returns the worst-case lookup cost (the level count).
+func (tr *Trie) MaxAccesses() int { return len(tr.strides) }

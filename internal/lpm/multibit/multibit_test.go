@@ -1,0 +1,151 @@
+package multibit
+
+import (
+	"testing"
+
+	"spal/internal/ip"
+	"spal/internal/lpm"
+	"spal/internal/rtable"
+	"spal/internal/stats"
+)
+
+func table(cidrs ...string) *rtable.Table {
+	var routes []rtable.Route
+	for i, c := range cidrs {
+		routes = append(routes, rtable.Route{Prefix: ip.MustPrefix(c), NextHop: rtable.NextHop(i + 1)})
+	}
+	return rtable.New(routes)
+}
+
+func TestAgreesWithOracleAcrossStrides(t *testing.T) {
+	tbl := rtable.Small(5000, 7)
+	oracle := lpm.NewReference(tbl)
+	for _, strides := range [][]int{{16, 8, 8}, {8, 8, 8, 8}, {24, 8}, {4, 4, 4, 4, 4, 4, 4, 4}} {
+		tr, err := NewWithStrides(tbl, strides)
+		if err != nil {
+			t.Fatalf("strides %v: %v", strides, err)
+		}
+		rng := stats.NewRNG(3)
+		for i := 0; i < 4000; i++ {
+			var a ip.Addr
+			if i%2 == 0 {
+				a = tbl.RandomMatchedAddr(rng)
+			} else {
+				a = rng.Uint32()
+			}
+			wNH, _, wOK := oracle.Lookup(a)
+			gNH, _, gOK := tr.Lookup(a)
+			if wOK != gOK || (wOK && wNH != gNH) {
+				t.Fatalf("strides %v addr %s: (%d,%v) want (%d,%v)",
+					strides, ip.FormatAddr(a), gNH, gOK, wNH, wOK)
+			}
+		}
+	}
+}
+
+func TestAccessesBoundedByLevels(t *testing.T) {
+	tbl := rtable.Small(2000, 9)
+	tr := New(tbl)
+	if tr.MaxAccesses() != 3 {
+		t.Fatalf("MaxAccesses = %d", tr.MaxAccesses())
+	}
+	rng := stats.NewRNG(5)
+	for i := 0; i < 2000; i++ {
+		_, acc, _ := tr.Lookup(tbl.RandomMatchedAddr(rng))
+		if acc < 1 || acc > 3 {
+			t.Fatalf("accesses = %d", acc)
+		}
+	}
+}
+
+func TestShortPrefixSingleLevel(t *testing.T) {
+	tr := New(table("10.0.0.0/8"))
+	a, _ := ip.ParseAddr("10.9.9.9")
+	nh, acc, ok := tr.Lookup(a)
+	if !ok || nh != 1 || acc != 1 {
+		t.Errorf("Lookup = (%d,%d,%v), want (1,1,true)", nh, acc, ok)
+	}
+	if tr.Nodes() != 1 {
+		t.Errorf("Nodes = %d, want root only", tr.Nodes())
+	}
+}
+
+func TestNestedPrefixPrecedence(t *testing.T) {
+	tr := New(table("10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24", "10.1.2.128/25"))
+	cases := []struct {
+		addr string
+		want rtable.NextHop
+	}{
+		{"10.1.2.200", 4},
+		{"10.1.2.3", 3},
+		{"10.1.9.9", 2},
+		{"10.200.0.1", 1},
+	}
+	for _, c := range cases {
+		a, _ := ip.ParseAddr(c.addr)
+		if nh, _, _ := tr.Lookup(a); nh != c.want {
+			t.Errorf("Lookup(%s) = %d, want %d", c.addr, nh, c.want)
+		}
+	}
+}
+
+func TestStrideTradeoff(t *testing.T) {
+	// Wider strides: fewer accesses, more memory.
+	tbl := rtable.Small(5000, 11)
+	wide, err := NewWithStrides(tbl, []int{24, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow, err := NewWithStrides(tbl, []int{4, 4, 4, 4, 4, 4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.MemoryBytes() <= narrow.MemoryBytes() {
+		t.Errorf("24/8 memory (%d) should exceed 4x8 memory (%d)",
+			wide.MemoryBytes(), narrow.MemoryBytes())
+	}
+	rng := stats.NewRNG(13)
+	addrs := make([]ip.Addr, 2000)
+	for i := range addrs {
+		addrs[i] = tbl.RandomMatchedAddr(rng)
+	}
+	if wa, na := lpm.MeanAccesses(wide, addrs), lpm.MeanAccesses(narrow, addrs); wa >= na {
+		t.Errorf("24/8 accesses (%.1f) should beat 4x8 accesses (%.1f)", wa, na)
+	}
+}
+
+func TestInvalidStrides(t *testing.T) {
+	tbl := table("10.0.0.0/24")
+	if _, err := NewWithStrides(tbl, []int{16}); err == nil {
+		t.Error("want error: /24 exceeds 16-bit depth")
+	}
+	if _, err := NewWithStrides(tbl, nil); err == nil {
+		t.Error("want error: empty strides")
+	}
+	if _, err := NewWithStrides(tbl, []int{40}); err == nil {
+		t.Error("want error: stride > 32")
+	}
+}
+
+func TestDefaultRoute(t *testing.T) {
+	tr := New(table("0.0.0.0/0"))
+	if nh, _, ok := tr.Lookup(0xffffffff); !ok || nh != 1 {
+		t.Errorf("default route miss: (%d,%v)", nh, ok)
+	}
+}
+
+func TestEmptyTableAndName(t *testing.T) {
+	tr := New(rtable.New(nil))
+	if _, _, ok := tr.Lookup(1); ok {
+		t.Error("empty trie must miss")
+	}
+	if tr.Name() != "multibit" {
+		t.Error("Name mismatch")
+	}
+	if got := tr.Strides(); len(got) != 3 || got[0] != 16 {
+		t.Errorf("Strides = %v", got)
+	}
+	if tr.MemoryBytes() != (1<<16)*SlotBytes {
+		t.Errorf("root-only memory = %d", tr.MemoryBytes())
+	}
+}

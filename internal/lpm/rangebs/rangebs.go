@@ -1,0 +1,96 @@
+// Package rangebs implements binary search on ranges (Lampson, Srinivasan
+// & Varghese, INFOCOM 1998), the other classic scheme from the survey the
+// SPAL paper cites: every prefix defines an address interval; the sorted
+// interval boundaries partition the address space into segments with a
+// constant longest-match answer, precomputed at build time. A lookup is a
+// pure binary search over the boundary array — ~log2(2n) memory accesses,
+// no pointer chasing.
+//
+// Memory model: 6 bytes per boundary (4-byte address + 2-byte answer).
+package rangebs
+
+import (
+	"sort"
+
+	"spal/internal/ip"
+	"spal/internal/lpm"
+	"spal/internal/rtable"
+)
+
+const boundaryBytes = 6
+
+// Table is an immutable range-search structure built by New.
+type Table struct {
+	bounds []uint32         // segment start addresses, ascending; bounds[0] == 0
+	ans    []rtable.NextHop // answer for [bounds[i], bounds[i+1])
+	ok     []bool
+}
+
+var _ lpm.Engine = (*Table)(nil)
+
+// NewEngine adapts New to the lpm.Builder signature.
+func NewEngine(t *rtable.Table) lpm.Engine { return New(t) }
+
+// New collects every prefix's first address and first-after-last address
+// as segment boundaries and precomputes each segment's answer with the
+// reference oracle.
+func New(t *rtable.Table) *Table {
+	pointSet := map[uint32]bool{0: true}
+	for _, r := range t.Routes() {
+		pointSet[r.Prefix.FirstAddr()] = true
+		if last := r.Prefix.LastAddr(); last != 0xffffffff {
+			pointSet[last+1] = true
+		}
+	}
+	points := make([]uint32, 0, len(pointSet))
+	for p := range pointSet {
+		points = append(points, p)
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i] < points[j] })
+
+	oracle := lpm.NewReference(t)
+	tb := &Table{
+		bounds: points,
+		ans:    make([]rtable.NextHop, len(points)),
+		ok:     make([]bool, len(points)),
+	}
+	for i, p := range points {
+		nh, _, ok := oracle.Lookup(p)
+		tb.ans[i] = nh
+		tb.ok[i] = ok
+	}
+	return tb
+}
+
+// Lookup finds the segment containing a; every probed boundary is one
+// modelled memory access (the final answer fetch rides with the last
+// probe, as the answers are stored alongside the boundaries).
+func (tb *Table) Lookup(a ip.Addr) (rtable.NextHop, int, bool) {
+	lo, hi := 0, len(tb.bounds)-1
+	accesses := 0
+	for lo < hi {
+		m := (lo + hi + 1) / 2
+		accesses++
+		if tb.bounds[m] <= a {
+			lo = m
+		} else {
+			hi = m - 1
+		}
+	}
+	if accesses == 0 {
+		accesses = 1 // the single-segment table still reads its answer
+	}
+	if !tb.ok[lo] {
+		return rtable.NoNextHop, accesses, false
+	}
+	return tb.ans[lo], accesses, true
+}
+
+// MemoryBytes reports the modelled footprint.
+func (tb *Table) MemoryBytes() int { return len(tb.bounds) * boundaryBytes }
+
+// Name implements lpm.Engine.
+func (tb *Table) Name() string { return "rangebs" }
+
+// Segments returns the number of address segments.
+func (tb *Table) Segments() int { return len(tb.bounds) }

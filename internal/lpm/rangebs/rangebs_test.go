@@ -1,0 +1,102 @@
+package rangebs
+
+import (
+	"testing"
+
+	"spal/internal/ip"
+	"spal/internal/rtable"
+)
+
+func table(cidrs ...string) *rtable.Table {
+	var routes []rtable.Route
+	for i, c := range cidrs {
+		routes = append(routes, rtable.Route{Prefix: ip.MustPrefix(c), NextHop: rtable.NextHop(i + 1)})
+	}
+	return rtable.New(routes)
+}
+
+func TestBasicLookup(t *testing.T) {
+	tb := New(table("10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24"))
+	cases := []struct {
+		addr string
+		want rtable.NextHop
+		ok   bool
+	}{
+		{"10.1.2.3", 3, true},
+		{"10.1.2.255", 3, true},
+		{"10.1.3.0", 2, true}, // segment immediately after the /24
+		{"10.0.0.0", 1, true},
+		{"10.255.255.255", 1, true},
+		{"11.0.0.0", 0, false}, // segment immediately after the /8
+		{"9.255.255.255", 0, false},
+	}
+	for _, c := range cases {
+		a, _ := ip.ParseAddr(c.addr)
+		nh, _, ok := tb.Lookup(a)
+		if ok != c.ok || (ok && nh != c.want) {
+			t.Errorf("Lookup(%s) = (%d,%v), want (%d,%v)", c.addr, nh, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestSegmentCount(t *testing.T) {
+	// /8 contributes start+end, /16 inside it start+end, plus point 0:
+	// {0, 10.0.0.0, 10.1.0.0, 10.2.0.0, 11.0.0.0} = 5 segments.
+	tb := New(table("10.0.0.0/8", "10.1.0.0/16"))
+	if tb.Segments() != 5 {
+		t.Errorf("Segments = %d, want 5", tb.Segments())
+	}
+	if tb.MemoryBytes() != 5*boundaryBytes {
+		t.Errorf("MemoryBytes = %d", tb.MemoryBytes())
+	}
+}
+
+func TestAddressSpaceEdges(t *testing.T) {
+	tb := New(table("255.255.255.0/24", "0.0.0.0/8"))
+	a, _ := ip.ParseAddr("255.255.255.255")
+	if nh, _, ok := tb.Lookup(a); !ok || nh != 1 {
+		t.Errorf("top of space = (%d,%v)", nh, ok)
+	}
+	if nh, _, ok := tb.Lookup(0); !ok || nh != 2 {
+		t.Errorf("bottom of space = (%d,%v)", nh, ok)
+	}
+}
+
+func TestLogarithmicAccesses(t *testing.T) {
+	tb := New(rtable.Small(20000, 5))
+	tblR := rtable.Small(20000, 5)
+	worst := 0
+	for i, r := range tblR.Routes() {
+		if i%37 != 0 {
+			continue
+		}
+		_, acc, _ := tb.Lookup(r.Prefix.FirstAddr())
+		if acc > worst {
+			worst = acc
+		}
+	}
+	// log2(2*20000) ~ 15.3; allow 17.
+	if worst > 17 {
+		t.Errorf("worst accesses = %d, want ~log2(2n)", worst)
+	}
+}
+
+func TestDefaultRoute(t *testing.T) {
+	tb := New(table("0.0.0.0/0"))
+	if nh, acc, ok := tb.Lookup(0xdeadbeef); !ok || nh != 1 || acc < 1 {
+		t.Errorf("default route = (%d,%d,%v)", nh, acc, ok)
+	}
+	if tb.Segments() != 1 {
+		t.Errorf("Segments = %d, want 1", tb.Segments())
+	}
+}
+
+func TestEmptyTableAndName(t *testing.T) {
+	tb := New(rtable.New(nil))
+	if _, _, ok := tb.Lookup(1); ok {
+		t.Error("empty table must miss")
+	}
+	if tb.Name() != "rangebs" {
+		t.Error("Name mismatch")
+	}
+}

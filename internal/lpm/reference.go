@@ -1,0 +1,53 @@
+package lpm
+
+import (
+	"spal/internal/ip"
+	"spal/internal/rtable"
+)
+
+// Reference is the correctness oracle: one hash map per prefix length,
+// probed from /32 down to /0. It is O(1) per lookup regardless of table
+// size, which keeps property tests over RT_2-sized tables fast, but it
+// models no hardware structure: Lookup reports zero memory accesses and
+// MemoryBytes is the raw map payload.
+type Reference struct {
+	byLen [33]map[uint32]rtable.NextHop
+	n     int
+}
+
+// NewReference builds the oracle from a table snapshot.
+func NewReference(t *rtable.Table) *Reference {
+	r := &Reference{n: t.Len()}
+	for _, rt := range t.Routes() {
+		l := rt.Prefix.Len
+		if r.byLen[l] == nil {
+			r.byLen[l] = make(map[uint32]rtable.NextHop)
+		}
+		r.byLen[l][rt.Prefix.Value] = rt.NextHop
+	}
+	return r
+}
+
+// NewReferenceEngine adapts NewReference to the Builder signature.
+func NewReferenceEngine(t *rtable.Table) Engine { return NewReference(t) }
+
+// Lookup probes lengths longest-first and returns on the first hit.
+func (r *Reference) Lookup(a ip.Addr) (rtable.NextHop, int, bool) {
+	for l := 32; l >= 0; l-- {
+		m := r.byLen[l]
+		if m == nil {
+			continue
+		}
+		if nh, ok := m[a&ip.Mask(uint8(l))]; ok {
+			return nh, 0, true
+		}
+	}
+	return rtable.NoNextHop, 0, false
+}
+
+// MemoryBytes reports the raw route payload (prefix + next hop per entry);
+// the oracle is not a hardware model.
+func (r *Reference) MemoryBytes() int { return r.n * 7 }
+
+// Name implements Engine.
+func (r *Reference) Name() string { return "reference" }

@@ -1,0 +1,117 @@
+// Package stride24 implements the Gupta/Lin/McKeown two-level hardware
+// lookup table ("Routing Lookups in Hardware at Memory Access Speeds",
+// INFOCOM 1998) that the SPAL paper describes as the memory-hungry
+// hardware baseline (Sec. 2.1): a first level directly indexed by the top
+// 24 address bits (2^24 entries) and second-level chunks of 2^8 entries
+// for the prefixes longer than 24 bits.
+//
+// Every lookup costs one memory access, or two when it continues into a
+// second-level chunk. The memory requirement is what the paper calls
+// "huge (> 32 Mbytes)": 2^24 two-byte entries plus 512 bytes per chunk.
+package stride24
+
+import (
+	"spal/internal/ip"
+	"spal/internal/lpm"
+	"spal/internal/rtable"
+)
+
+const (
+	entryBytes = 2
+	tbl24Size  = 1 << 24
+	chunkSize  = 1 << 8
+	// Entry encoding: tag bit 15 set -> low 15 bits index TBLlong chunks;
+	// otherwise the low 15 bits are a next hop, with noRoute for no match.
+	chunkTag = uint16(1) << 15
+	noRoute  = uint16(0x7fff)
+)
+
+// Table is an immutable 24/8 lookup structure built by New.
+type Table struct {
+	tbl24   []uint16
+	tblLong []uint16 // concatenated 256-entry chunks
+}
+
+var _ lpm.Engine = (*Table)(nil)
+
+// NewEngine adapts New to the lpm.Builder signature.
+func NewEngine(t *rtable.Table) lpm.Engine { return New(t) }
+
+// New builds the table. Prefixes are painted in increasing length order so
+// longer prefixes overwrite shorter ones; /25../32 prefixes allocate a
+// chunk per distinct /24 they fall in, seeded with that slot's shorter-
+// prefix result.
+func New(t *rtable.Table) *Table {
+	tb := &Table{tbl24: make([]uint16, tbl24Size)}
+	for i := range tb.tbl24 {
+		tb.tbl24[i] = noRoute
+	}
+	routes := t.Routes()
+	// Paint lengths 0..24 in increasing order.
+	for l := 0; l <= 24; l++ {
+		for _, r := range routes {
+			if int(r.Prefix.Len) != l {
+				continue
+			}
+			start := r.Prefix.Value >> 8
+			span := uint32(1) << (24 - l)
+			for s := start; s < start+span; s++ {
+				tb.tbl24[s] = uint16(r.NextHop)
+			}
+		}
+	}
+	// Longer prefixes: group by /24 slot, allocate chunks.
+	chunkOf := make(map[uint32]int)
+	for l := 25; l <= 32; l++ {
+		for _, r := range routes {
+			if int(r.Prefix.Len) != l {
+				continue
+			}
+			slot := r.Prefix.Value >> 8
+			ci, ok := chunkOf[slot]
+			if !ok {
+				ci = len(tb.tblLong) / chunkSize
+				chunkOf[slot] = ci
+				def := tb.tbl24[slot]
+				for i := 0; i < chunkSize; i++ {
+					tb.tblLong = append(tb.tblLong, def)
+				}
+				tb.tbl24[slot] = chunkTag | uint16(ci)
+			}
+			base := ci * chunkSize
+			start := int(r.Prefix.Value & 0xff)
+			span := 1 << (32 - l)
+			for s := start; s < start+span; s++ {
+				tb.tblLong[base+s] = uint16(r.NextHop)
+			}
+		}
+	}
+	return tb
+}
+
+// Lookup implements lpm.Engine: one access, two when the entry chains into
+// a second-level chunk.
+func (tb *Table) Lookup(a ip.Addr) (rtable.NextHop, int, bool) {
+	e := tb.tbl24[a>>8]
+	accesses := 1
+	if e&chunkTag != 0 {
+		e = tb.tblLong[int(e&^chunkTag)*chunkSize+int(a&0xff)]
+		accesses = 2
+	}
+	if e == noRoute {
+		return rtable.NoNextHop, accesses, false
+	}
+	return rtable.NextHop(e), accesses, true
+}
+
+// MemoryBytes reports the modelled footprint (2 bytes per entry in both
+// levels); always at least 32 MiB.
+func (tb *Table) MemoryBytes() int {
+	return (len(tb.tbl24) + len(tb.tblLong)) * entryBytes
+}
+
+// Name implements lpm.Engine.
+func (tb *Table) Name() string { return "stride24" }
+
+// Chunks returns the number of second-level chunks.
+func (tb *Table) Chunks() int { return len(tb.tblLong) / chunkSize }

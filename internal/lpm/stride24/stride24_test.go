@@ -1,0 +1,82 @@
+package stride24
+
+import (
+	"testing"
+
+	"spal/internal/ip"
+	"spal/internal/rtable"
+)
+
+func table(cidrs ...string) *rtable.Table {
+	var routes []rtable.Route
+	for i, c := range cidrs {
+		routes = append(routes, rtable.Route{Prefix: ip.MustPrefix(c), NextHop: rtable.NextHop(i + 1)})
+	}
+	return rtable.New(routes)
+}
+
+func TestShortPrefixSingleAccess(t *testing.T) {
+	tb := New(table("10.0.0.0/8", "10.1.0.0/16"))
+	a, _ := ip.ParseAddr("10.1.2.3")
+	nh, acc, ok := tb.Lookup(a)
+	if !ok || nh != 2 || acc != 1 {
+		t.Errorf("Lookup = (%d,%d,%v), want (2,1,true)", nh, acc, ok)
+	}
+	if tb.Chunks() != 0 {
+		t.Errorf("no >24 prefixes, chunks = %d", tb.Chunks())
+	}
+}
+
+func TestLongPrefixTwoAccesses(t *testing.T) {
+	tb := New(table("10.1.2.0/24", "10.1.2.128/25"))
+	a, _ := ip.ParseAddr("10.1.2.200")
+	nh, acc, ok := tb.Lookup(a)
+	if !ok || nh != 2 || acc != 2 {
+		t.Errorf("Lookup = (%d,%d,%v), want (2,2,true)", nh, acc, ok)
+	}
+	// The chunk default must be the /24.
+	a, _ = ip.ParseAddr("10.1.2.7")
+	nh, acc, ok = tb.Lookup(a)
+	if !ok || nh != 1 || acc != 2 {
+		t.Errorf("chunk default = (%d,%d,%v), want (1,2,true)", nh, acc, ok)
+	}
+	if tb.Chunks() != 1 {
+		t.Errorf("chunks = %d, want 1", tb.Chunks())
+	}
+}
+
+func TestMiss(t *testing.T) {
+	tb := New(table("10.0.0.0/8"))
+	a, _ := ip.ParseAddr("11.0.0.1")
+	if _, _, ok := tb.Lookup(a); ok {
+		t.Error("should miss")
+	}
+}
+
+func TestMemoryIsHuge(t *testing.T) {
+	tb := New(table("10.0.0.0/8"))
+	if tb.MemoryBytes() < 32<<20 {
+		t.Errorf("MemoryBytes = %d, the paper calls this design > 32 MB", tb.MemoryBytes())
+	}
+	if tb.Name() != "stride24" {
+		t.Error("Name mismatch")
+	}
+}
+
+func TestPaintOrderLongestWins(t *testing.T) {
+	// Insert short after long in table construction order; painting by
+	// increasing length must still let the /25 win inside its half.
+	tb := New(table("10.1.2.128/25", "10.1.2.0/24", "10.0.0.0/8"))
+	a, _ := ip.ParseAddr("10.1.2.129")
+	if nh, _, _ := tb.Lookup(a); nh != 1 {
+		t.Errorf("nh = %d, want 1 (/25)", nh)
+	}
+	a, _ = ip.ParseAddr("10.1.2.1")
+	if nh, _, _ := tb.Lookup(a); nh != 2 {
+		t.Errorf("nh = %d, want 2 (/24)", nh)
+	}
+	a, _ = ip.ParseAddr("10.7.7.7")
+	if nh, _, _ := tb.Lookup(a); nh != 3 {
+		t.Errorf("nh = %d, want 3 (/8)", nh)
+	}
+}

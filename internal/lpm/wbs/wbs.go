@@ -1,0 +1,166 @@
+// Package wbs implements binary search on prefix lengths (Waldvogel,
+// Varghese, Turner & Plattner, SIGCOMM 1997), one of the classic lookup
+// schemes in the survey the SPAL paper cites (Ruiz-Sanchez et al.): a hash
+// table per prefix length, probed by binary search over the length range,
+// with *markers* guiding the search toward longer matches and
+// precomputed best-matching-prefix (bmp) values preventing markers from
+// leading the search astray.
+//
+// A lookup costs at most ceil(log2(32)) = 5 hash probes — each charged as
+// one modelled memory access — independent of the table size, trading
+// memory (markers) for the trie walk.
+//
+// Memory model: 8 bytes per stored entry (4-byte key, 2-byte real next
+// hop, 2-byte bmp), scaled by 1.5 for hash-table slack.
+package wbs
+
+import (
+	"spal/internal/ip"
+	"spal/internal/lpm"
+	"spal/internal/rtable"
+)
+
+const (
+	entryBytes = 8
+	hashSlack  = 1.5
+)
+
+type entry struct {
+	hasReal bool
+	realNH  rtable.NextHop
+	hasBMP  bool
+	bmpNH   rtable.NextHop
+}
+
+// Table is an immutable binary-search-on-lengths structure built by New.
+type Table struct {
+	byLen      [33]map[uint32]*entry
+	entries    int
+	hasDefault bool
+	defaultNH  rtable.NextHop
+}
+
+var _ lpm.Engine = (*Table)(nil)
+
+// NewEngine adapts New to the lpm.Builder signature.
+func NewEngine(t *rtable.Table) lpm.Engine { return New(t) }
+
+// New builds the per-length hash tables, inserts markers along each
+// prefix's binary-search path, and precomputes marker bmp values.
+func New(t *rtable.Table) *Table {
+	tb := &Table{}
+	get := func(l int, key uint32) *entry {
+		if tb.byLen[l] == nil {
+			tb.byLen[l] = make(map[uint32]*entry)
+		}
+		e, ok := tb.byLen[l][key]
+		if !ok {
+			e = &entry{}
+			tb.byLen[l][key] = e
+			tb.entries++
+		}
+		return e
+	}
+
+	// Real prefixes. A length-0 default route cannot be reached by a
+	// search over lengths 1..32, so it becomes the fallback answer.
+	for _, r := range t.Routes() {
+		if r.Prefix.Len == 0 {
+			tb.hasDefault = true
+			tb.defaultNH = r.NextHop
+			continue
+		}
+		e := get(int(r.Prefix.Len), r.Prefix.Value)
+		e.hasReal = true
+		e.realNH = r.NextHop
+	}
+
+	// Markers along each prefix's binary-search path: every midpoint the
+	// search must "hit" on its way down to the prefix's length.
+	for _, r := range t.Routes() {
+		l := int(r.Prefix.Len)
+		lo, hi := 1, 32
+		for lo <= hi {
+			m := (lo + hi) / 2
+			switch {
+			case m < l:
+				get(m, r.Prefix.Value&ip.Mask(uint8(m)))
+				lo = m + 1
+			case m == l:
+				lo = hi + 1 // the real entry anchors this level
+			default:
+				hi = m - 1
+			}
+		}
+	}
+
+	// Precompute bmp for every entry: the longest real prefix of length
+	// <= l matching the entry's key (the entry itself when real).
+	for l := 1; l <= 32; l++ {
+		for key, e := range tb.byLen[l] {
+			if nh, ok := tb.lookupUpTo(key, l); ok {
+				e.hasBMP = true
+				e.bmpNH = nh
+			}
+		}
+	}
+	return tb
+}
+
+// lookupUpTo finds the longest real prefix with length <= maxLen matching
+// value (build-time helper; not charged as lookup accesses).
+func (tb *Table) lookupUpTo(value uint32, maxLen int) (rtable.NextHop, bool) {
+	for l := maxLen; l >= 1; l-- {
+		if tb.byLen[l] == nil {
+			continue
+		}
+		if e, ok := tb.byLen[l][value&ip.Mask(uint8(l))]; ok && e.hasReal {
+			return e.realNH, true
+		}
+	}
+	if tb.hasDefault {
+		return tb.defaultNH, true
+	}
+	return rtable.NoNextHop, false
+}
+
+// Lookup binary-searches the length range; every hash probe is one
+// modelled memory access. A hit (marker or real) records its bmp and
+// sends the search toward longer prefixes; a miss goes shorter.
+func (tb *Table) Lookup(a ip.Addr) (rtable.NextHop, int, bool) {
+	best := rtable.NoNextHop
+	found := false
+	if tb.hasDefault {
+		best, found = tb.defaultNH, true
+	}
+	accesses := 0
+	lo, hi := 1, 32
+	for lo <= hi {
+		m := (lo + hi) / 2
+		accesses++
+		var ent *entry
+		if tb.byLen[m] != nil {
+			ent = tb.byLen[m][a&ip.Mask(uint8(m))]
+		}
+		if ent != nil {
+			if ent.hasBMP {
+				best, found = ent.bmpNH, true
+			}
+			lo = m + 1
+		} else {
+			hi = m - 1
+		}
+	}
+	return best, accesses, found
+}
+
+// MemoryBytes reports the modelled footprint.
+func (tb *Table) MemoryBytes() int {
+	return int(float64(tb.entries*entryBytes) * hashSlack)
+}
+
+// Name implements lpm.Engine.
+func (tb *Table) Name() string { return "wbs" }
+
+// Entries returns the stored entry count (prefixes + markers).
+func (tb *Table) Entries() int { return tb.entries }

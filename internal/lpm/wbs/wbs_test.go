@@ -1,0 +1,104 @@
+package wbs
+
+import (
+	"testing"
+
+	"spal/internal/ip"
+	"spal/internal/rtable"
+)
+
+func table(cidrs ...string) *rtable.Table {
+	var routes []rtable.Route
+	for i, c := range cidrs {
+		routes = append(routes, rtable.Route{Prefix: ip.MustPrefix(c), NextHop: rtable.NextHop(i + 1)})
+	}
+	return rtable.New(routes)
+}
+
+func TestBasicLookup(t *testing.T) {
+	tb := New(table("10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24"))
+	cases := []struct {
+		addr string
+		want rtable.NextHop
+	}{
+		{"10.1.2.3", 3},
+		{"10.1.9.9", 2},
+		{"10.9.9.9", 1},
+	}
+	for _, c := range cases {
+		a, _ := ip.ParseAddr(c.addr)
+		nh, acc, ok := tb.Lookup(a)
+		if !ok || nh != c.want {
+			t.Errorf("Lookup(%s) = (%d,%v), want %d", c.addr, nh, ok, c.want)
+		}
+		if acc < 1 || acc > 6 {
+			t.Errorf("Lookup(%s) accesses = %d, want <= 6", c.addr, acc)
+		}
+	}
+	a, _ := ip.ParseAddr("11.0.0.1")
+	if _, _, ok := tb.Lookup(a); ok {
+		t.Error("should miss outside 10/8")
+	}
+}
+
+func TestAccessBoundIndependentOfSize(t *testing.T) {
+	tb := New(rtable.Small(20000, 5))
+	tblR := rtable.Small(20000, 5)
+	for i, r := range tblR.Routes() {
+		if i%37 != 0 {
+			continue
+		}
+		_, acc, _ := tb.Lookup(r.Prefix.FirstAddr())
+		if acc > 6 {
+			t.Fatalf("accesses = %d for %s, want <= ceil(log2(32))+1", acc, r.Prefix)
+		}
+	}
+}
+
+// The signature marker pathology: a marker exists at the midpoint but no
+// longer real prefix matches the address; bmp must rescue the answer.
+func TestMarkerDoesNotMislead(t *testing.T) {
+	// /24 forces a marker at length 16 for its own path. An address
+	// matching the /16 marker key but not the /24 must fall back to the
+	// /8, not to "no route".
+	tb := New(table("10.0.0.0/8", "10.1.2.0/24"))
+	a, _ := ip.ParseAddr("10.1.3.1") // hits the 10.1/16 marker, misses the /24
+	nh, _, ok := tb.Lookup(a)
+	if !ok || nh != 1 {
+		t.Fatalf("marker misled the search: (%d,%v), want (1,true)", nh, ok)
+	}
+}
+
+func TestDefaultRouteFallback(t *testing.T) {
+	tb := New(table("0.0.0.0/0", "10.0.0.0/8"))
+	a, _ := ip.ParseAddr("200.0.0.1")
+	if nh, _, ok := tb.Lookup(a); !ok || nh != 1 {
+		t.Errorf("default fallback = (%d,%v)", nh, ok)
+	}
+	a, _ = ip.ParseAddr("10.0.0.1")
+	if nh, _, _ := tb.Lookup(a); nh != 2 {
+		t.Error("/8 should beat default")
+	}
+}
+
+func TestMarkersCounted(t *testing.T) {
+	// A single /24 needs markers at 16 and 24 is real; path: 16(marker),
+	// 24(real), plus intermediate mids 20, 22, 23 -> entries > 1.
+	tb := New(table("10.1.2.0/24"))
+	if tb.Entries() <= 1 {
+		t.Errorf("Entries = %d, markers missing", tb.Entries())
+	}
+	if tb.MemoryBytes() <= tb.Entries()*entryBytes-1 {
+		t.Errorf("MemoryBytes = %d lacks hash slack", tb.MemoryBytes())
+	}
+	if tb.Name() != "wbs" {
+		t.Error("Name mismatch")
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tb := New(rtable.New(nil))
+	if _, _, ok := tb.Lookup(1); ok {
+		t.Error("empty table must miss")
+	}
+}

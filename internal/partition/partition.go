@@ -1,0 +1,285 @@
+// Package partition implements SPAL's routing-table fragmentation (Sec. 3.1
+// of the paper): selecting η = ceil(log2 ψ) control-bit positions from the
+// prefixes of a routing table and splitting the table into ψ ROT-partitions,
+// one forwarding table per line card.
+//
+// Bit selection follows the paper's two criteria, applied greedily and
+// recursively:
+//
+//	(1) minimize replication: a prefix whose candidate bit is "*" (beyond
+//	    its length) must appear in both subsets, so the best bit minimizes
+//	    Φ*, the count of don't-care prefixes;
+//	(2) minimize imbalance: among prefixes with a concrete candidate bit,
+//	    |Φ0 − Φ1| should be smallest.
+//
+// When choosing the k-th control bit the criteria are evaluated jointly
+// over all 2^(k-1) pattern groups produced by the bits chosen so far
+// (primary score: total prefix count after the split, which is exactly
+// Σ groups (Φ + Φ*); tie-break: resulting max−min group size; final
+// tie-break: lowest bit position).
+//
+// ψ does not have to be a power of two: the 2^η bit patterns are folded
+// onto LCs by pattern mod ψ, so some LCs serve two patterns.
+//
+// The home-LC invariant — longest-prefix matching over an address's home
+// partition always equals matching over the whole table — holds by
+// construction: every prefix matching address a is compatible with a's
+// control-bit pattern (each control bit of the prefix is either "*" or
+// equal to a's bit), so it is placed in a's pattern group.
+package partition
+
+import (
+	"fmt"
+
+	"spal/internal/ip"
+	"spal/internal/rtable"
+)
+
+// Partitioning is the result of fragmenting a routing table for ψ LCs.
+type Partitioning struct {
+	// Bits holds the chosen control-bit positions in selection order; the
+	// first selected bit is the most significant bit of the pattern.
+	Bits []int
+	// NumLCs is ψ.
+	NumLCs int
+
+	tables      []*rtable.Table // one forwarding table per LC
+	patternToLC []int           // 2^η -> LC index
+	full        *rtable.Table
+}
+
+// ceilLog2 returns the smallest η with 2^η >= n (η = 0 for n <= 1).
+func ceilLog2(n int) int {
+	e := 0
+	for 1<<e < n {
+		e++
+	}
+	return e
+}
+
+// Partition fragments t for numLCs line cards, selecting control bits per
+// the paper's criteria. numLCs may be any integer >= 1; numLCs == 1
+// degenerates to the unpartitioned table.
+func Partition(t *rtable.Table, numLCs int) *Partitioning {
+	if numLCs < 1 {
+		panic("partition: numLCs must be >= 1")
+	}
+	eta := ceilLog2(numLCs)
+	bits := SelectBits(t, eta)
+	return WithBits(t, numLCs, bits)
+}
+
+// WithBits fragments t using explicitly chosen control bits (η =
+// len(bits)); 2^η patterns are folded onto numLCs by pattern mod numLCs.
+// It panics when 2^len(bits) < numLCs, which would leave some LC without
+// a pattern.
+func WithBits(t *rtable.Table, numLCs int, bits []int) *Partitioning {
+	if 1<<len(bits) < numLCs {
+		panic(fmt.Sprintf("partition: %d bits cannot address %d LCs", len(bits), numLCs))
+	}
+	p := &Partitioning{
+		Bits:   append([]int(nil), bits...),
+		NumLCs: numLCs,
+		full:   t,
+	}
+	numPatterns := 1 << len(bits)
+	p.patternToLC = make([]int, numPatterns)
+	perLC := make([][]rtable.Route, numLCs)
+	for pat := 0; pat < numPatterns; pat++ {
+		p.patternToLC[pat] = pat % numLCs
+	}
+	for _, r := range t.Routes() {
+		for _, pat := range compatiblePatterns(r.Prefix, bits) {
+			lc := p.patternToLC[pat]
+			perLC[lc] = append(perLC[lc], r)
+		}
+	}
+	p.tables = make([]*rtable.Table, numLCs)
+	for lc := range p.tables {
+		p.tables[lc] = rtable.New(perLC[lc])
+	}
+	return p
+}
+
+// compatiblePatterns returns every control-bit pattern the prefix must be
+// stored under: a concrete bit pins its pattern position, a "*" bit fans
+// out to both values.
+func compatiblePatterns(pr ip.Prefix, bits []int) []int {
+	pats := []int{0}
+	for i, pos := range bits {
+		shift := len(bits) - 1 - i
+		b, known := pr.Bit(pos)
+		if known {
+			for j := range pats {
+				pats[j] |= int(b) << shift
+			}
+		} else {
+			out := make([]int, 0, 2*len(pats))
+			for _, p := range pats {
+				out = append(out, p, p|1<<shift)
+			}
+			pats = out
+		}
+	}
+	return pats
+}
+
+// PatternOf extracts the control-bit pattern of an address.
+func (p *Partitioning) PatternOf(a ip.Addr) int {
+	pat := 0
+	for i, pos := range p.Bits {
+		pat |= int(ip.AddrBit(a, pos)) << (len(p.Bits) - 1 - i)
+	}
+	return pat
+}
+
+// HomeLC returns the home line card of an address: the LC whose forwarding
+// table is guaranteed to contain every prefix matching it.
+func (p *Partitioning) HomeLC(a ip.Addr) int {
+	return p.patternToLC[p.PatternOf(a)]
+}
+
+// Table returns LC lc's forwarding table (its ROT-partition union).
+func (p *Partitioning) Table(lc int) *rtable.Table { return p.tables[lc] }
+
+// Full returns the unpartitioned routing table.
+func (p *Partitioning) Full() *rtable.Table { return p.full }
+
+// Stats summarizes partition quality.
+type Stats struct {
+	Sizes       []int   // prefixes per LC
+	Min, Max    int     // smallest / largest partition
+	Replication float64 // Σ sizes / original size (1.0 = no copies)
+}
+
+// Stats computes partition-quality measures.
+func (p *Partitioning) Stats() Stats {
+	s := Stats{Sizes: make([]int, p.NumLCs)}
+	total := 0
+	for i, t := range p.tables {
+		n := t.Len()
+		s.Sizes[i] = n
+		total += n
+		if i == 0 || n < s.Min {
+			s.Min = n
+		}
+		if n > s.Max {
+			s.Max = n
+		}
+	}
+	if p.full.Len() > 0 {
+		s.Replication = float64(total) / float64(p.full.Len())
+	}
+	return s
+}
+
+// SelectBits picks eta control bits per the paper's criteria.
+func SelectBits(t *rtable.Table, eta int) []int {
+	// groups: prefix sets per pattern of the bits chosen so far. Prefixes
+	// with "*" at a chosen bit appear in several groups, exactly as they
+	// will be replicated across ROT-partitions.
+	groups := [][]ip.Prefix{t.Prefixes()}
+	var chosen []int
+	used := make(map[int]bool)
+	for k := 0; k < eta; k++ {
+		bestBit := -1
+		bestTotal := 0
+		bestSpread := 0
+		for pos := 0; pos < 32; pos++ {
+			if used[pos] {
+				continue
+			}
+			total, spread := scoreBit(groups, pos)
+			if bestBit < 0 || total < bestTotal ||
+				(total == bestTotal && spread < bestSpread) {
+				bestBit, bestTotal, bestSpread = pos, total, spread
+			}
+		}
+		chosen = append(chosen, bestBit)
+		used[bestBit] = true
+		groups = splitGroups(groups, bestBit)
+	}
+	return chosen
+}
+
+// scoreBit evaluates splitting every current group at bit pos: total is
+// the prefix count after the split (criterion 1: Σ (Φ + Φ*)); spread is
+// max−min over the resulting subgroup sizes (criterion 2 generalized).
+func scoreBit(groups [][]ip.Prefix, pos int) (total, spread int) {
+	minSz, maxSz := -1, 0
+	for _, g := range groups {
+		var n0, n1, nStar int
+		for _, pr := range g {
+			b, known := pr.Bit(pos)
+			switch {
+			case !known:
+				nStar++
+			case b == 0:
+				n0++
+			default:
+				n1++
+			}
+		}
+		s0, s1 := n0+nStar, n1+nStar
+		total += s0 + s1
+		for _, sz := range [2]int{s0, s1} {
+			if minSz < 0 || sz < minSz {
+				minSz = sz
+			}
+			if sz > maxSz {
+				maxSz = sz
+			}
+		}
+	}
+	return total, maxSz - minSz
+}
+
+// splitGroups applies the chosen bit, doubling the group list. The new
+// group order keeps the pattern numbering convention: earlier-chosen bits
+// are more significant, and within this split bit value 0 precedes 1.
+func splitGroups(groups [][]ip.Prefix, pos int) [][]ip.Prefix {
+	out := make([][]ip.Prefix, 0, 2*len(groups))
+	for _, g := range groups {
+		var g0, g1 []ip.Prefix
+		for _, pr := range g {
+			b, known := pr.Bit(pos)
+			switch {
+			case !known:
+				g0 = append(g0, pr)
+				g1 = append(g1, pr)
+			case b == 0:
+				g0 = append(g0, pr)
+			default:
+				g1 = append(g1, pr)
+			}
+		}
+		out = append(out, g0, g1)
+	}
+	// Reorder: splitGroups appends (g0,g1) per group, which makes the new
+	// bit the LEAST significant pattern bit — matching PatternOf, where
+	// later bits shift less. Pattern p's group is out[...]: for pattern
+	// numbering with earlier bits more significant, group order must be
+	// g(00), g(01), g(10), g(11): out already is [g0_0, g0_1, g1_0, g1_1]
+	// when groups were ordered by earlier bits. That is exactly the
+	// convention, so no reorder is needed.
+	return out
+}
+
+// LengthPartition implements the comparator scheme of Akhbarizadeh &
+// Nourani (ICC 2002) the paper contrasts with in Sec. 2.3: one partition
+// per distinct prefix length, every partition kept at every FE. It returns
+// the partitions ordered by length and is used to demonstrate their size
+// imbalance versus SPAL's criteria-driven split.
+func LengthPartition(t *rtable.Table) []*rtable.Table {
+	byLen := make(map[uint8][]rtable.Route)
+	for _, r := range t.Routes() {
+		byLen[r.Prefix.Len] = append(byLen[r.Prefix.Len], r)
+	}
+	var out []*rtable.Table
+	for l := 0; l <= 32; l++ {
+		if rs, ok := byLen[uint8(l)]; ok {
+			out = append(out, rtable.New(rs))
+		}
+	}
+	return out
+}

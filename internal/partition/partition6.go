@@ -1,0 +1,180 @@
+package partition
+
+import (
+	"fmt"
+
+	"spal/internal/ip"
+)
+
+// Route6 pairs an IPv6 prefix with its next hop, for the IPv6 partitioning
+// demonstration (the paper: "SPAL is feasibly applicable to IPv6").
+type Route6 struct {
+	Prefix  ip.Prefix6
+	NextHop uint16
+}
+
+// Partitioning6 fragments an IPv6 prefix set the same way Partitioning
+// fragments an IPv4 table: η control bits out of positions 0..127.
+type Partitioning6 struct {
+	Bits   []int
+	NumLCs int
+
+	tables      [][]Route6
+	patternToLC []int
+}
+
+// Partition6 selects control bits for numLCs line cards over IPv6 routes
+// and builds the per-LC partitions.
+func Partition6(routes []Route6, numLCs int) *Partitioning6 {
+	if numLCs < 1 {
+		panic("partition: numLCs must be >= 1")
+	}
+	eta := ceilLog2(numLCs)
+	bits := SelectBits6(routes, eta)
+	p := &Partitioning6{Bits: bits, NumLCs: numLCs}
+	numPatterns := 1 << eta
+	if numPatterns < numLCs {
+		panic(fmt.Sprintf("partition: %d bits cannot address %d LCs", eta, numLCs))
+	}
+	p.patternToLC = make([]int, numPatterns)
+	for pat := range p.patternToLC {
+		p.patternToLC[pat] = pat % numLCs
+	}
+	p.tables = make([][]Route6, numLCs)
+	for _, r := range routes {
+		for _, pat := range compatiblePatterns6(r.Prefix, bits) {
+			lc := p.patternToLC[pat]
+			p.tables[lc] = append(p.tables[lc], r)
+		}
+	}
+	return p
+}
+
+func compatiblePatterns6(pr ip.Prefix6, bits []int) []int {
+	pats := []int{0}
+	for i, pos := range bits {
+		shift := len(bits) - 1 - i
+		b, known := pr.Bit(pos)
+		if known {
+			for j := range pats {
+				pats[j] |= int(b) << shift
+			}
+		} else {
+			out := make([]int, 0, 2*len(pats))
+			for _, p := range pats {
+				out = append(out, p, p|1<<shift)
+			}
+			pats = out
+		}
+	}
+	return pats
+}
+
+// SelectBits6 is SelectBits over 128-bit prefixes.
+func SelectBits6(routes []Route6, eta int) []int {
+	prefixes := make([]ip.Prefix6, len(routes))
+	for i, r := range routes {
+		prefixes[i] = r.Prefix
+	}
+	groups := [][]ip.Prefix6{prefixes}
+	var chosen []int
+	used := make(map[int]bool)
+	for k := 0; k < eta; k++ {
+		bestBit, bestTotal, bestSpread := -1, 0, 0
+		for pos := 0; pos < 128; pos++ {
+			if used[pos] {
+				continue
+			}
+			total, spread := scoreBit6(groups, pos)
+			if bestBit < 0 || total < bestTotal ||
+				(total == bestTotal && spread < bestSpread) {
+				bestBit, bestTotal, bestSpread = pos, total, spread
+			}
+		}
+		chosen = append(chosen, bestBit)
+		used[bestBit] = true
+		groups = splitGroups6(groups, bestBit)
+	}
+	return chosen
+}
+
+func scoreBit6(groups [][]ip.Prefix6, pos int) (total, spread int) {
+	minSz, maxSz := -1, 0
+	for _, g := range groups {
+		var n0, n1, nStar int
+		for _, pr := range g {
+			b, known := pr.Bit(pos)
+			switch {
+			case !known:
+				nStar++
+			case b == 0:
+				n0++
+			default:
+				n1++
+			}
+		}
+		s0, s1 := n0+nStar, n1+nStar
+		total += s0 + s1
+		for _, sz := range [2]int{s0, s1} {
+			if minSz < 0 || sz < minSz {
+				minSz = sz
+			}
+			if sz > maxSz {
+				maxSz = sz
+			}
+		}
+	}
+	return total, maxSz - minSz
+}
+
+func splitGroups6(groups [][]ip.Prefix6, pos int) [][]ip.Prefix6 {
+	out := make([][]ip.Prefix6, 0, 2*len(groups))
+	for _, g := range groups {
+		var g0, g1 []ip.Prefix6
+		for _, pr := range g {
+			b, known := pr.Bit(pos)
+			switch {
+			case !known:
+				g0 = append(g0, pr)
+				g1 = append(g1, pr)
+			case b == 0:
+				g0 = append(g0, pr)
+			default:
+				g1 = append(g1, pr)
+			}
+		}
+		out = append(out, g0, g1)
+	}
+	return out
+}
+
+// PatternOf6 extracts the control-bit pattern of an IPv6 address.
+func (p *Partitioning6) PatternOf6(a ip.Addr6) int {
+	pat := 0
+	for i, pos := range p.Bits {
+		pat |= int(ip.Addr6Bit(a, pos)) << (len(p.Bits) - 1 - i)
+	}
+	return pat
+}
+
+// HomeLC returns the home line card of an IPv6 address.
+func (p *Partitioning6) HomeLC(a ip.Addr6) int {
+	return p.patternToLC[p.PatternOf6(a)]
+}
+
+// Routes returns LC lc's partition.
+func (p *Partitioning6) Routes(lc int) []Route6 { return p.tables[lc] }
+
+// LookupLinear performs LPM by linear scan over LC lc's partition, the
+// demonstration lookup path for IPv6.
+func (p *Partitioning6) LookupLinear(lc int, a ip.Addr6) (uint16, bool) {
+	bestLen := -1
+	var nh uint16
+	for _, r := range p.tables[lc] {
+		if r.Prefix.Matches(a) && int(r.Prefix.Len) > bestLen {
+			bestLen = int(r.Prefix.Len)
+			nh = r.NextHop
+		}
+	}
+	return nh, bestLen >= 0
+}

@@ -1,0 +1,107 @@
+package partition
+
+import (
+	"testing"
+
+	"spal/internal/ip"
+	"spal/internal/stats"
+)
+
+// synth6 generates a small synthetic IPv6 route set with a 2000::/3-style
+// global-unicast shape and nested prefixes.
+func synth6(n int, seed uint64) []Route6 {
+	rng := stats.NewRNG(seed)
+	routes := make([]Route6, 0, n)
+	for i := 0; i < n; i++ {
+		l := uint8(16 + rng.Intn(49)) // /16 .. /64
+		v := ip.Addr6{Hi: 0x2000000000000000 | rng.Uint64()>>3, Lo: rng.Uint64()}
+		routes = append(routes, Route6{
+			Prefix:  ip.Prefix6{Value: v, Len: l}.Canon(),
+			NextHop: uint16(rng.Intn(16)),
+		})
+	}
+	return routes
+}
+
+func TestPartition6HomeInvariant(t *testing.T) {
+	routes := synth6(800, 3)
+	for _, psi := range []int{1, 3, 4, 8} {
+		p := Partition6(routes, psi)
+		rng := stats.NewRNG(uint64(psi) + 100)
+		for i := 0; i < 500; i++ {
+			// Probe base addresses of random routes plus random noise in
+			// the low bits.
+			r := routes[rng.Intn(len(routes))]
+			a := r.Prefix.Value
+			a.Lo |= rng.Uint64() & ^ip.Mask6(r.Prefix.Len).Lo
+			home := p.HomeLC(a)
+			if home < 0 || home >= psi {
+				t.Fatalf("psi=%d: home out of range", psi)
+			}
+			gotNH, gotOK := p.LookupLinear(home, a)
+			wantNH, wantOK := lookupAll6(routes, a)
+			if gotOK != wantOK || (gotOK && gotNH != wantNH) {
+				t.Fatalf("psi=%d: home LPM (%d,%v) != full (%d,%v)",
+					psi, gotNH, gotOK, wantNH, wantOK)
+			}
+		}
+	}
+}
+
+func lookupAll6(routes []Route6, a ip.Addr6) (uint16, bool) {
+	bestLen := -1
+	var nh uint16
+	for _, r := range routes {
+		if r.Prefix.Matches(a) && int(r.Prefix.Len) > bestLen {
+			bestLen = int(r.Prefix.Len)
+			nh = r.NextHop
+		}
+	}
+	return nh, bestLen >= 0
+}
+
+func TestSelectBits6AvoidsStarPositions(t *testing.T) {
+	// All routes /16..(max) under 2000::/3: the first 3 bits are constant
+	// (useless for balance) and positions >= 64 are mostly "*"; chosen
+	// bits should sit in the early, populated region.
+	routes := synth6(500, 9)
+	bits := SelectBits6(routes, 3)
+	if len(bits) != 3 {
+		t.Fatalf("got %d bits", len(bits))
+	}
+	for _, b := range bits {
+		if b >= 64 {
+			t.Errorf("bit %d chosen in the sparse tail", b)
+		}
+	}
+}
+
+func TestPartition6SizesBalanced(t *testing.T) {
+	routes := synth6(2000, 21)
+	p := Partition6(routes, 4)
+	minSz, maxSz := -1, 0
+	for lc := 0; lc < 4; lc++ {
+		n := len(p.Routes(lc))
+		if minSz < 0 || n < minSz {
+			minSz = n
+		}
+		if n > maxSz {
+			maxSz = n
+		}
+	}
+	if minSz == 0 {
+		t.Fatal("empty IPv6 partition")
+	}
+	if float64(maxSz)/float64(minSz) > 2.5 {
+		t.Errorf("imbalance %d..%d", minSz, maxSz)
+	}
+}
+
+func TestPartition6PanicsOnZeroLCs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	Partition6(nil, 0)
+}

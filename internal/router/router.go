@@ -1,0 +1,495 @@
+// Package router is a working concurrent implementation of a SPAL router:
+// one goroutine per line card, each owning its ROT-partition forwarding
+// engine and its LR-cache, exchanging lookup requests and replies over
+// channels that play the switching fabric's role.
+//
+// Where package sim models timing (cycles, queues, fabric latency), this
+// package provides the functional forwarding plane a downstream user would
+// embed: submit a destination address at a line card, receive the next
+// hop. All SPAL mechanisms are live — home-LC routing of misses, LOC/REM
+// result caching, miss coalescing (concurrent lookups for one address
+// trigger a single FE execution), and whole-table updates with cache
+// flushes and epoch-guarded replies so stale results never enter a cache
+// after a flush.
+//
+// Concurrency design, per the repository's Go guides: no shared mutable
+// state. Each LC goroutine exclusively owns its cache and engine; all
+// communication is message passing. Inter-LC channels are unbounded
+// (a small buffering goroutine per LC) so LCs never deadlock on mutual
+// backpressure.
+package router
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"spal/internal/cache"
+	"spal/internal/ip"
+	"spal/internal/lpm"
+	"spal/internal/partition"
+	"spal/internal/rtable"
+)
+
+// ErrStopped is returned by calls that cannot complete because the router
+// was stopped.
+var ErrStopped = errors.New("router: stopped")
+
+// Verdict is the outcome of one lookup.
+type Verdict struct {
+	Addr    ip.Addr
+	NextHop rtable.NextHop
+	OK      bool // false: no matching prefix
+	// ServedBy tells where the result came from: "cache" (LR-cache hit at
+	// the arrival LC), "fe" (local FE execution at the home LC) or
+	// "remote" (reply from the home LC).
+	ServedBy string
+}
+
+// Config configures a concurrent router.
+type Config struct {
+	// NumLCs is ψ.
+	NumLCs int
+	// Table is the routing table to partition.
+	Table *rtable.Table
+	// Engine builds each LC's matching structure; nil uses the hash-based
+	// reference engine.
+	Engine lpm.Builder
+	// Cache is the LR-cache organization, used when CacheEnabled.
+	Cache        cache.Config
+	CacheEnabled bool
+}
+
+const (
+	mLookup = iota
+	mRequest
+	mReply
+	mFlush
+	mSwapEngine // phase 1 of UpdateTable: install engine + homeOf
+	mRekey      // phase 2: bump epoch, flush cache, re-drive pending
+)
+
+// message is the fabric traffic plus local control.
+type message struct {
+	kind     uint8
+	addr     ip.Addr
+	nextHop  rtable.NextHop
+	ok       bool
+	from     int // requester LC (mRequest)
+	epoch    uint32
+	resp     chan<- Verdict // mLookup
+	engine   lpm.Engine     // mSwap
+	homeOf   func(ip.Addr) int
+	swapDone chan<- struct{}
+}
+
+// LCStats are per-line-card counters (atomically updated, readable live).
+type LCStats struct {
+	Lookups, CacheHits, FEExecs, RequestsSent, RepliesSent, Coalesced, StaleReplies atomic.Int64
+}
+
+type remoteWaiter struct {
+	from  int
+	epoch uint32
+}
+
+type waitlist struct {
+	chans   []chan<- Verdict
+	remotes []remoteWaiter
+}
+
+type lineCard struct {
+	id      int
+	engine  lpm.Engine
+	cache   *cache.Cache
+	pending map[ip.Addr]*waitlist
+	homeOf  func(ip.Addr) int
+	epoch   uint32
+	stats   *LCStats
+}
+
+// Router is a running SPAL forwarding plane.
+type Router struct {
+	cfg     Config
+	inboxes []chan message
+	quit    chan struct{}
+	stopped atomic.Bool
+	wg      sync.WaitGroup
+	stats   []*LCStats
+
+	mu   sync.Mutex // guards part and serializes UpdateTable
+	part *partition.Partitioning
+}
+
+// New builds and starts a router.
+func New(cfg Config) (*Router, error) {
+	if cfg.NumLCs < 1 {
+		return nil, fmt.Errorf("router: NumLCs must be >= 1, got %d", cfg.NumLCs)
+	}
+	if cfg.Table == nil || cfg.Table.Len() == 0 {
+		return nil, errors.New("router: empty routing table")
+	}
+	if cfg.Engine == nil {
+		cfg.Engine = lpm.NewReferenceEngine
+	}
+	r := &Router{cfg: cfg, quit: make(chan struct{})}
+	r.part = partition.Partition(cfg.Table, cfg.NumLCs)
+	for i := 0; i < cfg.NumLCs; i++ {
+		lc := &lineCard{
+			id:      i,
+			engine:  cfg.Engine(r.part.Table(i)),
+			pending: make(map[ip.Addr]*waitlist),
+			homeOf:  r.part.HomeLC,
+			stats:   &LCStats{},
+		}
+		if cfg.CacheEnabled {
+			cc := cfg.Cache
+			cc.Seed += uint64(i) * 31
+			lc.cache = cache.New(cc)
+		}
+		in := make(chan message, 64)
+		out := make(chan message, 64)
+		r.inboxes = append(r.inboxes, in)
+		r.stats = append(r.stats, lc.stats)
+		r.wg.Add(2)
+		go r.buffer(in, out)
+		go r.lcLoop(lc, out)
+	}
+	return r, nil
+}
+
+// buffer is the unbounded queue between senders and an LC: it never blocks
+// a sender, which rules out inter-LC deadlock by construction.
+func (r *Router) buffer(in <-chan message, out chan<- message) {
+	defer r.wg.Done()
+	var q []message
+	for {
+		var send chan<- message
+		var head message
+		if len(q) > 0 {
+			send = out
+			head = q[0]
+		}
+		select {
+		case m := <-in:
+			q = append(q, m)
+		case send <- head:
+			q = q[1:]
+		case <-r.quit:
+			return
+		}
+	}
+}
+
+// send delivers a message to an LC's unbounded inbox.
+func (r *Router) send(lc int, m message) bool {
+	select {
+	case r.inboxes[lc] <- m:
+		return true
+	case <-r.quit:
+		return false
+	}
+}
+
+// lcLoop is one line card: the exclusive owner of its engine and cache.
+func (r *Router) lcLoop(lc *lineCard, inbox <-chan message) {
+	defer r.wg.Done()
+	for {
+		select {
+		case m := <-inbox:
+			r.handle(lc, m)
+		case <-r.quit:
+			return
+		}
+	}
+}
+
+func (r *Router) handle(lc *lineCard, m message) {
+	switch m.kind {
+	case mLookup:
+		r.handleLookup(lc, m)
+	case mRequest:
+		r.handleRequest(lc, m)
+	case mReply:
+		if m.epoch != lc.epoch {
+			// A reply computed before a table swap must not poison the
+			// freshly flushed cache; the swap already re-drove the
+			// lookups it was answering.
+			lc.stats.StaleReplies.Add(1)
+			return
+		}
+		r.fillAndRelease(lc, m.addr, m.nextHop, m.ok, cache.REM, "remote")
+	case mFlush:
+		if lc.cache != nil {
+			lc.cache.Flush()
+		}
+	case mSwapEngine:
+		lc.engine = m.engine
+		lc.homeOf = m.homeOf
+		close(m.swapDone)
+	case mRekey:
+		lc.epoch++
+		if lc.cache != nil {
+			lc.cache.Flush()
+		}
+		// Re-drive pending lookups against the new table so nothing
+		// strands across the swap.
+		pend := lc.pending
+		lc.pending = make(map[ip.Addr]*waitlist)
+		for addr, wl := range pend {
+			for _, ch := range wl.chans {
+				r.handleLookup(lc, message{kind: mLookup, addr: addr, resp: ch})
+			}
+			for _, rw := range wl.remotes {
+				r.handleRequest(lc, message{kind: mRequest, addr: addr, from: rw.from, epoch: rw.epoch})
+			}
+		}
+		close(m.swapDone)
+	}
+}
+
+// handleLookup serves a locally submitted packet.
+func (r *Router) handleLookup(lc *lineCard, m message) {
+	lc.stats.Lookups.Add(1)
+	if lc.cache != nil {
+		switch res := lc.cache.Probe(m.addr); res.Kind {
+		case cache.Hit, cache.HitVictim:
+			lc.stats.CacheHits.Add(1)
+			m.resp <- Verdict{Addr: m.addr, NextHop: res.NextHop, OK: res.NextHop != rtable.NoNextHop, ServedBy: "cache"}
+			return
+		case cache.HitWaiting:
+			lc.stats.Coalesced.Add(1)
+			wl := r.park(lc, m.addr)
+			wl.chans = append(wl.chans, m.resp)
+			return
+		default:
+			origin := cache.REM
+			if lc.homeOf(m.addr) == lc.id {
+				origin = cache.LOC
+			}
+			lc.cache.RecordMiss(m.addr, origin, 0)
+		}
+	} else if wl, ok := lc.pending[m.addr]; ok {
+		// No cache: the pending map alone coalesces concurrent misses.
+		lc.stats.Coalesced.Add(1)
+		wl.chans = append(wl.chans, m.resp)
+		return
+	}
+	wl := r.park(lc, m.addr)
+	wl.chans = append(wl.chans, m.resp)
+	r.dispatch(lc, m.addr)
+}
+
+// handleRequest serves a lookup request from a remote arrival LC.
+func (r *Router) handleRequest(lc *lineCard, m message) {
+	rw := remoteWaiter{from: m.from, epoch: m.epoch}
+	if lc.cache != nil {
+		switch res := lc.cache.Probe(m.addr); res.Kind {
+		case cache.Hit, cache.HitVictim:
+			r.sendReply(lc, rw, m.addr, res.NextHop, res.NextHop != rtable.NoNextHop)
+			return
+		case cache.HitWaiting:
+			lc.stats.Coalesced.Add(1)
+			wl := r.park(lc, m.addr)
+			wl.remotes = append(wl.remotes, rw)
+			return
+		default:
+			lc.cache.RecordMiss(m.addr, cache.LOC, 0)
+		}
+	} else if wl, ok := lc.pending[m.addr]; ok {
+		lc.stats.Coalesced.Add(1)
+		wl.remotes = append(wl.remotes, rw)
+		return
+	}
+	wl := r.park(lc, m.addr)
+	wl.remotes = append(wl.remotes, rw)
+	r.dispatch(lc, m.addr)
+}
+
+// park returns (creating) the waitlist for addr.
+func (r *Router) park(lc *lineCard, addr ip.Addr) *waitlist {
+	wl, ok := lc.pending[addr]
+	if !ok {
+		wl = &waitlist{}
+		lc.pending[addr] = wl
+	}
+	return wl
+}
+
+// dispatch resolves a miss: local FE execution when this LC is home,
+// otherwise a request over the fabric.
+func (r *Router) dispatch(lc *lineCard, addr ip.Addr) {
+	home := lc.homeOf(addr)
+	if home == lc.id {
+		nh, _, ok := lc.engine.Lookup(addr)
+		lc.stats.FEExecs.Add(1)
+		if !ok {
+			nh = rtable.NoNextHop
+		}
+		r.fillAndRelease(lc, addr, nh, ok, cache.LOC, "fe")
+		return
+	}
+	lc.stats.RequestsSent.Add(1)
+	r.send(home, message{kind: mRequest, addr: addr, from: lc.id, epoch: lc.epoch})
+}
+
+// fillAndRelease installs a result and answers everything parked on it.
+func (r *Router) fillAndRelease(lc *lineCard, addr ip.Addr, nh rtable.NextHop, ok bool, origin cache.Origin, servedBy string) {
+	if lc.cache != nil {
+		lc.cache.Fill(addr, nh, origin)
+	}
+	wl, present := lc.pending[addr]
+	if !present {
+		return
+	}
+	delete(lc.pending, addr)
+	v := Verdict{Addr: addr, NextHop: nh, OK: ok, ServedBy: servedBy}
+	for _, ch := range wl.chans {
+		ch <- v
+	}
+	for _, rw := range wl.remotes {
+		r.sendReply(lc, rw, addr, nh, ok)
+	}
+}
+
+func (r *Router) sendReply(lc *lineCard, rw remoteWaiter, addr ip.Addr, nh rtable.NextHop, ok bool) {
+	lc.stats.RepliesSent.Add(1)
+	r.send(rw.from, message{kind: mReply, addr: addr, nextHop: nh, ok: ok, epoch: rw.epoch})
+}
+
+// Lookup submits a destination address at line card lc and waits for the
+// verdict.
+func (r *Router) Lookup(lc int, addr ip.Addr) (Verdict, error) {
+	ch, err := r.LookupAsync(lc, addr)
+	if err != nil {
+		return Verdict{}, err
+	}
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-r.quit:
+		return Verdict{}, ErrStopped
+	}
+}
+
+// LookupAsync submits a lookup and returns immediately with the channel
+// its verdict will arrive on (buffered; the router never blocks on it).
+// Use it to keep many lookups in flight from one caller — the pattern a
+// real ingress pipeline uses.
+func (r *Router) LookupAsync(lc int, addr ip.Addr) (<-chan Verdict, error) {
+	if lc < 0 || lc >= r.cfg.NumLCs {
+		return nil, fmt.Errorf("router: no such LC %d", lc)
+	}
+	resp := make(chan Verdict, 1)
+	if !r.send(lc, message{kind: mLookup, addr: addr, resp: resp}) {
+		return nil, ErrStopped
+	}
+	return resp, nil
+}
+
+// LookupBatch pipelines a whole slice of destinations at one line card
+// and returns the verdicts in submission order.
+func (r *Router) LookupBatch(lc int, addrs []ip.Addr) ([]Verdict, error) {
+	chans := make([]<-chan Verdict, len(addrs))
+	for i, a := range addrs {
+		ch, err := r.LookupAsync(lc, a)
+		if err != nil {
+			return nil, err
+		}
+		chans[i] = ch
+	}
+	out := make([]Verdict, len(addrs))
+	for i, ch := range chans {
+		select {
+		case out[i] = <-ch:
+		case <-r.quit:
+			return nil, ErrStopped
+		}
+	}
+	return out, nil
+}
+
+// HomeLC exposes the partitioning decision for an address.
+func (r *Router) HomeLC(addr ip.Addr) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.part.HomeLC(addr)
+}
+
+// PartitionBits returns the control-bit positions in use.
+func (r *Router) PartitionBits() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]int(nil), r.part.Bits...)
+}
+
+// NumLCs returns ψ.
+func (r *Router) NumLCs() int { return r.cfg.NumLCs }
+
+// Stats returns the live per-LC counters.
+func (r *Router) Stats() []*LCStats { return r.stats }
+
+// FlushCaches invalidates every LR-cache (the paper's response to a
+// routing-table update).
+func (r *Router) FlushCaches() {
+	for i := range r.inboxes {
+		r.send(i, message{kind: mFlush})
+	}
+}
+
+// UpdateTable swaps in a new routing table in two barrier-separated
+// phases: first every LC installs its new engine and home function, then
+// every LC bumps its reply epoch, flushes its LR-cache and re-drives its
+// pending lookups. The epoch guard drops replies computed before the
+// update, so once UpdateTable returns, every subsequent lookup (and every
+// cache fill) reflects the new table. Lookups concurrent with the update
+// window itself may observe either table.
+func (r *Router) UpdateTable(tbl *rtable.Table) error {
+	if tbl == nil || tbl.Len() == 0 {
+		return errors.New("router: empty routing table")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	part := partition.Partition(tbl, r.cfg.NumLCs)
+
+	phase := func(mk func(i int) message) error {
+		dones := make([]chan struct{}, r.cfg.NumLCs)
+		for i := 0; i < r.cfg.NumLCs; i++ {
+			dones[i] = make(chan struct{})
+			m := mk(i)
+			m.swapDone = dones[i]
+			if !r.send(i, m) {
+				return ErrStopped
+			}
+		}
+		for _, d := range dones {
+			select {
+			case <-d:
+			case <-r.quit:
+				return ErrStopped
+			}
+		}
+		return nil
+	}
+
+	if err := phase(func(i int) message {
+		return message{kind: mSwapEngine, engine: r.cfg.Engine(part.Table(i)), homeOf: part.HomeLC}
+	}); err != nil {
+		return err
+	}
+	if err := phase(func(int) message { return message{kind: mRekey} }); err != nil {
+		return err
+	}
+	r.part = part
+	return nil
+}
+
+// Stop shuts the router down. In-flight Lookup calls return ErrStopped.
+func (r *Router) Stop() {
+	if r.stopped.Swap(true) {
+		return
+	}
+	close(r.quit)
+	r.wg.Wait()
+}

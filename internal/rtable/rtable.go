@@ -1,0 +1,144 @@
+// Package rtable holds BGP-style routing tables: prefix -> next hop, with
+// loaders, synthetic table generators matched to published 2003-era prefix
+// length distributions, and a route-update stream generator.
+//
+// The paper evaluates two concrete tables: RT_1, the FUNET table with
+// 41,709 prefixes, and RT_2, an AS1221 snapshot with 140,838 prefixes.
+// Neither artifact ships with this repository, so RT1() and RT2() synthesize
+// tables of exactly those sizes whose length distribution and nesting
+// behaviour match what those tables are documented to look like (see
+// DESIGN.md, "Substitutions").
+package rtable
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"spal/internal/ip"
+)
+
+// NextHop identifies the output port / line card a matched packet should be
+// forwarded to. The paper's LR-cache stores it as "Next_hop_LC#".
+type NextHop uint16
+
+// NoNextHop is returned by lookups that match nothing (no default route).
+const NoNextHop = NextHop(0xffff)
+
+// Route is one routing-table entry.
+type Route struct {
+	Prefix  ip.Prefix
+	NextHop NextHop
+}
+
+// Table is an immutable snapshot of a routing table. Entries are unique by
+// prefix and sorted in (value, length) order.
+type Table struct {
+	routes []Route
+}
+
+// New builds a table from routes. Duplicate prefixes keep the last next hop
+// (BGP replace semantics). The input slice is not retained.
+func New(routes []Route) *Table {
+	byPrefix := make(map[ip.Prefix]NextHop, len(routes))
+	for _, r := range routes {
+		byPrefix[r.Prefix.Canon()] = r.NextHop
+	}
+	ps := make([]ip.Prefix, 0, len(byPrefix))
+	for p := range byPrefix {
+		ps = append(ps, p)
+	}
+	ip.Sort(ps)
+	out := make([]Route, len(ps))
+	for i, p := range ps {
+		out[i] = Route{Prefix: p, NextHop: byPrefix[p]}
+	}
+	return &Table{routes: out}
+}
+
+// Len returns the number of prefixes in the table.
+func (t *Table) Len() int { return len(t.routes) }
+
+// Routes returns the sorted routes. Callers must not modify the slice.
+func (t *Table) Routes() []Route { return t.routes }
+
+// Prefixes returns just the prefixes, sorted.
+func (t *Table) Prefixes() []ip.Prefix {
+	ps := make([]ip.Prefix, len(t.routes))
+	for i, r := range t.routes {
+		ps[i] = r.Prefix
+	}
+	return ps
+}
+
+// LookupLinear performs longest-prefix matching by linear scan. It is the
+// correctness oracle the trie engines are property-tested against, not a
+// fast path.
+func (t *Table) LookupLinear(a ip.Addr) (NextHop, bool) {
+	best := -1
+	for i, r := range t.routes {
+		if r.Prefix.Matches(a) && (best < 0 || r.Prefix.Len > t.routes[best].Prefix.Len) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return NoNextHop, false
+	}
+	return t.routes[best].NextHop, true
+}
+
+// LengthHistogram returns the count of prefixes at each length 0..32.
+func (t *Table) LengthHistogram() [33]int {
+	var h [33]int
+	for _, r := range t.routes {
+		h[r.Prefix.Len]++
+	}
+	return h
+}
+
+// Write stores the table in the text format read by Read: one
+// "prefix/len nexthop" pair per line.
+func (t *Table) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range t.routes {
+		if _, err := fmt.Fprintf(bw, "%s %d\n", r.Prefix, r.NextHop); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses the text format written by Write. Blank lines and lines
+// starting with '#' are skipped.
+func Read(r io.Reader) (*Table, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	var routes []Route
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("rtable: line %d: want 'prefix nexthop', got %q", line, text)
+		}
+		p, err := ip.ParsePrefix(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("rtable: line %d: %v", line, err)
+		}
+		nh, err := strconv.ParseUint(fields[1], 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("rtable: line %d: bad next hop %q", line, fields[1])
+		}
+		routes = append(routes, Route{Prefix: p, NextHop: NextHop(nh)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return New(routes), nil
+}

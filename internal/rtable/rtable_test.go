@@ -1,0 +1,276 @@
+package rtable
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"spal/internal/ip"
+	"spal/internal/stats"
+)
+
+func TestNewDedupsAndSorts(t *testing.T) {
+	routes := []Route{
+		{Prefix: ip.MustPrefix("10.0.0.0/8"), NextHop: 1},
+		{Prefix: ip.MustPrefix("10.0.0.0/8"), NextHop: 2}, // replaces
+		{Prefix: ip.MustPrefix("9.0.0.0/8"), NextHop: 3},
+	}
+	tbl := New(routes)
+	if tbl.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tbl.Len())
+	}
+	got := tbl.Routes()
+	if got[0].Prefix != ip.MustPrefix("9.0.0.0/8") {
+		t.Errorf("not sorted: %v first", got[0].Prefix)
+	}
+	if got[1].NextHop != 2 {
+		t.Errorf("duplicate should keep last next hop, got %d", got[1].NextHop)
+	}
+}
+
+func TestLookupLinearLongestWins(t *testing.T) {
+	tbl := New([]Route{
+		{Prefix: ip.MustPrefix("10.0.0.0/8"), NextHop: 1},
+		{Prefix: ip.MustPrefix("10.1.0.0/16"), NextHop: 2},
+		{Prefix: ip.MustPrefix("10.1.2.0/24"), NextHop: 3},
+	})
+	cases := []struct {
+		addr string
+		want NextHop
+		ok   bool
+	}{
+		{"10.1.2.3", 3, true},
+		{"10.1.9.9", 2, true},
+		{"10.9.9.9", 1, true},
+		{"11.0.0.1", NoNextHop, false},
+	}
+	for _, c := range cases {
+		a, _ := ip.ParseAddr(c.addr)
+		nh, ok := tbl.LookupLinear(a)
+		if nh != c.want || ok != c.ok {
+			t.Errorf("Lookup(%s) = (%d,%v), want (%d,%v)", c.addr, nh, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	tbl := Small(500, 7)
+	var buf bytes.Buffer
+	if err := tbl.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tbl.Len() {
+		t.Fatalf("round trip lost entries: %d != %d", back.Len(), tbl.Len())
+	}
+	for i, r := range back.Routes() {
+		if r != tbl.Routes()[i] {
+			t.Fatalf("entry %d differs: %v != %v", i, r, tbl.Routes()[i])
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndErrors(t *testing.T) {
+	in := "# comment\n\n10.0.0.0/8 3\n"
+	tbl, err := Read(strings.NewReader(in))
+	if err != nil || tbl.Len() != 1 {
+		t.Fatalf("Read: %v len=%d", err, tbl.Len())
+	}
+	for _, bad := range []string{"10.0.0.0/8", "10.0.0.0/8 x", "zz 1", "10.0.0.0/8 70000"} {
+		if _, err := Read(strings.NewReader(bad)); err == nil {
+			t.Errorf("Read(%q): want error", bad)
+		}
+	}
+}
+
+func TestSynthesizeExactSizeAndDistribution(t *testing.T) {
+	tbl := Small(10000, 11)
+	if tbl.Len() != 10000 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	h := tbl.LengthHistogram()
+	// /24 must dominate (roughly 46.5% by construction).
+	if frac := float64(h[24]) / 10000; frac < 0.40 || frac > 0.55 {
+		t.Errorf("/24 fraction = %.3f, want ~0.465", frac)
+	}
+	// >83% of prefixes at /24 or shorter, per the paper's cited statistic.
+	le24 := 0
+	for l := 0; l <= 24; l++ {
+		le24 += h[l]
+	}
+	if frac := float64(le24) / 10000; frac < 0.83 {
+		t.Errorf("<=24 fraction = %.3f, want >= 0.83", frac)
+	}
+	// Some host routes exist (minimum range granularity 1, per Sec 2.2).
+	if h[32] == 0 {
+		t.Error("want some /32 prefixes")
+	}
+}
+
+// Regression: RT_2-scale tables demand more /8s than exist under the
+// unicast filter; the quota must spill into /24 instead of spinning.
+func TestSynthesizePaperSizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a 140k-prefix table")
+	}
+	t2 := RT2()
+	if t2.Len() != 140838 {
+		t.Fatalf("RT2 size = %d", t2.Len())
+	}
+	h := t2.LengthHistogram()
+	if h[8] == 0 || h[8] > 192 {
+		t.Errorf("/8 count = %d, want within generator capacity", h[8])
+	}
+	t1 := RT1()
+	if t1.Len() != 41709 {
+		t.Fatalf("RT1 size = %d", t1.Len())
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a, b := Small(1000, 5), Small(1000, 5)
+	for i := range a.Routes() {
+		if a.Routes()[i] != b.Routes()[i] {
+			t.Fatal("same seed must give same table")
+		}
+	}
+	c := Small(1000, 6)
+	diff := false
+	for i := range a.Routes() {
+		if a.Routes()[i] != c.Routes()[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("different seeds should give different tables")
+	}
+}
+
+func TestSynthesizeNesting(t *testing.T) {
+	tbl := Small(5000, 13)
+	routes := tbl.Routes()
+	nested := 0
+	for i, r := range routes {
+		// Sorted order puts covering prefixes immediately before their
+		// more-specifics; scan a small back-window.
+		for j := i - 1; j >= 0 && j >= i-32; j-- {
+			if routes[j].Prefix.Contains(r.Prefix) && routes[j].Prefix != r.Prefix {
+				nested++
+				break
+			}
+		}
+	}
+	if frac := float64(nested) / float64(len(routes)); frac < 0.10 {
+		t.Errorf("nested fraction = %.3f, want >= 0.10 (prefix exceptions)", frac)
+	}
+}
+
+func TestApplyUpdate(t *testing.T) {
+	tbl := New([]Route{
+		{Prefix: ip.MustPrefix("10.0.0.0/8"), NextHop: 1},
+	})
+	// Announce new.
+	t2 := tbl.Apply(Update{Kind: Announce, Route: Route{Prefix: ip.MustPrefix("11.0.0.0/8"), NextHop: 2}})
+	if t2.Len() != 2 {
+		t.Fatalf("announce new: Len = %d", t2.Len())
+	}
+	// Re-announce existing changes next hop.
+	t3 := t2.Apply(Update{Kind: Announce, Route: Route{Prefix: ip.MustPrefix("10.0.0.0/8"), NextHop: 9}})
+	if nh, _ := t3.LookupLinear(0x0a000001); nh != 9 {
+		t.Errorf("re-announce: nh = %d", nh)
+	}
+	if t3.Len() != 2 {
+		t.Errorf("re-announce should not grow table")
+	}
+	// Withdraw.
+	t4 := t3.Apply(Update{Kind: Withdraw, Route: Route{Prefix: ip.MustPrefix("10.0.0.0/8")}})
+	if t4.Len() != 1 {
+		t.Errorf("withdraw: Len = %d", t4.Len())
+	}
+	// Withdraw missing is a no-op.
+	t5 := t4.Apply(Update{Kind: Withdraw, Route: Route{Prefix: ip.MustPrefix("12.0.0.0/8")}})
+	if t5.Len() != 1 {
+		t.Errorf("withdraw missing: Len = %d", t5.Len())
+	}
+}
+
+func TestGenerateUpdates(t *testing.T) {
+	tbl := Small(200, 3)
+	ups := GenerateUpdates(tbl, UpdateStreamConfig{
+		RatePerSecond: 20,
+		CycleNS:       5,
+		Duration:      12_000_000, // 60 ms at 5 ns/cycle
+		WithdrawProb:  0.3,
+		Seed:          1,
+	})
+	// ~20/s over 60 ms ≈ 1.2 events; run longer for a stable count.
+	ups = GenerateUpdates(tbl, UpdateStreamConfig{
+		RatePerSecond: 100,
+		CycleNS:       5,
+		Duration:      200_000_000, // 1 s
+		WithdrawProb:  0.3,
+		Seed:          1,
+	})
+	if len(ups) < 60 || len(ups) > 140 {
+		t.Errorf("got %d updates for 100/s over 1 s", len(ups))
+	}
+	var last int64 = -1
+	withdraws := 0
+	for _, u := range ups {
+		if u.AtCycle <= last {
+			t.Fatal("updates must be time-ordered")
+		}
+		last = u.AtCycle
+		if u.Kind == Withdraw {
+			withdraws++
+		}
+	}
+	if withdraws == 0 || withdraws == len(ups) {
+		t.Errorf("withdraw mix wrong: %d/%d", withdraws, len(ups))
+	}
+	if got := GenerateUpdates(tbl, UpdateStreamConfig{}); got != nil {
+		t.Error("zero config should produce no updates")
+	}
+}
+
+func TestRandomMatchedAddr(t *testing.T) {
+	tbl := Small(300, 9)
+	rng := stats.NewRNG(4)
+	for i := 0; i < 1000; i++ {
+		a := tbl.RandomMatchedAddr(rng)
+		if _, ok := tbl.LookupLinear(a); !ok {
+			t.Fatalf("RandomMatchedAddr produced unmatched address %s", ip.FormatAddr(a))
+		}
+	}
+}
+
+// Property: Apply(Announce) then LookupLinear on an address inside the
+// announced prefix and outside any longer match returns the announced hop.
+func TestApplyAnnounceProperty(t *testing.T) {
+	base := Small(100, 21)
+	f := func(v uint32, lenSeed, nh uint8) bool {
+		l := uint8(1 + int(lenSeed)%32)
+		p := ip.Prefix{Value: v, Len: l}.Canon()
+		t2 := base.Apply(Update{Kind: Announce, Route: Route{Prefix: p, NextHop: NextHop(nh)}})
+		got, ok := t2.LookupLinear(p.FirstAddr())
+		if !ok {
+			return false
+		}
+		// The announced route wins unless a strictly longer existing prefix
+		// matches the same address.
+		for _, r := range t2.Routes() {
+			if r.Prefix.Len > l && r.Prefix.Matches(p.FirstAddr()) {
+				return true // longer match legitimately wins
+			}
+		}
+		return got == NextHop(nh)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

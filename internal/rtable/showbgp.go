@@ -1,0 +1,117 @@
+package rtable
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"spal/internal/ip"
+)
+
+// ReadShowBGP parses a Cisco "show ip bgp"-style dump — the format of the
+// paper's RT_2 source (the bgp.potaroo.net AS1221 snapshot). Lines look
+// like:
+//
+//	*> 3.0.0.0          4.24.1.205        0    0 3356 701 80 i
+//	*  3.0.0.0/8        192.205.32.153         0 7018 80 i
+//	*>i6.1.0.0/16       203.50.6.13       0  100 0 7474 3549 i
+//
+// Only best routes ("*>" or "*>i") become table entries. A missing "/len"
+// uses the classful default (A:/8, B:/16, C:/24), as the dumps do. The
+// next hop is hashed onto nextHops synthetic ports, since this library
+// models next hops as line-card numbers rather than IP addresses.
+func ReadShowBGP(r io.Reader, nextHops int) (*Table, error) {
+	if nextHops < 1 {
+		nextHops = 1
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	var routes []Route
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		trimmed := strings.TrimSpace(text)
+		if !strings.HasPrefix(trimmed, "*>") {
+			continue // not a best route (headers, alternates, continuations)
+		}
+		rest := strings.TrimPrefix(trimmed, "*>")
+		rest = strings.TrimPrefix(rest, "i") // iBGP marker
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("rtable: line %d: malformed best route %q", line, text)
+		}
+		p, err := parseClassfulPrefix(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("rtable: line %d: %v", line, err)
+		}
+		routes = append(routes, Route{
+			Prefix:  p,
+			NextHop: hashNextHop(fields[1], nextHops),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return New(routes), nil
+}
+
+// parseClassfulPrefix parses "a.b.c.d/len", defaulting a missing length to
+// the address class as classic BGP dumps do.
+func parseClassfulPrefix(s string) (ip.Prefix, error) {
+	if strings.ContainsRune(s, '/') {
+		return ip.ParsePrefix(s)
+	}
+	a, err := ip.ParseAddr(s)
+	if err != nil {
+		return ip.Prefix{}, err
+	}
+	var l uint8
+	switch {
+	case a>>31 == 0: // class A
+		l = 8
+	case a>>30 == 0b10: // class B
+		l = 16
+	default: // class C and above
+		l = 24
+	}
+	return ip.Prefix{Value: a, Len: l}.Canon(), nil
+}
+
+// hashNextHop deterministically maps a next-hop string (an IP address in
+// the dump) onto one of n synthetic ports.
+func hashNextHop(s string, n int) NextHop {
+	var h uint32 = 2166136261
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return NextHop(h % uint32(n))
+}
+
+// Diff computes the update stream that transforms table a into table b:
+// withdraws for prefixes only in a, announces for prefixes new or
+// re-hopped in b. Updates carry AtCycle 0; callers schedule them.
+func Diff(a, b *Table) []Update {
+	var ups []Update
+	am := make(map[ip.Prefix]NextHop, a.Len())
+	for _, r := range a.Routes() {
+		am[r.Prefix] = r.NextHop
+	}
+	for _, r := range b.Routes() {
+		if nh, ok := am[r.Prefix]; !ok || nh != r.NextHop {
+			ups = append(ups, Update{Kind: Announce, Route: r})
+		}
+		delete(am, r.Prefix)
+	}
+	for p := range am {
+		ups = append(ups, Update{Kind: Withdraw, Route: Route{Prefix: p}})
+	}
+	// Deterministic order by prefix (announce/withdraw sets are disjoint,
+	// so prefix order fully determines the stream).
+	sort.Slice(ups, func(i, j int) bool {
+		return ups[i].Route.Prefix.Less(ups[j].Route.Prefix)
+	})
+	return ups
+}

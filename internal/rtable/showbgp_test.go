@@ -1,0 +1,136 @@
+package rtable
+
+import (
+	"strings"
+	"testing"
+
+	"spal/internal/ip"
+)
+
+const sampleShowBGP = `BGP table version is 1, local router ID is 203.50.0.1
+   Network          Next Hop            Metric LocPrf Weight Path
+*> 3.0.0.0          4.24.1.205               0             0 3356 701 80 i
+*  3.0.0.0/8        192.205.32.153           0             0 7018 80 i
+*>i6.1.0.0/16       203.50.6.13              0    100      0 7474 3549 i
+*> 10.1.2.0/24      203.50.6.9               0             0 1221 i
+*  10.1.2.0/24      203.50.6.10              0             0 1239 i
+*> 130.10.0.0       203.50.6.13              0             0 701 i
+*> 192.168.5.0      203.50.6.13              0             0 701 i
+
+Total number of prefixes 5
+`
+
+func TestReadShowBGP(t *testing.T) {
+	tbl, err := ReadShowBGP(strings.NewReader(sampleShowBGP), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 5 {
+		t.Fatalf("Len = %d, want 5 best routes", tbl.Len())
+	}
+	wantPrefixes := []string{
+		"3.0.0.0/8",      // classful A default
+		"6.1.0.0/16",     // explicit, iBGP best
+		"10.1.2.0/24",    // explicit
+		"130.10.0.0/16",  // classful B
+		"192.168.5.0/24", // classful C
+	}
+	for _, w := range wantPrefixes {
+		p := ip.MustPrefix(w)
+		found := false
+		for _, r := range tbl.Routes() {
+			if r.Prefix == p {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("prefix %s missing", w)
+		}
+	}
+	// Next hops land within the synthetic port range.
+	for _, r := range tbl.Routes() {
+		if r.NextHop >= 16 {
+			t.Errorf("next hop %d out of range", r.NextHop)
+		}
+	}
+}
+
+func TestReadShowBGPDeterministicHash(t *testing.T) {
+	a, err := ReadShowBGP(strings.NewReader(sampleShowBGP), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := ReadShowBGP(strings.NewReader(sampleShowBGP), 16)
+	for i := range a.Routes() {
+		if a.Routes()[i] != b.Routes()[i] {
+			t.Fatal("parsing must be deterministic")
+		}
+	}
+}
+
+func TestReadShowBGPMalformed(t *testing.T) {
+	if _, err := ReadShowBGP(strings.NewReader("*> onlyonefield\n"), 4); err == nil {
+		t.Error("want error for malformed best route")
+	}
+	if _, err := ReadShowBGP(strings.NewReader("*> 999.0.0.0/8 1.2.3.4\n"), 4); err == nil {
+		t.Error("want error for bad prefix")
+	}
+	// Non-best lines are skipped silently.
+	tbl, err := ReadShowBGP(strings.NewReader("* 10.0.0.0/8 1.2.3.4\ngarbage\n"), 4)
+	if err != nil || tbl.Len() != 0 {
+		t.Errorf("non-best lines: %v len=%d", err, tbl.Len())
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a := New([]Route{
+		{Prefix: ip.MustPrefix("10.0.0.0/8"), NextHop: 1},
+		{Prefix: ip.MustPrefix("20.0.0.0/8"), NextHop: 2},
+		{Prefix: ip.MustPrefix("30.0.0.0/8"), NextHop: 3},
+	})
+	b := New([]Route{
+		{Prefix: ip.MustPrefix("10.0.0.0/8"), NextHop: 1}, // unchanged
+		{Prefix: ip.MustPrefix("20.0.0.0/8"), NextHop: 9}, // re-hopped
+		{Prefix: ip.MustPrefix("40.0.0.0/8"), NextHop: 4}, // new
+	})
+	ups := Diff(a, b)
+	if len(ups) != 3 {
+		t.Fatalf("updates = %d, want 3 (announce x2 + withdraw)", len(ups))
+	}
+	// Applying the diff transforms a into b exactly.
+	got := a
+	for _, u := range ups {
+		got = got.Apply(u)
+	}
+	if got.Len() != b.Len() {
+		t.Fatalf("after diff: %d routes, want %d", got.Len(), b.Len())
+	}
+	for i := range got.Routes() {
+		if got.Routes()[i] != b.Routes()[i] {
+			t.Fatalf("route %d: %v != %v", i, got.Routes()[i], b.Routes()[i])
+		}
+	}
+}
+
+func TestDiffEmptyAndIdentical(t *testing.T) {
+	a := Small(100, 1)
+	if ups := Diff(a, a); len(ups) != 0 {
+		t.Errorf("identical tables diff = %d updates", len(ups))
+	}
+	empty := New(nil)
+	ups := Diff(empty, a)
+	if len(ups) != a.Len() {
+		t.Errorf("from empty: %d announces, want %d", len(ups), a.Len())
+	}
+	ups = Diff(a, empty)
+	withdraws := 0
+	for _, u := range ups {
+		if u.Kind == Withdraw {
+			withdraws++
+		}
+	}
+	if withdraws != a.Len() {
+		t.Errorf("to empty: %d withdraws, want %d", withdraws, a.Len())
+	}
+}

@@ -1,0 +1,99 @@
+package rtable
+
+import (
+	"spal/internal/ip"
+	"spal/internal/stats"
+)
+
+// UpdateKind distinguishes BGP announce from withdraw events.
+type UpdateKind uint8
+
+// Update kinds.
+const (
+	Announce UpdateKind = iota // add or replace a route
+	Withdraw                   // remove a route
+)
+
+// Update is one routing-table change event with its arrival time.
+type Update struct {
+	Kind    UpdateKind
+	Route   Route
+	AtCycle int64 // simulation cycle at which the update is applied
+}
+
+// UpdateStreamConfig shapes a synthetic BGP update stream. The paper models
+// ~20 updates/s on average (up to 100/s), each of which flushes every
+// LR-cache in a SPAL router.
+type UpdateStreamConfig struct {
+	// RatePerSecond is the mean update arrival rate (events per second).
+	RatePerSecond float64
+	// CycleNS is the simulator cycle length in nanoseconds (paper: 5 ns).
+	CycleNS float64
+	// Duration is the covered simulated time span in cycles.
+	Duration int64
+	// WithdrawProb is the probability an event withdraws an existing route
+	// rather than announcing one.
+	WithdrawProb float64
+	// Seed drives randomness.
+	Seed uint64
+}
+
+// GenerateUpdates produces a time-ordered update stream against table t.
+// Announces re-announce existing prefixes with a new next hop (the common
+// case in BGP churn); withdraws remove a random existing prefix.
+func GenerateUpdates(t *Table, cfg UpdateStreamConfig) []Update {
+	if cfg.RatePerSecond <= 0 || cfg.Duration <= 0 {
+		return nil
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	// Mean inter-arrival gap in cycles.
+	gap := 1e9 / cfg.RatePerSecond / cfg.CycleNS
+	routes := t.Routes()
+	var out []Update
+	// Exponential-ish arrivals via uniform [0.5, 1.5) * gap; BGP churn is
+	// bursty but the simulator only cares about the flush points.
+	at := int64(gap * (0.5 + rng.Float64()))
+	for at < cfg.Duration {
+		r := routes[rng.Intn(len(routes))]
+		kind := Announce
+		if rng.Bool(cfg.WithdrawProb) {
+			kind = Withdraw
+		} else {
+			r.NextHop = NextHop(rng.Intn(64))
+		}
+		out = append(out, Update{Kind: kind, Route: r, AtCycle: at})
+		at += int64(gap * (0.5 + rng.Float64()))
+	}
+	return out
+}
+
+// Apply returns a new table with the update applied. Withdrawing a missing
+// prefix and re-announcing an existing one are both no-fail operations,
+// mirroring BGP semantics.
+func (t *Table) Apply(u Update) *Table {
+	routes := make([]Route, 0, len(t.routes)+1)
+	target := u.Route.Prefix.Canon()
+	replaced := false
+	for _, r := range t.routes {
+		if r.Prefix == target {
+			if u.Kind == Withdraw {
+				continue // drop it
+			}
+			r.NextHop = u.Route.NextHop
+			replaced = true
+		}
+		routes = append(routes, r)
+	}
+	if u.Kind == Announce && !replaced {
+		routes = append(routes, Route{Prefix: target, NextHop: u.Route.NextHop})
+	}
+	return New(routes)
+}
+
+// RandomMatchedAddr draws an address guaranteed to match some route in t,
+// for building lookup workloads with a bounded miss (no-route) fraction.
+func (t *Table) RandomMatchedAddr(rng *stats.RNG) ip.Addr {
+	r := t.routes[rng.Intn(len(t.routes))]
+	span := uint64(r.Prefix.LastAddr()-r.Prefix.FirstAddr()) + 1
+	return r.Prefix.FirstAddr() + ip.Addr(rng.Uint64()%span)
+}

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"spal/internal/cache"
+	"spal/internal/rtable"
+)
+
+func TestLoadConfigDefaults(t *testing.T) {
+	cfg, err := LoadConfig(strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumLCs != 16 || cfg.LookupCycles != 40 || cfg.Cache.Blocks != 4096 {
+		t.Errorf("defaults wrong: %+v", cfg)
+	}
+	if !cfg.CacheEnabled || !cfg.PartitionEnabled {
+		t.Error("SPAL features should default on")
+	}
+	if cfg.GapMin != 2 || cfg.GapMax != 18 {
+		t.Error("default speed should be 40 Gbps")
+	}
+}
+
+func TestLoadConfigOverrides(t *testing.T) {
+	js := `{
+		"num_lcs": 4, "lookup_cycles": 62, "cache_blocks": 1024,
+		"mix_percent": 25, "cache_policy": "fifo", "speed_gbps": 10,
+		"packets_per_lc": 5000, "trace": "B_L", "seed": 7,
+		"partition_enabled": false, "fabric_kind": "crossbar"
+	}`
+	cfg, err := LoadConfig(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumLCs != 4 || cfg.LookupCycles != 62 || cfg.Cache.Blocks != 1024 ||
+		cfg.Cache.MixPercent != 25 || cfg.Cache.Policy != cache.FIFO {
+		t.Errorf("overrides lost: %+v", cfg)
+	}
+	if cfg.GapMin != 6 || cfg.GapMax != 74 {
+		t.Error("10 Gbps gaps wrong")
+	}
+	if cfg.PartitionEnabled {
+		t.Error("partition_enabled=false lost")
+	}
+	if string(cfg.Trace) != "B_L" || cfg.Seed != 7 {
+		t.Error("trace/seed lost")
+	}
+	// And it actually runs.
+	cfg.Table = rtable.Small(1000, 1)
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadConfigErrors(t *testing.T) {
+	bad := []string{
+		`{"cache_policy": "mru"}`,
+		`{"fabric_kind": "torus"}`,
+		`{"speed_gbps": 100}`,
+		`{"unknown_field": 1}`,
+		`not json`,
+	}
+	for _, js := range bad {
+		if _, err := LoadConfig(strings.NewReader(js)); err == nil {
+			t.Errorf("config %q should fail", js)
+		}
+	}
+}

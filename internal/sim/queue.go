@@ -1,0 +1,27 @@
+package sim
+
+// fifo is an amortized O(1) queue used for every Fig. 2 queue (input,
+// request, outgoing, incoming and the local arrival queue).
+type fifo[T any] struct {
+	items []T
+	head  int
+}
+
+func (q *fifo[T]) push(v T) { q.items = append(q.items, v) }
+
+func (q *fifo[T]) pop() (T, bool) {
+	var zero T
+	if q.head >= len(q.items) {
+		return zero, false
+	}
+	v := q.items[q.head]
+	q.items[q.head] = zero // release references
+	q.head++
+	if q.head > 1024 && q.head*2 > len(q.items) {
+		q.items = append(q.items[:0], q.items[q.head:]...)
+		q.head = 0
+	}
+	return v, true
+}
+
+func (q *fifo[T]) len() int { return len(q.items) - q.head }

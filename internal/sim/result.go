@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"spal/internal/stats"
+)
+
+// LCStats summarizes one line card after a run.
+type LCStats struct {
+	Generated, Completed       int64
+	HitLoc, HitRem             int64
+	MissLocal                  int64
+	RequestsSent, RepliesSent  int64
+	RequestsReceived, Reissued int64
+	FELookups                  int64
+	FEUtilization              float64
+	CacheHitRate               float64
+	PartitionSize              int
+	// Queue occupancy: worst and mean depths of the FE request queue and
+	// the fabric input queue, sampled per cycle.
+	MaxFEQueue, MaxInputQueue   int64
+	MeanFEQueue, MeanInputQueue float64
+	// Waiting-list pressure from the LR-cache: packets parked on W
+	// blocks and the deepest list one block accumulated.
+	Parked, MaxWaitList int64
+}
+
+// Result carries everything the experiments report.
+type Result struct {
+	// MeanLookupCycles is the paper's headline metric: mean per-packet
+	// lookup time in 5 ns cycles, from arrival-cycle probe to result.
+	MeanLookupCycles float64
+	// P50/P95/WorstLookupCycles summarize the latency distribution.
+	P50, P95, WorstLookupCycles int
+	// Cycles is the total simulated duration.
+	Cycles int64
+	// PacketsCompleted across all LCs.
+	PacketsCompleted int64
+	// DerivedMppsPerLC is the paper's throughput conversion: one packet
+	// per MeanLookupCycles per LC, in millions of packets per second.
+	DerivedMppsPerLC float64
+	// DerivedMppsRouter is DerivedMppsPerLC x ψ (the ">336 million
+	// packets per second" figure).
+	DerivedMppsRouter float64
+	// OfferedMppsRouter is the measured completion rate over the run.
+	OfferedMppsRouter float64
+	// HitRate is the aggregate LR-cache hit rate (0 when caches are off).
+	HitRate float64
+	// FabricMessages counts every request and reply crossed the fabric.
+	FabricMessages int64
+	// PerLC holds per-line-card breakdowns.
+	PerLC []LCStats
+	// Samples is the latency time series (SampleWindowCycles > 0): the
+	// warmup/flush-recovery curve.
+	Samples []WindowSample
+
+	cfg Config
+	lat *stats.Hist
+}
+
+// result assembles the Result after the run loop finishes.
+func (r *Router) result() *Result {
+	res := &Result{
+		MeanLookupCycles:  r.lat.Mean(),
+		P50:               r.lat.Percentile(0.50),
+		P95:               r.lat.Percentile(0.95),
+		WorstLookupCycles: r.lat.Percentile(1.0),
+		Cycles:            r.now,
+		PacketsCompleted:  r.completed,
+		FabricMessages:    r.pipe.Sent(),
+		Samples:           r.samples,
+		cfg:               r.cfg,
+		lat:               r.lat,
+	}
+	if res.MeanLookupCycles > 0 {
+		res.DerivedMppsPerLC = 1e3 / (res.MeanLookupCycles * r.cfg.CycleNS)
+		res.DerivedMppsRouter = res.DerivedMppsPerLC * float64(r.cfg.NumLCs)
+	}
+	if r.now > 0 {
+		res.OfferedMppsRouter = float64(r.completed) / (float64(r.now) * r.cfg.CycleNS * 1e-9) / 1e6
+	}
+	var probes, hits int64
+	for _, l := range r.lcs {
+		ls := LCStats{
+			Generated:        l.counters.Value("generated"),
+			Completed:        l.counters.Value("completed"),
+			HitLoc:           l.counters.Value("hit.loc"),
+			HitRem:           l.counters.Value("hit.rem"),
+			MissLocal:        l.counters.Value("miss.local"),
+			RequestsSent:     l.counters.Value("request.sent"),
+			RepliesSent:      l.counters.Value("reply.sent"),
+			RequestsReceived: l.counters.Value("request.received"),
+			Reissued:         l.counters.Value("reissued"),
+			FELookups:        l.counters.Value("fe.lookups"),
+			PartitionSize:    -1,
+		}
+		if r.now > 0 {
+			ls.FEUtilization = float64(l.feBusyCy) / float64(r.now)
+			ls.MeanFEQueue = float64(l.sumFEQ) / float64(r.now)
+			ls.MeanInputQueue = float64(l.sumInputQ) / float64(r.now)
+		}
+		ls.MaxFEQueue = l.maxFEQ
+		ls.MaxInputQueue = l.maxInputQ
+		if l.cache != nil {
+			cs := l.cache.Stats()
+			ls.CacheHitRate = cs.HitRate()
+			ls.Parked = cs.Parked
+			ls.MaxWaitList = cs.MaxWaitList
+			probes += cs.Probes
+			hits += cs.Hits + cs.HitVictims
+		}
+		if r.part != nil {
+			ls.PartitionSize = r.part.Table(l.id).Len()
+		}
+		res.PerLC = append(res.PerLC, ls)
+	}
+	if probes > 0 {
+		res.HitRate = float64(hits) / float64(probes)
+	}
+	return res
+}
+
+// LatencyPercentile exposes the full distribution (p in 0..1).
+func (res *Result) LatencyPercentile(p float64) int { return res.lat.Percentile(p) }
+
+// String renders a one-run report.
+func (res *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "psi=%d lookup=%dcy cache=%v(beta=%d gamma=%d%%) partition=%v trace=%s\n",
+		res.cfg.NumLCs, res.cfg.LookupCycles, res.cfg.CacheEnabled,
+		res.cfg.Cache.Blocks, res.cfg.Cache.MixPercent, res.cfg.PartitionEnabled, res.cfg.Trace)
+	fmt.Fprintf(&b, "  mean lookup = %.2f cycles (p50=%d p95=%d worst=%d)\n",
+		res.MeanLookupCycles, res.P50, res.P95, res.WorstLookupCycles)
+	fmt.Fprintf(&b, "  derived throughput = %.1f Mpps/LC, %.1f Mpps/router\n",
+		res.DerivedMppsPerLC, res.DerivedMppsRouter)
+	fmt.Fprintf(&b, "  cache hit rate = %.4f, fabric messages = %d, cycles = %d\n",
+		res.HitRate, res.FabricMessages, res.Cycles)
+	return b.String()
+}
+
+// SortedPartitionSizes returns partition sizes ascending (report helper).
+func (res *Result) SortedPartitionSizes() []int {
+	out := make([]int, 0, len(res.PerLC))
+	for _, l := range res.PerLC {
+		if l.PartitionSize >= 0 {
+			out = append(out, l.PartitionSize)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"testing"
+
+	"spal/internal/rtable"
+)
+
+func TestRunManyMatchesSequential(t *testing.T) {
+	tbl := rtable.Small(2000, 71)
+	var cfgs []Config
+	for _, psi := range []int{1, 2, 4, 8} {
+		cfg := testConfig(tbl)
+		cfg.NumLCs = psi
+		cfg.PacketsPerLC = 1500
+		cfgs = append(cfgs, cfg)
+	}
+	parallel, errs := RunMany(cfgs)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("config %d: %v", i, err)
+		}
+	}
+	for i, cfg := range cfgs {
+		seq := run(t, cfg)
+		if parallel[i].MeanLookupCycles != seq.MeanLookupCycles ||
+			parallel[i].Cycles != seq.Cycles ||
+			parallel[i].FabricMessages != seq.FabricMessages {
+			t.Fatalf("config %d: parallel result differs from sequential", i)
+		}
+	}
+}
+
+func TestRunManyPropagatesErrors(t *testing.T) {
+	good := testConfig(rtable.Small(500, 3))
+	good.PacketsPerLC = 200
+	bad := Config{} // fails validation
+	results, errs := RunMany([]Config{good, bad})
+	if errs[0] != nil || results[0] == nil {
+		t.Errorf("good config failed: %v", errs[0])
+	}
+	if errs[1] == nil || results[1] != nil {
+		t.Error("bad config should error")
+	}
+}
+
+func TestRunManyEmpty(t *testing.T) {
+	results, errs := RunMany(nil)
+	if len(results) != 0 || len(errs) != 0 {
+		t.Error("empty input should give empty output")
+	}
+}

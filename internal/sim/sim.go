@@ -1,0 +1,503 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"spal/internal/cache"
+	"spal/internal/fabric"
+	"spal/internal/ip"
+	"spal/internal/lpm"
+	"spal/internal/partition"
+	"spal/internal/rtable"
+	"spal/internal/stats"
+	"spal/internal/trace"
+)
+
+// packet tracks one packet header through the router.
+type packet struct {
+	addr          ip.Addr
+	arrivalLC     int32
+	homeLC        int32
+	arrivalCycle  int64
+	completeCycle int64 // -1 while pending
+	nextHop       rtable.NextHop
+}
+
+// feJob is a lookup in flight at a forwarding engine.
+type feJob struct {
+	packetID int64
+	addr     ip.Addr
+	nextHop  rtable.NextHop
+	ok       bool
+	doneAt   int64
+}
+
+// lineCard is the per-LC state of Fig. 2.
+type lineCard struct {
+	id     int
+	cache  *cache.Cache // nil when caches are disabled
+	engine lpm.Engine
+	src    trace.Source
+	rng    *stats.RNG
+
+	nextArrival int64
+	toGenerate  int
+
+	localQ fifo[int64]          // freshly arrived local packets
+	inputQ fifo[int64]          // remote requests received over the fabric
+	replyQ fifo[fabric.Message] // replies received over the fabric
+	outQ   fifo[fabric.Message] // messages awaiting fabric injection
+	deliQ  fifo[fabric.Message] // fabric arrivals awaiting the output port
+	// (used only under FabricContention)
+
+	feQ      fifo[int64]
+	feActive feJob
+	feBusy   bool
+	feBusyCy int64 // cycles the FE spent busy (utilization)
+
+	loadFactor float64 // ingress rate multiplier (1.0 = nominal)
+
+	// Queue-occupancy accounting, sampled once per cycle.
+	maxFEQ, sumFEQ       int64
+	maxInputQ, sumInputQ int64
+
+	counters *stats.Set
+}
+
+// drawGap samples one inter-arrival gap, scaled by the LC's load factor.
+func (l *lineCard) drawGap(gmin, gmax int) int64 {
+	g := float64(l.rng.Range(gmin, gmax))
+	if l.loadFactor != 1.0 {
+		g /= l.loadFactor
+	}
+	if g < 1 {
+		g = 1
+	}
+	return int64(g)
+}
+
+// sampleQueues records per-cycle queue depths for the occupancy report.
+func (l *lineCard) sampleQueues() {
+	fq, iq := int64(l.feQ.len()), int64(l.inputQ.len())
+	if fq > l.maxFEQ {
+		l.maxFEQ = fq
+	}
+	if iq > l.maxInputQ {
+		l.maxInputQ = iq
+	}
+	l.sumFEQ += fq
+	l.sumInputQ += iq
+}
+
+// Router is one simulation instance. Build with New, run with Run.
+type Router struct {
+	cfg    Config
+	part   *partition.Partitioning
+	lcs    []*lineCard
+	pipe   *fabric.Pipe
+	pool   *trace.Pool
+	oracle *lpm.Reference // for VerifyNextHops
+
+	packets   []packet
+	completed int64
+	lat       *stats.Hist
+	now       int64
+
+	// Windowed time series (SampleWindowCycles > 0).
+	winSum, winN int64
+	samples      []WindowSample
+}
+
+// WindowSample is one point of the latency time series.
+type WindowSample struct {
+	EndCycle  int64
+	Completed int64
+	MeanCy    float64
+}
+
+// rollWindow closes the current sampling window if the cycle counter has
+// crossed its boundary.
+func (r *Router) rollWindow() {
+	w := r.cfg.SampleWindowCycles
+	if w <= 0 || r.now == 0 || r.now%w != 0 {
+		return
+	}
+	s := WindowSample{EndCycle: r.now, Completed: r.winN}
+	if r.winN > 0 {
+		s.MeanCy = float64(r.winSum) / float64(r.winN)
+	}
+	r.samples = append(r.samples, s)
+	r.winSum, r.winN = 0, 0
+}
+
+// New builds a router per cfg (partitioning the table, constructing
+// engines, caches and trace streams).
+func New(cfg Config) (*Router, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	r := &Router{
+		cfg:  cfg,
+		pipe: fabric.NewPipe(cfg.FabricLatency),
+		lat:  stats.NewHist(4096),
+	}
+	if cfg.PartitionEnabled {
+		r.part = partition.Partition(cfg.Table, cfg.NumLCs)
+	}
+	if cfg.VerifyNextHops {
+		r.oracle = lpm.NewReference(cfg.Table)
+	}
+	r.pool = trace.NewPool(cfg.Table, cfg.TraceConfig)
+	root := stats.NewRNG(cfg.Seed ^ 0x5e3d)
+	r.packets = make([]packet, 0, cfg.NumLCs*cfg.PacketsPerLC)
+	for i := 0; i < cfg.NumLCs; i++ {
+		tbl := cfg.Table
+		if r.part != nil {
+			tbl = r.part.Table(i)
+		}
+		l := &lineCard{
+			id:         i,
+			engine:     cfg.Engine(tbl),
+			src:        trace.NewSynthetic(r.pool, cfg.TraceConfig, uint64(i)),
+			rng:        root.Fork(uint64(i)),
+			toGenerate: cfg.PacketsPerLC,
+			counters:   stats.NewSet(),
+		}
+		if cfg.CacheEnabled {
+			cc := cfg.Cache
+			cc.Seed = cfg.Seed + uint64(i)*977
+			l.cache = cache.New(cc)
+		}
+		l.loadFactor = 1.0
+		if cfg.LoadFactors != nil {
+			l.loadFactor = cfg.LoadFactors[i]
+		}
+		l.nextArrival = l.drawGap(cfg.GapMin, cfg.GapMax)
+		r.lcs = append(r.lcs, l)
+	}
+	return r, nil
+}
+
+// homeOf returns the home LC of an address under the run's mode.
+func (r *Router) homeOf(a ip.Addr, arrival int) int {
+	if r.part == nil {
+		return arrival // no partitioning: every lookup is local
+	}
+	return r.part.HomeLC(a)
+}
+
+// Run executes the simulation to completion and returns the results.
+func (r *Router) Run() (*Result, error) {
+	total := int64(r.cfg.NumLCs * r.cfg.PacketsPerLC)
+	for r.completed < total {
+		if r.now > r.cfg.MaxCycles {
+			return nil, fmt.Errorf("sim: exceeded MaxCycles=%d with %d/%d packets done",
+				r.cfg.MaxCycles, r.completed, total)
+		}
+		r.step()
+		r.now++
+		r.rollWindow()
+	}
+	return r.result(), nil
+}
+
+// step advances one cycle for the whole router.
+func (r *Router) step() {
+	now := r.now
+
+	// 1. Fabric deliveries land in the destination queues. Under
+	// FabricContention each LC's output port admits one message per
+	// cycle; otherwise arrivals demux immediately.
+	route := func(m fabric.Message) {
+		dst := r.lcs[m.Dst]
+		switch m.Kind {
+		case fabric.Request:
+			dst.inputQ.push(m.PacketID)
+		default:
+			dst.replyQ.push(m)
+		}
+	}
+	if r.cfg.FabricContention {
+		for _, m := range r.pipe.Deliver(now) {
+			r.lcs[m.Dst].deliQ.push(m)
+		}
+		for _, l := range r.lcs {
+			if m, ok := l.deliQ.pop(); ok {
+				route(m)
+			}
+		}
+	} else {
+		for _, m := range r.pipe.Deliver(now) {
+			route(m)
+		}
+	}
+
+	// 2. Periodic cache flush (route-update model).
+	if r.cfg.FlushEveryCycles > 0 && now > 0 && now%r.cfg.FlushEveryCycles == 0 {
+		r.flushAll()
+	}
+
+	for _, l := range r.lcs {
+		// 3. Packet arrivals.
+		for l.toGenerate > 0 && l.nextArrival <= now {
+			a, _ := l.src.Next()
+			id := int64(len(r.packets))
+			r.packets = append(r.packets, packet{
+				addr:          a,
+				arrivalLC:     int32(l.id),
+				homeLC:        int32(r.homeOf(a, l.id)),
+				arrivalCycle:  now,
+				completeCycle: -1,
+			})
+			l.localQ.push(id)
+			l.counters.Get("generated").Inc()
+			l.toGenerate--
+			l.nextArrival = now + l.drawGap(r.cfg.GapMin, r.cfg.GapMax)
+		}
+
+		// 4. Forwarding engine: finish, then possibly start the next job.
+		if l.feBusy {
+			l.feBusyCy++
+		}
+		if l.feBusy && now >= l.feActive.doneAt {
+			r.finishFE(l)
+		}
+		if !l.feBusy {
+			if id, ok := l.feQ.pop(); ok {
+				r.startFE(l, id)
+			}
+		}
+
+		// 5. The single cache port: replies first, then remote requests,
+		// then fresh local packets.
+		r.cachePortAction(l)
+
+		// 6. Occupancy sampling for the queue report.
+		l.sampleQueues()
+	}
+
+	// 7. Fabric injection: one message per LC per cycle.
+	for _, l := range r.lcs {
+		if m, ok := l.outQ.pop(); ok {
+			r.pipe.Send(now, m)
+			l.counters.Get("fabric.sent").Inc()
+		}
+	}
+}
+
+// startFE begins a lookup: the result and its cost are computed up front,
+// the completion is scheduled LookupCycles (or the dynamic cost) later.
+func (r *Router) startFE(l *lineCard, id int64) {
+	p := &r.packets[id]
+	nh, accesses, ok := l.engine.Lookup(p.addr)
+	cycles := int64(r.cfg.LookupCycles)
+	if r.cfg.DynamicLookup {
+		cycles = int64(math.Ceil((float64(accesses)*r.cfg.MemAccessNS + r.cfg.ExecNS) / r.cfg.CycleNS))
+		if cycles < 1 {
+			cycles = 1
+		}
+	}
+	l.feActive = feJob{packetID: id, addr: p.addr, nextHop: nh, ok: ok, doneAt: r.now + cycles}
+	if !ok {
+		l.feActive.nextHop = rtable.NoNextHop
+	}
+	l.feBusy = true
+	l.counters.Get("fe.lookups").Inc()
+}
+
+// finishFE completes the active lookup: fill the LR-cache as LOC, then
+// resolve the originator and every parked packet.
+func (r *Router) finishFE(l *lineCard) {
+	job := l.feActive
+	l.feBusy = false
+	var waiters []int64
+	if l.cache != nil {
+		waiters = l.cache.Fill(job.addr, job.nextHop, cache.LOC)
+	}
+	r.resolveAll(l, job.packetID, waiters, job.nextHop)
+}
+
+// handleReply processes a fabric reply at the arrival LC: fill as REM,
+// release the parked packets.
+func (r *Router) handleReply(l *lineCard, m fabric.Message) {
+	var waiters []int64
+	if l.cache != nil {
+		waiters = l.cache.Fill(m.Addr, m.NextHop, cache.REM)
+	}
+	l.counters.Get("reply.received").Inc()
+	r.resolveAll(l, m.PacketID, waiters, m.NextHop)
+}
+
+// resolveAll routes a lookup result to the originating packet and all
+// waiters, exactly once each: local packets complete, remote requests get
+// a reply toward their arrival LC.
+func (r *Router) resolveAll(l *lineCard, origin int64, waiters []int64, nh rtable.NextHop) {
+	seen := false
+	for _, id := range waiters {
+		if id == origin {
+			seen = true
+		}
+		r.resolve(l, id, nh)
+	}
+	if !seen {
+		r.resolve(l, origin, nh)
+	}
+}
+
+func (r *Router) resolve(l *lineCard, id int64, nh rtable.NextHop) {
+	p := &r.packets[id]
+	if int(p.arrivalLC) == l.id {
+		r.complete(l, id, nh)
+		return
+	}
+	// A remote request parked at the home LC: answer its arrival LC.
+	l.outQ.push(fabric.Message{
+		Kind:     fabric.Reply,
+		Src:      l.id,
+		Dst:      int(p.arrivalLC),
+		PacketID: id,
+		Addr:     p.addr,
+		NextHop:  nh,
+	})
+	l.counters.Get("reply.sent").Inc()
+}
+
+// complete finalizes a packet at its arrival LC; duplicate resolutions
+// (possible after a flush reissues an in-flight packet) are ignored.
+func (r *Router) complete(l *lineCard, id int64, nh rtable.NextHop) {
+	p := &r.packets[id]
+	if p.completeCycle >= 0 {
+		return
+	}
+	p.completeCycle = r.now
+	p.nextHop = nh
+	r.completed++
+	l.counters.Get("completed").Inc()
+	latency := p.completeCycle - p.arrivalCycle + 1
+	r.lat.Add(int(latency))
+	r.winSum += latency
+	r.winN++
+	if r.oracle != nil {
+		wantNH, _, wantOK := r.oracle.Lookup(p.addr)
+		if wantOK && nh != wantNH || !wantOK && nh != rtable.NoNextHop {
+			panic(fmt.Sprintf("sim: packet %d addr %s completed with nh=%d, oracle says (%d,%v)",
+				id, ip.FormatAddr(p.addr), nh, wantNH, wantOK))
+		}
+	}
+}
+
+// cachePortAction performs the cycle's single LR-cache access for LC l.
+func (r *Router) cachePortAction(l *lineCard) {
+	if m, ok := l.replyQ.pop(); ok {
+		r.handleReply(l, m)
+		return
+	}
+	if id, ok := l.inputQ.pop(); ok {
+		r.probeRemoteRequest(l, id)
+		return
+	}
+	if id, ok := l.localQ.pop(); ok {
+		r.probeLocal(l, id)
+		return
+	}
+}
+
+// probeLocal handles a freshly arrived packet at its arrival LC.
+func (r *Router) probeLocal(l *lineCard, id int64) {
+	p := &r.packets[id]
+	if l.cache == nil {
+		r.dispatchMiss(l, id)
+		return
+	}
+	res := l.cache.Probe(p.addr)
+	switch res.Kind {
+	case cache.Hit, cache.HitVictim:
+		if res.Origin == cache.LOC {
+			l.counters.Get("hit.loc").Inc()
+		} else {
+			l.counters.Get("hit.rem").Inc()
+		}
+		r.complete(l, id, res.NextHop)
+	case cache.HitWaiting:
+		l.cache.AddWaiter(p.addr, id)
+		l.counters.Get("parked").Inc()
+	default: // Miss
+		if !r.cfg.DisableEarlyRecording {
+			origin := cache.REM
+			if int(p.homeLC) == l.id {
+				origin = cache.LOC
+			}
+			l.cache.RecordMiss(p.addr, origin, id)
+		}
+		l.counters.Get("miss.local").Inc()
+		r.dispatchMiss(l, id)
+	}
+}
+
+// dispatchMiss sends a missed packet to its lookup site: the local FE when
+// this LC is home, otherwise a fabric request to the home LC.
+func (r *Router) dispatchMiss(l *lineCard, id int64) {
+	p := &r.packets[id]
+	if int(p.homeLC) == l.id {
+		l.feQ.push(id)
+		return
+	}
+	l.outQ.push(fabric.Message{
+		Kind:     fabric.Request,
+		Src:      l.id,
+		Dst:      int(p.homeLC),
+		PacketID: id,
+		Addr:     p.addr,
+	})
+	l.counters.Get("request.sent").Inc()
+}
+
+// probeRemoteRequest handles a request received from another LC at the
+// home LC.
+func (r *Router) probeRemoteRequest(l *lineCard, id int64) {
+	p := &r.packets[id]
+	l.counters.Get("request.received").Inc()
+	if l.cache == nil {
+		l.feQ.push(id)
+		return
+	}
+	res := l.cache.Probe(p.addr)
+	switch res.Kind {
+	case cache.Hit, cache.HitVictim:
+		l.counters.Get("hit.remote-request").Inc()
+		r.resolve(l, id, res.NextHop)
+	case cache.HitWaiting:
+		l.cache.AddWaiter(p.addr, id)
+		l.counters.Get("parked").Inc()
+	default:
+		if !r.cfg.DisableEarlyRecording {
+			l.cache.RecordMiss(p.addr, cache.LOC, id)
+		}
+		l.counters.Get("miss.remote-request").Inc()
+		l.feQ.push(id)
+	}
+}
+
+// flushAll invalidates every LR-cache and reissues the orphaned waiters
+// through their original paths.
+func (r *Router) flushAll() {
+	for _, l := range r.lcs {
+		if l.cache == nil {
+			continue
+		}
+		for _, id := range l.cache.Flush() {
+			p := &r.packets[id]
+			if p.completeCycle >= 0 {
+				continue
+			}
+			if int(p.arrivalLC) == l.id {
+				l.localQ.push(id)
+			} else {
+				l.inputQ.push(id)
+			}
+			l.counters.Get("reissued").Inc()
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must produce the same stream")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	for i := 0; i < 10; i++ {
+		if NewRNG(42).Fork(1).Uint64() == c.Uint64() {
+			continue
+		}
+		same = false
+	}
+	if same {
+		t.Error("different seeds should diverge")
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	parent := NewRNG(7)
+	c1 := parent.Fork(1)
+	c2 := parent.Fork(2)
+	if c1.Uint64() == c2.Uint64() {
+		t.Error("forks with different salts should diverge")
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		if v := r.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if v := r.Range(5, 9); v < 5 || v > 9 {
+			t.Fatalf("Range out of range: %d", v)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %g", f)
+		}
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGUniformity(t *testing.T) {
+	r := NewRNG(99)
+	const n, buckets = 100000, 16
+	var counts [buckets]int
+	for i := 0; i < n; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	want := float64(n) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.1 {
+			t.Errorf("bucket %d: %d, want ~%.0f", b, c, want)
+		}
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(3)
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestMeanBasics(t *testing.T) {
+	var m Mean
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		m.Add(x)
+	}
+	if m.N() != 5 || m.Mean() != 3 {
+		t.Errorf("mean = %v n = %d", m.Mean(), m.N())
+	}
+	if m.Min() != 1 || m.Max() != 5 {
+		t.Errorf("min/max = %v/%v", m.Min(), m.Max())
+	}
+	if math.Abs(m.Var()-2) > 1e-12 {
+		t.Errorf("var = %v, want 2", m.Var())
+	}
+	if m.String() == "" {
+		t.Error("String should be non-empty")
+	}
+}
+
+func TestMeanEmptyIsZero(t *testing.T) {
+	var m Mean
+	if m.Mean() != 0 || m.Var() != 0 || m.N() != 0 {
+		t.Error("empty accumulator should be all zero")
+	}
+}
+
+// Property: Welford mean equals naive mean.
+func TestMeanMatchesNaive(t *testing.T) {
+	f := func(xs []float64) bool {
+		var m Mean
+		sum := 0.0
+		count := 0
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e9 {
+				continue
+			}
+			m.Add(x)
+			sum += x
+			count++
+		}
+		if count == 0 {
+			return m.N() == 0
+		}
+		return math.Abs(m.Mean()-sum/float64(count)) < 1e-6*(1+math.Abs(sum))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHist(t *testing.T) {
+	h := NewHist(10)
+	for _, v := range []int{0, 1, 1, 2, 3, 100} {
+		h.Add(v)
+	}
+	if h.N() != 6 {
+		t.Errorf("N = %d", h.N())
+	}
+	if h.Overflow() != 1 {
+		t.Errorf("Overflow = %d", h.Overflow())
+	}
+	wantMean := float64(0+1+1+2+3+100) / 6
+	if math.Abs(h.Mean()-wantMean) > 1e-12 {
+		t.Errorf("Mean = %v, want %v", h.Mean(), wantMean)
+	}
+	if p := h.Percentile(0.5); p != 1 {
+		t.Errorf("p50 = %d, want 1", p)
+	}
+	if p := h.Percentile(1.0); p != 10 {
+		t.Errorf("p100 with overflow = %d, want cap 10", p)
+	}
+}
+
+func TestHistNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative sample should panic")
+		}
+	}()
+	NewHist(4).Add(-1)
+}
+
+func TestCounterSet(t *testing.T) {
+	s := NewSet()
+	s.Get("hits").Inc()
+	s.Get("hits").Inc()
+	s.Get("misses").Inc()
+	if s.Value("hits") != 2 || s.Value("misses") != 1 || s.Value("absent") != 0 {
+		t.Error("counter values wrong")
+	}
+	if r := s.Ratio("hits", "misses"); r != 2 {
+		t.Errorf("Ratio = %v", r)
+	}
+	if r := s.Ratio("hits", "absent"); r != 0 {
+		t.Errorf("Ratio with zero denominator = %v", r)
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "hits" || names[1] != "misses" {
+		t.Errorf("Names = %v", names)
+	}
+	sorted := s.SortedNames()
+	if sorted[0] != "hits" || sorted[1] != "misses" {
+		t.Errorf("SortedNames = %v", sorted)
+	}
+}

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"spal/internal/ip"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	addrs := []ip.Addr{0, 1, 0xffffffff, 0x0a010203}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, addrs); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.Len(); got != 12+4*len(addrs) {
+		t.Errorf("encoded size = %d", got)
+	}
+	fs, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := Slice(fs, len(addrs))
+	for i := range addrs {
+		if back[i] != addrs[i] {
+			t.Fatalf("record %d: %#x != %#x", i, back[i], addrs[i])
+		}
+	}
+}
+
+func TestBinaryEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := ReadBinary(&buf)
+	if err != nil || fs.Len() != 0 {
+		t.Fatalf("empty round trip: %v len=%d", err, fs.Len())
+	}
+}
+
+func TestBinaryErrors(t *testing.T) {
+	cases := map[string][]byte{
+		"short header":  {1, 2, 3},
+		"bad magic":     append([]byte("NOPE"), make([]byte, 8)...),
+		"bad version":   append([]byte("SPTR"), 0, 0, 0, 9, 0, 0, 0, 0),
+		"truncated":     append([]byte("SPTR"), 0, 0, 0, 1, 0, 0, 0, 5, 1, 2),
+		"absurd header": append([]byte("SPTR"), 0, 0, 0, 1, 0xff, 0xff, 0xff, 0xff),
+	}
+	for name, raw := range cases {
+		if _, err := ReadBinary(bytes.NewReader(raw)); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+// Property: any address sequence survives a binary round trip intact.
+func TestBinaryRoundTripQuick(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, addrs); err != nil {
+			return false
+		}
+		fs, err := ReadBinary(&buf)
+		if err != nil || fs.Len() != len(addrs) {
+			return false
+		}
+		back := Slice(fs, len(addrs))
+		for i := range addrs {
+			if back[i] != addrs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"testing"
+
+	"spal/internal/ip"
+	"spal/internal/rtable"
+)
+
+func TestDriftRotatesHotSet(t *testing.T) {
+	tblR := rtable.Small(3000, 7)
+	cfg := Config{PoolSize: 2000, ZipfS: 1.2, MeanTrain: 1, Seed: 5,
+		DriftEvery: 5000, DriftFraction: 0.5}
+	pool := NewPool(tblR, cfg)
+	src := NewSynthetic(pool, cfg, 1)
+
+	// Top destinations of the first epoch...
+	first := Slice(src, 5000)
+	// ...should differ substantially from a much later epoch's.
+	for i := 0; i < 20; i++ {
+		Slice(src, 5000)
+	}
+	late := Slice(src, 5000)
+
+	topSet := func(addrs []ip.Addr, k int) map[ip.Addr]bool {
+		counts := map[ip.Addr]int{}
+		for _, a := range addrs {
+			counts[a]++
+		}
+		out := map[ip.Addr]bool{}
+		for len(out) < k && len(counts) > 0 {
+			var best ip.Addr
+			bestC := -1
+			for a, c := range counts {
+				if c > bestC {
+					best, bestC = a, c
+				}
+			}
+			delete(counts, best)
+			out[best] = true
+		}
+		return out
+	}
+	a, b := topSet(first, 50), topSet(late, 50)
+	overlap := 0
+	for x := range a {
+		if b[x] {
+			overlap++
+		}
+	}
+	if overlap > 40 {
+		t.Errorf("top-50 overlap after 20 drift epochs = %d, want substantial rotation", overlap)
+	}
+}
+
+func TestDriftIsSharedAcrossStreams(t *testing.T) {
+	tblR := rtable.Small(3000, 7)
+	cfg := Config{PoolSize: 500, ZipfS: 1.3, MeanTrain: 1, Seed: 9,
+		DriftEvery: 1000, DriftFraction: 0.3}
+	pool := NewPool(tblR, cfg)
+	s1 := NewSynthetic(pool, cfg, 1)
+	s2 := NewSynthetic(pool, cfg, 2)
+	// Advance both into epoch 3 and compare their hot sets: different
+	// salts, same epoch -> heavily overlapping top destinations.
+	a1 := Slice(s1, 4000)[3000:]
+	a2 := Slice(s2, 4000)[3000:]
+	c1, c2 := map[ip.Addr]bool{}, map[ip.Addr]bool{}
+	for _, a := range a1 {
+		c1[a] = true
+	}
+	for _, a := range a2 {
+		c2[a] = true
+	}
+	overlap := 0
+	for a := range c1 {
+		if c2[a] {
+			overlap++
+		}
+	}
+	if overlap < len(c1)/3 {
+		t.Errorf("streams share only %d/%d destinations at equal epoch", overlap, len(c1))
+	}
+}
+
+func TestNoDriftKeepsRanking(t *testing.T) {
+	tblR := rtable.Small(1000, 7)
+	cfg := Config{PoolSize: 200, ZipfS: 1.3, MeanTrain: 1, Seed: 9}
+	pool := NewPool(tblR, cfg)
+	src := NewSynthetic(pool, cfg, 1)
+	early := Slice(src, 3000)
+	late := Slice(src, 3000)
+	top := func(addrs []ip.Addr) ip.Addr {
+		counts := map[ip.Addr]int{}
+		for _, a := range addrs {
+			counts[a]++
+		}
+		var best ip.Addr
+		bestC := -1
+		for a, c := range counts {
+			if c > bestC {
+				best, bestC = a, c
+			}
+		}
+		return best
+	}
+	if top(early) != top(late) {
+		t.Error("without drift the most popular destination must not change")
+	}
+}

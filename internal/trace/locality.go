@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"sort"
+
+	"spal/internal/ip"
+)
+
+// StackHitRatio computes the fraction of references that hit an LRU stack
+// of the given depth — the standard temporal-locality measure for address
+// streams, and a cache-geometry-independent predictor of LR-cache hit
+// rates. The paper's premise is that IP streams keep enough locality for a
+// 4K-entry cache (hit rates above 0.93 on 1998 and 2002 traces).
+func StackHitRatio(addrs []ip.Addr, depth int) float64 {
+	if len(addrs) == 0 || depth <= 0 {
+		return 0
+	}
+	pos := make(map[ip.Addr]int, depth*2)
+	// Doubly linked list over a slice arena for O(1) LRU moves.
+	type node struct {
+		addr       ip.Addr
+		prev, next int
+	}
+	nodes := make([]node, 0, depth)
+	head, tail := -1, -1 // head = most recent
+	unlink := func(i int) {
+		n := nodes[i]
+		if n.prev >= 0 {
+			nodes[n.prev].next = n.next
+		} else {
+			head = n.next
+		}
+		if n.next >= 0 {
+			nodes[n.next].prev = n.prev
+		} else {
+			tail = n.prev
+		}
+	}
+	pushFront := func(i int) {
+		nodes[i].prev = -1
+		nodes[i].next = head
+		if head >= 0 {
+			nodes[head].prev = i
+		}
+		head = i
+		if tail < 0 {
+			tail = i
+		}
+	}
+	hits := 0
+	for _, a := range addrs {
+		if i, ok := pos[a]; ok {
+			hits++
+			unlink(i)
+			pushFront(i)
+			continue
+		}
+		if len(nodes) < depth {
+			nodes = append(nodes, node{addr: a})
+			pos[a] = len(nodes) - 1
+			pushFront(len(nodes) - 1)
+			continue
+		}
+		// Evict LRU, reuse its slot.
+		i := tail
+		unlink(i)
+		delete(pos, nodes[i].addr)
+		nodes[i] = node{addr: a}
+		pos[a] = i
+		pushFront(i)
+	}
+	return float64(hits) / float64(len(addrs))
+}
+
+// WorkingSet returns the mean number of distinct destinations per window
+// of the given size (tumbling windows).
+func WorkingSet(addrs []ip.Addr, window int) float64 {
+	if len(addrs) == 0 || window <= 0 {
+		return 0
+	}
+	totalDistinct := 0
+	windows := 0
+	for start := 0; start < len(addrs); start += window {
+		end := start + window
+		if end > len(addrs) {
+			end = len(addrs)
+		}
+		seen := make(map[ip.Addr]bool, end-start)
+		for _, a := range addrs[start:end] {
+			seen[a] = true
+		}
+		totalDistinct += len(seen)
+		windows++
+	}
+	return float64(totalDistinct) / float64(windows)
+}
+
+// TopShare returns the traffic share of the most popular k destinations —
+// the "9% of flows carry 90% of packets" style statistic.
+func TopShare(addrs []ip.Addr, k int) float64 {
+	if len(addrs) == 0 || k <= 0 {
+		return 0
+	}
+	counts := make(map[ip.Addr]int)
+	for _, a := range addrs {
+		counts[a]++
+	}
+	top := make([]int, 0, len(counts))
+	for _, c := range counts {
+		top = append(top, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(top)))
+	if k > len(top) {
+		k = len(top)
+	}
+	sum := 0
+	for _, c := range top[:k] {
+		sum += c
+	}
+	return float64(sum) / float64(len(addrs))
+}

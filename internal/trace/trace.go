@@ -1,0 +1,310 @@
+// Package trace provides the packet-destination streams that drive the
+// simulator. The paper uses WorldCup98 request logs (traces D_75, D_81),
+// two Abilene-I PMA traces (L_92-0, L_92-1) and the Bell Labs-I trace; none
+// of those artifacts ships here, so this package synthesizes streams with
+// the property the simulator actually consumes — temporal locality — and
+// names five presets after the paper's traces (see DESIGN.md,
+// "Substitutions").
+//
+// The generative model combines the two locality mechanisms the
+// measurement literature of the period reports:
+//
+//   - a Zipf popularity law over a fixed destination pool (a small share of
+//     flows carries most packets; the paper cites 9% of AS-pair flows
+//     carrying 90% of traffic), and
+//   - packet trains: a flow emits several packets back-to-back, so repeats
+//     arrive clustered rather than independently.
+//
+// Destinations are drawn from the routing table under simulation so every
+// packet has a longest-prefix match.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"spal/internal/ip"
+	"spal/internal/rtable"
+	"spal/internal/stats"
+)
+
+// Source yields one destination address per packet.
+type Source interface {
+	// Next returns the next destination. ok is false when the source is
+	// exhausted (synthetic sources never are).
+	Next() (a ip.Addr, ok bool)
+}
+
+// Config shapes a synthetic trace.
+type Config struct {
+	// PoolSize is the number of distinct destination addresses.
+	PoolSize int
+	// ZipfS is the Zipf skew parameter (popularity of rank r ∝ r^-s);
+	// larger values concentrate traffic on fewer destinations.
+	ZipfS float64
+	// MeanTrain is the mean packet-train length: the expected number of
+	// consecutive packets to the same destination. 1 disables trains.
+	MeanTrain float64
+	// DriftEvery > 0 rotates the popularity ranking every that many
+	// packets: DriftFraction of the ranks are reshuffled, so the hot set
+	// slowly migrates (flows die, new flows appear). The rotation is a
+	// deterministic function of the stream epoch, so concurrent per-LC
+	// streams keep sharing the same hot set.
+	DriftEvery int64
+	// DriftFraction is the share of ranks reshuffled per drift epoch
+	// (default 0.1 when DriftEvery is set).
+	DriftFraction float64
+	// Seed drives pool construction.
+	Seed uint64
+}
+
+// Preset names the five paper traces. The parameters differ in pool size,
+// skew and train length so the five curves separate in Figs. 4-6, and are
+// calibrated so a 4K-block LR-cache reaches the >0.93 hit-rate regime the
+// paper reports for such traces.
+type Preset string
+
+// The paper's five traces.
+const (
+	D75  Preset = "D_75"   // WorldCup98, July 9 1998
+	D81  Preset = "D_81"   // WorldCup98, July 15 1998
+	L920 Preset = "L_92-0" // PMA Abilene-I
+	L921 Preset = "L_92-1" // PMA Abilene-I
+	BL   Preset = "B_L"    // PMA Bell Labs-I
+)
+
+// Presets lists the five paper traces in the order the figures plot them.
+var Presets = []Preset{D75, D81, L920, L921, BL}
+
+// PresetConfig returns the generator parameters for a named trace.
+func PresetConfig(p Preset) Config {
+	switch p {
+	case D75:
+		return Config{PoolSize: 24000, ZipfS: 1.10, MeanTrain: 4, Seed: 0x75}
+	case D81:
+		return Config{PoolSize: 32000, ZipfS: 1.05, MeanTrain: 4, Seed: 0x81}
+	case L920:
+		return Config{PoolSize: 36000, ZipfS: 1.05, MeanTrain: 3, Seed: 0x920}
+	case L921:
+		return Config{PoolSize: 40000, ZipfS: 1.04, MeanTrain: 3, Seed: 0x921}
+	case BL:
+		return Config{PoolSize: 16000, ZipfS: 1.20, MeanTrain: 6, Seed: 0xb1}
+	default:
+		panic(fmt.Sprintf("trace: unknown preset %q", string(p)))
+	}
+}
+
+// Pool is a shared destination population with Zipf popularity. Multiple
+// per-LC streams draw from one pool, so the same hot destinations appear
+// at every line card — the property SPAL's remote-result caching exploits.
+type Pool struct {
+	addrs []ip.Addr
+	cdf   []float64
+}
+
+// NewPool draws cfg.PoolSize destinations from tbl (each guaranteed to
+// match a route) and precomputes the Zipf CDF.
+func NewPool(tbl *rtable.Table, cfg Config) *Pool {
+	if cfg.PoolSize <= 0 {
+		panic("trace: PoolSize must be positive")
+	}
+	rng := stats.NewRNG(cfg.Seed*0x9e37 + 1)
+	p := &Pool{
+		addrs: make([]ip.Addr, cfg.PoolSize),
+		cdf:   make([]float64, cfg.PoolSize),
+	}
+	seen := make(map[ip.Addr]bool, cfg.PoolSize)
+	for i := range p.addrs {
+		a := tbl.RandomMatchedAddr(rng)
+		for seen[a] {
+			a = tbl.RandomMatchedAddr(rng)
+		}
+		seen[a] = true
+		p.addrs[i] = a
+	}
+	// Zipf CDF over ranks 1..N. Rank order is the draw order, which is
+	// already random, so no extra shuffle is needed.
+	sum := 0.0
+	for i := range p.cdf {
+		sum += math.Pow(float64(i+1), -cfg.ZipfS)
+		p.cdf[i] = sum
+	}
+	for i := range p.cdf {
+		p.cdf[i] /= sum
+	}
+	return p
+}
+
+// Size returns the pool population.
+func (p *Pool) Size() int { return len(p.addrs) }
+
+// drawIndex samples one popularity rank.
+func (p *Pool) drawIndex(rng *stats.RNG) int {
+	u := rng.Float64()
+	i := sort.SearchFloat64s(p.cdf, u)
+	if i >= len(p.addrs) {
+		i = len(p.addrs) - 1
+	}
+	return i
+}
+
+// Draw samples one destination by popularity (exposed for custom
+// generators built on the pool).
+func (p *Pool) Draw(rng *stats.RNG) ip.Addr {
+	return p.addrs[p.drawIndex(rng)]
+}
+
+// Synthetic is a deterministic, never-ending trace stream over a Pool.
+type Synthetic struct {
+	pool      *Pool
+	cfg       Config
+	rng       *stats.RNG
+	repeatP   float64
+	current   ip.Addr
+	started   bool
+	generated int64
+
+	// Drift state: remap permutes popularity ranks; rebuilt per epoch.
+	remap      []int32
+	driftEpoch int64
+}
+
+// NewSynthetic creates a per-LC stream. Streams with different salts over
+// the same pool are independent but share the hot set.
+func NewSynthetic(pool *Pool, cfg Config, salt uint64) *Synthetic {
+	repeatP := 0.0
+	if cfg.MeanTrain > 1 {
+		repeatP = 1 - 1/cfg.MeanTrain
+	}
+	if cfg.DriftEvery > 0 && cfg.DriftFraction == 0 {
+		cfg.DriftFraction = 0.1
+	}
+	return &Synthetic{
+		pool:    pool,
+		cfg:     cfg,
+		rng:     stats.NewRNG(cfg.Seed ^ (salt+1)*0x9e3779b97f4a7c15),
+		repeatP: repeatP,
+	}
+}
+
+// Next implements Source: continue the current packet train with
+// probability 1-1/MeanTrain, otherwise start a new flow by popularity.
+func (s *Synthetic) Next() (ip.Addr, bool) {
+	s.generated++
+	if s.started && s.rng.Float64() < s.repeatP {
+		return s.current, true
+	}
+	i := s.pool.drawIndex(s.rng)
+	if s.cfg.DriftEvery > 0 {
+		s.maybeDrift()
+		i = int(s.remap[i])
+	}
+	s.current = s.pool.addrs[i]
+	s.started = true
+	return s.current, true
+}
+
+// maybeDrift rebuilds the rank remap when the stream enters a new drift
+// epoch. The shuffle depends only on (pool seed, epoch), so all per-LC
+// streams agree on the hot set at equal epochs.
+func (s *Synthetic) maybeDrift() {
+	epoch := s.generated / s.cfg.DriftEvery
+	n := s.pool.Size()
+	if s.remap == nil {
+		s.remap = make([]int32, n)
+		for i := range s.remap {
+			s.remap[i] = int32(i)
+		}
+		s.driftEpoch = 0
+	}
+	// Apply the shuffle of each newly entered epoch incrementally; the
+	// shuffle of epoch e depends only on (pool seed, e), so all per-LC
+	// streams converge on the same mapping.
+	swaps := int(float64(n) * s.cfg.DriftFraction)
+	for e := s.driftEpoch + 1; e <= epoch; e++ {
+		rng := stats.NewRNG(s.cfg.Seed*0x9e3779b97f4a7c15 + uint64(e))
+		for k := 0; k < swaps; k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			s.remap[i], s.remap[j] = s.remap[j], s.remap[i]
+		}
+	}
+	s.driftEpoch = epoch
+}
+
+// Generated returns how many packets the stream has produced.
+func (s *Synthetic) Generated() int64 { return s.generated }
+
+// Slice materializes the next n destinations (testing and file export).
+func Slice(src Source, n int) []ip.Addr {
+	out := make([]ip.Addr, 0, n)
+	for i := 0; i < n; i++ {
+		a, ok := src.Next()
+		if !ok {
+			break
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// Write stores destinations one dotted-quad per line.
+func Write(w io.Writer, addrs []ip.Addr) error {
+	bw := bufio.NewWriter(w)
+	for _, a := range addrs {
+		if _, err := fmt.Fprintln(bw, ip.FormatAddr(a)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// FileSource replays a stored trace; Next returns ok=false at the end.
+type FileSource struct {
+	addrs []ip.Addr
+	pos   int
+}
+
+// Read parses a trace written by Write. Blank lines and '#' comments are
+// skipped.
+func Read(r io.Reader) (*FileSource, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	fs := &FileSource{}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		a, err := ip.ParseAddr(text)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %v", line, err)
+		}
+		fs.addrs = append(fs.addrs, a)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// Next implements Source.
+func (fs *FileSource) Next() (ip.Addr, bool) {
+	if fs.pos >= len(fs.addrs) {
+		return 0, false
+	}
+	a := fs.addrs[fs.pos]
+	fs.pos++
+	return a, true
+}
+
+// Len returns the number of stored destinations.
+func (fs *FileSource) Len() int { return len(fs.addrs) }
+
+// Rewind restarts the replay.
+func (fs *FileSource) Rewind() { fs.pos = 0 }

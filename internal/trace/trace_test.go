@@ -1,0 +1,249 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"spal/internal/ip"
+	"spal/internal/rtable"
+)
+
+func testPool(t *testing.T, cfg Config) (*Pool, *rtable.Table) {
+	t.Helper()
+	tbl := rtable.Small(3000, 7)
+	return NewPool(tbl, cfg), tbl
+}
+
+func TestPoolAddressesMatchTable(t *testing.T) {
+	cfg := Config{PoolSize: 500, ZipfS: 1.0, MeanTrain: 2, Seed: 1}
+	pool, tbl := testPool(t, cfg)
+	if pool.Size() != 500 {
+		t.Fatalf("Size = %d", pool.Size())
+	}
+	for _, a := range pool.addrs {
+		if _, ok := tbl.LookupLinear(a); !ok {
+			t.Fatalf("pool address %s unmatched", ip.FormatAddr(a))
+		}
+	}
+	// Distinctness.
+	seen := make(map[ip.Addr]bool)
+	for _, a := range pool.addrs {
+		if seen[a] {
+			t.Fatal("duplicate pool address")
+		}
+		seen[a] = true
+	}
+}
+
+func TestSyntheticDeterminism(t *testing.T) {
+	cfg := Config{PoolSize: 100, ZipfS: 1.0, MeanTrain: 3, Seed: 5}
+	pool, _ := testPool(t, cfg)
+	a := Slice(NewSynthetic(pool, cfg, 2), 1000)
+	b := Slice(NewSynthetic(pool, cfg, 2), 1000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same salt must give identical streams")
+		}
+	}
+	c := Slice(NewSynthetic(pool, cfg, 3), 1000)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different salts should diverge")
+	}
+}
+
+func TestTrainsProduceRuns(t *testing.T) {
+	cfg := Config{PoolSize: 5000, ZipfS: 0.5, MeanTrain: 5, Seed: 9}
+	pool, _ := testPool(t, cfg)
+	addrs := Slice(NewSynthetic(pool, cfg, 1), 50000)
+	repeats := 0
+	for i := 1; i < len(addrs); i++ {
+		if addrs[i] == addrs[i-1] {
+			repeats++
+		}
+	}
+	frac := float64(repeats) / float64(len(addrs)-1)
+	// MeanTrain 5 -> repeat probability 0.8 (plus accidental repeats).
+	if frac < 0.75 || frac > 0.87 {
+		t.Errorf("repeat fraction = %.3f, want ~0.80", frac)
+	}
+}
+
+func TestMeanTrainOneDisablesRuns(t *testing.T) {
+	cfg := Config{PoolSize: 5000, ZipfS: 0.2, MeanTrain: 1, Seed: 9}
+	pool, _ := testPool(t, cfg)
+	addrs := Slice(NewSynthetic(pool, cfg, 1), 20000)
+	repeats := 0
+	for i := 1; i < len(addrs); i++ {
+		if addrs[i] == addrs[i-1] {
+			repeats++
+		}
+	}
+	if frac := float64(repeats) / float64(len(addrs)-1); frac > 0.05 {
+		t.Errorf("repeat fraction = %.3f with trains disabled", frac)
+	}
+}
+
+func TestZipfSkewConcentratesTraffic(t *testing.T) {
+	flat := Config{PoolSize: 2000, ZipfS: 0.1, MeanTrain: 1, Seed: 3}
+	skew := Config{PoolSize: 2000, ZipfS: 1.3, MeanTrain: 1, Seed: 3}
+	poolF, _ := testPool(t, flat)
+	poolS, _ := testPool(t, skew)
+	aF := Slice(NewSynthetic(poolF, flat, 1), 40000)
+	aS := Slice(NewSynthetic(poolS, skew, 1), 40000)
+	shareF := TopShare(aF, 200) // top 10%
+	shareS := TopShare(aS, 200)
+	if shareS <= shareF {
+		t.Errorf("skewed TopShare %.3f should exceed flat %.3f", shareS, shareF)
+	}
+	if shareS < 0.6 {
+		t.Errorf("skewed top-10%% share = %.3f, want heavy concentration", shareS)
+	}
+}
+
+func TestPresetsProduceLocalityRegime(t *testing.T) {
+	// The paper's premise: a 4K-entry cache sees hit rates >= 0.93 on
+	// these streams. StackHitRatio at depth 4096 is the geometry-free
+	// upper-bound analogue; require > 0.90 for every preset.
+	tbl := rtable.Small(20000, 4)
+	for _, p := range Presets {
+		cfg := PresetConfig(p)
+		pool := NewPool(tbl, cfg)
+		addrs := Slice(NewSynthetic(pool, cfg, 0), 60000)
+		r := StackHitRatio(addrs, 4096)
+		if r < 0.90 {
+			t.Errorf("%s: stack hit ratio %.3f at depth 4096, want >= 0.90", p, r)
+		}
+	}
+}
+
+func TestPresetsAreDistinct(t *testing.T) {
+	seen := make(map[int]bool)
+	for _, p := range Presets {
+		cfg := PresetConfig(p)
+		if seen[cfg.PoolSize] {
+			t.Errorf("%s: duplicate pool size %d", p, cfg.PoolSize)
+		}
+		seen[cfg.PoolSize] = true
+	}
+}
+
+func TestPresetConfigPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	PresetConfig(Preset("nope"))
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	cfg := Config{PoolSize: 50, ZipfS: 1, MeanTrain: 2, Seed: 2}
+	pool, _ := testPool(t, cfg)
+	addrs := Slice(NewSynthetic(pool, cfg, 0), 500)
+	var buf bytes.Buffer
+	if err := Write(&buf, addrs); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Len() != len(addrs) {
+		t.Fatalf("Len = %d, want %d", fs.Len(), len(addrs))
+	}
+	back := Slice(fs, len(addrs)+10)
+	for i := range addrs {
+		if back[i] != addrs[i] {
+			t.Fatal("round trip altered addresses")
+		}
+	}
+	// Exhaustion then rewind.
+	if _, ok := fs.Next(); ok {
+		t.Error("exhausted source should return ok=false")
+	}
+	fs.Rewind()
+	if _, ok := fs.Next(); !ok {
+		t.Error("rewind should restart")
+	}
+}
+
+func TestReadSkipsCommentsAndRejectsGarbage(t *testing.T) {
+	fs, err := Read(strings.NewReader("# hi\n\n1.2.3.4\n"))
+	if err != nil || fs.Len() != 1 {
+		t.Fatalf("Read: %v len=%d", err, fs.Len())
+	}
+	if _, err := Read(strings.NewReader("not-an-ip\n")); err == nil {
+		t.Error("want parse error")
+	}
+}
+
+func TestStackHitRatio(t *testing.T) {
+	// a b a b ... : depth 2 catches every re-reference, depth 1 none.
+	addrs := make([]ip.Addr, 100)
+	for i := range addrs {
+		addrs[i] = ip.Addr(i % 2)
+	}
+	if r := StackHitRatio(addrs, 2); r != 0.98 {
+		t.Errorf("depth 2 ratio = %v, want 0.98 (98 hits / 100)", r)
+	}
+	if r := StackHitRatio(addrs, 1); r != 0 {
+		t.Errorf("depth 1 ratio = %v, want 0", r)
+	}
+	if StackHitRatio(nil, 4) != 0 || StackHitRatio(addrs, 0) != 0 {
+		t.Error("degenerate inputs should give 0")
+	}
+}
+
+func TestStackHitRatioEviction(t *testing.T) {
+	// Cyclic scan over 3 addresses with depth 2: every access misses
+	// (classic LRU pathological case).
+	addrs := make([]ip.Addr, 90)
+	for i := range addrs {
+		addrs[i] = ip.Addr(i % 3)
+	}
+	if r := StackHitRatio(addrs, 2); r != 0 {
+		t.Errorf("cyclic scan ratio = %v, want 0", r)
+	}
+	if r := StackHitRatio(addrs, 3); r < 0.95 {
+		t.Errorf("depth 3 should capture the cycle: %v", r)
+	}
+}
+
+func TestWorkingSet(t *testing.T) {
+	addrs := []ip.Addr{1, 1, 2, 2, 3, 3, 4, 4}
+	if ws := WorkingSet(addrs, 4); ws != 2 {
+		t.Errorf("WorkingSet = %v, want 2", ws)
+	}
+	if WorkingSet(nil, 4) != 0 || WorkingSet(addrs, 0) != 0 {
+		t.Error("degenerate inputs should give 0")
+	}
+}
+
+func TestTopShare(t *testing.T) {
+	addrs := []ip.Addr{1, 1, 1, 1, 2, 3, 4, 5}
+	if s := TopShare(addrs, 1); s != 0.5 {
+		t.Errorf("TopShare(1) = %v, want 0.5", s)
+	}
+	if s := TopShare(addrs, 100); s != 1.0 {
+		t.Errorf("TopShare(all) = %v, want 1", s)
+	}
+	if TopShare(nil, 1) != 0 {
+		t.Error("empty TopShare should be 0")
+	}
+}
+
+func TestNewPoolPanicsOnZeroSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	NewPool(rtable.Small(10, 1), Config{PoolSize: 0})
+}

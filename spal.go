@@ -1,0 +1,139 @@
+// Package spal is the public face of this repository: a from-scratch Go
+// reproduction of "SPAL: A Speedy Packet Lookup Technique for
+// High-Performance Routers" (Tzeng, ICPP 2004).
+//
+// SPAL fragments a BGP routing table into ψ roughly equal subsets — one
+// per line card — using carefully chosen prefix bit positions, gives each
+// line card a small LR-cache of lookup results, and routes cache misses
+// over a low-latency fabric to the address's home line card. The package
+// offers three levels of entry:
+//
+//   - Partition / SelectBits: the table-fragmentation algorithm itself;
+//   - Simulate: the paper's trace-driven cycle simulator (Sec. 5), used by
+//     the benchmarks that regenerate every figure;
+//   - NewRouter: a working concurrent forwarding plane (goroutine per line
+//     card) built from the same parts.
+//
+// Sub-packages under internal/ hold the substrates: the DP, Lulea, LC and
+// 24/8 longest-prefix-matching engines, the LR-cache with its M/W bits and
+// victim cache, synthetic BGP tables, and locality-calibrated traces.
+package spal
+
+import (
+	"spal/internal/cache"
+	"spal/internal/ip"
+	"spal/internal/lpm"
+	"spal/internal/lpm/bintrie"
+	"spal/internal/lpm/dptrie"
+	"spal/internal/lpm/lctrie"
+	"spal/internal/lpm/lulea"
+	"spal/internal/lpm/multibit"
+	"spal/internal/lpm/rangebs"
+	"spal/internal/lpm/stride24"
+	"spal/internal/lpm/wbs"
+	"spal/internal/partition"
+	"spal/internal/router"
+	"spal/internal/rtable"
+	"spal/internal/sim"
+	"spal/internal/trace"
+)
+
+// Core re-exported types. Within this module the internal packages are
+// importable directly; these aliases define the supported public surface.
+type (
+	// Addr is an IPv4 address in host order.
+	Addr = ip.Addr
+	// Prefix is an IPv4 prefix.
+	Prefix = ip.Prefix
+	// Table is an immutable routing-table snapshot.
+	Table = rtable.Table
+	// Route is one table entry.
+	Route = rtable.Route
+	// NextHop identifies an output line card.
+	NextHop = rtable.NextHop
+	// Partitioning is a computed table fragmentation.
+	Partitioning = partition.Partitioning
+	// Engine is a longest-prefix-matching structure.
+	Engine = lpm.Engine
+	// EngineBuilder constructs an Engine from a table.
+	EngineBuilder = lpm.Builder
+	// CacheConfig is an LR-cache organization.
+	CacheConfig = cache.Config
+	// SimConfig configures a cycle-simulation run.
+	SimConfig = sim.Config
+	// SimResult is a run's outcome.
+	SimResult = sim.Result
+	// Router is the concurrent forwarding plane.
+	Router = router.Router
+	// RouterConfig configures a concurrent router.
+	RouterConfig = router.Config
+	// Verdict is a concurrent-router lookup outcome.
+	Verdict = router.Verdict
+	// TracePreset names one of the paper's five trace workloads.
+	TracePreset = trace.Preset
+)
+
+// ParsePrefix parses CIDR notation ("10.0.0.0/8").
+func ParsePrefix(s string) (Prefix, error) { return ip.ParsePrefix(s) }
+
+// ParseAddr parses a dotted-quad address.
+func ParseAddr(s string) (Addr, error) { return ip.ParseAddr(s) }
+
+// NewTable builds a routing table from routes (deduplicating by prefix).
+func NewTable(routes []Route) *Table { return rtable.New(routes) }
+
+// SynthesizeTable generates a synthetic BGP-like table with n prefixes.
+func SynthesizeTable(n int, seed uint64) *Table { return rtable.Small(n, seed) }
+
+// RT1 synthesizes the stand-in for the paper's 41,709-prefix FUNET table.
+func RT1() *Table { return rtable.RT1() }
+
+// RT2 synthesizes the stand-in for the paper's 140,838-prefix AS1221 table.
+func RT2() *Table { return rtable.RT2() }
+
+// Partition fragments tbl for numLCs line cards per the paper's two
+// bit-selection criteria.
+func Partition(tbl *Table, numLCs int) *Partitioning {
+	return partition.Partition(tbl, numLCs)
+}
+
+// SelectBits returns the eta control-bit positions the criteria choose.
+func SelectBits(tbl *Table, eta int) []int { return partition.SelectBits(tbl, eta) }
+
+// Engines lists the available matching-structure builders by name.
+func Engines() map[string]EngineBuilder {
+	return map[string]EngineBuilder{
+		"reference": lpm.NewReferenceEngine,
+		"bintrie":   bintrie.NewEngine,
+		"dptrie":    dptrie.NewEngine,
+		"lctrie":    lctrie.NewEngine,
+		"lulea":     lulea.NewEngine,
+		"multibit":  multibit.NewEngine,
+		"wbs":       wbs.NewEngine,
+		"rangebs":   rangebs.NewEngine,
+		"stride24":  stride24.NewEngine,
+	}
+}
+
+// DefaultCacheConfig is the paper's standard LR-cache: 4K blocks, 4-way,
+// 8 victim blocks, γ=50%, LRU.
+func DefaultCacheConfig() CacheConfig { return cache.DefaultConfig() }
+
+// DefaultSimConfig is the paper's headline run: ψ=16 LCs at 40 Gbps,
+// 40-cycle FE lookups, 4K-block caches.
+func DefaultSimConfig(tbl *Table) SimConfig { return sim.DefaultConfig(tbl) }
+
+// Simulate builds and runs one cycle simulation.
+func Simulate(cfg SimConfig) (*SimResult, error) {
+	r, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return r.Run()
+}
+
+// NewRouter starts a concurrent SPAL forwarding plane.
+func NewRouter(cfg RouterConfig) (*Router, error) { return router.New(cfg) }
+
+// TracePresets lists the five paper traces.
+func TracePresets() []TracePreset { return trace.Presets }

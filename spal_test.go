@@ -1,0 +1,74 @@
+package spal
+
+import (
+	"testing"
+)
+
+func TestFacadePartitionAndLookup(t *testing.T) {
+	tbl := SynthesizeTable(2000, 3)
+	p := Partition(tbl, 4)
+	if got := len(p.Bits); got != 2 {
+		t.Fatalf("bits = %v", p.Bits)
+	}
+	engines := Engines()
+	if len(engines) != 9 {
+		t.Fatalf("Engines() has %d entries", len(engines))
+	}
+	build := engines["lulea"]
+	e := build(p.Table(p.HomeLC(0x0a000001)))
+	if e.Name() != "lulea" {
+		t.Errorf("engine name = %s", e.Name())
+	}
+}
+
+func TestFacadeSimulate(t *testing.T) {
+	tbl := SynthesizeTable(2000, 5)
+	cfg := DefaultSimConfig(tbl)
+	cfg.NumLCs = 2
+	cfg.PacketsPerLC = 500
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PacketsCompleted != 1000 {
+		t.Fatalf("completed = %d", res.PacketsCompleted)
+	}
+}
+
+func TestFacadeRouter(t *testing.T) {
+	tbl := SynthesizeTable(1000, 7)
+	r, err := NewRouter(RouterConfig{
+		NumLCs:       2,
+		Table:        tbl,
+		Cache:        DefaultCacheConfig(),
+		CacheEnabled: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	a, err := ParseAddr("10.1.2.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Lookup(0, a); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeParsersAndPresets(t *testing.T) {
+	p, err := ParsePrefix("10.0.0.0/8")
+	if err != nil || p.Len != 8 {
+		t.Fatalf("ParsePrefix: %v %v", p, err)
+	}
+	if len(TracePresets()) != 5 {
+		t.Errorf("presets = %v", TracePresets())
+	}
+	tbl := NewTable([]Route{{Prefix: p, NextHop: 3}})
+	if tbl.Len() != 1 {
+		t.Error("NewTable lost the route")
+	}
+	if got := len(SelectBits(tbl, 2)); got != 2 {
+		t.Errorf("SelectBits returned %d bits", got)
+	}
+}
