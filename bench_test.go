@@ -371,12 +371,7 @@ func BenchmarkSimulatorCycles(b *testing.B) {
 // end-to-end (channel round trip + cache + occasional FE).
 func BenchmarkRouterLookup(b *testing.B) {
 	tbl := benchTable()
-	r, err := router.New(router.Config{
-		NumLCs:       4,
-		Table:        tbl,
-		Cache:        cache.DefaultConfig(),
-		CacheEnabled: true,
-	})
+	r, err := router.New(tbl, router.WithLCs(4), router.WithCache(cache.DefaultConfig()))
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -3,18 +3,26 @@
 // trace file, from a synthetic generator, or interactively from stdin —
 // printing verdicts and per-LC statistics.
 //
+// With -metrics ADDR it also serves Prometheus text on /metrics and a
+// liveness probe on /healthz while the router runs, and stays up after a
+// batch drive finishes (Ctrl-C to exit) so the endpoint can be scraped.
+//
 // Examples:
 //
-//	spal-router -psi 8 -n 100000            # synthetic load, print stats
-//	spal-router -trace d75.trace            # replay a stored trace
-//	echo 10.1.2.3 | spal-router -i          # interactive lookups
+//	spal-router -psi 8 -n 100000              # synthetic load, print stats
+//	spal-router -trace d75.trace              # replay a stored trace
+//	echo 10.1.2.3 | spal-router -i            # interactive lookups
+//	spal-router -metrics :9090 -n 1000000     # drive load, then serve /metrics
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
 	"time"
@@ -22,6 +30,7 @@ import (
 	"spal"
 	"spal/internal/cache"
 	"spal/internal/ip"
+	"spal/internal/metrics"
 	"spal/internal/router"
 	"spal/internal/rtable"
 	"spal/internal/trace"
@@ -38,23 +47,24 @@ func main() {
 	interactive := flag.Bool("i", false, "read addresses from stdin, print verdicts")
 	noCache := flag.Bool("no-cache", false, "disable LR-caches")
 	engineName := flag.String("engine", "lulea", "matching engine: reference|bintrie|dptrie|lctrie|lulea|multibit|stride24")
+	metricsAddr := flag.String("metrics", "", "serve /metrics and /healthz on this address (e.g. :9090)")
 	flag.Parse()
 
-	tbl := rtable.Synthesize(rtable.SynthConfig{N: *tableN, NextHops: 16, NestProb: 0.35, Seed: 0x5e3d_0001})
-	cfg := router.Config{
-		NumLCs:       *psi,
-		Table:        tbl,
-		Cache:        cache.Config{Blocks: *beta, Assoc: 4, VictimBlocks: 8, MixPercent: *gamma, Policy: cache.LRU},
-		CacheEnabled: !*noCache,
-	}
 	builder, ok := spal.Engines()[*engineName]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engineName)
 		os.Exit(2)
 	}
-	cfg.Engine = builder
-
-	r, err := router.New(cfg)
+	tbl := rtable.Synthesize(rtable.SynthConfig{N: *tableN, NextHops: 16, NestProb: 0.35, Seed: 0x5e3d_0001})
+	opts := []router.Option{
+		router.WithLCs(*psi),
+		router.WithEngine(builder),
+		router.WithCache(cache.Config{Blocks: *beta, Assoc: 4, VictimBlocks: 8, MixPercent: *gamma, Policy: cache.LRU}),
+	}
+	if *noCache {
+		opts = append(opts, router.WithoutCache())
+	}
+	r, err := router.New(tbl, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -62,6 +72,13 @@ func main() {
 	defer r.Stop()
 	fmt.Printf("router up: psi=%d, table=%d prefixes, control bits %v, engine=%s\n",
 		*psi, tbl.Len(), r.PartitionBits(), *engineName)
+
+	if *metricsAddr != "" {
+		if err := serveMetrics(*metricsAddr, r); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 
 	switch {
 	case *interactive:
@@ -86,11 +103,31 @@ func main() {
 		addrs := trace.Slice(trace.NewSynthetic(pool, tc, 0), *n)
 		drive(r, *psi, addrs)
 	}
+
+	if *metricsAddr != "" && !*interactive {
+		fmt.Printf("serving /metrics and /healthz on %s — Ctrl-C to exit\n", *metricsAddr)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+	}
+}
+
+// serveMetrics starts the observability endpoint in the background,
+// failing fast when the address cannot be bound.
+func serveMetrics(addr string, r *router.Router) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	mux := metrics.NewMux(r.Metrics, nil)
+	go http.Serve(ln, mux)
+	return nil
 }
 
 // drive spreads the addresses across LCs round-robin with one goroutine
 // per LC and reports aggregate throughput and per-LC counters.
 func drive(r *router.Router, psi int, addrs []ip.Addr) {
+	before := r.Metrics()
 	start := time.Now()
 	var wg sync.WaitGroup
 	for lc := 0; lc < psi; lc++ {
@@ -109,12 +146,23 @@ func drive(r *router.Router, psi int, addrs []ip.Addr) {
 	elapsed := time.Since(start)
 	fmt.Printf("forwarded %d packets in %.2fs (%.2f Mpps software)\n",
 		len(addrs), elapsed.Seconds(), float64(len(addrs))/elapsed.Seconds()/1e6)
-	fmt.Printf("%-4s %10s %10s %8s %9s %9s %10s\n",
-		"LC", "lookups", "hits", "FE", "reqSent", "repSent", "coalesced")
-	for lc, s := range r.Stats() {
-		fmt.Printf("%-4d %10d %10d %8d %9d %9d %10d\n",
-			lc, s.Lookups.Load(), s.CacheHits.Load(), s.FEExecs.Load(),
-			s.RequestsSent.Load(), s.RepliesSent.Load(), s.Coalesced.Load())
+	fmt.Printf("%-4s %10s %10s %8s %9s %9s %10s %12s\n",
+		"LC", "lookups", "hits", "FE", "reqSent", "repSent", "coalesced", "p95 cache")
+	delta := r.Metrics().Delta(before)
+	for lc := 0; lc < r.NumLCs(); lc++ {
+		lbl := metrics.L("lc", fmt.Sprint(lc))
+		lookups, _ := delta.Value(router.MetricLookups, lbl)
+		hits, _ := delta.Value(router.MetricCacheHits, lbl)
+		fe, _ := delta.Value(router.MetricFEExecs, lbl)
+		req, _ := delta.Value(router.MetricFabricRequests, lbl)
+		rep, _ := delta.Value(router.MetricFabricReplies, lbl)
+		coal, _ := delta.Value(router.MetricCoalesced, lbl)
+		var p95 time.Duration
+		if h, ok := delta.HistValue(router.MetricLatency, lbl, metrics.L("served_by", "cache")); ok {
+			p95 = time.Duration(h.Quantile(0.95))
+		}
+		fmt.Printf("%-4d %10.0f %10.0f %8.0f %9.0f %9.0f %10.0f %12v\n",
+			lc, lookups, hits, fe, req, rep, coal, p95)
 	}
 }
 

@@ -36,6 +36,7 @@ func main() {
 	flushMS := flag.Float64("flush-ms", 0, "flush caches every N milliseconds (0 = never)")
 	perLC := flag.Bool("per-lc", false, "print per-LC statistics")
 	configPath := flag.String("config", "", "JSON config file (flags for table size still apply)")
+	promPath := flag.String("prom", "", "write the run's metrics in Prometheus text format to this file (\"-\" for stdout)")
 	flag.Parse()
 
 	tbl := rtable.Synthesize(rtable.SynthConfig{N: *tableN, NextHops: 16, NestProb: 0.35, Seed: 0x5e3d_0002})
@@ -88,6 +89,22 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Print(res.String())
+	if *promPath != "" {
+		out := os.Stdout
+		if *promPath != "-" {
+			f, err := os.Create(*promPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := res.Snapshot().WritePrometheus(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	if *perLC {
 		fmt.Println("per-LC:")
 		for i, l := range res.PerLC {

@@ -48,12 +48,7 @@ func ExampleNewRouter() {
 	table := spal.NewTable([]spal.Route{
 		{Prefix: mustPrefix("10.0.0.0/8"), NextHop: 7},
 	})
-	r, err := spal.NewRouter(spal.RouterConfig{
-		NumLCs:       2,
-		Table:        table,
-		Cache:        spal.DefaultCacheConfig(),
-		CacheEnabled: true,
-	})
+	r, err := spal.NewRouter(table, spal.WithLCs(2), spal.WithDefaultRouterCache())
 	if err != nil {
 		fmt.Println(err)
 		return

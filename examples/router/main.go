@@ -19,12 +19,7 @@ func main() {
 	table := spal.SynthesizeTable(30000, 7)
 	const numLCs = 8
 
-	r, err := spal.NewRouter(spal.RouterConfig{
-		NumLCs:       numLCs,
-		Table:        table,
-		Cache:        spal.DefaultCacheConfig(),
-		CacheEnabled: true,
-	})
+	r, err := spal.NewRouter(table, spal.WithLCs(numLCs), spal.WithDefaultRouterCache())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -21,12 +21,7 @@ func main() {
 
 	// Part 1: live updates on the concurrent router under load.
 	fmt.Println("-- concurrent router under update churn --")
-	r, err := spal.NewRouter(spal.RouterConfig{
-		NumLCs:       4,
-		Table:        table,
-		Cache:        spal.DefaultCacheConfig(),
-		CacheEnabled: true,
-	})
+	r, err := spal.NewRouter(table, spal.WithLCs(4), spal.WithDefaultRouterCache())
 	if err != nil {
 		log.Fatal(err)
 	}

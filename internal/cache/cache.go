@@ -28,6 +28,7 @@ import (
 	"fmt"
 
 	"spal/internal/ip"
+	"spal/internal/metrics"
 	"spal/internal/rtable"
 	"spal/internal/stats"
 )
@@ -449,6 +450,48 @@ func (s Stats) HitRate() float64 {
 		return 0
 	}
 	return float64(s.Hits+s.HitVictims) / float64(s.Probes)
+}
+
+// Metric names exported by MetricsInto.
+const (
+	MetricProbes     = "spal_lrcache_probes_total"
+	MetricHits       = "spal_lrcache_hits_total"
+	MetricHitWaiting = "spal_lrcache_hit_waiting_total"
+	MetricVictimHits = "spal_lrcache_victim_hits_total"
+	MetricMisses     = "spal_lrcache_misses_total"
+	MetricBypasses   = "spal_lrcache_bypasses_total"
+	MetricEvictions  = "spal_lrcache_evictions_total"
+	MetricFills      = "spal_lrcache_fills_total"
+	MetricFlushes    = "spal_lrcache_flushes_total"
+	MetricParked     = "spal_lrcache_parked_total"
+	MetricOccupancy  = "spal_lrcache_occupancy_blocks"
+	MetricHitRatio   = "spal_lrcache_hit_ratio"
+)
+
+// MetricsInto publishes the cache's event counters and per-origin
+// occupancy into a metrics snapshot, tagging every sample with the given
+// labels (the router adds lc="<id>"). Like every other method it must be
+// called from the goroutine owning the cache; the snapshot it fills is a
+// plain value the caller may then hand across goroutines.
+func (c *Cache) MetricsInto(sn *metrics.Snapshot, labels ...metrics.Label) {
+	s := c.stat
+	sn.Counter(MetricProbes, "LR-cache probes.", float64(s.Probes), labels...)
+	sn.Counter(MetricHits, "LR-cache set hits (complete entries).", float64(s.Hits), labels...)
+	sn.Counter(MetricHitWaiting, "Probes that hit a W-bit (waiting) block.", float64(s.HitWaitings), labels...)
+	sn.Counter(MetricVictimHits, "Hits served from the 8-block victim cache.", float64(s.HitVictims), labels...)
+	sn.Counter(MetricMisses, "LR-cache misses.", float64(s.Misses), labels...)
+	sn.Counter(MetricBypasses, "Misses that bypassed the cache (no block available).", float64(s.Bypasses), labels...)
+	sn.Counter(MetricEvictions, "Complete blocks evicted to the victim cache.", float64(s.Evictions), labels...)
+	sn.Counter(MetricFills, "Results filled into the cache.", float64(s.Fills), labels...)
+	sn.Counter(MetricFlushes, "Whole-cache flushes (routing-table updates).", float64(s.Flushes), labels...)
+	sn.Counter(MetricParked, "Packets parked on waiting blocks.", float64(s.Parked), labels...)
+	sn.Gauge(MetricHitRatio, "(Hits + victim hits) / probes since construction.", s.HitRate(), labels...)
+
+	loc, rem, waiting := c.Occupancy()
+	occHelp := "Valid blocks by M-bit origin class (loc/rem) or W-bit waiting state."
+	sn.Gauge(MetricOccupancy, occHelp, float64(loc), append(append([]metrics.Label(nil), labels...), metrics.L("origin", "loc"))...)
+	sn.Gauge(MetricOccupancy, occHelp, float64(rem), append(append([]metrics.Label(nil), labels...), metrics.L("origin", "rem"))...)
+	sn.Gauge(MetricOccupancy, occHelp, float64(waiting), append(append([]metrics.Label(nil), labels...), metrics.L("origin", "waiting"))...)
 }
 
 // Occupancy reports the number of valid blocks per class, for mix-policy

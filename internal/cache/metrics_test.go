@@ -1,0 +1,53 @@
+package cache
+
+import (
+	"testing"
+
+	"spal/internal/metrics"
+)
+
+func TestMetricsInto(t *testing.T) {
+	c := New(Config{Blocks: 64, Assoc: 4, VictimBlocks: 8, MixPercent: 50, Policy: LRU})
+	// Fill a few LOC and REM entries, then hit some of them.
+	for a := 0; a < 20; a++ {
+		addr := uint32(a * 101)
+		origin := LOC
+		if a%3 == 0 {
+			origin = REM
+		}
+		if c.Probe(addr).Kind == Miss && c.RecordMiss(addr, origin, 0) {
+			c.Fill(addr, 5, origin)
+		}
+	}
+	for a := 0; a < 20; a += 2 {
+		c.Probe(uint32(a * 101))
+	}
+
+	sn := metrics.NewSnapshot()
+	lbl := metrics.L("lc", "3")
+	c.MetricsInto(sn, lbl)
+
+	st := c.Stats()
+	if v, ok := sn.Value(MetricProbes, lbl); !ok || int64(v) != st.Probes {
+		t.Errorf("probes sample = %v (ok=%v), want %d", v, ok, st.Probes)
+	}
+	if v, ok := sn.Value(MetricHits, lbl); !ok || int64(v) != st.Hits {
+		t.Errorf("hits sample = %v (ok=%v), want %d", v, ok, st.Hits)
+	}
+	if v, ok := sn.Value(MetricHitRatio, lbl); !ok || v != st.HitRate() {
+		t.Errorf("hit ratio = %v (ok=%v), want %v", v, ok, st.HitRate())
+	}
+	loc, rem, waiting := c.Occupancy()
+	for _, o := range []struct {
+		origin string
+		want   int
+	}{{"loc", loc}, {"rem", rem}, {"waiting", waiting}} {
+		v, ok := sn.Value(MetricOccupancy, lbl, metrics.L("origin", o.origin))
+		if !ok || int(v) != o.want {
+			t.Errorf("occupancy %s = %v (ok=%v), want %d", o.origin, v, ok, o.want)
+		}
+	}
+	if loc == 0 || rem == 0 {
+		t.Errorf("expected both classes resident, got loc=%d rem=%d", loc, rem)
+	}
+}

@@ -1,0 +1,41 @@
+package metrics
+
+import (
+	"net/http"
+)
+
+// textContentType is the Prometheus text exposition format media type.
+const textContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler serves the Prometheus text rendering of whatever snapshot src
+// produces at request time. src must be safe for concurrent use (the
+// router's Metrics method is).
+func Handler(src func() *Snapshot) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s := src()
+		if s == nil {
+			http.Error(w, "no snapshot available", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", textContentType)
+		s.WritePrometheus(w)
+	})
+}
+
+// NewMux returns an http.ServeMux exposing the conventional observability
+// endpoints: GET /metrics (Prometheus text from src) and GET /healthz
+// (200 "ok" while healthy returns true; 503 otherwise; nil means always
+// healthy).
+func NewMux(src func() *Snapshot, healthy func() bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(src))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if healthy != nil && !healthy() {
+			http.Error(w, "unhealthy", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}

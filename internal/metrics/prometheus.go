@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus encodes the snapshot in the Prometheus text exposition
+// format (version 0.0.4): one # HELP / # TYPE header per metric family,
+// then one line per labeled series. Histograms emit cumulative
+// `_bucket{le="..."}` series (power-of-two bounds, empty buckets elided),
+// plus `_sum` and `_count`. Families appear in first-use order, so output
+// built by deterministic code is byte-stable — golden-file friendly.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	seen := make(map[string]bool)
+	for i := range s.Samples {
+		name := s.Samples[i].Name
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		writeHeader(bw, name, s.Samples[i].Help, typeName(s.Samples[i].Kind))
+		for j := range s.Samples {
+			sm := &s.Samples[j]
+			if sm.Name != name {
+				continue
+			}
+			bw.WriteString(name)
+			writeLabels(bw, sm.Labels, "")
+			bw.WriteByte(' ')
+			bw.WriteString(formatValue(sm.Value))
+			bw.WriteByte('\n')
+		}
+	}
+	for i := range s.Hists {
+		name := s.Hists[i].Name
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		writeHeader(bw, name, s.Hists[i].Help, "histogram")
+		for j := range s.Hists {
+			hs := &s.Hists[j]
+			if hs.Name != name {
+				continue
+			}
+			var cum uint64
+			for b, c := range hs.Hist.Buckets {
+				if c == 0 {
+					continue
+				}
+				cum += c
+				bw.WriteString(name)
+				bw.WriteString("_bucket")
+				writeLabels(bw, hs.Labels, strconv.FormatUint(BucketBound(b), 10))
+				bw.WriteByte(' ')
+				bw.WriteString(strconv.FormatUint(cum, 10))
+				bw.WriteByte('\n')
+			}
+			bw.WriteString(name)
+			bw.WriteString("_bucket")
+			writeLabels(bw, hs.Labels, "+Inf")
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatUint(hs.Hist.Count, 10))
+			bw.WriteByte('\n')
+			bw.WriteString(name)
+			bw.WriteString("_sum")
+			writeLabels(bw, hs.Labels, "")
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatUint(hs.Hist.Sum, 10))
+			bw.WriteByte('\n')
+			bw.WriteString(name)
+			bw.WriteString("_count")
+			writeLabels(bw, hs.Labels, "")
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatUint(hs.Hist.Count, 10))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// PrometheusText renders the snapshot to a string.
+func (s *Snapshot) PrometheusText() string {
+	var b strings.Builder
+	s.WritePrometheus(&b)
+	return b.String()
+}
+
+func typeName(k Kind) string {
+	if k == KindGauge {
+		return "gauge"
+	}
+	return "counter"
+}
+
+func writeHeader(bw *bufio.Writer, name, help, typ string) {
+	if help != "" {
+		bw.WriteString("# HELP ")
+		bw.WriteString(name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(help))
+		bw.WriteByte('\n')
+	}
+	bw.WriteString("# TYPE ")
+	bw.WriteString(name)
+	bw.WriteByte(' ')
+	bw.WriteString(typ)
+	bw.WriteByte('\n')
+}
+
+// writeLabels renders {k="v",...}; le, when non-empty, is appended as the
+// histogram bucket bound label.
+func writeLabels(bw *bufio.Writer, labels []Label, le string) {
+	if len(labels) == 0 && le == "" {
+		return
+	}
+	bw.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(l.Key)
+		bw.WriteString(`="`)
+		bw.WriteString(escapeLabel(l.Value))
+		bw.WriteByte('"')
+	}
+	if le != "" {
+		if len(labels) > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(`le="`)
+		bw.WriteString(le)
+		bw.WriteByte('"')
+	}
+	bw.WriteByte('}')
+}
+
+func formatValue(v float64) string {
+	// Whole numbers (the common case: counters) print without an exponent
+	// or trailing fraction.
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}

@@ -1,0 +1,142 @@
+package metrics
+
+import (
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// goldenSnapshot is a fixed snapshot covering every encoder feature:
+// multiple label sets per family, gauges, label escaping, and a
+// histogram with elided empty buckets.
+func goldenSnapshot() *Snapshot {
+	s := NewSnapshot()
+	s.Counter("spal_lookups_total", "Lookups submitted per line card.", 1234, L("lc", "0"))
+	s.Counter("spal_lookups_total", "Lookups submitted per line card.", 987, L("lc", "1"))
+	s.Gauge("spal_waitlist_depth", "Parked addresses.", 2, L("lc", "0"))
+	s.Gauge("spal_hit_ratio", "Hits over probes.", 0.9375)
+	s.Counter("spal_weird_total", "Escapes: backslash \\ and newline\nhandled.", 1, L("path", `C:\tmp`+"\n"))
+	var h HistogramSnapshot
+	h.AddValue(0, 5)    // bucket 0, le="0"
+	h.AddValue(3, 2)    // bucket 2, le="3"
+	h.AddValue(900, 7)  // bucket 10, le="1023"
+	h.AddValue(1024, 1) // bucket 11, le="2047"
+	s.Hist("spal_lookup_latency_ns", "Lookup latency.", h, L("lc", "0"), L("served_by", "cache"))
+	return s
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	got := goldenSnapshot().PrometheusText()
+	goldenPath := filepath.Join("testdata", "golden.prom")
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden: %v (regenerate from goldenSnapshot().PrometheusText())", err)
+	}
+	if got != string(want) {
+		t.Errorf("Prometheus text drifted from %s.\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+	}
+}
+
+func TestPrometheusValidity(t *testing.T) {
+	text := goldenSnapshot().PrometheusText()
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	types := map[string]string{}
+	var lastFamily string
+	for _, ln := range lines {
+		switch {
+		case strings.HasPrefix(ln, "# TYPE "):
+			parts := strings.Fields(ln)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", ln)
+			}
+			if _, dup := types[parts[2]]; dup {
+				t.Errorf("family %s declared twice", parts[2])
+			}
+			types[parts[2]] = parts[3]
+			lastFamily = parts[2]
+		case strings.HasPrefix(ln, "# HELP "):
+			if strings.Contains(ln, "\n") {
+				t.Errorf("unescaped newline in %q", ln)
+			}
+		default:
+			name := ln
+			if i := strings.IndexAny(ln, "{ "); i >= 0 {
+				name = ln[:i]
+			}
+			base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+			if base != lastFamily && name != lastFamily {
+				t.Errorf("sample %q outside its family block (last TYPE %s)", ln, lastFamily)
+			}
+		}
+	}
+	// Histogram buckets must be cumulative and end with +Inf == count.
+	var prev float64 = -1
+	infSeen := false
+	for _, ln := range lines {
+		if !strings.HasPrefix(ln, "spal_lookup_latency_ns_bucket") {
+			continue
+		}
+		v, err := strconv.ParseFloat(ln[strings.LastIndexByte(ln, ' ')+1:], 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", ln, err)
+		}
+		if v < prev {
+			t.Errorf("bucket counts not cumulative at %q", ln)
+		}
+		prev = v
+		if strings.Contains(ln, `le="+Inf"`) {
+			infSeen = true
+			if v != 15 {
+				t.Errorf("+Inf bucket = %v, want 15", v)
+			}
+		}
+	}
+	if !infSeen {
+		t.Error("histogram missing +Inf bucket")
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	mux := NewMux(func() *Snapshot { return goldenSnapshot() }, nil)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(string(body), "spal_lookups_total{lc=\"0\"} 1234") {
+		t.Errorf("body missing counter:\n%s", body)
+	}
+
+	hz, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hzBody, _ := io.ReadAll(hz.Body)
+	hz.Body.Close()
+	if hz.StatusCode != 200 || string(hzBody) != "ok\n" {
+		t.Errorf("healthz = %d %q", hz.StatusCode, hzBody)
+	}
+
+	down := httptest.NewServer(NewMux(func() *Snapshot { return nil }, func() bool { return false }))
+	defer down.Close()
+	if resp, _ := down.Client().Get(down.URL + "/metrics"); resp.StatusCode != 503 {
+		t.Errorf("nil snapshot status = %d, want 503", resp.StatusCode)
+	}
+	if resp, _ := down.Client().Get(down.URL + "/healthz"); resp.StatusCode != 503 {
+		t.Errorf("unhealthy status = %d, want 503", resp.StatusCode)
+	}
+}

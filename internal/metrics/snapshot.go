@@ -1,0 +1,178 @@
+package metrics
+
+import (
+	"sort"
+	"strings"
+	"time"
+)
+
+// Kind classifies a scalar sample for export.
+type Kind uint8
+
+// Sample kinds.
+const (
+	KindCounter Kind = iota // monotonically increasing event count
+	KindGauge               // instantaneous level (occupancy, depth)
+)
+
+// Label is one name dimension ("lc"="3", "served_by"="cache").
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Sample is one scalar observation: a named counter or gauge plus its
+// label set.
+type Sample struct {
+	Name   string
+	Help   string
+	Kind   Kind
+	Labels []Label
+	Value  float64
+}
+
+// HistSample is one histogram observation series.
+type HistSample struct {
+	Name   string
+	Help   string
+	Labels []Label
+	Hist   HistogramSnapshot
+}
+
+// Snapshot is an immutable point-in-time collection of samples — the
+// value Router.Metrics() returns and the Prometheus encoder consumes.
+// Unlike the live atomic counters it is a plain value: safe to retain,
+// diff against a later snapshot (Delta), or serialize.
+type Snapshot struct {
+	At      time.Time
+	Samples []Sample
+	Hists   []HistSample
+}
+
+// NewSnapshot returns an empty snapshot stamped with the current time.
+func NewSnapshot() *Snapshot { return &Snapshot{At: time.Now()} }
+
+// Counter appends a monotonic counter sample.
+func (s *Snapshot) Counter(name, help string, v float64, labels ...Label) {
+	s.Samples = append(s.Samples, Sample{Name: name, Help: help, Kind: KindCounter, Labels: labels, Value: v})
+}
+
+// Gauge appends an instantaneous-level sample.
+func (s *Snapshot) Gauge(name, help string, v float64, labels ...Label) {
+	s.Samples = append(s.Samples, Sample{Name: name, Help: help, Kind: KindGauge, Labels: labels, Value: v})
+}
+
+// Hist appends a histogram series.
+func (s *Snapshot) Hist(name, help string, h HistogramSnapshot, labels ...Label) {
+	s.Hists = append(s.Hists, HistSample{Name: name, Help: help, Labels: labels, Hist: h})
+}
+
+// Append moves every sample of o into s (merging per-LC mini-snapshots
+// into the router-wide one).
+func (s *Snapshot) Append(o *Snapshot) {
+	if o == nil {
+		return
+	}
+	s.Samples = append(s.Samples, o.Samples...)
+	s.Hists = append(s.Hists, o.Hists...)
+}
+
+// labelKey renders a label set into a canonical (sorted) map key.
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for _, l := range ls {
+		b.WriteString(l.Key)
+		b.WriteByte(1)
+		b.WriteString(l.Value)
+		b.WriteByte(2)
+	}
+	return b.String()
+}
+
+func sampleKey(name string, labels []Label) string {
+	return name + "\x00" + labelKey(labels)
+}
+
+// Value returns the scalar sample with the given name and exact label
+// set, reporting whether it exists.
+func (s *Snapshot) Value(name string, labels ...Label) (float64, bool) {
+	want := sampleKey(name, labels)
+	for i := range s.Samples {
+		if sampleKey(s.Samples[i].Name, s.Samples[i].Labels) == want {
+			return s.Samples[i].Value, true
+		}
+	}
+	return 0, false
+}
+
+// Sum adds every sample with the given name across all label sets — the
+// router-wide total of a per-LC counter.
+func (s *Snapshot) Sum(name string) float64 {
+	var total float64
+	for i := range s.Samples {
+		if s.Samples[i].Name == name {
+			total += s.Samples[i].Value
+		}
+	}
+	return total
+}
+
+// HistValue returns the histogram series with the given name and exact
+// label set, reporting whether it exists.
+func (s *Snapshot) HistValue(name string, labels ...Label) (HistogramSnapshot, bool) {
+	want := sampleKey(name, labels)
+	for i := range s.Hists {
+		if sampleKey(s.Hists[i].Name, s.Hists[i].Labels) == want {
+			return s.Hists[i].Hist, true
+		}
+	}
+	return HistogramSnapshot{}, false
+}
+
+// Delta returns the per-interval view s - prev: counters and histograms
+// are subtracted series-by-series (matched on name + label set; a series
+// absent from prev passes through unchanged), gauges keep their current
+// value. Counters that went backwards clamp to zero.
+func (s *Snapshot) Delta(prev *Snapshot) *Snapshot {
+	out := &Snapshot{At: s.At}
+	if prev == nil {
+		out.Samples = append([]Sample(nil), s.Samples...)
+		out.Hists = append([]HistSample(nil), s.Hists...)
+		return out
+	}
+	prevScalar := make(map[string]float64, len(prev.Samples))
+	for i := range prev.Samples {
+		if prev.Samples[i].Kind == KindCounter {
+			prevScalar[sampleKey(prev.Samples[i].Name, prev.Samples[i].Labels)] = prev.Samples[i].Value
+		}
+	}
+	for _, sm := range s.Samples {
+		if sm.Kind == KindCounter {
+			if p, ok := prevScalar[sampleKey(sm.Name, sm.Labels)]; ok {
+				sm.Value -= p
+				if sm.Value < 0 {
+					sm.Value = 0
+				}
+			}
+		}
+		out.Samples = append(out.Samples, sm)
+	}
+	prevHist := make(map[string]HistogramSnapshot, len(prev.Hists))
+	for i := range prev.Hists {
+		prevHist[sampleKey(prev.Hists[i].Name, prev.Hists[i].Labels)] = prev.Hists[i].Hist
+	}
+	for _, hs := range s.Hists {
+		if p, ok := prevHist[sampleKey(hs.Name, hs.Labels)]; ok {
+			hs.Hist = hs.Hist.Sub(p)
+		}
+		out.Hists = append(out.Hists, hs)
+	}
+	return out
+}

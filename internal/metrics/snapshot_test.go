@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"testing"
+)
+
+func buildSnapshot() *Snapshot {
+	s := NewSnapshot()
+	s.Counter("spal_test_lookups_total", "Lookups.", 100, L("lc", "0"))
+	s.Counter("spal_test_lookups_total", "Lookups.", 50, L("lc", "1"))
+	s.Gauge("spal_test_depth", "Depth.", 3, L("lc", "0"))
+	var h HistogramSnapshot
+	h.AddValue(3, 2)
+	h.AddValue(100, 1)
+	s.Hist("spal_test_latency_ns", "Latency.", h, L("lc", "0"))
+	return s
+}
+
+func TestValueAndSum(t *testing.T) {
+	s := buildSnapshot()
+	if v, ok := s.Value("spal_test_lookups_total", L("lc", "1")); !ok || v != 50 {
+		t.Errorf("Value = %v,%v", v, ok)
+	}
+	if _, ok := s.Value("spal_test_lookups_total", L("lc", "9")); ok {
+		t.Error("unknown label set should miss")
+	}
+	if got := s.Sum("spal_test_lookups_total"); got != 150 {
+		t.Errorf("Sum = %v", got)
+	}
+	if h, ok := s.HistValue("spal_test_latency_ns", L("lc", "0")); !ok || h.Count != 3 {
+		t.Errorf("HistValue = %+v,%v", h, ok)
+	}
+}
+
+func TestDelta(t *testing.T) {
+	prev := buildSnapshot()
+	cur := NewSnapshot()
+	cur.Counter("spal_test_lookups_total", "Lookups.", 160, L("lc", "0"))
+	cur.Counter("spal_test_lookups_total", "Lookups.", 75, L("lc", "1"))
+	cur.Counter("spal_test_new_total", "Appeared after prev.", 9, L("lc", "0"))
+	cur.Gauge("spal_test_depth", "Depth.", 7, L("lc", "0"))
+	var h HistogramSnapshot
+	h.AddValue(3, 5)
+	h.AddValue(100, 1)
+	cur.Hist("spal_test_latency_ns", "Latency.", h, L("lc", "0"))
+
+	d := cur.Delta(prev)
+	if v, _ := d.Value("spal_test_lookups_total", L("lc", "0")); v != 60 {
+		t.Errorf("delta lc0 = %v, want 60", v)
+	}
+	if v, _ := d.Value("spal_test_lookups_total", L("lc", "1")); v != 25 {
+		t.Errorf("delta lc1 = %v, want 25", v)
+	}
+	// Series absent from prev pass through unchanged.
+	if v, _ := d.Value("spal_test_new_total", L("lc", "0")); v != 9 {
+		t.Errorf("new series delta = %v, want 9", v)
+	}
+	// Gauges keep the current level.
+	if v, _ := d.Value("spal_test_depth", L("lc", "0")); v != 7 {
+		t.Errorf("gauge delta = %v, want 7", v)
+	}
+	// Histograms subtract bucket-wise: 5-2=3 samples of value 3, 0 of 100.
+	dh, ok := d.HistValue("spal_test_latency_ns", L("lc", "0"))
+	if !ok || dh.Count != 3 || dh.Sum != 9 {
+		t.Errorf("hist delta = %+v", dh)
+	}
+	// Delta against nil is the snapshot itself.
+	if v, _ := cur.Delta(nil).Value("spal_test_lookups_total", L("lc", "0")); v != 160 {
+		t.Error("Delta(nil) must pass through")
+	}
+}
+
+func TestDeltaLabelOrderInsensitive(t *testing.T) {
+	prev := NewSnapshot()
+	prev.Counter("m", "", 10, L("a", "1"), L("b", "2"))
+	cur := NewSnapshot()
+	cur.Counter("m", "", 25, L("b", "2"), L("a", "1"))
+	if v, _ := cur.Delta(prev).Value("m", L("a", "1"), L("b", "2")); v != 15 {
+		t.Errorf("delta across label orders = %v, want 15", v)
+	}
+}
+
+func TestAppend(t *testing.T) {
+	s := buildSnapshot()
+	o := NewSnapshot()
+	o.Counter("spal_test_extra_total", "", 1)
+	s.Append(o)
+	if _, ok := s.Value("spal_test_extra_total"); !ok {
+		t.Error("Append lost the sample")
+	}
+	s.Append(nil) // must not panic
+}

@@ -1,0 +1,121 @@
+package router
+
+import (
+	"strconv"
+	"time"
+
+	"spal/internal/metrics"
+)
+
+// lcLatency is one line card's lookup-latency histograms, split by where
+// the result came from. The histograms are lock-free: the LC goroutine
+// records, Metrics reads concurrently.
+type lcLatency struct {
+	cache, fe, remote metrics.Histogram
+}
+
+// observe records one completed lookup. Zero start times (no submission
+// timestamp) are skipped.
+func (l *lcLatency) observe(s ServedBy, start time.Time) {
+	if start.IsZero() {
+		return
+	}
+	d := time.Since(start)
+	switch s {
+	case ServedByCache:
+		l.cache.ObserveDuration(d)
+	case ServedByFE:
+		l.fe.ObserveDuration(d)
+	case ServedByRemote:
+		l.remote.ObserveDuration(d)
+	}
+}
+
+// Metric names exported by Router.Metrics. DESIGN.md maps these onto the
+// paper's tables and figures.
+const (
+	MetricLookups        = "spal_router_lookups_total"
+	MetricCacheHits      = "spal_router_cache_hits_total"
+	MetricFEExecs        = "spal_router_fe_execs_total"
+	MetricFabricRequests = "spal_router_fabric_requests_total"
+	MetricFabricReplies  = "spal_router_fabric_replies_total"
+	MetricCoalesced      = "spal_router_coalesced_lookups_total"
+	MetricStaleReplies   = "spal_router_stale_replies_total"
+	MetricWaitlistDepth  = "spal_router_waitlist_depth"
+	MetricHitRatio       = "spal_router_cache_hit_ratio"
+	MetricLatency        = "spal_router_lookup_latency_ns"
+)
+
+// Metrics returns an immutable snapshot of every router metric: the
+// per-LC event counters (labeled lc="<id>"), lookup-latency histograms in
+// nanoseconds (labeled lc and served_by="cache"|"fe"|"remote"), the live
+// waitlist depth, and — while the router is running — each LR-cache's
+// counters and per-origin occupancy, collected on the owning LC goroutine
+// so no lock is shared with the hot path.
+//
+// Snapshots support Delta for interval rates and WritePrometheus for
+// export; see internal/metrics.
+func (r *Router) Metrics() *metrics.Snapshot {
+	s := metrics.NewSnapshot()
+
+	// LR-cache state is goroutine-private: collect it by running a closure
+	// on each LC. Send to all LCs first, then gather, so collection is
+	// parallel. A stopped router skips this (the cache views are frozen
+	// anyway) and still reports every atomic counter.
+	views := make([]*metrics.Snapshot, r.cfg.NumLCs)
+	if !r.stopped.Load() {
+		dones := make([]chan struct{}, r.cfg.NumLCs)
+		for i := range r.lcs {
+			view := metrics.NewSnapshot()
+			done := make(chan struct{})
+			views[i], dones[i] = view, done
+			lbl := metrics.L("lc", strconv.Itoa(i))
+			ok := r.send(i, message{kind: mExec, do: func(lc *lineCard) {
+				if lc.cache != nil {
+					lc.cache.MetricsInto(view, lbl)
+				}
+				close(done)
+			}})
+			if !ok {
+				dones[i] = nil
+			}
+		}
+		for i, done := range dones {
+			if done == nil {
+				continue
+			}
+			select {
+			case <-done:
+			case <-r.quit:
+				views[i] = nil
+			}
+		}
+	}
+
+	var hits, probes float64
+	for i, lc := range r.lcs {
+		lbl := metrics.L("lc", strconv.Itoa(i))
+		s.Counter(MetricLookups, "Lookups submitted at this line card.", float64(lc.stats.Lookups.Load()), lbl)
+		s.Counter(MetricCacheHits, "Lookups answered by this LC's LR-cache (incl. victim hits).", float64(lc.stats.CacheHits.Load()), lbl)
+		s.Counter(MetricFEExecs, "Forwarding-engine executions at this LC.", float64(lc.stats.FEExecs.Load()), lbl)
+		s.Counter(MetricFabricRequests, "Lookup requests this LC sent over the fabric.", float64(lc.stats.RequestsSent.Load()), lbl)
+		s.Counter(MetricFabricReplies, "Lookup replies this LC sent over the fabric.", float64(lc.stats.RepliesSent.Load()), lbl)
+		s.Counter(MetricCoalesced, "Lookups coalesced onto an in-flight miss.", float64(lc.stats.Coalesced.Load()), lbl)
+		s.Counter(MetricStaleReplies, "Fabric replies dropped by the table-update epoch guard.", float64(lc.stats.StaleReplies.Load()), lbl)
+		s.Gauge(MetricWaitlistDepth, "Addresses with lookups parked awaiting a result.", float64(lc.pendingDepth.Load()), lbl)
+		hits += float64(lc.stats.CacheHits.Load())
+		probes += float64(lc.stats.Lookups.Load())
+
+		latHelp := "End-to-end lookup latency in nanoseconds, by result origin."
+		s.Hist(MetricLatency, latHelp, lc.lat.cache.Snapshot(), lbl, metrics.L("served_by", "cache"))
+		s.Hist(MetricLatency, latHelp, lc.lat.fe.Snapshot(), lbl, metrics.L("served_by", "fe"))
+		s.Hist(MetricLatency, latHelp, lc.lat.remote.Snapshot(), lbl, metrics.L("served_by", "remote"))
+	}
+	if probes > 0 {
+		s.Gauge(MetricHitRatio, "Router-wide fraction of lookups served by an LR-cache.", hits/probes)
+	}
+	for _, v := range views {
+		s.Append(v)
+	}
+	return s
+}

@@ -1,0 +1,39 @@
+package router
+
+import (
+	"spal/internal/cache"
+	"spal/internal/lpm"
+)
+
+// Option configures a router at construction time. Options are applied
+// in order over the defaults (one line card, reference engine, caches
+// off), so later options win.
+type Option func(*Config)
+
+// WithLCs sets ψ, the number of line cards.
+func WithLCs(n int) Option {
+	return func(c *Config) { c.NumLCs = n }
+}
+
+// WithEngine sets the matching-structure builder every LC uses.
+func WithEngine(b lpm.Builder) Option {
+	return func(c *Config) { c.Engine = b }
+}
+
+// WithCache enables LR-caches with the given organization.
+func WithCache(cc cache.Config) Option {
+	return func(c *Config) {
+		c.Cache = cc
+		c.CacheEnabled = true
+	}
+}
+
+// WithDefaultCache enables LR-caches with the paper's standard
+// organization (4K blocks, 4-way, 8 victim blocks, γ=50%, LRU).
+func WithDefaultCache() Option { return WithCache(cache.DefaultConfig()) }
+
+// WithoutCache disables LR-caches (every lookup reaches a forwarding
+// engine), the paper's baseline configuration.
+func WithoutCache() Option {
+	return func(c *Config) { c.CacheEnabled = false }
+}

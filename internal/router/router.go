@@ -12,6 +12,12 @@
 // flushes and epoch-guarded replies so stale results never enter a cache
 // after a flush.
 //
+// Observability: every line card keeps atomic event counters and
+// lock-free lookup-latency histograms keyed by where the result came from
+// (cache / fe / remote). Metrics returns an immutable snapshot of all of
+// them in the shared internal/metrics vocabulary, ready for Prometheus
+// export; see metrics.go.
+//
 // Concurrency design, per the repository's Go guides: no shared mutable
 // state. Each LC goroutine exclusively owns its cache and engine; all
 // communication is message passing. Inter-LC channels are unbounded
@@ -20,10 +26,12 @@
 package router
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"spal/internal/cache"
 	"spal/internal/ip"
@@ -41,13 +49,16 @@ type Verdict struct {
 	Addr    ip.Addr
 	NextHop rtable.NextHop
 	OK      bool // false: no matching prefix
-	// ServedBy tells where the result came from: "cache" (LR-cache hit at
-	// the arrival LC), "fe" (local FE execution at the home LC) or
-	// "remote" (reply from the home LC).
-	ServedBy string
+	// ServedBy tells where the result came from: the arrival LC's
+	// LR-cache, a local FE execution at the home LC, or a fabric reply
+	// from the home LC.
+	ServedBy ServedBy
 }
 
-// Config configures a concurrent router.
+// Config configures a concurrent router. Most callers should use New with
+// functional options instead of filling this struct directly; Config
+// remains exported for the legacy NewWithConfig path and for
+// introspection.
 type Config struct {
 	// NumLCs is ψ.
 	NumLCs int
@@ -68,6 +79,7 @@ const (
 	mFlush
 	mSwapEngine // phase 1 of UpdateTable: install engine + homeOf
 	mRekey      // phase 2: bump epoch, flush cache, re-drive pending
+	mExec       // run a closure on the LC goroutine (stats collection)
 )
 
 // message is the fabric traffic plus local control.
@@ -78,13 +90,19 @@ type message struct {
 	ok       bool
 	from     int // requester LC (mRequest)
 	epoch    uint32
+	start    time.Time      // submission time (mLookup), for latency histograms
 	resp     chan<- Verdict // mLookup
 	engine   lpm.Engine     // mSwap
 	homeOf   func(ip.Addr) int
 	swapDone chan<- struct{}
+	do       func(*lineCard) // mExec
 }
 
 // LCStats are per-line-card counters (atomically updated, readable live).
+//
+// Deprecated: prefer Router.Metrics, which returns an immutable snapshot
+// including these counters plus latency histograms and cache occupancy.
+// LCStats remains for callers that want zero-allocation live reads.
 type LCStats struct {
 	Lookups, CacheHits, FEExecs, RequestsSent, RepliesSent, Coalesced, StaleReplies atomic.Int64
 }
@@ -94,8 +112,15 @@ type remoteWaiter struct {
 	epoch uint32
 }
 
+// localWaiter is one parked local lookup: its reply channel plus its
+// submission time, so coalesced lookups each record their own latency.
+type localWaiter struct {
+	ch    chan<- Verdict
+	start time.Time
+}
+
 type waitlist struct {
-	chans   []chan<- Verdict
+	locals  []localWaiter
 	remotes []remoteWaiter
 }
 
@@ -107,6 +132,11 @@ type lineCard struct {
 	homeOf  func(ip.Addr) int
 	epoch   uint32
 	stats   *LCStats
+
+	// lat and pendingDepth are atomic and may be read from outside the LC
+	// goroutine (Metrics); everything above is goroutine-private.
+	lat          lcLatency
+	pendingDepth atomic.Int64
 }
 
 // Router is a running SPAL forwarding plane.
@@ -116,14 +146,31 @@ type Router struct {
 	quit    chan struct{}
 	stopped atomic.Bool
 	wg      sync.WaitGroup
+	lcs     []*lineCard
 	stats   []*LCStats
 
 	mu   sync.Mutex // guards part and serializes UpdateTable
 	part *partition.Partitioning
 }
 
-// New builds and starts a router.
-func New(cfg Config) (*Router, error) {
+// New builds and starts a router over tbl. Defaults: one line card, the
+// hash-based reference engine, LR-caches off. A paper-standard 16-LC
+// cached router is
+//
+//	router.New(tbl, router.WithLCs(16), router.WithDefaultCache())
+func New(tbl *rtable.Table, opts ...Option) (*Router, error) {
+	cfg := Config{NumLCs: 1, Table: tbl}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return NewWithConfig(cfg)
+}
+
+// NewWithConfig builds and starts a router from an explicit Config.
+//
+// Deprecated: this is the compatibility constructor for pre-option
+// callers; new code should use New with functional options.
+func NewWithConfig(cfg Config) (*Router, error) {
 	if cfg.NumLCs < 1 {
 		return nil, fmt.Errorf("router: NumLCs must be >= 1, got %d", cfg.NumLCs)
 	}
@@ -151,6 +198,7 @@ func New(cfg Config) (*Router, error) {
 		in := make(chan message, 64)
 		out := make(chan message, 64)
 		r.inboxes = append(r.inboxes, in)
+		r.lcs = append(r.lcs, lc)
 		r.stats = append(r.stats, lc.stats)
 		r.wg.Add(2)
 		go r.buffer(in, out)
@@ -219,7 +267,7 @@ func (r *Router) handle(lc *lineCard, m message) {
 			lc.stats.StaleReplies.Add(1)
 			return
 		}
-		r.fillAndRelease(lc, m.addr, m.nextHop, m.ok, cache.REM, "remote")
+		r.fillAndRelease(lc, m.addr, m.nextHop, m.ok, cache.REM, ServedByRemote)
 	case mFlush:
 		if lc.cache != nil {
 			lc.cache.Flush()
@@ -237,15 +285,18 @@ func (r *Router) handle(lc *lineCard, m message) {
 		// strands across the swap.
 		pend := lc.pending
 		lc.pending = make(map[ip.Addr]*waitlist)
+		lc.pendingDepth.Store(0)
 		for addr, wl := range pend {
-			for _, ch := range wl.chans {
-				r.handleLookup(lc, message{kind: mLookup, addr: addr, resp: ch})
+			for _, w := range wl.locals {
+				r.handleLookup(lc, message{kind: mLookup, addr: addr, resp: w.ch, start: w.start})
 			}
 			for _, rw := range wl.remotes {
 				r.handleRequest(lc, message{kind: mRequest, addr: addr, from: rw.from, epoch: rw.epoch})
 			}
 		}
 		close(m.swapDone)
+	case mExec:
+		m.do(lc)
 	}
 }
 
@@ -256,12 +307,13 @@ func (r *Router) handleLookup(lc *lineCard, m message) {
 		switch res := lc.cache.Probe(m.addr); res.Kind {
 		case cache.Hit, cache.HitVictim:
 			lc.stats.CacheHits.Add(1)
-			m.resp <- Verdict{Addr: m.addr, NextHop: res.NextHop, OK: res.NextHop != rtable.NoNextHop, ServedBy: "cache"}
+			lc.lat.observe(ServedByCache, m.start)
+			m.resp <- Verdict{Addr: m.addr, NextHop: res.NextHop, OK: res.NextHop != rtable.NoNextHop, ServedBy: ServedByCache}
 			return
 		case cache.HitWaiting:
 			lc.stats.Coalesced.Add(1)
 			wl := r.park(lc, m.addr)
-			wl.chans = append(wl.chans, m.resp)
+			wl.locals = append(wl.locals, localWaiter{ch: m.resp, start: m.start})
 			return
 		default:
 			origin := cache.REM
@@ -273,11 +325,11 @@ func (r *Router) handleLookup(lc *lineCard, m message) {
 	} else if wl, ok := lc.pending[m.addr]; ok {
 		// No cache: the pending map alone coalesces concurrent misses.
 		lc.stats.Coalesced.Add(1)
-		wl.chans = append(wl.chans, m.resp)
+		wl.locals = append(wl.locals, localWaiter{ch: m.resp, start: m.start})
 		return
 	}
 	wl := r.park(lc, m.addr)
-	wl.chans = append(wl.chans, m.resp)
+	wl.locals = append(wl.locals, localWaiter{ch: m.resp, start: m.start})
 	r.dispatch(lc, m.addr)
 }
 
@@ -313,6 +365,7 @@ func (r *Router) park(lc *lineCard, addr ip.Addr) *waitlist {
 	if !ok {
 		wl = &waitlist{}
 		lc.pending[addr] = wl
+		lc.pendingDepth.Store(int64(len(lc.pending)))
 	}
 	return wl
 }
@@ -327,7 +380,7 @@ func (r *Router) dispatch(lc *lineCard, addr ip.Addr) {
 		if !ok {
 			nh = rtable.NoNextHop
 		}
-		r.fillAndRelease(lc, addr, nh, ok, cache.LOC, "fe")
+		r.fillAndRelease(lc, addr, nh, ok, cache.LOC, ServedByFE)
 		return
 	}
 	lc.stats.RequestsSent.Add(1)
@@ -335,7 +388,7 @@ func (r *Router) dispatch(lc *lineCard, addr ip.Addr) {
 }
 
 // fillAndRelease installs a result and answers everything parked on it.
-func (r *Router) fillAndRelease(lc *lineCard, addr ip.Addr, nh rtable.NextHop, ok bool, origin cache.Origin, servedBy string) {
+func (r *Router) fillAndRelease(lc *lineCard, addr ip.Addr, nh rtable.NextHop, ok bool, origin cache.Origin, servedBy ServedBy) {
 	if lc.cache != nil {
 		lc.cache.Fill(addr, nh, origin)
 	}
@@ -344,9 +397,11 @@ func (r *Router) fillAndRelease(lc *lineCard, addr ip.Addr, nh rtable.NextHop, o
 		return
 	}
 	delete(lc.pending, addr)
+	lc.pendingDepth.Store(int64(len(lc.pending)))
 	v := Verdict{Addr: addr, NextHop: nh, OK: ok, ServedBy: servedBy}
-	for _, ch := range wl.chans {
-		ch <- v
+	for _, w := range wl.locals {
+		lc.lat.observe(servedBy, w.start)
+		w.ch <- v
 	}
 	for _, rw := range wl.remotes {
 		r.sendReply(lc, rw, addr, nh, ok)
@@ -373,6 +428,29 @@ func (r *Router) Lookup(lc int, addr ip.Addr) (Verdict, error) {
 	}
 }
 
+// LookupCtx is Lookup honoring a context: it returns ctx.Err() as soon as
+// the context is cancelled or its deadline passes. The lookup itself is
+// not recalled from the forwarding plane — its result is discarded (the
+// reply channel is buffered, so the LC never blocks on an abandoned
+// caller).
+func (r *Router) LookupCtx(ctx context.Context, lc int, addr ip.Addr) (Verdict, error) {
+	if err := ctx.Err(); err != nil {
+		return Verdict{}, err
+	}
+	ch, err := r.LookupAsync(lc, addr)
+	if err != nil {
+		return Verdict{}, err
+	}
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-ctx.Done():
+		return Verdict{}, ctx.Err()
+	case <-r.quit:
+		return Verdict{}, ErrStopped
+	}
+}
+
 // LookupAsync submits a lookup and returns immediately with the channel
 // its verdict will arrive on (buffered; the router never blocks on it).
 // Use it to keep many lookups in flight from one caller — the pattern a
@@ -382,7 +460,7 @@ func (r *Router) LookupAsync(lc int, addr ip.Addr) (<-chan Verdict, error) {
 		return nil, fmt.Errorf("router: no such LC %d", lc)
 	}
 	resp := make(chan Verdict, 1)
-	if !r.send(lc, message{kind: mLookup, addr: addr, resp: resp}) {
+	if !r.send(lc, message{kind: mLookup, addr: addr, resp: resp, start: time.Now()}) {
 		return nil, ErrStopped
 	}
 	return resp, nil
@@ -428,6 +506,11 @@ func (r *Router) PartitionBits() []int {
 func (r *Router) NumLCs() int { return r.cfg.NumLCs }
 
 // Stats returns the live per-LC counters.
+//
+// Deprecated: use Metrics, which returns an immutable snapshot covering
+// these counters plus latency histograms and LR-cache occupancy, and
+// supports Delta for interval rates. Stats remains for zero-allocation
+// live reads.
 func (r *Router) Stats() []*LCStats { return r.stats }
 
 // FlushCaches invalidates every LR-cache (the paper's response to a
@@ -485,9 +568,14 @@ func (r *Router) UpdateTable(tbl *rtable.Table) error {
 	return nil
 }
 
-// Stop shuts the router down. In-flight Lookup calls return ErrStopped.
+// Stop shuts the router down and waits for every line-card goroutine to
+// exit. It is idempotent: the first call tears the router down, every
+// subsequent call is a no-op that returns after the teardown completes.
+// In-flight and future Lookup/LookupCtx/LookupBatch/UpdateTable calls
+// return ErrStopped; Metrics keeps returning the final counter values.
 func (r *Router) Stop() {
 	if r.stopped.Swap(true) {
+		r.wg.Wait()
 		return
 	}
 	close(r.quit)

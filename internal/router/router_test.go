@@ -15,12 +15,11 @@ import (
 func newTestRouter(t *testing.T, numLCs int, cacheOn bool) (*Router, *rtable.Table) {
 	t.Helper()
 	tbl := rtable.Small(2000, 7)
-	r, err := New(Config{
-		NumLCs:       numLCs,
-		Table:        tbl,
-		Cache:        cache.DefaultConfig(),
-		CacheEnabled: cacheOn,
-	})
+	opts := []Option{WithLCs(numLCs)}
+	if cacheOn {
+		opts = append(opts, WithCache(cache.DefaultConfig()))
+	}
+	r, err := New(tbl, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,22 +95,22 @@ func TestServedByClassification(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v.ServedBy != "fe" {
+	if v.ServedBy != ServedByFE {
 		t.Errorf("first home lookup ServedBy = %s, want fe", v.ServedBy)
 	}
 	// Second lookup at the home LC hits the LOC entry.
 	v, _ = r.Lookup(home, a)
-	if v.ServedBy != "cache" {
+	if v.ServedBy != ServedByCache {
 		t.Errorf("second home lookup ServedBy = %s, want cache", v.ServedBy)
 	}
 	// Remote lookup is answered by the home LC's cache via the fabric.
 	v, _ = r.Lookup(remoteLC, a)
-	if v.ServedBy != "remote" {
+	if v.ServedBy != ServedByRemote {
 		t.Errorf("remote lookup ServedBy = %s, want remote", v.ServedBy)
 	}
 	// And is now cached as REM locally.
 	v, _ = r.Lookup(remoteLC, a)
-	if v.ServedBy != "cache" {
+	if v.ServedBy != ServedByCache {
 		t.Errorf("repeat remote lookup ServedBy = %s, want cache", v.ServedBy)
 	}
 }
@@ -157,7 +156,7 @@ func TestNoCacheMode(t *testing.T) {
 		if !v.OK || v.NextHop != wantNH {
 			t.Fatalf("no-cache wrong verdict for %s", ip.FormatAddr(a))
 		}
-		if v.ServedBy == "cache" {
+		if v.ServedBy == ServedByCache {
 			t.Fatal("cache hit with caches disabled")
 		}
 	}
@@ -259,14 +258,17 @@ func TestStopAndErrStopped(t *testing.T) {
 
 func TestInvalidConfigs(t *testing.T) {
 	tbl := rtable.Small(10, 1)
-	if _, err := New(Config{NumLCs: 0, Table: tbl}); err == nil {
+	if _, err := New(tbl, WithLCs(0)); err == nil {
 		t.Error("NumLCs 0 should fail")
 	}
-	if _, err := New(Config{NumLCs: 2, Table: nil}); err == nil {
+	if _, err := New(nil, WithLCs(2)); err == nil {
 		t.Error("nil table should fail")
 	}
-	if _, err := New(Config{NumLCs: 2, Table: rtable.New(nil)}); err == nil {
+	if _, err := New(rtable.New(nil), WithLCs(2)); err == nil {
 		t.Error("empty table should fail")
+	}
+	if _, err := NewWithConfig(Config{NumLCs: 0, Table: tbl}); err == nil {
+		t.Error("legacy constructor: NumLCs 0 should fail")
 	}
 }
 
@@ -354,7 +356,7 @@ func TestLookupAsyncManyInFlight(t *testing.T) {
 		chans = append(chans, ch)
 	}
 	for _, ch := range chans {
-		if v := <-ch; v.Addr == 0 && !v.OK && v.ServedBy == "" {
+		if v := <-ch; v.Addr == 0 && !v.OK && v.ServedBy == ServedByUnknown {
 			t.Fatal("empty verdict")
 		}
 	}
@@ -371,13 +373,7 @@ func TestLookupAsyncInvalidLC(t *testing.T) {
 // behind the concurrent plane.
 func TestRouterWithLuleaEngine(t *testing.T) {
 	tbl := rtable.Small(3000, 61)
-	r, err := New(Config{
-		NumLCs:       4,
-		Table:        tbl,
-		Engine:       lulea.NewEngine,
-		Cache:        cache.DefaultConfig(),
-		CacheEnabled: true,
-	})
+	r, err := New(tbl, WithLCs(4), WithEngine(lulea.NewEngine), WithDefaultCache())
 	if err != nil {
 		t.Fatal(err)
 	}

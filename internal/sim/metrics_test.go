@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"spal/internal/metrics"
+	"spal/internal/rtable"
+)
+
+// TestResultSnapshot checks that the simulator's cycle counters round-trip
+// into the shared metrics vocabulary and reconcile with the Result fields.
+func TestResultSnapshot(t *testing.T) {
+	tbl := rtable.Small(3000, 1)
+	res := run(t, testConfig(tbl))
+	s := res.Snapshot()
+
+	if v, ok := s.Value("spal_sim_packets_completed_total"); !ok || int64(v) != res.PacketsCompleted {
+		t.Errorf("completed = %v (ok=%v), want %d", v, ok, res.PacketsCompleted)
+	}
+	if v, ok := s.Value("spal_sim_cycles_total"); !ok || int64(v) != res.Cycles {
+		t.Errorf("cycles = %v (ok=%v), want %d", v, ok, res.Cycles)
+	}
+	if v, ok := s.Value("spal_sim_cache_hit_ratio"); !ok || v != res.HitRate {
+		t.Errorf("hit ratio = %v (ok=%v), want %v", v, ok, res.HitRate)
+	}
+	var completed float64
+	for i := range res.PerLC {
+		v, ok := s.Value("spal_sim_completed_total", metrics.L("lc", strconv.Itoa(i)))
+		if !ok {
+			t.Fatalf("missing per-LC completed for lc=%d", i)
+		}
+		completed += v
+	}
+	if int64(completed) != res.PacketsCompleted {
+		t.Errorf("per-LC completed sum = %v, want %d", completed, res.PacketsCompleted)
+	}
+
+	// The re-bucketed latency histogram must preserve the sample count and
+	// mean exactly (unit bins fold losslessly into power-of-two buckets).
+	h, ok := s.HistValue("spal_sim_lookup_latency_cycles")
+	if !ok {
+		t.Fatal("missing latency histogram")
+	}
+	if int64(h.Count) != res.PacketsCompleted {
+		t.Errorf("histogram count = %d, want %d", h.Count, res.PacketsCompleted)
+	}
+	if math.Abs(h.Mean()-res.MeanLookupCycles) > 1e-9 {
+		t.Errorf("histogram mean = %v, Result mean = %v", h.Mean(), res.MeanLookupCycles)
+	}
+
+	text := s.PrometheusText()
+	if !strings.Contains(text, "# TYPE spal_sim_lookup_latency_cycles histogram") {
+		t.Error("Prometheus text missing latency family")
+	}
+	if !strings.Contains(text, `spal_sim_hits_total{lc="0",origin="loc"}`) {
+		t.Error("Prometheus text missing per-origin hit counters")
+	}
+}

@@ -3,8 +3,10 @@ package sim
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
+	"spal/internal/metrics"
 	"spal/internal/stats"
 )
 
@@ -125,6 +127,40 @@ func (r *Router) result() *Result {
 
 // LatencyPercentile exposes the full distribution (p in 0..1).
 func (res *Result) LatencyPercentile(p float64) int { return res.lat.Percentile(p) }
+
+// Snapshot exposes the run's cycle counters through the shared
+// observability vocabulary: the same Snapshot type the concurrent
+// router's Metrics returns, so simulator output feeds the same
+// Prometheus export path and Delta tooling. Per-LC counters carry a
+// lc="<id>" label; the lookup-latency distribution is re-bucketed from
+// exact unit bins (5 ns cycles) into the power-of-two histogram shape.
+func (res *Result) Snapshot() *metrics.Snapshot {
+	s := metrics.NewSnapshot()
+	s.Counter("spal_sim_cycles_total", "Simulated cycles (5 ns each).", float64(res.Cycles))
+	s.Counter("spal_sim_packets_completed_total", "Packets that completed lookup.", float64(res.PacketsCompleted))
+	s.Counter("spal_sim_fabric_messages_total", "Requests and replies crossed the fabric.", float64(res.FabricMessages))
+	s.Gauge("spal_sim_mean_lookup_cycles", "Mean per-packet lookup time in cycles.", res.MeanLookupCycles)
+	s.Gauge("spal_sim_cache_hit_ratio", "Aggregate LR-cache hit rate.", res.HitRate)
+	s.Gauge("spal_sim_derived_mpps_router", "Derived router throughput (Mpps).", res.DerivedMppsRouter)
+	for i, l := range res.PerLC {
+		lbl := metrics.L("lc", strconv.Itoa(i))
+		s.Counter("spal_sim_generated_total", "Packets generated at this LC.", float64(l.Generated), lbl)
+		s.Counter("spal_sim_completed_total", "Packets completed at this LC.", float64(l.Completed), lbl)
+		s.Counter("spal_sim_hits_total", "LR-cache hits by origin class.", float64(l.HitLoc), lbl, metrics.L("origin", "loc"))
+		s.Counter("spal_sim_hits_total", "LR-cache hits by origin class.", float64(l.HitRem), lbl, metrics.L("origin", "rem"))
+		s.Counter("spal_sim_fe_lookups_total", "Forwarding-engine lookups at this LC.", float64(l.FELookups), lbl)
+		s.Counter("spal_sim_fabric_requests_total", "Requests this LC sent over the fabric.", float64(l.RequestsSent), lbl)
+		s.Counter("spal_sim_fabric_replies_total", "Replies this LC sent over the fabric.", float64(l.RepliesSent), lbl)
+		s.Gauge("spal_sim_fe_utilization", "Fraction of cycles the FE was busy.", l.FEUtilization, lbl)
+		s.Gauge("spal_sim_partition_prefixes", "ROT-partition size in prefixes.", float64(l.PartitionSize), lbl)
+	}
+	if res.lat != nil {
+		var h metrics.HistogramSnapshot
+		res.lat.Each(func(v int, c int64) { h.AddValue(uint64(v), uint64(c)) })
+		s.Hist("spal_sim_lookup_latency_cycles", "Per-packet lookup latency in cycles.", h)
+	}
+	return s
+}
 
 // String renders a one-run report.
 func (res *Result) String() string {

@@ -131,6 +131,21 @@ func (h *Hist) Percentile(p float64) int {
 // Overflow returns the number of samples at or above the cap.
 func (h *Hist) Overflow() int64 { return h.overflow }
 
+// Each calls f for every non-empty unit bin (value, count) in ascending
+// value order, then once for the overflow bin with value == the cap. It
+// lets exporters re-bucket the exact distribution (e.g. into the
+// power-of-two metrics histograms) without exposing the bins slice.
+func (h *Hist) Each(f func(value int, count int64)) {
+	for v, c := range h.bins {
+		if c > 0 {
+			f(v, c)
+		}
+	}
+	if h.overflow > 0 {
+		f(len(h.bins), h.overflow)
+	}
+}
+
 // Counter is a named monotonically increasing event counter.
 type Counter struct {
 	Name string

@@ -31,6 +31,7 @@ import (
 	"spal/internal/lpm/rangebs"
 	"spal/internal/lpm/stride24"
 	"spal/internal/lpm/wbs"
+	"spal/internal/metrics"
 	"spal/internal/partition"
 	"spal/internal/router"
 	"spal/internal/rtable"
@@ -65,12 +66,30 @@ type (
 	SimResult = sim.Result
 	// Router is the concurrent forwarding plane.
 	Router = router.Router
-	// RouterConfig configures a concurrent router.
+	// RouterConfig configures a concurrent router (legacy surface; prefer
+	// RouterOption with NewRouter).
 	RouterConfig = router.Config
+	// RouterOption is a functional option for NewRouter.
+	RouterOption = router.Option
 	// Verdict is a concurrent-router lookup outcome.
 	Verdict = router.Verdict
+	// ServedBy identifies where a lookup result came from.
+	ServedBy = router.ServedBy
 	// TracePreset names one of the paper's five trace workloads.
 	TracePreset = trace.Preset
+	// MetricsSnapshot is an immutable observability snapshot (from
+	// Router.Metrics or SimResult.Snapshot): counters, gauges and latency
+	// histograms with Delta arithmetic and a Prometheus text encoder.
+	MetricsSnapshot = metrics.Snapshot
+	// MetricsLabel is one metric dimension, e.g. {"lc", "3"}.
+	MetricsLabel = metrics.Label
+)
+
+// ServedBy values, re-exported for verdict classification.
+const (
+	ServedByCache  = router.ServedByCache
+	ServedByFE     = router.ServedByFE
+	ServedByRemote = router.ServedByRemote
 )
 
 // ParsePrefix parses CIDR notation ("10.0.0.0/8").
@@ -132,8 +151,34 @@ func Simulate(cfg SimConfig) (*SimResult, error) {
 	return r.Run()
 }
 
-// NewRouter starts a concurrent SPAL forwarding plane.
-func NewRouter(cfg RouterConfig) (*Router, error) { return router.New(cfg) }
+// NewRouter starts a concurrent SPAL forwarding plane over tbl.
+// Defaults: one line card, reference engine, caches off. Example:
+//
+//	r, err := spal.NewRouter(tbl, spal.WithLCs(16), spal.WithDefaultRouterCache())
+//
+// The router exposes an immutable observability snapshot via
+// (*Router).Metrics; see MetricsSnapshot.
+func NewRouter(tbl *Table, opts ...RouterOption) (*Router, error) {
+	return router.New(tbl, opts...)
+}
+
+// NewRouterFromConfig starts a router from an explicit RouterConfig.
+//
+// Deprecated: compatibility shim for the pre-option API; use NewRouter
+// with functional options.
+func NewRouterFromConfig(cfg RouterConfig) (*Router, error) { return router.NewWithConfig(cfg) }
+
+// WithLCs sets ψ, the number of line cards.
+func WithLCs(n int) RouterOption { return router.WithLCs(n) }
+
+// WithRouterCache enables LR-caches with the given organization.
+func WithRouterCache(cc CacheConfig) RouterOption { return router.WithCache(cc) }
+
+// WithDefaultRouterCache enables the paper-standard LR-cache.
+func WithDefaultRouterCache() RouterOption { return router.WithDefaultCache() }
+
+// WithRouterEngine sets the matching-structure builder every LC uses.
+func WithRouterEngine(b EngineBuilder) RouterOption { return router.WithEngine(b) }
 
 // TracePresets lists the five paper traces.
 func TracePresets() []TracePreset { return trace.Presets }

@@ -37,12 +37,7 @@ func TestFacadeSimulate(t *testing.T) {
 
 func TestFacadeRouter(t *testing.T) {
 	tbl := SynthesizeTable(1000, 7)
-	r, err := NewRouter(RouterConfig{
-		NumLCs:       2,
-		Table:        tbl,
-		Cache:        DefaultCacheConfig(),
-		CacheEnabled: true,
-	})
+	r, err := NewRouter(tbl, WithLCs(2), WithRouterCache(DefaultCacheConfig()))
 	if err != nil {
 		t.Fatal(err)
 	}
