@@ -13,6 +13,7 @@
 //	spal-router -trace d75.trace              # replay a stored trace
 //	echo 10.1.2.3 | spal-router -i            # interactive lookups
 //	spal-router -metrics :9090 -n 1000000     # drive load, then serve /metrics
+//	spal-router -fault-rate 0.1 -n 100000     # chaos mode: drop 10% of fabric messages
 package main
 
 import (
@@ -48,6 +49,10 @@ func main() {
 	noCache := flag.Bool("no-cache", false, "disable LR-caches")
 	engineName := flag.String("engine", "lulea", "matching engine: reference|bintrie|dptrie|lctrie|lulea|multibit|stride24")
 	metricsAddr := flag.String("metrics", "", "serve /metrics and /healthz on this address (e.g. :9090)")
+	faultRate := flag.Float64("fault-rate", 0, "drop this fraction of fabric messages (chaos mode, 0..1)")
+	faultSeed := flag.Uint64("fault-seed", 1, "seed for the deterministic fault injector")
+	timeout := flag.Duration("timeout", 0, "per-attempt fabric request deadline (0 = default 50ms)")
+	retries := flag.Int("retries", 0, "fabric request retries before falling back (0 = default 3, negative = none)")
 	flag.Parse()
 
 	builder, ok := spal.Engines()[*engineName]
@@ -63,6 +68,17 @@ func main() {
 	}
 	if *noCache {
 		opts = append(opts, router.WithoutCache())
+	}
+	if *faultRate > 0 {
+		opts = append(opts, router.WithFaultInjector(router.SeededFaults(router.FaultConfig{
+			Seed: *faultSeed, DropRate: *faultRate,
+		})))
+	}
+	if *timeout != 0 {
+		opts = append(opts, router.WithRequestTimeout(*timeout))
+	}
+	if *retries != 0 {
+		opts = append(opts, router.WithMaxRetries(*retries))
 	}
 	r, err := router.New(tbl, opts...)
 	if err != nil {
@@ -163,6 +179,16 @@ func drive(r *router.Router, psi int, addrs []ip.Addr) {
 		}
 		fmt.Printf("%-4d %10.0f %10.0f %8.0f %9.0f %9.0f %10.0f %12v\n",
 			lc, lookups, hits, fe, req, rep, coal, p95)
+	}
+	// Robustness summary: only interesting when something actually went
+	// wrong on the fabric (chaos mode or a genuinely slow peer).
+	retries := delta.Sum(router.MetricRetries)
+	fallbacks := delta.Sum(router.MetricFallbacks)
+	expired := delta.Sum(router.MetricDeadlineExpired)
+	forwarded := delta.Sum(router.MetricForwarded)
+	if retries+fallbacks+expired+forwarded > 0 {
+		fmt.Printf("fabric faults survived: %.0f retries, %.0f deadline expiries, %.0f fallback verdicts, %.0f forwarded requests\n",
+			retries, expired, fallbacks, forwarded)
 	}
 }
 

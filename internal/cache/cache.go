@@ -397,9 +397,12 @@ func (c *Cache) Fill(a ip.Addr, nh rtable.NextHop, origin Origin) []int64 {
 		if e.valid && e.addr == a {
 			if !e.waiting {
 				// Duplicate fill (e.g. two LCs resolved the same address);
-				// refresh the result.
+				// refresh the result and the replacement stamp — without
+				// the stamp touch, LRU would treat a just-refreshed entry
+				// as the oldest in its set and evict it first.
 				e.nextHop = nh
 				e.origin = origin
+				e.stamp = c.tick()
 				return nil
 			}
 			w := e.waiters

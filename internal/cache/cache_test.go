@@ -457,3 +457,23 @@ func TestShadowConsistencyQuick(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestDuplicateFillRefreshesLRUStamp(t *testing.T) {
+	// Regression: the duplicate-fill path updated the result but not the
+	// replacement stamp, so under LRU a just-refreshed entry looked like
+	// the oldest in its set and was evicted first.
+	c := New(Config{Blocks: 4, Assoc: 4, MixPercent: 0, Policy: LRU})
+	a, b := ip.Addr(1), ip.Addr(2)
+	c.Fill(a, 10, LOC)
+	c.Fill(b, 11, LOC)
+	c.Fill(ip.Addr(3), 12, LOC)
+	c.Fill(ip.Addr(4), 13, LOC)
+	c.Fill(a, 20, LOC)          // duplicate fill: a is now the most recent entry
+	c.Fill(ip.Addr(5), 14, LOC) // set full: must evict b, the true LRU
+	if r := c.Probe(a); r.Kind != Hit || r.NextHop != 20 {
+		t.Fatalf("refreshed entry evicted: %+v", r)
+	}
+	if r := c.Probe(b); r.Kind != Miss {
+		t.Fatalf("LRU entry survived: %+v", r)
+	}
+}

@@ -98,10 +98,11 @@ type inflight struct {
 // Pipe is a fixed-latency, in-order message channel. Sends must use
 // non-decreasing timestamps (the simulator's cycle counter).
 type Pipe struct {
-	latency int64
-	queue   []inflight // FIFO; arrival times are non-decreasing
-	head    int
-	sent    int64
+	latency  int64
+	queue    []inflight // FIFO; arrival times are non-decreasing
+	head     int
+	sent     int64
+	lastSend int64 // timestamp of the most recent Send, for the order guard
 }
 
 // NewPipe builds a pipe with the given one-way latency in cycles.
@@ -116,10 +117,14 @@ func NewPipe(latencyCycles int) *Pipe {
 func (p *Pipe) Latency() int64 { return p.latency }
 
 // Send injects a message at cycle now; it will arrive at now+latency.
+// Sends must use non-decreasing timestamps; the guard compares against
+// the last Send directly (not the tail of the queue), so it also catches
+// a time-travelling send issued after the queue fully drained.
 func (p *Pipe) Send(now int64, m Message) {
-	if n := len(p.queue); n > p.head && p.queue[n-1].arrival > now+p.latency {
+	if p.sent > 0 && now < p.lastSend {
 		panic("fabric: out-of-order send")
 	}
+	p.lastSend = now
 	p.queue = append(p.queue, inflight{arrival: now + p.latency, msg: m})
 	p.sent++
 }

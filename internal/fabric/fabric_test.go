@@ -88,3 +88,19 @@ func TestPipeOutOfOrderSendPanics(t *testing.T) {
 	}()
 	p.Send(5, Message{})
 }
+
+func TestPipeOutOfOrderSendAfterDrainPanics(t *testing.T) {
+	// Regression: the order guard compared against the queue tail, so it
+	// went blind whenever Deliver had fully drained the queue.
+	p := NewPipe(2)
+	p.Send(10, Message{})
+	if got := p.Deliver(100); len(got) != 1 {
+		t.Fatalf("delivered %d messages, want 1", len(got))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on time-travelling send after drain")
+		}
+	}()
+	p.Send(5, Message{})
+}

@@ -1,0 +1,92 @@
+// Fault injection for the inter-LC message path. The paper assumes a
+// lossless low-latency switching fabric; a production forwarding plane
+// cannot. A FaultInjector intercepts every lookup request and reply as it
+// enters the fabric and may drop, delay, or duplicate it — the three
+// failure modes of a real crossbar under congestion or a flaky backplane
+// link. The router's deadline/retry/fallback machinery (see router.go)
+// must yield a correct verdict for every lookup no matter what the
+// injector does; the chaos tests drive exactly that.
+package router
+
+import (
+	"sync/atomic"
+	"time"
+
+	"spal/internal/ip"
+)
+
+// FabricMessage describes one message about to cross the fabric, as seen
+// by a FaultInjector.
+type FabricMessage struct {
+	// Reply is false for a lookup request travelling to a home LC, true
+	// for a result travelling back to the requester.
+	Reply bool
+	// From and To are line-card ids. For a request, From is the
+	// requester; for a reply, From is the responding home LC.
+	From, To int
+	// Addr is the destination address being resolved.
+	Addr ip.Addr
+}
+
+// FaultDecision is an injector's verdict for one fabric message.
+type FaultDecision struct {
+	// Drop suppresses the message entirely (takes precedence over the
+	// other fields).
+	Drop bool
+	// Duplicate delivers the message twice.
+	Duplicate bool
+	// Delay postpones delivery (of every copy) by this much.
+	Delay time.Duration
+}
+
+// FaultInjector decides the fate of each fabric message. It is called
+// from line-card goroutines concurrently and must be safe for concurrent
+// use. A nil injector (the default) is a perfect fabric.
+type FaultInjector func(FabricMessage) FaultDecision
+
+// FaultConfig parameterizes the deterministic injector built by
+// SeededFaults.
+type FaultConfig struct {
+	// Seed drives the decision stream.
+	Seed uint64
+	// DropRate, DupRate and DelayRate are per-message probabilities in
+	// [0, 1].
+	DropRate, DupRate, DelayRate float64
+	// MaxDelay bounds injected delays; delayed messages wait a
+	// deterministic duration in [0, MaxDelay). Zero disables delays even
+	// when DelayRate > 0.
+	MaxDelay time.Duration
+}
+
+// splitmix64 is the same finalizer stats.RNG uses, stateless so the
+// injector can hash a shared counter without locking.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// SeededFaults returns an injector whose decision stream is a pure
+// function of cfg.Seed: the i-th fabric message (in injector call order)
+// always receives the i-th decision. Which message draws which decision
+// still depends on goroutine interleaving, but the aggregate fault mix is
+// exactly reproducible, which is what the chaos tests and the
+// spal-router -fault-rate demo need.
+func SeededFaults(cfg FaultConfig) FaultInjector {
+	var n atomic.Uint64
+	return func(FabricMessage) FaultDecision {
+		h := splitmix64(cfg.Seed ^ n.Add(1))
+		// Three independent 21-bit draws from one 64-bit hash.
+		draw := func(shift uint) float64 {
+			return float64((h>>shift)&0x1f_ffff) / float64(1<<21)
+		}
+		var d FaultDecision
+		d.Drop = draw(0) < cfg.DropRate
+		d.Duplicate = draw(21) < cfg.DupRate
+		if cfg.MaxDelay > 0 && draw(42) < cfg.DelayRate {
+			d.Delay = time.Duration(splitmix64(h) % uint64(cfg.MaxDelay))
+		}
+		return d
+	}
+}

@@ -11,7 +11,7 @@ import (
 // the result came from. The histograms are lock-free: the LC goroutine
 // records, Metrics reads concurrently.
 type lcLatency struct {
-	cache, fe, remote metrics.Histogram
+	cache, fe, remote, fallback metrics.Histogram
 }
 
 // observe records one completed lookup. Zero start times (no submission
@@ -28,6 +28,8 @@ func (l *lcLatency) observe(s ServedBy, start time.Time) {
 		l.fe.ObserveDuration(d)
 	case ServedByRemote:
 		l.remote.ObserveDuration(d)
+	case ServedByFallback:
+		l.fallback.ObserveDuration(d)
 	}
 }
 
@@ -44,6 +46,11 @@ const (
 	MetricWaitlistDepth  = "spal_router_waitlist_depth"
 	MetricHitRatio       = "spal_router_cache_hit_ratio"
 	MetricLatency        = "spal_router_lookup_latency_ns"
+	// Robustness metrics (failure model; see the package comment).
+	MetricRetries         = "spal_router_retries_total"
+	MetricFallbacks       = "spal_router_fallbacks_total"
+	MetricDeadlineExpired = "spal_router_deadline_expired_total"
+	MetricForwarded       = "spal_router_requests_forwarded_total"
 )
 
 // Metrics returns an immutable snapshot of every router metric: the
@@ -102,6 +109,10 @@ func (r *Router) Metrics() *metrics.Snapshot {
 		s.Counter(MetricFabricReplies, "Lookup replies this LC sent over the fabric.", float64(lc.stats.RepliesSent.Load()), lbl)
 		s.Counter(MetricCoalesced, "Lookups coalesced onto an in-flight miss.", float64(lc.stats.Coalesced.Load()), lbl)
 		s.Counter(MetricStaleReplies, "Fabric replies dropped by the table-update epoch guard.", float64(lc.stats.StaleReplies.Load()), lbl)
+		s.Counter(MetricRetries, "Fabric requests re-sent after a deadline expiry.", float64(lc.stats.Retries.Load()), lbl)
+		s.Counter(MetricFallbacks, "Lookups served by the full-table fallback engine.", float64(lc.stats.Fallbacks.Load()), lbl)
+		s.Counter(MetricDeadlineExpired, "Pending lookups whose fabric retry budget ran out.", float64(lc.stats.DeadlineExpired.Load()), lbl)
+		s.Counter(MetricForwarded, "In-flight requests forwarded because the address was re-homed.", float64(lc.stats.ForwardedRequests.Load()), lbl)
 		s.Gauge(MetricWaitlistDepth, "Addresses with lookups parked awaiting a result.", float64(lc.pendingDepth.Load()), lbl)
 		hits += float64(lc.stats.CacheHits.Load())
 		probes += float64(lc.stats.Lookups.Load())
@@ -110,6 +121,7 @@ func (r *Router) Metrics() *metrics.Snapshot {
 		s.Hist(MetricLatency, latHelp, lc.lat.cache.Snapshot(), lbl, metrics.L("served_by", "cache"))
 		s.Hist(MetricLatency, latHelp, lc.lat.fe.Snapshot(), lbl, metrics.L("served_by", "fe"))
 		s.Hist(MetricLatency, latHelp, lc.lat.remote.Snapshot(), lbl, metrics.L("served_by", "remote"))
+		s.Hist(MetricLatency, latHelp, lc.lat.fallback.Snapshot(), lbl, metrics.L("served_by", "fallback"))
 	}
 	if probes > 0 {
 		s.Gauge(MetricHitRatio, "Router-wide fraction of lookups served by an LR-cache.", hits/probes)

@@ -47,6 +47,10 @@ func TestMetricsReconcileWithLCStats(t *testing.T) {
 			{MetricFabricReplies, legacy[lc].RepliesSent.Load()},
 			{MetricCoalesced, legacy[lc].Coalesced.Load()},
 			{MetricStaleReplies, legacy[lc].StaleReplies.Load()},
+			{MetricRetries, legacy[lc].Retries.Load()},
+			{MetricFallbacks, legacy[lc].Fallbacks.Load()},
+			{MetricDeadlineExpired, legacy[lc].DeadlineExpired.Load()},
+			{MetricForwarded, legacy[lc].ForwardedRequests.Load()},
 		}
 		for _, c := range checks {
 			got, ok := after.Value(c.name, lbl)
@@ -183,6 +187,7 @@ func TestServedByStringAndText(t *testing.T) {
 		{ServedByCache, "cache"},
 		{ServedByFE, "fe"},
 		{ServedByRemote, "remote"},
+		{ServedByFallback, "fallback"},
 	}
 	for _, c := range cases {
 		if c.s.String() != c.want {

@@ -1,6 +1,8 @@
 package router
 
 import (
+	"time"
+
 	"spal/internal/cache"
 	"spal/internal/lpm"
 )
@@ -36,4 +38,27 @@ func WithDefaultCache() Option { return WithCache(cache.DefaultConfig()) }
 // engine), the paper's baseline configuration.
 func WithoutCache() Option {
 	return func(c *Config) { c.CacheEnabled = false }
+}
+
+// WithFaultInjector installs a chaos hook on the inter-LC message path:
+// every fabric request and reply is offered to fi, which may drop, delay,
+// or duplicate it (see SeededFaults for a deterministic injector). The
+// deadline/retry/fallback machinery guarantees every lookup still
+// terminates with a correct verdict.
+func WithFaultInjector(fi FaultInjector) Option {
+	return func(c *Config) { c.FaultInjector = fi }
+}
+
+// WithRequestTimeout sets the per-attempt deadline on fabric lookup
+// requests (default 50ms). Expired requests are retried with exponential
+// backoff; see WithMaxRetries.
+func WithRequestTimeout(d time.Duration) Option {
+	return func(c *Config) { c.RequestTimeout = d }
+}
+
+// WithMaxRetries bounds how many times a timed-out fabric request is
+// re-sent before the lookup degrades to the full-table fallback engine
+// (default 3; negative disables retries).
+func WithMaxRetries(n int) Option {
+	return func(c *Config) { c.MaxRetries = n }
 }

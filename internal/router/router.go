@@ -23,6 +23,18 @@
 // communication is message passing. Inter-LC channels are unbounded
 // (a small buffering goroutine per LC) so LCs never deadlock on mutual
 // backpressure.
+//
+// Failure model: the paper assumes a lossless fabric; this package does
+// not. Every fabric request carries a deadline tracked by a coarse
+// per-LC ticker (no extra locks — the deadline state lives in the LC's
+// own waitlists). A request unanswered by its deadline is retried with
+// exponential backoff up to MaxRetries times; when retries are
+// exhausted the arrival LC resolves the address against a router-wide
+// read-only full-table engine and the verdict is marked
+// ServedByFallback, so every lookup terminates even over a fabric that
+// drops, delays, or duplicates messages. WithFaultInjector installs a
+// deterministic chaos hook on the fabric path to prove exactly that;
+// see fault.go.
 package router
 
 import (
@@ -70,7 +82,29 @@ type Config struct {
 	// Cache is the LR-cache organization, used when CacheEnabled.
 	Cache        cache.Config
 	CacheEnabled bool
+	// FaultInjector, when non-nil, intercepts every fabric request and
+	// reply; see fault.go. Nil is a perfect fabric.
+	FaultInjector FaultInjector
+	// RequestTimeout is the per-attempt deadline on a fabric lookup
+	// request; an unanswered request is retried (with exponential
+	// backoff) once the deadline passes. Zero selects the default
+	// (50ms); deadlines are checked by a coarse per-LC ticker, so expiry
+	// is detected within about a quarter-timeout of the deadline.
+	RequestTimeout time.Duration
+	// MaxRetries bounds how many times a timed-out request is re-sent
+	// before the lookup degrades to the router-wide full-table fallback
+	// engine. Zero selects the default (3); negative disables retries
+	// (the first expiry goes straight to the fallback).
+	MaxRetries int
 }
+
+// Robustness defaults, chosen so that a healthy in-process fabric (tens
+// of microseconds round trip) never triggers them spuriously, while a
+// faulty one degrades in well under a second.
+const (
+	defaultRequestTimeout = 50 * time.Millisecond
+	defaultMaxRetries     = 3
+)
 
 const (
 	mLookup = iota
@@ -105,6 +139,11 @@ type message struct {
 // LCStats remains for callers that want zero-allocation live reads.
 type LCStats struct {
 	Lookups, CacheHits, FEExecs, RequestsSent, RepliesSent, Coalesced, StaleReplies atomic.Int64
+	// Robustness counters: fabric requests re-sent after a deadline
+	// expiry, lookups answered by the full-table fallback engine,
+	// deadlines that exhausted their retry budget, and in-flight
+	// requests forwarded because the address was re-homed.
+	Retries, Fallbacks, DeadlineExpired, ForwardedRequests atomic.Int64
 }
 
 type remoteWaiter struct {
@@ -122,6 +161,12 @@ type localWaiter struct {
 type waitlist struct {
 	locals  []localWaiter
 	remotes []remoteWaiter
+	// Fabric-request bookkeeping, owned by the LC goroutine like the
+	// rest of the waitlist. deadline is zero while no fabric request is
+	// outstanding (the address resolved locally); attempts counts
+	// requests sent so far, including the first.
+	attempts int
+	deadline time.Time
 }
 
 type lineCard struct {
@@ -139,6 +184,10 @@ type lineCard struct {
 	pendingDepth atomic.Int64
 }
 
+// fallbackEngine boxes the router-wide read-only full-table engine so it
+// can sit behind an atomic.Pointer (lpm.Engine is an interface).
+type fallbackEngine struct{ eng lpm.Engine }
+
 // Router is a running SPAL forwarding plane.
 type Router struct {
 	cfg     Config
@@ -146,8 +195,20 @@ type Router struct {
 	quit    chan struct{}
 	stopped atomic.Bool
 	wg      sync.WaitGroup
+	delayWG sync.WaitGroup // goroutines holding injector-delayed messages
 	lcs     []*lineCard
 	stats   []*LCStats
+
+	// Robustness knobs, fixed at construction.
+	injector   FaultInjector
+	timeout    time.Duration
+	maxRetries int
+	tickEvery  time.Duration
+
+	// fallback is the degraded slow path: a full-table engine every LC
+	// may consult read-only once fabric retries are exhausted. Swapped
+	// wholesale by UpdateTable.
+	fallback atomic.Pointer[fallbackEngine]
 
 	mu   sync.Mutex // guards part and serializes UpdateTable
 	part *partition.Partitioning
@@ -181,6 +242,23 @@ func NewWithConfig(cfg Config) (*Router, error) {
 		cfg.Engine = lpm.NewReferenceEngine
 	}
 	r := &Router{cfg: cfg, quit: make(chan struct{})}
+	r.injector = cfg.FaultInjector
+	r.timeout = cfg.RequestTimeout
+	if r.timeout <= 0 {
+		r.timeout = defaultRequestTimeout
+	}
+	switch {
+	case cfg.MaxRetries == 0:
+		r.maxRetries = defaultMaxRetries
+	case cfg.MaxRetries < 0:
+		r.maxRetries = 0
+	default:
+		r.maxRetries = cfg.MaxRetries
+	}
+	if r.tickEvery = r.timeout / 4; r.tickEvery < 500*time.Microsecond {
+		r.tickEvery = 500 * time.Microsecond
+	}
+	r.fallback.Store(&fallbackEngine{eng: cfg.Engine(cfg.Table)})
 	r.part = partition.Partition(cfg.Table, cfg.NumLCs)
 	for i := 0; i < cfg.NumLCs; i++ {
 		lc := &lineCard{
@@ -240,16 +318,112 @@ func (r *Router) send(lc int, m message) bool {
 	}
 }
 
+// sendFabric delivers a request or reply across the (virtual) fabric,
+// routing it through the fault injector when one is installed. Control
+// messages never pass through here — only mRequest and mReply can be
+// dropped, delayed, or duplicated.
+func (r *Router) sendFabric(to int, m message) {
+	if r.injector == nil {
+		r.send(to, m)
+		return
+	}
+	d := r.injector(FabricMessage{Reply: m.kind == mReply, From: m.from, To: to, Addr: m.addr})
+	if d.Drop {
+		return
+	}
+	copies := 1
+	if d.Duplicate {
+		copies = 2
+	}
+	for i := 0; i < copies; i++ {
+		if d.Delay <= 0 {
+			r.send(to, m)
+			continue
+		}
+		// Delayed copies ride a helper goroutine; Stop waits for these
+		// after the LC goroutines exit, and send itself bails out on
+		// quit, so a delayed message can never outlive the router.
+		r.delayWG.Add(1)
+		go func() {
+			defer r.delayWG.Done()
+			t := time.NewTimer(d.Delay)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				r.send(to, m)
+			case <-r.quit:
+			}
+		}()
+	}
+}
+
 // lcLoop is one line card: the exclusive owner of its engine and cache.
+// The ticker is the deadline clock for this LC's outstanding fabric
+// requests: coarse (a quarter of the request timeout) so the idle cost
+// is negligible, and entirely lock-free — all deadline state lives in
+// the waitlists this goroutine already owns.
 func (r *Router) lcLoop(lc *lineCard, inbox <-chan message) {
 	defer r.wg.Done()
+	tick := time.NewTicker(r.tickEvery)
+	defer tick.Stop()
 	for {
 		select {
 		case m := <-inbox:
 			r.handle(lc, m)
+		case now := <-tick.C:
+			r.checkDeadlines(lc, now)
 		case <-r.quit:
 			return
 		}
+	}
+}
+
+// checkDeadlines retries or degrades every pending lookup whose fabric
+// request went unanswered past its deadline. Retries re-derive the home
+// LC (the address may have been re-homed by a table update) and back off
+// exponentially; once the retry budget is spent, the lookup is answered
+// from the router-wide full-table fallback engine so it terminates no
+// matter what the fabric lost.
+func (r *Router) checkDeadlines(lc *lineCard, now time.Time) {
+	for addr, wl := range lc.pending {
+		if wl.deadline.IsZero() || now.Before(wl.deadline) {
+			continue
+		}
+		if wl.attempts <= r.maxRetries {
+			lc.stats.Retries.Add(1)
+			shift := wl.attempts
+			if shift > 16 {
+				shift = 16 // cap the backoff at timeout<<16
+			}
+			wl.deadline = now.Add(r.timeout << uint(shift))
+			wl.attempts++
+			home := lc.homeOf(addr)
+			if home == lc.id {
+				// Re-homed onto this LC while the request was in
+				// flight: resolve locally against our own partition.
+				nh, _, ok := lc.engine.Lookup(addr)
+				lc.stats.FEExecs.Add(1)
+				if !ok {
+					nh = rtable.NoNextHop
+				}
+				r.fillAndRelease(lc, addr, nh, ok, cache.LOC, ServedByFE)
+				continue
+			}
+			lc.stats.RequestsSent.Add(1)
+			r.sendFabric(home, message{kind: mRequest, addr: addr, from: lc.id, epoch: lc.epoch})
+			continue
+		}
+		lc.stats.DeadlineExpired.Add(1)
+		lc.stats.Fallbacks.Add(1)
+		nh, _, ok := r.fallback.Load().eng.Lookup(addr)
+		if !ok {
+			nh = rtable.NoNextHop
+		}
+		origin := cache.REM
+		if lc.homeOf(addr) == lc.id {
+			origin = cache.LOC
+		}
+		r.fillAndRelease(lc, addr, nh, ok, origin, ServedByFallback)
 	}
 }
 
@@ -322,19 +496,34 @@ func (r *Router) handleLookup(lc *lineCard, m message) {
 			}
 			lc.cache.RecordMiss(m.addr, origin, 0)
 		}
-	} else if wl, ok := lc.pending[m.addr]; ok {
-		// No cache: the pending map alone coalesces concurrent misses.
+	}
+	// Coalesce onto an in-flight miss. With caches on this is the bypass
+	// case: the set was fully waiting, so there is no W block to hit,
+	// but a dispatch for this address is already outstanding — a second
+	// dispatch would duplicate the FE execution and the fabric request.
+	if wl, ok := lc.pending[m.addr]; ok {
 		lc.stats.Coalesced.Add(1)
 		wl.locals = append(wl.locals, localWaiter{ch: m.resp, start: m.start})
 		return
 	}
 	wl := r.park(lc, m.addr)
 	wl.locals = append(wl.locals, localWaiter{ch: m.resp, start: m.start})
-	r.dispatch(lc, m.addr)
+	r.dispatch(lc, m.addr, wl)
 }
 
 // handleRequest serves a lookup request from a remote arrival LC.
 func (r *Router) handleRequest(lc *lineCard, m message) {
+	if home := lc.homeOf(m.addr); home != lc.id {
+		// The address was re-homed while this request was in flight (a
+		// table update swapped the partitioning under it). Running LPM
+		// here would consult the wrong partition and could cache a bogus
+		// verdict — e.g. NoNextHop — as a LOC entry that later local
+		// lookups hit. Forward to the current home instead; the reply
+		// still carries the original requester and epoch.
+		lc.stats.ForwardedRequests.Add(1)
+		r.sendFabric(home, m)
+		return
+	}
 	rw := remoteWaiter{from: m.from, epoch: m.epoch}
 	if lc.cache != nil {
 		switch res := lc.cache.Probe(m.addr); res.Kind {
@@ -349,14 +538,17 @@ func (r *Router) handleRequest(lc *lineCard, m message) {
 		default:
 			lc.cache.RecordMiss(m.addr, cache.LOC, 0)
 		}
-	} else if wl, ok := lc.pending[m.addr]; ok {
+	}
+	// Same bypass coalescing as handleLookup: never dispatch twice for
+	// one in-flight address.
+	if wl, ok := lc.pending[m.addr]; ok {
 		lc.stats.Coalesced.Add(1)
 		wl.remotes = append(wl.remotes, rw)
 		return
 	}
 	wl := r.park(lc, m.addr)
 	wl.remotes = append(wl.remotes, rw)
-	r.dispatch(lc, m.addr)
+	r.dispatch(lc, m.addr, wl)
 }
 
 // park returns (creating) the waitlist for addr.
@@ -371,8 +563,8 @@ func (r *Router) park(lc *lineCard, addr ip.Addr) *waitlist {
 }
 
 // dispatch resolves a miss: local FE execution when this LC is home,
-// otherwise a request over the fabric.
-func (r *Router) dispatch(lc *lineCard, addr ip.Addr) {
+// otherwise a request over the fabric with a retry deadline armed on wl.
+func (r *Router) dispatch(lc *lineCard, addr ip.Addr, wl *waitlist) {
 	home := lc.homeOf(addr)
 	if home == lc.id {
 		nh, _, ok := lc.engine.Lookup(addr)
@@ -384,7 +576,9 @@ func (r *Router) dispatch(lc *lineCard, addr ip.Addr) {
 		return
 	}
 	lc.stats.RequestsSent.Add(1)
-	r.send(home, message{kind: mRequest, addr: addr, from: lc.id, epoch: lc.epoch})
+	wl.attempts = 1
+	wl.deadline = time.Now().Add(r.timeout)
+	r.sendFabric(home, message{kind: mRequest, addr: addr, from: lc.id, epoch: lc.epoch})
 }
 
 // fillAndRelease installs a result and answers everything parked on it.
@@ -410,7 +604,7 @@ func (r *Router) fillAndRelease(lc *lineCard, addr ip.Addr, nh rtable.NextHop, o
 
 func (r *Router) sendReply(lc *lineCard, rw remoteWaiter, addr ip.Addr, nh rtable.NextHop, ok bool) {
 	lc.stats.RepliesSent.Add(1)
-	r.send(rw.from, message{kind: mReply, addr: addr, nextHop: nh, ok: ok, epoch: rw.epoch})
+	r.sendFabric(rw.from, message{kind: mReply, addr: addr, nextHop: nh, ok: ok, from: lc.id, epoch: rw.epoch})
 }
 
 // Lookup submits a destination address at line card lc and waits for the
@@ -536,6 +730,12 @@ func (r *Router) UpdateTable(tbl *rtable.Table) error {
 	defer r.mu.Unlock()
 	part := partition.Partition(tbl, r.cfg.NumLCs)
 
+	// Swap the degraded-path engine first: from here on a fallback
+	// resolution may observe either table, which is within the documented
+	// update-window semantics, and once UpdateTable returns it is
+	// guaranteed to be the new one.
+	r.fallback.Store(&fallbackEngine{eng: r.cfg.Engine(tbl)})
+
 	phase := func(mk func(i int) message) error {
 		dones := make([]chan struct{}, r.cfg.NumLCs)
 		for i := 0; i < r.cfg.NumLCs; i++ {
@@ -576,8 +776,13 @@ func (r *Router) UpdateTable(tbl *rtable.Table) error {
 func (r *Router) Stop() {
 	if r.stopped.Swap(true) {
 		r.wg.Wait()
+		r.delayWG.Wait()
 		return
 	}
 	close(r.quit)
 	r.wg.Wait()
+	// Delayed fabric messages are only spawned from LC goroutines, all of
+	// which have exited by now, so this wait is race-free; the helpers
+	// bail out as soon as quit closes.
+	r.delayWG.Wait()
 }

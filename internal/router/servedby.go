@@ -19,11 +19,17 @@ const (
 	ServedByFE
 	// ServedByRemote: reply from the home LC over the fabric.
 	ServedByRemote
+	// ServedByFallback: fabric retries exhausted; the arrival LC
+	// resolved the address against the router-wide read-only full-table
+	// engine (the degraded slow path). The verdict is still correct —
+	// the fallback engine holds the complete current table — but the
+	// lookup paid the deadline/retry latency to get there.
+	ServedByFallback
 )
 
 // servedByNames are the wire/report names, aligned with the legacy
 // string constants.
-var servedByNames = [...]string{"unknown", "cache", "fe", "remote"}
+var servedByNames = [...]string{"unknown", "cache", "fe", "remote", "fallback"}
 
 // String implements fmt.Stringer with the legacy names.
 func (s ServedBy) String() string {

@@ -20,6 +20,8 @@
 package spal
 
 import (
+	"time"
+
 	"spal/internal/cache"
 	"spal/internal/ip"
 	"spal/internal/lpm"
@@ -83,6 +85,15 @@ type (
 	MetricsSnapshot = metrics.Snapshot
 	// MetricsLabel is one metric dimension, e.g. {"lc", "3"}.
 	MetricsLabel = metrics.Label
+	// FaultInjector decides the fate of each inter-LC fabric message
+	// (chaos testing; see SeededFaults).
+	FaultInjector = router.FaultInjector
+	// FaultConfig parameterizes SeededFaults.
+	FaultConfig = router.FaultConfig
+	// FaultDecision is one injector verdict: drop, delay and/or duplicate.
+	FaultDecision = router.FaultDecision
+	// FabricMessage describes the message a FaultInjector is deciding on.
+	FabricMessage = router.FabricMessage
 )
 
 // ServedBy values, re-exported for verdict classification.
@@ -90,6 +101,10 @@ const (
 	ServedByCache  = router.ServedByCache
 	ServedByFE     = router.ServedByFE
 	ServedByRemote = router.ServedByRemote
+	// ServedByFallback marks a verdict served by the router-wide read-only
+	// full-table engine after the home LC stayed unreachable through the
+	// whole retry budget.
+	ServedByFallback = router.ServedByFallback
 )
 
 // ParsePrefix parses CIDR notation ("10.0.0.0/8").
@@ -179,6 +194,24 @@ func WithDefaultRouterCache() RouterOption { return router.WithDefaultCache() }
 
 // WithRouterEngine sets the matching-structure builder every LC uses.
 func WithRouterEngine(b EngineBuilder) RouterOption { return router.WithEngine(b) }
+
+// WithRouterFaultInjector installs a chaos hook on the fabric message
+// path; see SeededFaults for a deterministic injector.
+func WithRouterFaultInjector(fi FaultInjector) RouterOption { return router.WithFaultInjector(fi) }
+
+// WithRouterRequestTimeout sets the per-attempt deadline on fabric lookup
+// requests (default 50ms).
+func WithRouterRequestTimeout(d time.Duration) RouterOption { return router.WithRequestTimeout(d) }
+
+// WithRouterMaxRetries bounds timed-out request re-sends before a lookup
+// degrades to the full-table fallback engine (default 3).
+func WithRouterMaxRetries(n int) RouterOption { return router.WithMaxRetries(n) }
+
+// SeededFaults builds a deterministic fault injector: every fabric
+// message independently draws drop/duplicate/delay outcomes from a
+// counter-keyed hash of cfg.Seed, so a chaos run is reproducible from its
+// seed alone.
+func SeededFaults(cfg FaultConfig) FaultInjector { return router.SeededFaults(cfg) }
 
 // TracePresets lists the five paper traces.
 func TracePresets() []TracePreset { return trace.Presets }

@@ -1,7 +1,10 @@
 package spal
 
 import (
+	"bytes"
+	"strings"
 	"testing"
+	"time"
 )
 
 func TestFacadePartitionAndLookup(t *testing.T) {
@@ -65,5 +68,32 @@ func TestFacadeParsersAndPresets(t *testing.T) {
 	}
 	if got := len(SelectBits(tbl, 2)); got != 2 {
 		t.Errorf("SelectBits returned %d bits", got)
+	}
+}
+
+func TestFacadeFaultInjection(t *testing.T) {
+	tbl := SynthesizeTable(1000, 9)
+	r, err := NewRouter(tbl, WithLCs(2), WithDefaultRouterCache(),
+		WithRouterFaultInjector(SeededFaults(FaultConfig{Seed: 7, DropRate: 0.2})),
+		WithRouterRequestTimeout(2*time.Millisecond),
+		WithRouterMaxRetries(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	for i := 0; i < 50; i++ {
+		a := Addr(0x0a000000 + uint32(i)*9973)
+		if _, err := r.Lookup(i%2, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := r.Metrics().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"spal_router_retries_total", "spal_router_fallbacks_total", "spal_router_deadline_expired_total"} {
+		if !strings.Contains(buf.String(), name) {
+			t.Errorf("metrics text missing %s", name)
+		}
 	}
 }
