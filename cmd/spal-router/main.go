@@ -14,6 +14,8 @@
 //	echo 10.1.2.3 | spal-router -i            # interactive lookups
 //	spal-router -metrics :9090 -n 1000000     # drive load, then serve /metrics
 //	spal-router -fault-rate 0.1 -n 100000     # chaos mode: drop 10% of fabric messages
+//	spal-router -kill-lc 2 -n 500000          # crash LC 2 mid-drive, watch the re-homing
+//	spal-router -drain-after 50ms -n 500000   # drain LC 0 mid-drive, restore after
 package main
 
 import (
@@ -53,6 +55,8 @@ func main() {
 	faultSeed := flag.Uint64("fault-seed", 1, "seed for the deterministic fault injector")
 	timeout := flag.Duration("timeout", 0, "per-attempt fabric request deadline (0 = default 50ms)")
 	retries := flag.Int("retries", 0, "fabric request retries before falling back (0 = default 3, negative = none)")
+	killLC := flag.Int("kill-lc", -1, "crash this line card shortly into the drive (lifecycle demo)")
+	drainAfter := flag.Duration("drain-after", 0, "drain LC 0 this long into the drive, restore when it ends")
 	flag.Parse()
 
 	builder, ok := spal.Engines()[*engineName]
@@ -112,12 +116,12 @@ func main() {
 			os.Exit(1)
 		}
 		addrs := trace.Slice(fs, fs.Len())
-		drive(r, *psi, addrs)
+		drive(r, *psi, addrs, *killLC, *drainAfter)
 	default:
 		tc := trace.PresetConfig(trace.Preset(*preset))
 		pool := trace.NewPool(tbl, tc)
 		addrs := trace.Slice(trace.NewSynthetic(pool, tc, 0), *n)
-		drive(r, *psi, addrs)
+		drive(r, *psi, addrs, *killLC, *drainAfter)
 	}
 
 	if *metricsAddr != "" && !*interactive {
@@ -141,8 +145,33 @@ func serveMetrics(addr string, r *router.Router) error {
 }
 
 // drive spreads the addresses across LCs round-robin with one goroutine
-// per LC and reports aggregate throughput and per-LC counters.
-func drive(r *router.Router, psi int, addrs []ip.Addr) {
+// per LC and reports aggregate throughput and per-LC counters. killLC >= 0
+// crashes that LC shortly into the drive; drainAfter > 0 drains LC 0
+// mid-drive and restores it once the drive ends — both exercise the
+// lifecycle subsystem under real load.
+func drive(r *router.Router, psi int, addrs []ip.Addr, killLC int, drainAfter time.Duration) {
+	if killLC >= 0 {
+		time.AfterFunc(10*time.Millisecond, func() {
+			if err := r.KillLC(killLC); err != nil {
+				fmt.Fprintln(os.Stderr, "kill-lc:", err)
+				return
+			}
+			fmt.Printf("crashed LC %d mid-drive\n", killLC)
+		})
+	}
+	var drained chan error
+	if drainAfter > 0 {
+		drained = make(chan error, 1)
+		time.AfterFunc(drainAfter, func() {
+			fmt.Println("draining LC 0 mid-drive")
+			t0 := time.Now()
+			err := r.DrainLC(0)
+			if err == nil {
+				fmt.Printf("drained LC 0 in %v\n", time.Since(t0))
+			}
+			drained <- err
+		})
+	}
 	before := r.Metrics()
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -189,6 +218,36 @@ func drive(r *router.Router, psi int, addrs []ip.Addr) {
 	if retries+fallbacks+expired+forwarded > 0 {
 		fmt.Printf("fabric faults survived: %.0f retries, %.0f deadline expiries, %.0f fallback verdicts, %.0f forwarded requests\n",
 			retries, expired, fallbacks, forwarded)
+	}
+
+	// Lifecycle summary: admin drain completion, crash re-homings, and the
+	// final per-LC states when anything left Healthy.
+	if drained != nil {
+		if err := <-drained; err != nil {
+			fmt.Fprintln(os.Stderr, "drain:", err)
+		} else if err := r.RestoreLC(0); err != nil {
+			fmt.Fprintln(os.Stderr, "restore:", err)
+		} else {
+			fmt.Println("restored LC 0")
+		}
+	}
+	after := r.Metrics()
+	rehomes := after.Sum(router.MetricRehomes)
+	replayed := after.Sum(router.MetricReplayed)
+	if rehomes > 0 {
+		fmt.Printf("lifecycle: %.0f partition re-homings, %.0f parked lookups replayed\n", rehomes, replayed)
+	}
+	states := r.LCStates()
+	allHealthy := true
+	for _, s := range states {
+		allHealthy = allHealthy && s == router.LCHealthy
+	}
+	if !allHealthy {
+		parts := make([]string, len(states))
+		for i, s := range states {
+			parts[i] = fmt.Sprintf("%d=%s", i, s)
+		}
+		fmt.Printf("lc states: %s\n", strings.Join(parts, " "))
 	}
 }
 

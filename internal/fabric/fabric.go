@@ -72,14 +72,36 @@ func Latency(k Kind, numLCs int) int {
 	}
 }
 
-// MsgKind distinguishes lookup requests from replies.
+// MsgKind distinguishes lookup requests from replies and liveness
+// heartbeats.
 type MsgKind uint8
 
 // Message kinds.
 const (
 	Request MsgKind = iota // packet forwarded to its home LC for lookup
 	Reply                  // lookup result returned to the arrival LC
+	// Heartbeat is a liveness beat from a line card to the chassis
+	// control plane. The paper has no failure model, so it never needs
+	// one; the concurrent router's LC lifecycle machinery does — each LC
+	// emits a heartbeat per deadline-ticker period, and the health
+	// monitor demotes an LC to Suspect when several in a row go missing.
+	// Heartbeats carry no address or next hop.
+	Heartbeat
 )
+
+// String names the message kind.
+func (k MsgKind) String() string {
+	switch k {
+	case Request:
+		return "request"
+	case Reply:
+		return "reply"
+	case Heartbeat:
+		return "heartbeat"
+	default:
+		return fmt.Sprintf("msgkind(%d)", uint8(k))
+	}
+}
 
 // Message is one unit crossing the fabric.
 type Message struct {

@@ -27,6 +27,15 @@ func TestKindString(t *testing.T) {
 	}
 }
 
+func TestMsgKindString(t *testing.T) {
+	if Request.String() != "request" || Reply.String() != "reply" || Heartbeat.String() != "heartbeat" {
+		t.Error("msg kind names wrong")
+	}
+	if MsgKind(9).String() == "" {
+		t.Error("unknown msg kind should still render")
+	}
+}
+
 func TestPipeDelivery(t *testing.T) {
 	p := NewPipe(3)
 	p.Send(10, Message{PacketID: 1})

@@ -69,13 +69,55 @@ func Partition(t *rtable.Table, numLCs int) *Partitioning {
 	return WithBits(t, numLCs, bits)
 }
 
+// Subset fragments t for a chassis of numLCs slots of which only the
+// alive ones currently own ROT-partitions: η = ceil(log2 len(alive))
+// control bits are selected per the paper's criteria and the 2^η
+// patterns are folded onto the alive slots in order (pattern i →
+// alive[i mod len(alive)]). Slots not in alive receive an empty
+// forwarding table and are never returned by HomeLC, so the home-LC
+// invariant holds over the survivors alone — this is what lets the
+// router re-home partitions away from a dead or draining line card
+// without touching the routing table itself. alive must be non-empty,
+// strictly increasing, and within [0, numLCs). Subset(t, ψ, [0..ψ)) is
+// exactly Partition(t, ψ).
+func Subset(t *rtable.Table, numLCs int, alive []int) *Partitioning {
+	eta := ceilLog2(len(alive))
+	bits := SelectBits(t, eta)
+	return SubsetWithBits(t, numLCs, alive, bits)
+}
+
 // WithBits fragments t using explicitly chosen control bits (η =
 // len(bits)); 2^η patterns are folded onto numLCs by pattern mod numLCs.
 // It panics when 2^len(bits) < numLCs, which would leave some LC without
 // a pattern.
 func WithBits(t *rtable.Table, numLCs int, bits []int) *Partitioning {
-	if 1<<len(bits) < numLCs {
-		panic(fmt.Sprintf("partition: %d bits cannot address %d LCs", len(bits), numLCs))
+	alive := make([]int, numLCs)
+	for i := range alive {
+		alive[i] = i
+	}
+	return SubsetWithBits(t, numLCs, alive, bits)
+}
+
+// SubsetWithBits is Subset with explicitly chosen control bits. It
+// panics when 2^len(bits) < len(alive), which would leave some alive LC
+// without a pattern, and on a malformed alive set.
+func SubsetWithBits(t *rtable.Table, numLCs int, alive []int, bits []int) *Partitioning {
+	if numLCs < 1 {
+		panic("partition: numLCs must be >= 1")
+	}
+	if len(alive) == 0 {
+		panic("partition: alive set must be non-empty")
+	}
+	for i, lc := range alive {
+		if lc < 0 || lc >= numLCs {
+			panic(fmt.Sprintf("partition: alive LC %d outside [0, %d)", lc, numLCs))
+		}
+		if i > 0 && alive[i-1] >= lc {
+			panic("partition: alive set must be strictly increasing")
+		}
+	}
+	if 1<<len(bits) < len(alive) {
+		panic(fmt.Sprintf("partition: %d bits cannot address %d LCs", len(bits), len(alive)))
 	}
 	p := &Partitioning{
 		Bits:   append([]int(nil), bits...),
@@ -86,7 +128,7 @@ func WithBits(t *rtable.Table, numLCs int, bits []int) *Partitioning {
 	p.patternToLC = make([]int, numPatterns)
 	perLC := make([][]rtable.Route, numLCs)
 	for pat := 0; pat < numPatterns; pat++ {
-		p.patternToLC[pat] = pat % numLCs
+		p.patternToLC[pat] = alive[pat%len(alive)]
 	}
 	for _, r := range t.Routes() {
 		for _, pat := range compatiblePatterns(r.Prefix, bits) {

@@ -15,12 +15,21 @@ import (
 	"spal/internal/ip"
 )
 
+// ControlLC is the pseudo line-card id of the chassis control plane, used
+// as the To of heartbeat messages seen by a FaultInjector.
+const ControlLC = -1
+
 // FabricMessage describes one message about to cross the fabric, as seen
 // by a FaultInjector.
 type FabricMessage struct {
 	// Reply is false for a lookup request travelling to a home LC, true
 	// for a result travelling back to the requester.
 	Reply bool
+	// Heartbeat marks a liveness beat from a line card to the health
+	// monitor (To == ControlLC, Addr unused). Dropping heartbeats starves
+	// the monitor and pushes the LC toward Suspect; Delay and Duplicate
+	// are ignored for beats.
+	Heartbeat bool
 	// From and To are line-card ids. For a request, From is the
 	// requester; for a reply, From is the responding home LC.
 	From, To int

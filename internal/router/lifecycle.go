@@ -1,0 +1,414 @@
+// Line-card lifecycle: health monitoring, admin drain, crash detection,
+// and automatic partition re-homing.
+//
+// SPAL's premise is that each LC owns one ROT-partition, so a dead or
+// wedged line card black-holes every remote lookup homed on it until the
+// retry budget burns down into the full-table fallback. The lifecycle
+// subsystem turns LC failure and maintenance into first-class events:
+//
+//	          beats resume
+//	    ┌─────────────────────┐
+//	    ▼                     │
+//	HEALTHY ──beats missed──▶ SUSPECT ──missed ∧ crashed──▶ DOWN
+//	    │                         │                          │ ▲
+//	    │ DrainLC          DrainLC│        RestoreLC         │ │ KillLC /
+//	    ▼                         ▼      ┌───────────────────┘ │ crash
+//	DRAINING ◀────────────────────┘      ▼                     │
+//	    │        RestoreLC            HEALTHY ─────────────────┘
+//	    └────────────────────────────▶
+//
+// Heartbeats piggyback on the per-LC deadline ticker and cross the
+// (virtual) fabric, so an installed FaultInjector can drop them: a few
+// consecutive losses demote the LC to Suspect, resumed beats heal it.
+// Down is deliberately stricter than Suspect: the health monitor only
+// declares an LC dead once its goroutine has provably exited (the
+// crash), never on missed beats alone — re-homing a partition away from
+// an owner that might still be running would be a split-brain.
+//
+// When an LC goes Down the router recomputes the partitioning over the
+// survivors (partition.Subset, ψ−1 pattern folding), adopts the dead
+// LC's waitlists, restarts the slot as an empty shell that forwards its
+// arrival traffic, replays the parked lookups against the new homes, and
+// runs the same two-phase swap UpdateTable uses so every LC installs the
+// new engine + homeOf pair and flushes the now-stale LOC/REM cache
+// entries for the moved ranges. DrainLC is the graceful version: the
+// partition moves first, then the call blocks until every waitlist that
+// existed at drain time has resolved — no lookup is ever dropped or
+// expired by an admin drain.
+package router
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"spal/internal/ip"
+	"spal/internal/partition"
+)
+
+// atomicLCState is an LCState behind an atomic (monitor writes, Metrics
+// and LCStates read).
+type atomicLCState struct{ v atomic.Int32 }
+
+func (a *atomicLCState) Load() LCState   { return LCState(a.v.Load()) }
+func (a *atomicLCState) Store(s LCState) { a.v.Store(int32(s)) }
+
+// atomicTime is a wall-clock instant behind an atomic (LC goroutines
+// write their heartbeat, the monitor reads).
+type atomicTime struct{ v atomic.Int64 }
+
+func (a *atomicTime) Load() time.Time   { return time.Unix(0, a.v.Load()) }
+func (a *atomicTime) Store(t time.Time) { a.v.Store(t.UnixNano()) }
+
+// LCState is one line card's lifecycle state.
+type LCState uint8
+
+// LC lifecycle states.
+const (
+	// LCHealthy: the LC heartbeats on time and owns its ROT-partition.
+	LCHealthy LCState = iota
+	// LCSuspect: heartbeats have been missing for at least the suspect
+	// window. The LC keeps its partition (fabric loss can fake this);
+	// lookups homed on it ride the deadline/retry/fallback machinery.
+	LCSuspect
+	// LCDown: the LC crashed (its goroutine exited) and its partition has
+	// been re-homed onto the survivors. The slot keeps accepting arrival
+	// traffic as an empty forwarding shell until RestoreLC.
+	LCDown
+	// LCDraining: an administrator called DrainLC; the partition has been
+	// re-homed and the LC is quiescing (or has quiesced) its waitlists.
+	LCDraining
+)
+
+// lcStateNames are the wire/report names, used by String and the
+// spal_router_lc_state gauge documentation.
+var lcStateNames = [...]string{"healthy", "suspect", "down", "draining"}
+
+// String implements fmt.Stringer.
+func (s LCState) String() string {
+	if int(s) < len(lcStateNames) {
+		return lcStateNames[s]
+	}
+	return fmt.Sprintf("LCState(%d)", uint8(s))
+}
+
+// Lifecycle defaults: an LC is Suspect after one request-timeout without
+// a heartbeat (the ticker beats every timeout/4, so ~3 missed beats) and
+// eligible for Down after two.
+const (
+	defaultSuspectFactor = 1 // × RequestTimeout
+	defaultDownFactor    = 2 // × RequestTimeout
+)
+
+// lcLife is the control-plane view of one line-card slot. state and
+// lastBeat are atomics (read by Metrics and the health monitor without
+// locks); die and exited belong to the current goroutine incarnation and
+// are replaced, under Router.mu, when a crashed slot is reborn.
+type lcLife struct {
+	state    atomicLCState
+	lastBeat atomicTime
+	die      chan struct{} // closed by KillLC to crash this incarnation
+	exited   chan struct{} // closed when this incarnation's goroutine returns
+}
+
+// beat records one heartbeat from an LC, routed through the fault
+// injector like any other fabric message (To == ControlLC): a dropped
+// beat is simply never recorded, and enough consecutive losses push the
+// LC to Suspect until beats resume.
+func (r *Router) beat(id int, now time.Time) {
+	if r.injector != nil {
+		if r.injector(FabricMessage{Heartbeat: true, From: id, To: ControlLC}).Drop {
+			return
+		}
+	}
+	r.life[id].lastBeat.Store(now)
+}
+
+// healthLoop is the router's health monitor: every ticker period it
+// sweeps the heartbeat clocks, demotes silent LCs to Suspect, heals
+// Suspects whose beats resumed, and re-homes LCs that are both silent
+// and provably crashed.
+func (r *Router) healthLoop() {
+	defer r.wg.Done()
+	tick := time.NewTicker(r.tickEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case now := <-tick.C:
+			r.healthCheck(now)
+		case <-r.quit:
+			return
+		}
+	}
+}
+
+func (r *Router) healthCheck(now time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stopped.Load() {
+		return
+	}
+	var dead []int
+	for i, l := range r.life {
+		st := l.state.Load()
+		if st == LCDown {
+			continue
+		}
+		crashed := false
+		select {
+		case <-l.exited:
+			crashed = true
+		default:
+		}
+		age := now.Sub(l.lastBeat.Load())
+		if age >= r.downAfter && crashed {
+			dead = append(dead, i)
+			continue
+		}
+		switch {
+		case st == LCHealthy && age >= r.suspectAfter:
+			l.state.Store(LCSuspect)
+			r.suspects.Add(1)
+		case st == LCSuspect && age < r.suspectAfter:
+			l.state.Store(LCHealthy)
+		}
+	}
+	for _, i := range dead {
+		r.rehomeLocked(i)
+	}
+}
+
+// rehomeLocked declares LC dead, re-homes its partition onto the
+// survivors, reboots the slot as an empty forwarding shell, and replays
+// its parked lookups. r.mu must be held and the LC's goroutine must have
+// exited (close(exited) happens-before this call, which is what makes
+// adopting its goroutine-private state race-free).
+func (r *Router) rehomeLocked(dead int) {
+	l := r.life[dead]
+	l.state.Store(LCDown)
+	alive := r.aliveLCsLocked()
+	if len(alive) == 0 {
+		// Everything else is down or draining: the reborn shell inherits
+		// the whole table rather than leaving the router homeless.
+		alive = []int{dead}
+	}
+	part := partition.Subset(r.part.Full(), r.cfg.NumLCs, alive)
+
+	// Adopt the corpse. The crash lost the LC's engine and cache; give
+	// the shell the new (empty, unless it is the sole survivor) partition
+	// and bump the epoch so replies computed for the dead incarnation
+	// cannot fill the flushed cache.
+	lc := r.lcs[dead]
+	lc.engine = r.cfg.Engine(part.Table(dead))
+	lc.homeOf = part.HomeLC
+	lc.epoch++
+	if lc.cache != nil {
+		lc.cache.Flush()
+	}
+	pend := lc.pending
+	lc.pending = make(map[ip.Addr]*waitlist)
+	lc.pendingDepth.Store(0)
+	lc.waiters.Store(0)
+
+	// Rebirth: a fresh incarnation of the slot, serving arrival traffic
+	// by forwarding to the new homes. healthLoop itself is a member of
+	// r.wg, so the counter is provably non-zero here and Add cannot race
+	// Stop's Wait.
+	l.die = make(chan struct{})
+	l.exited = make(chan struct{})
+	l.lastBeat.Store(time.Now())
+	r.wg.Add(1)
+	go r.lcLoop(lc, r.outs[dead], l.die, l.exited)
+
+	// Replay the lookups that were parked at the dead LC: re-submitted at
+	// the reborn slot (FIFO-before the swap messages), they re-dispatch
+	// against the new homeOf. Remote waiters need no replay — their
+	// requesters hold their own deadline-armed waitlists, which the
+	// mRekey phase of the swap below re-drives.
+	replayed := 0
+	for addr, wl := range pend {
+		for _, w := range wl.locals {
+			r.send(dead, message{kind: mLookup, addr: addr, resp: w.ch, start: w.start})
+			replayed++
+		}
+	}
+	r.rehomes.Add(1)
+	r.replayed.Add(int64(replayed))
+
+	if err := r.swapPartitioning(part); err != nil {
+		return // stopping; the partial swap no longer matters
+	}
+	r.part = part
+}
+
+// aliveLCsLocked returns the LCs that currently own partitions (Healthy
+// or Suspect — a Suspect may just be behind a lossy fabric). r.mu must
+// be held.
+func (r *Router) aliveLCsLocked() []int {
+	var out []int
+	for i, l := range r.life {
+		if st := l.state.Load(); st == LCHealthy || st == LCSuspect {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// LCStates returns every line card's current lifecycle state, indexed by
+// LC id.
+func (r *Router) LCStates() []LCState {
+	out := make([]LCState, len(r.life))
+	for i, l := range r.life {
+		out[i] = l.state.Load()
+	}
+	return out
+}
+
+// KillLC crashes line card lc: its goroutine exits mid-stream exactly as
+// a hardware fault would stop a real card, losing its engine and cache
+// but not the fabric-buffered messages addressed to it. The health
+// monitor notices the missing heartbeats, declares the LC Down, re-homes
+// its partition onto the survivors and replays its parked lookups; every
+// in-flight lookup still terminates with a correct verdict. Chaos-test
+// hook first, admin tool second.
+func (r *Router) KillLC(lc int) error {
+	if lc < 0 || lc >= r.cfg.NumLCs {
+		return fmt.Errorf("router: no such LC %d", lc)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stopped.Load() {
+		return ErrStopped
+	}
+	l := r.life[lc]
+	if l.state.Load() == LCDown {
+		return fmt.Errorf("router: LC %d is already down", lc)
+	}
+	select {
+	case <-l.die:
+	default:
+		close(l.die)
+	}
+	return nil
+}
+
+// DrainLC takes line card lc out of service for maintenance: its
+// ROT-partition is re-homed onto the remaining LCs with the same
+// two-phase swap UpdateTable uses, and the call then blocks until every
+// lookup that was parked at the LC when the drain began has resolved.
+// The drained LC keeps running — it still accepts arrival traffic and
+// serves it via its LR-cache and the fabric — it just owns no partition
+// until RestoreLC. A clean drain never expires or drops a lookup.
+func (r *Router) DrainLC(lc int) error {
+	if lc < 0 || lc >= r.cfg.NumLCs {
+		return fmt.Errorf("router: no such LC %d", lc)
+	}
+	r.mu.Lock()
+	if r.stopped.Load() {
+		r.mu.Unlock()
+		return ErrStopped
+	}
+	l := r.life[lc]
+	switch l.state.Load() {
+	case LCDraining:
+		r.mu.Unlock()
+		return fmt.Errorf("router: LC %d is already draining", lc)
+	case LCDown:
+		r.mu.Unlock()
+		return fmt.Errorf("router: LC %d is down", lc)
+	}
+	start := time.Now()
+	l.state.Store(LCDraining)
+	alive := r.aliveLCsLocked()
+	if len(alive) == 0 {
+		l.state.Store(LCHealthy)
+		r.mu.Unlock()
+		return fmt.Errorf("router: cannot drain LC %d, it is the last active LC", lc)
+	}
+	part := partition.Subset(r.part.Full(), r.cfg.NumLCs, alive)
+	if err := r.swapPartitioning(part); err != nil {
+		r.mu.Unlock()
+		return err
+	}
+	r.part = part
+	r.mu.Unlock()
+
+	// Quiesce: the swap's mRekey already re-drove every parked lookup
+	// against the new homes; wait until each address that was in the
+	// LC's waitlists has resolved at least once. Tracking the snapshot
+	// (not the live depth) keeps the drain bounded under continuous
+	// arrival traffic.
+	remaining, err := r.pendingAddrs(lc)
+	if err != nil {
+		return err
+	}
+	for len(remaining) > 0 {
+		select {
+		case <-r.quit:
+			return ErrStopped
+		case <-time.After(r.tickEvery):
+		}
+		cur, err := r.pendingAddrs(lc)
+		if err != nil {
+			return err
+		}
+		for a := range remaining {
+			if _, still := cur[a]; !still {
+				delete(remaining, a)
+			}
+		}
+	}
+	r.drains.Add(1)
+	r.drainDur.ObserveDuration(time.Since(start))
+	return nil
+}
+
+// pendingAddrs snapshots the set of addresses with parked lookups at an
+// LC, collected on the owning goroutine.
+func (r *Router) pendingAddrs(lc int) (map[ip.Addr]struct{}, error) {
+	out := make(chan map[ip.Addr]struct{}, 1)
+	ok := r.send(lc, message{kind: mExec, do: func(lc *lineCard) {
+		m := make(map[ip.Addr]struct{}, len(lc.pending))
+		for a := range lc.pending {
+			m[a] = struct{}{}
+		}
+		out <- m
+	}})
+	if !ok {
+		return nil, ErrStopped
+	}
+	select {
+	case m := <-out:
+		return m, nil
+	case <-r.quit:
+		return nil, ErrStopped
+	}
+}
+
+// RestoreLC returns a drained or down line card to service: the
+// partitioning is recomputed over the enlarged alive set and swapped in
+// two phases, after which the LC owns a ROT-partition again. For a Down
+// LC this restores the reborn shell (the slot's goroutine keeps running
+// across a crash), so no separate "replace card" call is needed.
+func (r *Router) RestoreLC(lc int) error {
+	if lc < 0 || lc >= r.cfg.NumLCs {
+		return fmt.Errorf("router: no such LC %d", lc)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stopped.Load() {
+		return ErrStopped
+	}
+	l := r.life[lc]
+	if st := l.state.Load(); st == LCHealthy || st == LCSuspect {
+		return fmt.Errorf("router: LC %d is %s, nothing to restore", lc, st)
+	}
+	l.lastBeat.Store(time.Now()) // fresh grace period before suspicion
+	l.state.Store(LCHealthy)
+	part := partition.Subset(r.part.Full(), r.cfg.NumLCs, r.aliveLCsLocked())
+	if err := r.swapPartitioning(part); err != nil {
+		return err
+	}
+	r.part = part
+	return nil
+}

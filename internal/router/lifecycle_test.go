@@ -1,0 +1,524 @@
+// Lifecycle tests: LC health monitoring, crash re-homing, admin drain,
+// and the Stop/UpdateTable interleaving contract. The ChaosKillLC test is
+// part of the CI chaos matrix (it honors SPAL_CHAOS_SEED).
+package router
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"spal/internal/ip"
+	"spal/internal/lpm"
+	"spal/internal/rtable"
+	"spal/internal/stats"
+)
+
+// TestChaosKillLCUnderFaults is the lifecycle acceptance check: a line
+// card is crashed mid-traffic while a seeded injector drops 10% of fabric
+// messages (heartbeats included). Every lookup — submitted before, during
+// and after the crash, at every LC including the dead one — must still
+// return the reference-LPM verdict; none may be lost. Afterwards the
+// partition must be re-homed onto the survivors.
+func TestChaosKillLCUnderFaults(t *testing.T) {
+	tbl := rtable.Small(2000, 7)
+	oracle := lpm.NewReference(tbl)
+	for _, seed := range chaosSeeds(t) {
+		t.Run("seed="+strconv.FormatUint(seed, 10), func(t *testing.T) {
+			r, err := New(tbl, WithLCs(4), WithDefaultCache(),
+				WithFaultInjector(SeededFaults(FaultConfig{Seed: seed, DropRate: 0.10})),
+				WithRequestTimeout(2*time.Millisecond), WithMaxRetries(2),
+				WithHealthThresholds(4*time.Millisecond, 8*time.Millisecond))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Stop()
+
+			var wg sync.WaitGroup
+			var served atomic.Int64
+			errs := make(chan string, 64)
+			const perLC = 400
+			for lc := 0; lc < 4; lc++ {
+				wg.Add(1)
+				go func(lc int) {
+					defer wg.Done()
+					rng := stats.NewRNG(seed + uint64(lc)*101)
+					for i := 0; i < perLC; i++ {
+						var a ip.Addr
+						if i%3 == 0 {
+							a = rng.Uint32() // may be unmatched
+						} else {
+							a = tbl.RandomMatchedAddr(rng)
+						}
+						v, err := r.Lookup(lc, a)
+						if err != nil {
+							errs <- err.Error()
+							return
+						}
+						if !verdictMatches(v, oracle, a) {
+							errs <- "wrong verdict for " + ip.FormatAddr(a) + " served by " + v.ServedBy.String()
+							return
+						}
+						served.Add(1)
+					}
+				}(lc)
+			}
+
+			// Crash LC 2 once traffic is rolling.
+			waitFor(t, "traffic to start", func() bool { return served.Load() > 50 })
+			if err := r.KillLC(2); err != nil {
+				t.Fatal(err)
+			}
+			waitFor(t, "LC 2 to be declared down", func() bool {
+				return r.LCStates()[2] == LCDown
+			})
+
+			wg.Wait()
+			close(errs)
+			for e := range errs {
+				t.Fatal(e)
+			}
+			if got := served.Load(); got != 4*perLC {
+				t.Fatalf("served %d lookups, want %d (none may be lost)", got, 4*perLC)
+			}
+
+			// Re-homed: no address may be homed on the dead LC, and every
+			// home must still answer with the oracle verdict.
+			rng := stats.NewRNG(seed ^ 0xdead)
+			for i := 0; i < 300; i++ {
+				a := rng.Uint32()
+				if home := r.HomeLC(a); home == 2 {
+					t.Fatalf("HomeLC(%s) = 2 after its death", ip.FormatAddr(a))
+				}
+			}
+			s := r.Metrics()
+			if s.Sum(MetricRehomes) < 1 {
+				t.Error("no re-homing recorded after an LC death")
+			}
+		})
+	}
+}
+
+// TestKillLCRehomeProperty is the re-homing correctness property on a
+// clean fabric: after an LC dies, every address is homed on a survivor
+// and its lookup verdict (asked at every LC, the dead shell included)
+// still equals the full-table oracle.
+func TestKillLCRehomeProperty(t *testing.T) {
+	tbl := rtable.Small(2000, 19)
+	oracle := lpm.NewReference(tbl)
+	r, err := New(tbl, WithLCs(4),
+		WithRequestTimeout(4*time.Millisecond),
+		WithHealthThresholds(4*time.Millisecond, 8*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+
+	if err := r.KillLC(1); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "LC 1 down", func() bool { return r.LCStates()[1] == LCDown })
+
+	rng := stats.NewRNG(31)
+	for i := 0; i < 250; i++ {
+		var a ip.Addr
+		if i%2 == 0 {
+			a = tbl.RandomMatchedAddr(rng)
+		} else {
+			a = rng.Uint32()
+		}
+		if home := r.HomeLC(a); home == 1 {
+			t.Fatalf("HomeLC(%s) = 1, the dead LC", ip.FormatAddr(a))
+		}
+		v, err := r.Lookup(i%4, a) // i%4 == 1 exercises the reborn shell
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !verdictMatches(v, oracle, a) {
+			t.Fatalf("verdict for %s at LC %d wrong after re-homing", ip.FormatAddr(a), i%4)
+		}
+	}
+
+	// RestoreLC brings the slot back into the partitioning.
+	if err := r.RestoreLC(1); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.LCStates()[1]; st != LCHealthy {
+		t.Fatalf("restored LC state = %s, want healthy", st)
+	}
+	foundHome := false
+	for i := 0; i < 2000 && !foundHome; i++ {
+		foundHome = r.HomeLC(rng.Uint32()) == 1
+	}
+	if !foundHome {
+		t.Error("restored LC owns no pattern")
+	}
+	for i := 0; i < 100; i++ {
+		a := tbl.RandomMatchedAddr(rng)
+		v, err := r.Lookup(i%4, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !verdictMatches(v, oracle, a) {
+			t.Fatalf("verdict for %s wrong after restore", ip.FormatAddr(a))
+		}
+	}
+}
+
+// TestDrainLCGraceful drains a loaded LC mid-traffic: the drain must
+// complete, no lookup may expire its retry budget (zero
+// deadline_expired), every verdict stays correct, and RestoreLC returns
+// the LC to service.
+func TestDrainLCGraceful(t *testing.T) {
+	tbl := rtable.Small(2000, 23)
+	oracle := lpm.NewReference(tbl)
+	// A generous timeout: any deadline expiry during the drain would be a
+	// dropped-lookup bug, not fabric loss.
+	r, err := New(tbl, WithLCs(4), WithDefaultCache(), WithRequestTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+
+	var wg sync.WaitGroup
+	var served atomic.Int64
+	errs := make(chan string, 64)
+	for lc := 0; lc < 4; lc++ {
+		wg.Add(1)
+		go func(lc int) {
+			defer wg.Done()
+			rng := stats.NewRNG(uint64(lc)*7 + 3)
+			for i := 0; i < 300; i++ {
+				a := tbl.RandomMatchedAddr(rng)
+				v, err := r.Lookup(lc, a)
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				if !verdictMatches(v, oracle, a) {
+					errs <- "wrong verdict for " + ip.FormatAddr(a)
+					return
+				}
+				served.Add(1)
+			}
+		}(lc)
+	}
+
+	waitFor(t, "traffic to start", func() bool { return served.Load() > 50 })
+	if err := r.DrainLC(1); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.LCStates()[1]; st != LCDraining {
+		t.Fatalf("state after drain = %s, want draining", st)
+	}
+	if _, err := r.Lookup(1, tbl.RandomMatchedAddr(stats.NewRNG(9))); err != nil {
+		t.Fatalf("drained LC must keep serving arrival traffic: %v", err)
+	}
+	rng := stats.NewRNG(13)
+	for i := 0; i < 300; i++ {
+		if r.HomeLC(rng.Uint32()) == 1 {
+			t.Fatal("drained LC still owns part of the partition")
+		}
+	}
+
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+
+	s := r.Metrics()
+	if got := s.Sum(MetricDeadlineExpired); got != 0 {
+		t.Errorf("deadline expiries during a clean drain = %v, want 0", got)
+	}
+	if got := s.Sum(MetricDrains); got != 1 {
+		t.Errorf("drains = %v, want 1", got)
+	}
+	if h, ok := s.HistValue(MetricDrainDuration); !ok || h.Count != 1 {
+		t.Errorf("drain duration histogram count = %+v (ok=%v), want 1", h, ok)
+	}
+
+	if err := r.RestoreLC(1); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.LCStates()[1]; st != LCHealthy {
+		t.Fatalf("state after restore = %s, want healthy", st)
+	}
+}
+
+// TestLifecycleAdminErrors pins the admin API's error contract.
+func TestLifecycleAdminErrors(t *testing.T) {
+	tbl := rtable.Small(500, 3)
+	r, err := New(tbl, WithLCs(2), WithRequestTimeout(4*time.Millisecond),
+		WithHealthThresholds(4*time.Millisecond, 8*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+
+	if err := r.KillLC(7); err == nil {
+		t.Error("KillLC out of range must fail")
+	}
+	if err := r.DrainLC(-1); err == nil {
+		t.Error("DrainLC out of range must fail")
+	}
+	if err := r.RestoreLC(0); err == nil {
+		t.Error("RestoreLC of a healthy LC must fail")
+	}
+	if err := r.DrainLC(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.DrainLC(0); err == nil {
+		t.Error("double drain must fail")
+	}
+	if err := r.DrainLC(1); err == nil {
+		t.Error("draining the last active LC must fail")
+	}
+	if err := r.RestoreLC(0); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := r.KillLC(1); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "LC 1 down", func() bool { return r.LCStates()[1] == LCDown })
+	if err := r.KillLC(1); err == nil {
+		t.Error("killing a down LC must fail")
+	}
+	if err := r.DrainLC(1); err == nil {
+		t.Error("draining a down LC must fail")
+	}
+}
+
+// TestHeartbeatLossSuspectsButNeverDowns: a fabric that eats every
+// heartbeat pushes a *running* LC to Suspect — and no further, because
+// Down additionally requires the goroutine to have exited. Resumed beats
+// heal the LC.
+func TestHeartbeatLossSuspectsButNeverDowns(t *testing.T) {
+	var eatBeats atomic.Bool
+	eatBeats.Store(true)
+	inj := func(m FabricMessage) FaultDecision {
+		return FaultDecision{Drop: m.Heartbeat && eatBeats.Load()}
+	}
+	tbl := rtable.Small(500, 5)
+	r, err := New(tbl, WithLCs(2), WithFaultInjector(inj),
+		WithRequestTimeout(4*time.Millisecond),
+		WithHealthThresholds(4*time.Millisecond, 8*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+
+	waitFor(t, "both LCs suspect", func() bool {
+		st := r.LCStates()
+		return st[0] == LCSuspect && st[1] == LCSuspect
+	})
+	// Starved long past downAfter, still only Suspect: lookups keep
+	// resolving and nothing is re-homed.
+	time.Sleep(20 * time.Millisecond)
+	for _, st := range r.LCStates() {
+		if st == LCDown {
+			t.Fatal("heartbeat loss alone must never declare an LC down")
+		}
+	}
+	if v, err := r.Lookup(0, tbl.RandomMatchedAddr(stats.NewRNG(1))); err != nil || !v.OK {
+		t.Fatalf("suspect router lost a lookup: %+v, %v", v, err)
+	}
+
+	eatBeats.Store(false)
+	waitFor(t, "both LCs healed", func() bool {
+		st := r.LCStates()
+		return st[0] == LCHealthy && st[1] == LCHealthy
+	})
+	s := r.Metrics()
+	if s.Sum(MetricSuspects) < 2 {
+		t.Errorf("suspect transitions = %v, want >= 2", s.Sum(MetricSuspects))
+	}
+	if s.Sum(MetricRehomes) != 0 {
+		t.Errorf("rehomes = %v, want 0", s.Sum(MetricRehomes))
+	}
+}
+
+// TestStopUpdateTableInterleaving is the shutdown-contract regression
+// test: UpdateTable racing Stop must always return nil or ErrStopped —
+// never a partial swap, never a deadlock. The whole test runs under a
+// watchdog so a deadlock fails fast instead of hanging the suite.
+func TestStopUpdateTableInterleaving(t *testing.T) {
+	t1 := rtable.Small(800, 7)
+	t2 := rtable.Small(800, 8)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for iter := 0; iter < 30; iter++ {
+			r, err := New(t1, WithLCs(4), WithDefaultCache())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			var wg sync.WaitGroup
+			for u := 0; u < 3; u++ {
+				wg.Add(1)
+				go func(u int) {
+					defer wg.Done()
+					for i := 0; ; i++ {
+						next := t2
+						if (i+u)%2 == 1 {
+							next = t1
+						}
+						if err := r.UpdateTable(next); err != nil {
+							if !errors.Is(err, ErrStopped) {
+								t.Errorf("UpdateTable returned %v, want nil or ErrStopped", err)
+							}
+							return
+						}
+					}
+				}(u)
+			}
+			// Let the updaters get going, then tear down under them.
+			time.Sleep(time.Duration(iter%3) * 100 * time.Microsecond)
+			r.Stop()
+			wg.Wait()
+			// Post-Stop calls observe a stopped router immediately.
+			if err := r.UpdateTable(t2); !errors.Is(err, ErrStopped) {
+				t.Errorf("UpdateTable after Stop = %v, want ErrStopped", err)
+			}
+			if _, err := r.Lookup(0, 1); !errors.Is(err, ErrStopped) {
+				t.Errorf("Lookup after Stop = %v, want ErrStopped", err)
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Stop/UpdateTable interleaving deadlocked")
+	}
+}
+
+// TestLookupBatchCtxOrdering pins the documented guarantee: out[i] is the
+// verdict for addrs[i], duplicates included, regardless of internal
+// completion order.
+func TestLookupBatchCtxOrdering(t *testing.T) {
+	tbl := rtable.Small(2000, 7)
+	oracle := lpm.NewReference(tbl)
+	r, err := New(tbl, WithLCs(4), WithDefaultCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+
+	rng := stats.NewRNG(77)
+	addrs := make([]ip.Addr, 0, 120)
+	for i := 0; i < 100; i++ {
+		addrs = append(addrs, tbl.RandomMatchedAddr(rng))
+	}
+	for i := 0; i < 20; i++ { // duplicates exercise coalescing
+		addrs = append(addrs, addrs[rng.Intn(50)])
+	}
+	out, err := r.LookupBatchCtx(context.Background(), 1, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(addrs) {
+		t.Fatalf("got %d verdicts for %d addrs", len(out), len(addrs))
+	}
+	for i, v := range out {
+		if v.Addr != addrs[i] {
+			t.Fatalf("out[%d].Addr = %s, want %s (positional guarantee)",
+				i, ip.FormatAddr(v.Addr), ip.FormatAddr(addrs[i]))
+		}
+		if !verdictMatches(v, oracle, addrs[i]) {
+			t.Fatalf("out[%d] wrong for %s", i, ip.FormatAddr(addrs[i]))
+		}
+	}
+}
+
+// TestLookupBatchCtxCancel: a cancelled context aborts the wait with
+// ctx.Err() while the in-flight lookups drain harmlessly inside the
+// router.
+func TestLookupBatchCtxCancel(t *testing.T) {
+	tbl := rtable.Small(2000, 7)
+	r, err := New(tbl, WithLCs(2), WithRequestTimeout(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+
+	// A batch aimed at a stalled home LC cannot complete until released.
+	release := make(chan struct{})
+	defer close(release)
+	r.send(1, message{kind: mExec, do: func(*lineCard) { <-release }})
+
+	rng := stats.NewRNG(5)
+	var addrs []ip.Addr
+	for len(addrs) < 8 {
+		if a := tbl.RandomMatchedAddr(rng); r.HomeLC(a) == 1 {
+			addrs = append(addrs, a)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() {
+		_, err := r.LookupBatchCtx(ctx, 0, addrs)
+		got <- err
+	}()
+	cancel()
+	select {
+	case err := <-got:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled batch returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled batch did not return")
+	}
+
+	// Pre-cancelled context: fail before submitting anything.
+	if _, err := r.LookupBatchCtx(ctx, 0, addrs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled batch returned %v, want context.Canceled", err)
+	}
+}
+
+// TestWaitersGauge: parked lookups are visible in spal_router_waiters and
+// the gauge returns to zero once they resolve.
+func TestWaitersGauge(t *testing.T) {
+	tbl := rtable.Small(2000, 7)
+	r, err := New(tbl, WithLCs(2), WithRequestTimeout(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+
+	release := make(chan struct{})
+	r.send(1, message{kind: mExec, do: func(*lineCard) { <-release }})
+
+	rng := stats.NewRNG(41)
+	var addrs []ip.Addr
+	for len(addrs) < 6 {
+		if a := tbl.RandomMatchedAddr(rng); r.HomeLC(a) == 1 {
+			addrs = append(addrs, a)
+		}
+	}
+	var chans []<-chan Verdict
+	for _, a := range addrs {
+		ch, err := r.LookupAsync(0, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans = append(chans, ch)
+	}
+	waitFor(t, "waiters to park", func() bool {
+		return r.lcs[0].waiters.Load() == int64(len(addrs))
+	})
+	close(release)
+	for _, ch := range chans {
+		<-ch
+	}
+	waitFor(t, "waiters to clear", func() bool {
+		w0, w1 := r.lcs[0].waiters.Load(), r.lcs[1].waiters.Load()
+		return w0 == 0 && w1 == 0
+	})
+}

@@ -51,6 +51,14 @@ const (
 	MetricFallbacks       = "spal_router_fallbacks_total"
 	MetricDeadlineExpired = "spal_router_deadline_expired_total"
 	MetricForwarded       = "spal_router_requests_forwarded_total"
+	// Lifecycle metrics (see lifecycle.go).
+	MetricWaiters       = "spal_router_waiters"
+	MetricLCState       = "spal_router_lc_state"
+	MetricSuspects      = "spal_router_suspect_transitions_total"
+	MetricRehomes       = "spal_router_rehomes_total"
+	MetricReplayed      = "spal_router_replayed_lookups_total"
+	MetricDrains        = "spal_router_drains_total"
+	MetricDrainDuration = "spal_router_drain_duration_ns"
 )
 
 // Metrics returns an immutable snapshot of every router metric: the
@@ -114,6 +122,8 @@ func (r *Router) Metrics() *metrics.Snapshot {
 		s.Counter(MetricDeadlineExpired, "Pending lookups whose fabric retry budget ran out.", float64(lc.stats.DeadlineExpired.Load()), lbl)
 		s.Counter(MetricForwarded, "In-flight requests forwarded because the address was re-homed.", float64(lc.stats.ForwardedRequests.Load()), lbl)
 		s.Gauge(MetricWaitlistDepth, "Addresses with lookups parked awaiting a result.", float64(lc.pendingDepth.Load()), lbl)
+		s.Gauge(MetricWaiters, "Individual lookups (local + remote) parked in this LC's waitlists.", float64(lc.waiters.Load()), lbl)
+		s.Gauge(MetricLCState, "Line-card lifecycle state: 0=healthy 1=suspect 2=down 3=draining.", float64(r.life[i].state.Load()), lbl)
 		hits += float64(lc.stats.CacheHits.Load())
 		probes += float64(lc.stats.Lookups.Load())
 
@@ -126,6 +136,11 @@ func (r *Router) Metrics() *metrics.Snapshot {
 	if probes > 0 {
 		s.Gauge(MetricHitRatio, "Router-wide fraction of lookups served by an LR-cache.", hits/probes)
 	}
+	s.Counter(MetricSuspects, "Healthy→Suspect demotions by the health monitor.", float64(r.suspects.Load()))
+	s.Counter(MetricRehomes, "Partition re-homings after a line-card death.", float64(r.rehomes.Load()))
+	s.Counter(MetricReplayed, "Parked lookups replayed after a re-homing.", float64(r.replayed.Load()))
+	s.Counter(MetricDrains, "Completed administrative drains.", float64(r.drains.Load()))
+	s.Hist(MetricDrainDuration, "DrainLC wall time in nanoseconds, partition swap through quiescence.", r.drainDur.Snapshot())
 	for _, v := range views {
 		s.Append(v)
 	}

@@ -62,3 +62,15 @@ func WithRequestTimeout(d time.Duration) Option {
 func WithMaxRetries(n int) Option {
 	return func(c *Config) { c.MaxRetries = n }
 }
+
+// WithHealthThresholds sets the LC lifecycle windows (see lifecycle.go):
+// an LC with no recorded heartbeat for suspectAfter is demoted to Suspect,
+// and a crashed LC silent for downAfter is declared Down and re-homed.
+// Defaults are 1× and 2× the request timeout; downAfter is raised to
+// suspectAfter when smaller.
+func WithHealthThresholds(suspectAfter, downAfter time.Duration) Option {
+	return func(c *Config) {
+		c.SuspectAfter = suspectAfter
+		c.DownAfter = downAfter
+	}
+}

@@ -48,6 +48,7 @@ import (
 	"spal/internal/cache"
 	"spal/internal/ip"
 	"spal/internal/lpm"
+	"spal/internal/metrics"
 	"spal/internal/partition"
 	"spal/internal/rtable"
 )
@@ -96,6 +97,16 @@ type Config struct {
 	// engine. Zero selects the default (3); negative disables retries
 	// (the first expiry goes straight to the fallback).
 	MaxRetries int
+	// SuspectAfter is how long an LC may go without a recorded heartbeat
+	// before the health monitor demotes it to LCSuspect. Zero selects the
+	// default (one RequestTimeout, i.e. ~3 missed beats of the
+	// timeout/4 ticker).
+	SuspectAfter time.Duration
+	// DownAfter is how long a *crashed* LC (goroutine exited) may go
+	// silent before it is declared LCDown and its partition is re-homed.
+	// Zero selects the default (2× RequestTimeout); values below
+	// SuspectAfter are raised to it.
+	DownAfter time.Duration
 }
 
 // Robustness defaults, chosen so that a healthy in-process fabric (tens
@@ -119,6 +130,7 @@ const (
 // message is the fabric traffic plus local control.
 type message struct {
 	kind     uint8
+	hops     uint8 // forwards survived (mRequest), see maxForwardHops
 	addr     ip.Addr
 	nextHop  rtable.NextHop
 	ok       bool
@@ -178,10 +190,13 @@ type lineCard struct {
 	epoch   uint32
 	stats   *LCStats
 
-	// lat and pendingDepth are atomic and may be read from outside the LC
-	// goroutine (Metrics); everything above is goroutine-private.
+	// lat, pendingDepth and waiters are atomic and may be read from
+	// outside the LC goroutine (Metrics); everything above is
+	// goroutine-private (owned by the current lcLoop incarnation, or by
+	// the health monitor between a crash and the slot's rebirth).
 	lat          lcLatency
 	pendingDepth atomic.Int64
+	waiters      atomic.Int64
 }
 
 // fallbackEngine boxes the router-wide read-only full-table engine so it
@@ -192,6 +207,7 @@ type fallbackEngine struct{ eng lpm.Engine }
 type Router struct {
 	cfg     Config
 	inboxes []chan message
+	outs    []chan message // buffer → LC legs, kept for slot rebirth
 	quit    chan struct{}
 	stopped atomic.Bool
 	wg      sync.WaitGroup
@@ -205,12 +221,23 @@ type Router struct {
 	maxRetries int
 	tickEvery  time.Duration
 
+	// LC lifecycle (see lifecycle.go): per-slot health records, the
+	// suspicion/death windows, and the lifecycle event counters.
+	life         []*lcLife
+	suspectAfter time.Duration
+	downAfter    time.Duration
+	suspects     atomic.Int64
+	rehomes      atomic.Int64
+	replayed     atomic.Int64
+	drains       atomic.Int64
+	drainDur     metrics.Histogram
+
 	// fallback is the degraded slow path: a full-table engine every LC
 	// may consult read-only once fabric retries are exhausted. Swapped
 	// wholesale by UpdateTable.
 	fallback atomic.Pointer[fallbackEngine]
 
-	mu   sync.Mutex // guards part and serializes UpdateTable
+	mu   sync.Mutex // guards part + lifecycle transitions, serializes swaps
 	part *partition.Partitioning
 }
 
@@ -258,8 +285,21 @@ func NewWithConfig(cfg Config) (*Router, error) {
 	if r.tickEvery = r.timeout / 4; r.tickEvery < 500*time.Microsecond {
 		r.tickEvery = 500 * time.Microsecond
 	}
+	if r.suspectAfter = cfg.SuspectAfter; r.suspectAfter <= 0 {
+		r.suspectAfter = defaultSuspectFactor * r.timeout
+	}
+	if r.downAfter = cfg.DownAfter; r.downAfter <= 0 {
+		r.downAfter = defaultDownFactor * r.timeout
+	}
+	if r.downAfter < r.suspectAfter {
+		r.downAfter = r.suspectAfter
+	}
 	r.fallback.Store(&fallbackEngine{eng: cfg.Engine(cfg.Table)})
 	r.part = partition.Partition(cfg.Table, cfg.NumLCs)
+	// Build every per-LC structure before starting any goroutine: the LC
+	// loops index r.life/r.outs from their first tick, so the slices must
+	// never be appended to (reallocated) once a goroutine is running.
+	now := time.Now()
 	for i := 0; i < cfg.NumLCs; i++ {
 		lc := &lineCard{
 			id:      i,
@@ -273,15 +313,21 @@ func NewWithConfig(cfg Config) (*Router, error) {
 			cc.Seed += uint64(i) * 31
 			lc.cache = cache.New(cc)
 		}
-		in := make(chan message, 64)
-		out := make(chan message, 64)
-		r.inboxes = append(r.inboxes, in)
+		life := &lcLife{die: make(chan struct{}), exited: make(chan struct{})}
+		life.lastBeat.Store(now)
+		r.inboxes = append(r.inboxes, make(chan message, 64))
+		r.outs = append(r.outs, make(chan message, 64))
 		r.lcs = append(r.lcs, lc)
 		r.stats = append(r.stats, lc.stats)
-		r.wg.Add(2)
-		go r.buffer(in, out)
-		go r.lcLoop(lc, out)
+		r.life = append(r.life, life)
 	}
+	for i := 0; i < cfg.NumLCs; i++ {
+		r.wg.Add(2)
+		go r.buffer(r.inboxes[i], r.outs[i])
+		go r.lcLoop(r.lcs[i], r.outs[i], r.life[i].die, r.life[i].exited)
+	}
+	r.wg.Add(1)
+	go r.healthLoop()
 	return r, nil
 }
 
@@ -357,13 +403,18 @@ func (r *Router) sendFabric(to int, m message) {
 	}
 }
 
-// lcLoop is one line card: the exclusive owner of its engine and cache.
-// The ticker is the deadline clock for this LC's outstanding fabric
-// requests: coarse (a quarter of the request timeout) so the idle cost
-// is negligible, and entirely lock-free — all deadline state lives in
-// the waitlists this goroutine already owns.
-func (r *Router) lcLoop(lc *lineCard, inbox <-chan message) {
+// lcLoop is one incarnation of one line card: the exclusive owner of
+// its engine and cache until it returns. The ticker is both the
+// deadline clock for this LC's outstanding fabric requests and its
+// heartbeat generator — coarse (a quarter of the request timeout) so
+// the idle cost is negligible, and entirely lock-free: all deadline
+// state lives in the waitlists this goroutine already owns. die is the
+// crash switch (KillLC); exited announces this incarnation's death to
+// the health monitor, which may then adopt the lineCard and start a
+// successor incarnation (see lifecycle.go).
+func (r *Router) lcLoop(lc *lineCard, inbox <-chan message, die, exited chan struct{}) {
 	defer r.wg.Done()
+	defer close(exited)
 	tick := time.NewTicker(r.tickEvery)
 	defer tick.Stop()
 	for {
@@ -371,7 +422,10 @@ func (r *Router) lcLoop(lc *lineCard, inbox <-chan message) {
 		case m := <-inbox:
 			r.handle(lc, m)
 		case now := <-tick.C:
+			r.beat(lc.id, now)
 			r.checkDeadlines(lc, now)
+		case <-die:
+			return
 		case <-r.quit:
 			return
 		}
@@ -460,6 +514,7 @@ func (r *Router) handle(lc *lineCard, m message) {
 		pend := lc.pending
 		lc.pending = make(map[ip.Addr]*waitlist)
 		lc.pendingDepth.Store(0)
+		lc.waiters.Store(0) // the re-drive below re-registers every waiter
 		for addr, wl := range pend {
 			for _, w := range wl.locals {
 				r.handleLookup(lc, message{kind: mLookup, addr: addr, resp: w.ch, start: w.start})
@@ -488,6 +543,7 @@ func (r *Router) handleLookup(lc *lineCard, m message) {
 			lc.stats.Coalesced.Add(1)
 			wl := r.park(lc, m.addr)
 			wl.locals = append(wl.locals, localWaiter{ch: m.resp, start: m.start})
+			lc.waiters.Add(1)
 			return
 		default:
 			origin := cache.REM
@@ -504,12 +560,22 @@ func (r *Router) handleLookup(lc *lineCard, m message) {
 	if wl, ok := lc.pending[m.addr]; ok {
 		lc.stats.Coalesced.Add(1)
 		wl.locals = append(wl.locals, localWaiter{ch: m.resp, start: m.start})
+		lc.waiters.Add(1)
 		return
 	}
 	wl := r.park(lc, m.addr)
 	wl.locals = append(wl.locals, localWaiter{ch: m.resp, start: m.start})
+	lc.waiters.Add(1)
 	r.dispatch(lc, m.addr, wl)
 }
+
+// maxForwardHops bounds how often a request may be re-forwarded inside a
+// partitioning-swap window. Two LCs holding different homeOf functions
+// (one pre-swap, one post-swap) can bounce a request between them until
+// the trailing LC drains the swap message through its inbox backlog; the
+// cap breaks that ping-pong by resolving against the full-table fallback
+// engine, which is always current.
+const maxForwardHops = 4
 
 // handleRequest serves a lookup request from a remote arrival LC.
 func (r *Router) handleRequest(lc *lineCard, m message) {
@@ -520,6 +586,18 @@ func (r *Router) handleRequest(lc *lineCard, m message) {
 		// verdict — e.g. NoNextHop — as a LOC entry that later local
 		// lookups hit. Forward to the current home instead; the reply
 		// still carries the original requester and epoch.
+		if m.hops >= maxForwardHops {
+			lc.stats.Fallbacks.Add(1)
+			nh, _, ok := r.fallback.Load().eng.Lookup(m.addr)
+			if !ok {
+				nh = rtable.NoNextHop
+			}
+			// Answer from here without caching: this LC is not home, so
+			// the result must not enter its LOC quota.
+			r.sendReply(lc, remoteWaiter{from: m.from, epoch: m.epoch}, m.addr, nh, ok)
+			return
+		}
+		m.hops++
 		lc.stats.ForwardedRequests.Add(1)
 		r.sendFabric(home, m)
 		return
@@ -534,6 +612,7 @@ func (r *Router) handleRequest(lc *lineCard, m message) {
 			lc.stats.Coalesced.Add(1)
 			wl := r.park(lc, m.addr)
 			wl.remotes = append(wl.remotes, rw)
+			lc.waiters.Add(1)
 			return
 		default:
 			lc.cache.RecordMiss(m.addr, cache.LOC, 0)
@@ -544,10 +623,12 @@ func (r *Router) handleRequest(lc *lineCard, m message) {
 	if wl, ok := lc.pending[m.addr]; ok {
 		lc.stats.Coalesced.Add(1)
 		wl.remotes = append(wl.remotes, rw)
+		lc.waiters.Add(1)
 		return
 	}
 	wl := r.park(lc, m.addr)
 	wl.remotes = append(wl.remotes, rw)
+	lc.waiters.Add(1)
 	r.dispatch(lc, m.addr, wl)
 }
 
@@ -592,6 +673,7 @@ func (r *Router) fillAndRelease(lc *lineCard, addr ip.Addr, nh rtable.NextHop, o
 	}
 	delete(lc.pending, addr)
 	lc.pendingDepth.Store(int64(len(lc.pending)))
+	lc.waiters.Add(-int64(len(wl.locals) + len(wl.remotes)))
 	v := Verdict{Addr: addr, NextHop: nh, OK: ok, ServedBy: servedBy}
 	for _, w := range wl.locals {
 		lc.lat.observe(servedBy, w.start)
@@ -661,8 +743,29 @@ func (r *Router) LookupAsync(lc int, addr ip.Addr) (<-chan Verdict, error) {
 }
 
 // LookupBatch pipelines a whole slice of destinations at one line card
-// and returns the verdicts in submission order.
+// and returns the verdicts in submission order; see LookupBatchCtx for
+// the ordering guarantee.
 func (r *Router) LookupBatch(lc int, addrs []ip.Addr) ([]Verdict, error) {
+	return r.LookupBatchCtx(context.Background(), lc, addrs)
+}
+
+// LookupBatchCtx pipelines a whole slice of destinations at one line card
+// and collects their verdicts, honoring a context.
+//
+// Ordering guarantee: on success, out[i] is the verdict for addrs[i] —
+// positional, regardless of the order the forwarding plane resolves them
+// in (coalescing, retries and re-homing can complete lookups in any
+// internal order). Duplicate addresses each get their own verdict.
+//
+// On cancellation (or deadline expiry) the call returns ctx.Err() and a
+// nil slice. Lookups already submitted are not recalled from the
+// forwarding plane: they run to completion inside the router and their
+// results are discarded (the per-lookup reply channels are buffered, so
+// no LC ever blocks on the abandoned batch).
+func (r *Router) LookupBatchCtx(ctx context.Context, lc int, addrs []ip.Addr) ([]Verdict, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	chans := make([]<-chan Verdict, len(addrs))
 	for i, a := range addrs {
 		ch, err := r.LookupAsync(lc, a)
@@ -675,6 +778,8 @@ func (r *Router) LookupBatch(lc int, addrs []ip.Addr) ([]Verdict, error) {
 	for i, ch := range chans {
 		select {
 		case out[i] = <-ch:
+		case <-ctx.Done():
+			return nil, ctx.Err()
 		case <-r.quit:
 			return nil, ErrStopped
 		}
@@ -722,13 +827,24 @@ func (r *Router) FlushCaches() {
 // update, so once UpdateTable returns, every subsequent lookup (and every
 // cache fill) reflects the new table. Lookups concurrent with the update
 // window itself may observe either table.
+//
+// The new partitioning is computed over the currently alive LCs (see
+// lifecycle.go): drained and down slots stay out of service across an
+// update. UpdateTable fails if no LC is alive.
 func (r *Router) UpdateTable(tbl *rtable.Table) error {
 	if tbl == nil || tbl.Len() == 0 {
 		return errors.New("router: empty routing table")
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	part := partition.Partition(tbl, r.cfg.NumLCs)
+	if r.stopped.Load() {
+		return ErrStopped
+	}
+	alive := r.aliveLCsLocked()
+	if len(alive) == 0 {
+		return errors.New("router: no active line cards")
+	}
+	part := partition.Subset(tbl, r.cfg.NumLCs, alive)
 
 	// Swap the degraded-path engine first: from here on a fallback
 	// resolution may observe either table, which is within the documented
@@ -736,6 +852,23 @@ func (r *Router) UpdateTable(tbl *rtable.Table) error {
 	// guaranteed to be the new one.
 	r.fallback.Store(&fallbackEngine{eng: r.cfg.Engine(tbl)})
 
+	if err := r.swapPartitioning(part); err != nil {
+		return err
+	}
+	r.part = part
+	return nil
+}
+
+// swapPartitioning runs the two-phase engine/homeOf + rekey swap against
+// every LC. r.mu must be held. A slot whose goroutine has exited (crashed
+// but not yet adopted by the health monitor) is skipped rather than
+// awaited — its barrier ack would never come; the adoption that follows
+// installs the then-current partitioning, so the skip cannot leave a
+// stale engine serving.
+func (r *Router) swapPartitioning(part *partition.Partitioning) error {
+	if r.stopped.Load() {
+		return ErrStopped
+	}
 	phase := func(mk func(i int) message) error {
 		dones := make([]chan struct{}, r.cfg.NumLCs)
 		for i := 0; i < r.cfg.NumLCs; i++ {
@@ -746,9 +879,11 @@ func (r *Router) UpdateTable(tbl *rtable.Table) error {
 				return ErrStopped
 			}
 		}
-		for _, d := range dones {
+		for i, d := range dones {
 			select {
 			case <-d:
+			case <-r.life[i].exited:
+				// Crashed mid-swap; rehomeLocked will re-install.
 			case <-r.quit:
 				return ErrStopped
 			}
@@ -764,7 +899,11 @@ func (r *Router) UpdateTable(tbl *rtable.Table) error {
 	if err := phase(func(int) message { return message{kind: mRekey} }); err != nil {
 		return err
 	}
-	r.part = part
+	// After Stop every exited channel is closed, so the phases above can
+	// degenerate to all-skips; never report such a swap as a success.
+	if r.stopped.Load() {
+		return ErrStopped
+	}
 	return nil
 }
 

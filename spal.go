@@ -94,6 +94,9 @@ type (
 	FaultDecision = router.FaultDecision
 	// FabricMessage describes the message a FaultInjector is deciding on.
 	FabricMessage = router.FabricMessage
+	// LCState is one line card's lifecycle state (see Router.LCStates,
+	// Router.KillLC, Router.DrainLC, Router.RestoreLC).
+	LCState = router.LCState
 )
 
 // ServedBy values, re-exported for verdict classification.
@@ -105,6 +108,14 @@ const (
 	// full-table engine after the home LC stayed unreachable through the
 	// whole retry budget.
 	ServedByFallback = router.ServedByFallback
+)
+
+// LC lifecycle states, re-exported for Router.LCStates.
+const (
+	LCHealthy  = router.LCHealthy
+	LCSuspect  = router.LCSuspect
+	LCDown     = router.LCDown
+	LCDraining = router.LCDraining
 )
 
 // ParsePrefix parses CIDR notation ("10.0.0.0/8").
@@ -206,6 +217,14 @@ func WithRouterRequestTimeout(d time.Duration) RouterOption { return router.With
 // WithRouterMaxRetries bounds timed-out request re-sends before a lookup
 // degrades to the full-table fallback engine (default 3).
 func WithRouterMaxRetries(n int) RouterOption { return router.WithMaxRetries(n) }
+
+// WithRouterHealthThresholds sets the LC lifecycle windows: an LC with no
+// recorded heartbeat for suspectAfter is demoted to Suspect, and a crashed
+// LC silent for downAfter is declared Down and its partition re-homed onto
+// the survivors (defaults: 1x and 2x the request timeout).
+func WithRouterHealthThresholds(suspectAfter, downAfter time.Duration) RouterOption {
+	return router.WithHealthThresholds(suspectAfter, downAfter)
+}
 
 // SeededFaults builds a deterministic fault injector: every fabric
 // message independently draws drop/duplicate/delay outcomes from a
