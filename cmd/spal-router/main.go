@@ -3,9 +3,12 @@
 // trace file, from a synthetic generator, or interactively from stdin —
 // printing verdicts and per-LC statistics.
 //
-// With -metrics ADDR it also serves Prometheus text on /metrics and a
-// liveness probe on /healthz while the router runs, and stays up after a
-// batch drive finishes (Ctrl-C to exit) so the endpoint can be scraped.
+// With -metrics ADDR it also serves Prometheus text on /metrics, a
+// lifecycle-aware liveness probe on /healthz (503 while any LC is Down
+// or Draining), the completed-trace journal on /debug/spal/traces, and
+// the standard pprof profiles under /debug/pprof/ while the router runs,
+// and stays up after a batch drive finishes (Ctrl-C to exit) so the
+// endpoints can be scraped.
 //
 // Examples:
 //
@@ -16,12 +19,15 @@
 //	spal-router -fault-rate 0.1 -n 100000     # chaos mode: drop 10% of fabric messages
 //	spal-router -kill-lc 2 -n 500000          # crash LC 2 mid-drive, watch the re-homing
 //	spal-router -drain-after 50ms -n 500000   # drain LC 0 mid-drive, restore after
+//	spal-router -trace-rate 0.01 -n 100000 -trace-dump 3  # sample 1% of lookups, dump the last 3 traces
+//	spal-router -trace-rate 1 -fault-rate 0.1 -trace-log -n 10000  # full tracing + JSON log per lookup
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -37,6 +43,7 @@ import (
 	"spal/internal/router"
 	"spal/internal/rtable"
 	"spal/internal/trace"
+	"spal/internal/tracing"
 )
 
 func main() {
@@ -57,6 +64,9 @@ func main() {
 	retries := flag.Int("retries", 0, "fabric request retries before falling back (0 = default 3, negative = none)")
 	killLC := flag.Int("kill-lc", -1, "crash this line card shortly into the drive (lifecycle demo)")
 	drainAfter := flag.Duration("drain-after", 0, "drain LC 0 this long into the drive, restore when it ends")
+	traceRate := flag.Float64("trace-rate", -1, "per-lookup trace sampling rate 0..1 (negative = tracing off)")
+	traceDump := flag.Int("trace-dump", 0, "print the last N completed traces after the drive (implies tracing)")
+	traceLog := flag.Bool("trace-log", false, "emit one structured log line per finished trace (implies tracing)")
 	flag.Parse()
 
 	builder, ok := spal.Engines()[*engineName]
@@ -83,6 +93,16 @@ func main() {
 	}
 	if *retries != 0 {
 		opts = append(opts, router.WithMaxRetries(*retries))
+	}
+	if *traceRate >= 0 || *traceDump > 0 || *traceLog {
+		rate := *traceRate
+		if rate < 0 {
+			rate = 0 // dump/log without -trace-rate: interesting lookups only
+		}
+		opts = append(opts, router.WithTraceSampling(rate))
+	}
+	if *traceLog {
+		opts = append(opts, router.WithLogger(slog.New(slog.NewJSONHandler(os.Stderr, nil))))
 	}
 	r, err := router.New(tbl, opts...)
 	if err != nil {
@@ -124,6 +144,15 @@ func main() {
 		drive(r, *psi, addrs, *killLC, *drainAfter)
 	}
 
+	if *traceDump > 0 {
+		ts := r.Traces()
+		if len(ts) > *traceDump {
+			ts = ts[len(ts)-*traceDump:]
+		}
+		fmt.Printf("last %d of %d journaled traces:\n", len(ts), len(r.Traces()))
+		tracing.WriteJSON(os.Stdout, ts)
+	}
+
 	if *metricsAddr != "" && !*interactive {
 		fmt.Printf("serving /metrics and /healthz on %s — Ctrl-C to exit\n", *metricsAddr)
 		sig := make(chan os.Signal, 1)
@@ -133,13 +162,18 @@ func main() {
 }
 
 // serveMetrics starts the observability endpoint in the background,
-// failing fast when the address cannot be bound.
+// failing fast when the address cannot be bound. /healthz reflects the
+// lifecycle state machine (503 while any LC is Down or Draining),
+// /debug/spal/traces serves the completed-trace journal, and the
+// standard pprof profiles hang under /debug/pprof/.
 func serveMetrics(addr string, r *router.Router) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	mux := metrics.NewMux(r.Metrics, nil)
+	mux := metrics.NewMux(r.Metrics, r.Healthy)
+	mux.Handle("/debug/spal/traces", tracing.Handler(r.Traces))
+	metrics.RegisterPprof(mux)
 	go http.Serve(ln, mux)
 	return nil
 }

@@ -6,6 +6,7 @@
 //	spalsim -psi 16 -beta 4096 -packets 300000 -trace D_75
 //	spalsim -psi 1 -no-partition -no-cache          # conventional router
 //	spalsim -speed 10 -lookup 62                    # 10 Gbps, DP-trie FE
+//	spalsim -stages -packets 50000                  # per-stage latency breakdown
 package main
 
 import (
@@ -35,6 +36,7 @@ func main() {
 	noPart := flag.Bool("no-partition", false, "keep the full table at every LC")
 	flushMS := flag.Float64("flush-ms", 0, "flush caches every N milliseconds (0 = never)")
 	perLC := flag.Bool("per-lc", false, "print per-LC statistics")
+	stages := flag.Bool("stages", false, "print the per-stage lookup latency breakdown")
 	configPath := flag.String("config", "", "JSON config file (flags for table size still apply)")
 	promPath := flag.String("prom", "", "write the run's metrics in Prometheus text format to this file (\"-\" for stdout)")
 	flag.Parse()
@@ -78,6 +80,7 @@ func main() {
 		}
 	}
 
+	cfg.StageAccounting = cfg.StageAccounting || *stages
 	r, err := sim.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -104,6 +107,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	}
+	if *stages {
+		fmt.Print(res.StageTable())
 	}
 	if *perLC {
 		fmt.Println("per-LC:")

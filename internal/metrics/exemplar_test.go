@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"math/bits"
+	"strings"
+	"testing"
+)
+
+func TestObserveExemplar(t *testing.T) {
+	var h Histogram
+	h.Observe(3)                   // bucket 2, no exemplar
+	h.ObserveExemplar(10, 0xbeef)  // bucket 4
+	h.ObserveExemplar(12, 0xcafe)  // bucket 4 again: last writer wins
+	h.ObserveExemplar(5000, 0xf00) // bucket 13
+	h.ObserveExemplar(7, 0)        // id 0 degrades to plain Observe
+
+	s := h.Snapshot()
+	if s.Count != 5 || s.Sum != 3+10+12+5000+7 {
+		t.Fatalf("count/sum = %d/%d, exemplar observes must still count", s.Count, s.Sum)
+	}
+	if s.Exemplars == nil {
+		t.Fatal("no exemplars in snapshot")
+	}
+	if len(s.Exemplars) != len(s.Buckets) {
+		t.Fatalf("Exemplars len %d must parallel Buckets len %d", len(s.Exemplars), len(s.Buckets))
+	}
+	if ex := s.Exemplars[bits.Len64(12)]; ex.TraceID != 0xcafe || ex.Value != 12 {
+		t.Errorf("bucket 4 exemplar = %+v, want last writer {cafe 12}", ex)
+	}
+	if ex := s.Exemplars[bits.Len64(5000)]; ex.TraceID != 0xf00 || ex.Value != 5000 {
+		t.Errorf("bucket 13 exemplar = %+v", ex)
+	}
+	for _, b := range []int64{3, 7} {
+		if ex := s.Exemplars[bits.Len64(uint64(b))]; ex.TraceID != 0 {
+			t.Errorf("bucket of %d has exemplar %+v, want none", b, ex)
+		}
+	}
+}
+
+// TestSnapshotNoExemplarsWithoutTracing pins the zero-cost promise: a
+// histogram fed only by plain Observe snapshots with a nil Exemplars
+// slice, so untraced routers render byte-identical Prometheus text.
+func TestSnapshotNoExemplarsWithoutTracing(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{1, 2, 3, 100} {
+		h.Observe(v)
+	}
+	if ex := h.Snapshot().Exemplars; ex != nil {
+		t.Fatalf("plain Observe produced exemplars: %v", ex)
+	}
+}
+
+func TestExemplarSubAndMerge(t *testing.T) {
+	var h Histogram
+	h.ObserveExemplar(10, 0xaa)
+	before := h.Snapshot()
+	h.ObserveExemplar(1000, 0xbb)
+	after := h.Snapshot()
+
+	// Exemplars are point samples, not counters: the interval view keeps
+	// the current ones rather than differencing them.
+	d := after.Sub(before)
+	if d.Count != 1 {
+		t.Fatalf("delta count = %d", d.Count)
+	}
+	if ex := d.Exemplars[bits.Len64(1000)]; ex.TraceID != 0xbb {
+		t.Errorf("delta lost the new exemplar: %+v", ex)
+	}
+	if ex := d.Exemplars[bits.Len64(10)]; ex.TraceID != 0xaa {
+		t.Errorf("delta lost the old exemplar: %+v", ex)
+	}
+
+	// Merge prefers the receiver's exemplar on collision and fills gaps
+	// from the other snapshot.
+	var g Histogram
+	g.ObserveExemplar(9, 0xcc)     // same bucket as value 10
+	g.ObserveExemplar(1<<20, 0xdd) // bucket neither h touched
+	m := after.Merge(g.Snapshot())
+	if m.Count != 4 {
+		t.Fatalf("merged count = %d", m.Count)
+	}
+	if ex := m.Exemplars[bits.Len64(10)]; ex.TraceID != 0xaa {
+		t.Errorf("merge collision = %+v, want receiver's 0xaa", ex)
+	}
+	if ex := m.Exemplars[bits.Len64(1<<20)]; ex.TraceID != 0xdd {
+		t.Errorf("merge gap-fill = %+v, want 0xdd", ex)
+	}
+
+	// Merging two exemplar-free snapshots must not invent a slice.
+	var p, q Histogram
+	p.Observe(1)
+	q.Observe(2)
+	if m := p.Snapshot().Merge(q.Snapshot()); m.Exemplars != nil {
+		t.Error("merge of exemplar-free snapshots grew Exemplars")
+	}
+}
+
+// TestWritePrometheusExemplarSuffix checks the OpenMetrics-style bucket
+// suffix: present (with hex trace id and the raw sample value) only on
+// buckets that carry an exemplar, absent everywhere else so untraced
+// output is unchanged.
+func TestWritePrometheusExemplarSuffix(t *testing.T) {
+	var h Histogram
+	h.Observe(3)
+	h.ObserveExemplar(100, 0xabcd)
+	s := &Snapshot{}
+	s.Hist("spal_test_latency_ns", "Test latency.", h.Snapshot())
+
+	out := s.PrometheusText()
+	want := `spal_test_latency_ns_bucket{le="127"} 2 # {trace_id="abcd"} 100`
+	if !strings.Contains(out, want) {
+		t.Errorf("output missing exemplar line %q:\n%s", want, out)
+	}
+	if !strings.Contains(out, "spal_test_latency_ns_bucket{le=\"3\"} 1\n") {
+		t.Errorf("exemplar-free bucket line altered:\n%s", out)
+	}
+	if strings.Contains(out, `le="3"} 1 #`) {
+		t.Errorf("exemplar suffix leaked onto an exemplar-free bucket:\n%s", out)
+	}
+	if strings.Contains(out, `+Inf"} 2 #`) {
+		t.Errorf("exemplar suffix on the +Inf bucket:\n%s", out)
+	}
+}

@@ -35,7 +35,15 @@ type Histogram struct {
 	count   atomic.Uint64
 	sum     atomic.Uint64
 	buckets [NumBuckets]atomic.Uint64
+	// ex holds the last exemplar observed per bucket (OpenMetrics-style:
+	// a trace id pinned to a concrete sample). Plain Observe never
+	// touches it, so histograms without tracing carry no exemplars and
+	// their Prometheus rendering is unchanged.
+	ex [NumBuckets]bucketExemplar
 }
+
+// bucketExemplar is one bucket's latest exemplar; id 0 means none.
+type bucketExemplar struct{ id, val atomic.Uint64 }
 
 // Observe records one sample. Negative values clamp to zero (latencies
 // cannot be negative; clamping keeps the hot path branch-light).
@@ -51,6 +59,30 @@ func (h *Histogram) Observe(v int64) {
 // ObserveDuration records a duration in nanoseconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
 
+// ObserveExemplar records one sample and attaches traceID as the
+// containing bucket's exemplar (last writer wins — the conventional
+// exemplar policy). traceID 0 degrades to a plain Observe.
+func (h *Histogram) ObserveExemplar(v int64, traceID uint64) {
+	if v < 0 {
+		v = 0
+	}
+	b := bits.Len64(uint64(v))
+	h.buckets[b].Add(1)
+	h.sum.Add(uint64(v))
+	h.count.Add(1)
+	if traceID != 0 {
+		h.ex[b].id.Store(traceID)
+		h.ex[b].val.Store(uint64(v))
+	}
+}
+
+// Exemplar pins a trace id to the concrete sample value it was observed
+// with, per histogram bucket. TraceID 0 means the bucket has none.
+type Exemplar struct {
+	TraceID uint64
+	Value   uint64
+}
+
 // Snapshot captures the current counts. Trailing empty buckets are
 // trimmed so snapshots of mostly-idle histograms stay small.
 func (h *Histogram) Snapshot() HistogramSnapshot {
@@ -65,16 +97,26 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 	if top >= 0 {
 		s.Buckets = append([]uint64(nil), raw[:top+1]...)
+		for i := 0; i <= top; i++ {
+			if id := h.ex[i].id.Load(); id != 0 {
+				if s.Exemplars == nil {
+					s.Exemplars = make([]Exemplar, top+1)
+				}
+				s.Exemplars[i] = Exemplar{TraceID: id, Value: h.ex[i].val.Load()}
+			}
+		}
 	}
 	return s
 }
 
 // HistogramSnapshot is an immutable point-in-time view of a Histogram:
 // Buckets[i] counts samples v with bits.Len64(v) == i (see NumBuckets).
+// Exemplars, when non-nil, runs parallel to Buckets (TraceID 0 = none).
 type HistogramSnapshot struct {
-	Count   uint64
-	Sum     uint64
-	Buckets []uint64
+	Count     uint64
+	Sum       uint64
+	Buckets   []uint64
+	Exemplars []Exemplar
 }
 
 // BucketBound returns the inclusive upper bound of bucket i: 0 for bucket
@@ -170,6 +212,9 @@ func (h HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
 			out.Buckets[i] = subSat(c, p)
 		}
 	}
+	// Exemplars are point samples, not counters: the interval view keeps
+	// the current ones.
+	out.Exemplars = h.Exemplars
 	return out
 }
 
@@ -189,6 +234,17 @@ func (h HistogramSnapshot) Merge(o HistogramSnapshot) HistogramSnapshot {
 			}
 			if i < len(o.Buckets) {
 				out.Buckets[i] += o.Buckets[i]
+			}
+		}
+	}
+	if h.Exemplars != nil || o.Exemplars != nil {
+		out.Exemplars = make([]Exemplar, n)
+		for i := range out.Exemplars {
+			if i < len(o.Exemplars) && o.Exemplars[i].TraceID != 0 {
+				out.Exemplars[i] = o.Exemplars[i]
+			}
+			if i < len(h.Exemplars) && h.Exemplars[i].TraceID != 0 {
+				out.Exemplars[i] = h.Exemplars[i]
 			}
 		}
 	}

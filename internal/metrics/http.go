@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"net/http"
+	"net/http/pprof"
 )
 
 // textContentType is the Prometheus text exposition format media type.
@@ -38,4 +39,16 @@ func NewMux(src func() *Snapshot, healthy func() bool) *http.ServeMux {
 		w.Write([]byte("ok\n"))
 	})
 	return mux
+}
+
+// RegisterPprof wires the standard net/http/pprof handlers under
+// /debug/pprof/ on mux. NewMux builds a private ServeMux, so the
+// package's DefaultServeMux side registration never applies; this makes
+// the profiles reachable from the same observability listener.
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }

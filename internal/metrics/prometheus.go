@@ -58,6 +58,17 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 				writeLabels(bw, hs.Labels, strconv.FormatUint(BucketBound(b), 10))
 				bw.WriteByte(' ')
 				bw.WriteString(strconv.FormatUint(cum, 10))
+				// OpenMetrics-style exemplar: a trace id pinned to one
+				// concrete sample in this bucket. Emitted only when
+				// tracing attached one, so snapshots without exemplars
+				// render byte-identically to the classic 0.0.4 format.
+				if b < len(hs.Hist.Exemplars) && hs.Hist.Exemplars[b].TraceID != 0 {
+					ex := hs.Hist.Exemplars[b]
+					bw.WriteString(` # {trace_id="`)
+					bw.WriteString(strconv.FormatUint(ex.TraceID, 16))
+					bw.WriteString(`"} `)
+					bw.WriteString(strconv.FormatUint(ex.Value, 10))
+				}
 				bw.WriteByte('\n')
 			}
 			bw.WriteString(name)

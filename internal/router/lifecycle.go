@@ -44,6 +44,7 @@ import (
 
 	"spal/internal/ip"
 	"spal/internal/partition"
+	"spal/internal/tracing"
 )
 
 // atomicLCState is an LCState behind an atomic (monitor writes, Metrics
@@ -228,8 +229,21 @@ func (r *Router) rehomeLocked(dead int) {
 	replayed := 0
 	for addr, wl := range pend {
 		for _, w := range wl.locals {
-			r.send(dead, message{kind: mLookup, addr: addr, resp: w.ch, start: w.start})
+			// A re-homed lookup is always interesting: trace it even if
+			// head sampling skipped it. Safe off the LC goroutine — the
+			// corpse's exit happens-before this adoption, and the trace
+			// hands off to the reborn LC inside the replayed message.
+			if w.tr == nil {
+				w.tr = r.lateTrace(dead, addr)
+			}
+			w.tr.Record(tracing.EvRehome, int64(dead), 0)
+			r.send(dead, message{kind: mLookup, addr: addr, resp: w.ch, start: w.start, tr: w.tr})
 			replayed++
+		}
+		if wl.trLate {
+			// The waitlist's own late trace cannot ride any single
+			// replayed waiter; close it out rather than leak it.
+			r.finishTrace(wl.tr, ServedByUnknown, false)
 		}
 	}
 	r.rehomes.Add(1)

@@ -15,22 +15,36 @@ type lcLatency struct {
 }
 
 // observe records one completed lookup. Zero start times (no submission
-// timestamp) are skipped.
-func (l *lcLatency) observe(s ServedBy, start time.Time) {
+// timestamp) are skipped. A non-zero traceID pins the sample's trace as
+// the histogram bucket's exemplar, linking /metrics to /debug/spal/traces.
+func (l *lcLatency) observe(s ServedBy, start time.Time, traceID uint64) {
 	if start.IsZero() {
 		return
 	}
-	d := time.Since(start)
+	h := l.hist(s)
+	if h == nil {
+		return
+	}
+	d := time.Since(start).Nanoseconds()
+	if traceID != 0 {
+		h.ObserveExemplar(d, traceID)
+		return
+	}
+	h.Observe(d)
+}
+
+func (l *lcLatency) hist(s ServedBy) *metrics.Histogram {
 	switch s {
 	case ServedByCache:
-		l.cache.ObserveDuration(d)
+		return &l.cache
 	case ServedByFE:
-		l.fe.ObserveDuration(d)
+		return &l.fe
 	case ServedByRemote:
-		l.remote.ObserveDuration(d)
+		return &l.remote
 	case ServedByFallback:
-		l.fallback.ObserveDuration(d)
+		return &l.fallback
 	}
+	return nil
 }
 
 // Metric names exported by Router.Metrics. DESIGN.md maps these onto the

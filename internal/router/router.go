@@ -41,6 +41,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -51,6 +52,7 @@ import (
 	"spal/internal/metrics"
 	"spal/internal/partition"
 	"spal/internal/rtable"
+	"spal/internal/tracing"
 )
 
 // ErrStopped is returned by calls that cannot complete because the router
@@ -107,6 +109,20 @@ type Config struct {
 	// Zero selects the default (2× RequestTimeout); values below
 	// SuspectAfter are raised to it.
 	DownAfter time.Duration
+	// TracingEnabled turns on the per-lookup span recorder (see
+	// trace.go and internal/tracing). The WithTraceSampling /
+	// WithLogger / WithTraceJournal options set it implicitly.
+	TracingEnabled bool
+	// TraceSampleRate is the head-sampling probability in [0, 1];
+	// interesting lookups are captured regardless (see
+	// WithTraceSampling).
+	TraceSampleRate float64
+	// TraceJournal bounds the completed-trace ring behind Router.Traces;
+	// 0 selects the default (1024).
+	TraceJournal int
+	// TraceLogger, when non-nil, receives one structured record per
+	// completed trace.
+	TraceLogger *slog.Logger
 }
 
 // Robustness defaults, chosen so that a healthy in-process fabric (tens
@@ -130,15 +146,17 @@ const (
 // message is the fabric traffic plus local control.
 type message struct {
 	kind     uint8
-	hops     uint8 // forwards survived (mRequest), see maxForwardHops
+	hops     uint8 // forwards survived (mRequest), echoed back on mReply
 	addr     ip.Addr
 	nextHop  rtable.NextHop
 	ok       bool
 	from     int // requester LC (mRequest)
 	epoch    uint32
-	start    time.Time      // submission time (mLookup), for latency histograms
-	resp     chan<- Verdict // mLookup
-	engine   lpm.Engine     // mSwap
+	feNS     int64                // mReply: home-side FE execution time (0 = not measured)
+	start    time.Time            // submission time (mLookup), for latency histograms
+	resp     chan<- Verdict       // mLookup
+	tr       *tracing.LookupTrace // mLookup: the trace riding this lookup, if sampled
+	engine   lpm.Engine           // mSwap
 	homeOf   func(ip.Addr) int
 	swapDone chan<- struct{}
 	do       func(*lineCard) // mExec
@@ -161,13 +179,16 @@ type LCStats struct {
 type remoteWaiter struct {
 	from  int
 	epoch uint32
+	hops  uint8 // forwards the request survived, echoed back in the reply
 }
 
 // localWaiter is one parked local lookup: its reply channel plus its
-// submission time, so coalesced lookups each record their own latency.
+// submission time, so coalesced lookups each record their own latency,
+// and its trace, so each traced lookup finishes its own span.
 type localWaiter struct {
 	ch    chan<- Verdict
 	start time.Time
+	tr    *tracing.LookupTrace
 }
 
 type waitlist struct {
@@ -179,6 +200,16 @@ type waitlist struct {
 	// requests sent so far, including the first.
 	attempts int
 	deadline time.Time
+	// tr is the per-address span owner: the earliest traced lookup
+	// parked here records the shared events (fabric send/recv, retry,
+	// deadline, fill). When no parked lookup was head-sampled and the
+	// address turns interesting, a late trace is allocated and trLate
+	// marks that it is not owned by any localWaiter, so fillAndRelease
+	// must finish it separately. feNS is the local FE execution time,
+	// measured only while tracing, echoed to remote waiters in replies.
+	tr     *tracing.LookupTrace
+	trLate bool
+	feNS   int64
 }
 
 type lineCard struct {
@@ -231,6 +262,10 @@ type Router struct {
 	replayed     atomic.Int64
 	drains       atomic.Int64
 	drainDur     metrics.Histogram
+
+	// tracer is the per-lookup span recorder; nil when tracing is
+	// disabled, which is the only cost the hot path pays (see trace.go).
+	tracer *tracing.Recorder
 
 	// fallback is the degraded slow path: a full-table engine every LC
 	// may consult read-only once fabric retries are exhausted. Swapped
@@ -293,6 +328,13 @@ func NewWithConfig(cfg Config) (*Router, error) {
 	}
 	if r.downAfter < r.suspectAfter {
 		r.downAfter = r.suspectAfter
+	}
+	if cfg.TracingEnabled {
+		r.tracer = tracing.New(tracing.Config{
+			SampleRate:  cfg.TraceSampleRate,
+			JournalSize: cfg.TraceJournal,
+			Logger:      cfg.TraceLogger,
+		})
 	}
 	r.fallback.Store(&fallbackEngine{eng: cfg.Engine(cfg.Table)})
 	r.part = partition.Partition(cfg.Table, cfg.NumLCs)
@@ -443,32 +485,48 @@ func (r *Router) checkDeadlines(lc *lineCard, now time.Time) {
 		if wl.deadline.IsZero() || now.Before(wl.deadline) {
 			continue
 		}
+		// A lookup that reaches the deadline sweep is "interesting": if
+		// tracing is on but nothing parked here was head-sampled, capture
+		// it late — this path is already cold, so the allocation is free
+		// relative to the timeout just paid.
+		if wl.tr == nil && r.tracer != nil {
+			wl.tr = r.lateTrace(lc.id, addr)
+			wl.trLate = wl.tr != nil
+		}
 		if wl.attempts <= r.maxRetries {
 			lc.stats.Retries.Add(1)
 			shift := wl.attempts
 			if shift > 16 {
 				shift = 16 // cap the backoff at timeout<<16
 			}
-			wl.deadline = now.Add(r.timeout << uint(shift))
+			backoff := r.timeout << uint(shift)
+			wl.tr.Record(tracing.EvRetry, int64(wl.attempts), int64(backoff))
+			wl.deadline = now.Add(backoff)
 			wl.attempts++
 			home := lc.homeOf(addr)
 			if home == lc.id {
 				// Re-homed onto this LC while the request was in
 				// flight: resolve locally against our own partition.
+				t0 := r.feTimer()
 				nh, _, ok := lc.engine.Lookup(addr)
 				lc.stats.FEExecs.Add(1)
 				if !ok {
 					nh = rtable.NoNextHop
 				}
+				wl.feNS = elapsedNS(t0)
+				wl.tr.Record(tracing.EvFEExec, wl.feNS, int64(lc.id))
 				r.fillAndRelease(lc, addr, nh, ok, cache.LOC, ServedByFE)
 				continue
 			}
 			lc.stats.RequestsSent.Add(1)
+			wl.tr.Record(tracing.EvFabricSend, int64(home), int64(wl.attempts))
 			r.sendFabric(home, message{kind: mRequest, addr: addr, from: lc.id, epoch: lc.epoch})
 			continue
 		}
 		lc.stats.DeadlineExpired.Add(1)
 		lc.stats.Fallbacks.Add(1)
+		wl.tr.Record(tracing.EvDeadline, int64(wl.attempts), 0)
+		wl.tr.Record(tracing.EvFallback, int64(lc.id), 0)
 		nh, _, ok := r.fallback.Load().eng.Lookup(addr)
 		if !ok {
 			nh = rtable.NoNextHop
@@ -495,6 +553,14 @@ func (r *Router) handle(lc *lineCard, m message) {
 			lc.stats.StaleReplies.Add(1)
 			return
 		}
+		if r.tracer != nil {
+			if wl, ok := lc.pending[m.addr]; ok && wl.tr != nil {
+				wl.tr.Record(tracing.EvFabricRecv, int64(m.from), int64(m.hops))
+				if m.feNS > 0 {
+					wl.tr.Record(tracing.EvFEExec, m.feNS, int64(m.from))
+				}
+			}
+		}
 		r.fillAndRelease(lc, m.addr, m.nextHop, m.ok, cache.REM, ServedByRemote)
 	case mFlush:
 		if lc.cache != nil {
@@ -517,10 +583,18 @@ func (r *Router) handle(lc *lineCard, m message) {
 		lc.waiters.Store(0) // the re-drive below re-registers every waiter
 		for addr, wl := range pend {
 			for _, w := range wl.locals {
-				r.handleLookup(lc, message{kind: mLookup, addr: addr, resp: w.ch, start: w.start})
+				w.tr.Record(tracing.EvRedrive, int64(lc.id), 0)
+				r.handleLookup(lc, message{kind: mLookup, addr: addr, resp: w.ch, start: w.start, tr: w.tr})
 			}
 			for _, rw := range wl.remotes {
-				r.handleRequest(lc, message{kind: mRequest, addr: addr, from: rw.from, epoch: rw.epoch})
+				r.handleRequest(lc, message{kind: mRequest, addr: addr, from: rw.from, epoch: rw.epoch, hops: rw.hops})
+			}
+			if wl.trLate {
+				// A late trace rides the waitlist, not a waiter; the
+				// re-drive builds fresh waitlists, so close it out here
+				// rather than leak it unfinished.
+				wl.tr.Record(tracing.EvRedrive, int64(lc.id), 0)
+				r.finishTrace(wl.tr, ServedByUnknown, false)
 			}
 		}
 		close(m.swapDone)
@@ -536,13 +610,27 @@ func (r *Router) handleLookup(lc *lineCard, m message) {
 		switch res := lc.cache.Probe(m.addr); res.Kind {
 		case cache.Hit, cache.HitVictim:
 			lc.stats.CacheHits.Add(1)
-			lc.lat.observe(ServedByCache, m.start)
-			m.resp <- Verdict{Addr: m.addr, NextHop: res.NextHop, OK: res.NextHop != rtable.NoNextHop, ServedBy: ServedByCache}
+			ok := res.NextHop != rtable.NoNextHop
+			if m.tr != nil {
+				m.tr.Record(tracing.EvProbe, int64(res.Kind), int64(res.Origin))
+				// Finish before delivering the verdict so a caller that
+				// waits on the reply always finds its trace published.
+				r.finishTrace(m.tr, ServedByCache, ok)
+			}
+			lc.lat.observe(ServedByCache, m.start, traceID(m.tr))
+			m.resp <- Verdict{Addr: m.addr, NextHop: res.NextHop, OK: ok, ServedBy: ServedByCache}
 			return
 		case cache.HitWaiting:
 			lc.stats.Coalesced.Add(1)
 			wl := r.park(lc, m.addr)
-			wl.locals = append(wl.locals, localWaiter{ch: m.resp, start: m.start})
+			if m.tr != nil {
+				m.tr.Record(tracing.EvProbe, int64(res.Kind), int64(res.Origin))
+				m.tr.Record(tracing.EvCoalesce, int64(len(wl.locals)+len(wl.remotes)), 0)
+				if wl.tr == nil {
+					wl.tr = m.tr
+				}
+			}
+			wl.locals = append(wl.locals, localWaiter{ch: m.resp, start: m.start, tr: m.tr})
 			lc.waiters.Add(1)
 			return
 		default:
@@ -550,7 +638,13 @@ func (r *Router) handleLookup(lc *lineCard, m message) {
 			if lc.homeOf(m.addr) == lc.id {
 				origin = cache.LOC
 			}
-			lc.cache.RecordMiss(m.addr, origin, 0)
+			recorded := lc.cache.RecordMiss(m.addr, origin, 0)
+			if m.tr != nil {
+				m.tr.Record(tracing.EvProbe, int64(res.Kind), int64(origin))
+				if !recorded {
+					m.tr.Record(tracing.EvBypass, 0, 0)
+				}
+			}
 		}
 	}
 	// Coalesce onto an in-flight miss. With caches on this is the bypass
@@ -559,12 +653,19 @@ func (r *Router) handleLookup(lc *lineCard, m message) {
 	// dispatch would duplicate the FE execution and the fabric request.
 	if wl, ok := lc.pending[m.addr]; ok {
 		lc.stats.Coalesced.Add(1)
-		wl.locals = append(wl.locals, localWaiter{ch: m.resp, start: m.start})
+		if m.tr != nil {
+			m.tr.Record(tracing.EvCoalesce, int64(len(wl.locals)+len(wl.remotes)), 0)
+			if wl.tr == nil {
+				wl.tr = m.tr
+			}
+		}
+		wl.locals = append(wl.locals, localWaiter{ch: m.resp, start: m.start, tr: m.tr})
 		lc.waiters.Add(1)
 		return
 	}
 	wl := r.park(lc, m.addr)
-	wl.locals = append(wl.locals, localWaiter{ch: m.resp, start: m.start})
+	wl.tr = m.tr
+	wl.locals = append(wl.locals, localWaiter{ch: m.resp, start: m.start, tr: m.tr})
 	lc.waiters.Add(1)
 	r.dispatch(lc, m.addr, wl)
 }
@@ -594,7 +695,7 @@ func (r *Router) handleRequest(lc *lineCard, m message) {
 			}
 			// Answer from here without caching: this LC is not home, so
 			// the result must not enter its LOC quota.
-			r.sendReply(lc, remoteWaiter{from: m.from, epoch: m.epoch}, m.addr, nh, ok)
+			r.sendReply(lc, remoteWaiter{from: m.from, epoch: m.epoch, hops: m.hops}, m.addr, nh, ok, 0)
 			return
 		}
 		m.hops++
@@ -602,11 +703,11 @@ func (r *Router) handleRequest(lc *lineCard, m message) {
 		r.sendFabric(home, m)
 		return
 	}
-	rw := remoteWaiter{from: m.from, epoch: m.epoch}
+	rw := remoteWaiter{from: m.from, epoch: m.epoch, hops: m.hops}
 	if lc.cache != nil {
 		switch res := lc.cache.Probe(m.addr); res.Kind {
 		case cache.Hit, cache.HitVictim:
-			r.sendReply(lc, rw, m.addr, res.NextHop, res.NextHop != rtable.NoNextHop)
+			r.sendReply(lc, rw, m.addr, res.NextHop, res.NextHop != rtable.NoNextHop, 0)
 			return
 		case cache.HitWaiting:
 			lc.stats.Coalesced.Add(1)
@@ -648,17 +749,21 @@ func (r *Router) park(lc *lineCard, addr ip.Addr) *waitlist {
 func (r *Router) dispatch(lc *lineCard, addr ip.Addr, wl *waitlist) {
 	home := lc.homeOf(addr)
 	if home == lc.id {
+		t0 := r.feTimer()
 		nh, _, ok := lc.engine.Lookup(addr)
 		lc.stats.FEExecs.Add(1)
 		if !ok {
 			nh = rtable.NoNextHop
 		}
+		wl.feNS = elapsedNS(t0)
+		wl.tr.Record(tracing.EvFEExec, wl.feNS, int64(lc.id))
 		r.fillAndRelease(lc, addr, nh, ok, cache.LOC, ServedByFE)
 		return
 	}
 	lc.stats.RequestsSent.Add(1)
 	wl.attempts = 1
 	wl.deadline = time.Now().Add(r.timeout)
+	wl.tr.Record(tracing.EvFabricSend, int64(home), 1)
 	r.sendFabric(home, message{kind: mRequest, addr: addr, from: lc.id, epoch: lc.epoch})
 }
 
@@ -674,19 +779,28 @@ func (r *Router) fillAndRelease(lc *lineCard, addr ip.Addr, nh rtable.NextHop, o
 	delete(lc.pending, addr)
 	lc.pendingDepth.Store(int64(len(lc.pending)))
 	lc.waiters.Add(-int64(len(wl.locals) + len(wl.remotes)))
+	wl.tr.Record(tracing.EvFill, int64(origin), int64(servedBy))
 	v := Verdict{Addr: addr, NextHop: nh, OK: ok, ServedBy: servedBy}
 	for _, w := range wl.locals {
-		lc.lat.observe(servedBy, w.start)
+		lc.lat.observe(servedBy, w.start, traceID(w.tr))
+		// Finish before delivering: a caller that waits on the verdict
+		// must find its trace already published.
+		r.finishTrace(w.tr, servedBy, ok)
 		w.ch <- v
 	}
+	if wl.trLate {
+		// The late trace belongs to the address, not to any waiter;
+		// close it with the same verdict.
+		r.finishTrace(wl.tr, servedBy, ok)
+	}
 	for _, rw := range wl.remotes {
-		r.sendReply(lc, rw, addr, nh, ok)
+		r.sendReply(lc, rw, addr, nh, ok, wl.feNS)
 	}
 }
 
-func (r *Router) sendReply(lc *lineCard, rw remoteWaiter, addr ip.Addr, nh rtable.NextHop, ok bool) {
+func (r *Router) sendReply(lc *lineCard, rw remoteWaiter, addr ip.Addr, nh rtable.NextHop, ok bool, feNS int64) {
 	lc.stats.RepliesSent.Add(1)
-	r.sendFabric(rw.from, message{kind: mReply, addr: addr, nextHop: nh, ok: ok, from: lc.id, epoch: rw.epoch})
+	r.sendFabric(rw.from, message{kind: mReply, addr: addr, nextHop: nh, ok: ok, from: lc.id, epoch: rw.epoch, hops: rw.hops, feNS: feNS})
 }
 
 // Lookup submits a destination address at line card lc and waits for the
@@ -736,7 +850,14 @@ func (r *Router) LookupAsync(lc int, addr ip.Addr) (<-chan Verdict, error) {
 		return nil, fmt.Errorf("router: no such LC %d", lc)
 	}
 	resp := make(chan Verdict, 1)
-	if !r.send(lc, message{kind: mLookup, addr: addr, resp: resp, start: time.Now()}) {
+	start := time.Now()
+	var tr *tracing.LookupTrace
+	if r.tracer != nil {
+		if tr = r.tracer.Sample(lc, addr, start); tr != nil {
+			tr.Record(tracing.EvArrival, int64(lc), 0)
+		}
+	}
+	if !r.send(lc, message{kind: mLookup, addr: addr, resp: resp, start: start, tr: tr}) {
 		return nil, ErrStopped
 	}
 	return resp, nil

@@ -95,6 +95,12 @@ type Config struct {
 	// output port per FIL), instead of the default unbounded delivery.
 	FabricContention bool
 
+	// StageAccounting stamps each packet at the pipeline's stage
+	// boundaries (probe, fabric send/recv, FE start/done) and reports a
+	// per-stage latency breakdown (Result.Stages / StageTable) — the
+	// simulator analogue of the concurrent router's lookup traces.
+	StageAccounting bool
+
 	// SampleWindowCycles > 0 collects a time series: the mean lookup time
 	// of the packets completing in each window of that many cycles. Used
 	// for warmup and flush-recovery curves.

@@ -58,6 +58,8 @@ type Result struct {
 	// Samples is the latency time series (SampleWindowCycles > 0): the
 	// warmup/flush-recovery curve.
 	Samples []WindowSample
+	// Stages is the per-stage latency breakdown (StageAccounting only).
+	Stages []StageStats
 
 	cfg Config
 	lat *stats.Hist
@@ -74,6 +76,7 @@ func (r *Router) result() *Result {
 		PacketsCompleted:  r.completed,
 		FabricMessages:    r.pipe.Sent(),
 		Samples:           r.samples,
+		Stages:            r.stageBreakdown(),
 		cfg:               r.cfg,
 		lat:               r.lat,
 	}

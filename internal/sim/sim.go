@@ -100,6 +100,7 @@ type Router struct {
 	oracle *lpm.Reference // for VerifyNextHops
 
 	packets   []packet
+	stages    []stageStamp // parallel to packets; nil unless StageAccounting
 	completed int64
 	lat       *stats.Hist
 	now       int64
@@ -251,6 +252,9 @@ func (r *Router) step() {
 				arrivalCycle:  now,
 				completeCycle: -1,
 			})
+			if r.cfg.StageAccounting {
+				r.stages = append(r.stages, stageStamp{probe: -1, reqSend: -1, reqRecv: -1, feStart: -1, feDone: -1})
+			}
 			l.localQ.push(id)
 			l.counters.Get("generated").Inc()
 			l.toGenerate--
@@ -299,6 +303,7 @@ func (r *Router) startFE(l *lineCard, id int64) {
 			cycles = 1
 		}
 	}
+	r.stamp(id, stFEStart)
 	l.feActive = feJob{packetID: id, addr: p.addr, nextHop: nh, ok: ok, doneAt: r.now + cycles}
 	if !ok {
 		l.feActive.nextHop = rtable.NoNextHop
@@ -312,6 +317,7 @@ func (r *Router) startFE(l *lineCard, id int64) {
 func (r *Router) finishFE(l *lineCard) {
 	job := l.feActive
 	l.feBusy = false
+	r.stamp(job.packetID, stFEDone)
 	var waiters []int64
 	if l.cache != nil {
 		waiters = l.cache.Fill(job.addr, job.nextHop, cache.LOC)
@@ -407,6 +413,7 @@ func (r *Router) cachePortAction(l *lineCard) {
 // probeLocal handles a freshly arrived packet at its arrival LC.
 func (r *Router) probeLocal(l *lineCard, id int64) {
 	p := &r.packets[id]
+	r.stamp(id, stProbe)
 	if l.cache == nil {
 		r.dispatchMiss(l, id)
 		return
@@ -444,6 +451,7 @@ func (r *Router) dispatchMiss(l *lineCard, id int64) {
 		l.feQ.push(id)
 		return
 	}
+	r.stamp(id, stReqSend)
 	l.outQ.push(fabric.Message{
 		Kind:     fabric.Request,
 		Src:      l.id,
@@ -458,6 +466,7 @@ func (r *Router) dispatchMiss(l *lineCard, id int64) {
 // home LC.
 func (r *Router) probeRemoteRequest(l *lineCard, id int64) {
 	p := &r.packets[id]
+	r.stamp(id, stReqRecv)
 	l.counters.Get("request.received").Inc()
 	if l.cache == nil {
 		l.feQ.push(id)

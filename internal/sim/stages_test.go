@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"spal/internal/rtable"
+)
+
+// TestStageAccounting checks the per-stage breakdown against the run's
+// known structure: every completed packet crossed the probe boundary,
+// the fabric interval equals the configured fabric latency, and the
+// fe_exec stage means exactly LookupCycles (the FE is a fixed-cost
+// server in the static model).
+func TestStageAccounting(t *testing.T) {
+	tbl := rtable.Small(3000, 1)
+	cfg := testConfig(tbl)
+	cfg.StageAccounting = true
+	res := run(t, cfg)
+
+	stages := map[string]StageStats{}
+	for _, st := range res.Stages {
+		stages[st.Name] = st
+	}
+
+	if got := stages["arrival→probe"].Packets; got != res.PacketsCompleted {
+		t.Errorf("arrival→probe packets = %d, want every completed packet (%d)", got, res.PacketsCompleted)
+	}
+	fe := stages["fe_exec"]
+	if fe.Packets == 0 {
+		t.Fatal("no packets crossed the FE")
+	}
+	if fe.MeanCycles != float64(cfg.LookupCycles) {
+		t.Errorf("fe_exec mean = %v cycles, want exactly LookupCycles=%d", fe.MeanCycles, cfg.LookupCycles)
+	}
+	fab := stages["fabric_send→fabric_recv"]
+	if fab.Packets == 0 {
+		t.Fatal("no packets crossed the fabric (partitioned run must have remote misses)")
+	}
+	// Without FabricContention a message injected at cycle c is delivered
+	// and popped exactly FabricLatency later (plus at most the one-cycle
+	// outQ injection slot), so the mean sits just above the pipe latency.
+	lat, _ := normalizeFor(t, cfg)
+	if fab.MeanCycles < float64(lat) || fab.MeanCycles > float64(lat)+8 {
+		t.Errorf("fabric stage mean %v cycles, want within [%d, %d]", fab.MeanCycles, lat, lat+8)
+	}
+	if math.Signbit(stages["fe_queue"].MeanCycles) || math.Signbit(stages["fe_exec→verdict"].MeanCycles) {
+		t.Error("negative stage mean")
+	}
+
+	table := res.StageTable()
+	for name := range stages {
+		if !strings.Contains(table, name) {
+			t.Errorf("StageTable missing stage %q:\n%s", name, table)
+		}
+	}
+}
+
+// normalizeFor exposes the derived fabric latency for assertions.
+func normalizeFor(t *testing.T, cfg Config) (int, Config) {
+	t.Helper()
+	n, err := cfg.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n.FabricLatency, n
+}
+
+// TestStageAccountingOff pins the zero-cost default: no stamps, no
+// Stages, empty table.
+func TestStageAccountingOff(t *testing.T) {
+	tbl := rtable.Small(2000, 2)
+	res := run(t, testConfig(tbl))
+	if res.Stages != nil {
+		t.Errorf("Stages = %v without StageAccounting", res.Stages)
+	}
+	if res.StageTable() != "" {
+		t.Error("StageTable non-empty without StageAccounting")
+	}
+}
+
+// TestStageAccountingDeterminism: stamps must not perturb the run.
+func TestStageAccountingDeterminism(t *testing.T) {
+	tbl := rtable.Small(2000, 2)
+	plain := run(t, testConfig(tbl))
+	cfg := testConfig(tbl)
+	cfg.StageAccounting = true
+	stamped := run(t, cfg)
+	if plain.MeanLookupCycles != stamped.MeanLookupCycles || plain.Cycles != stamped.Cycles {
+		t.Errorf("stage accounting changed the run: %v/%v cycles %d/%d",
+			plain.MeanLookupCycles, stamped.MeanLookupCycles, plain.Cycles, stamped.Cycles)
+	}
+}

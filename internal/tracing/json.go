@@ -1,0 +1,124 @@
+package tracing
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"spal/internal/ip"
+)
+
+// The JSON wire format of a trace. Field order is fixed by struct
+// declaration (encoding/json preserves it), so the encoding is
+// golden-file stable. All durations are integer nanoseconds — the unit
+// is spelled in the field names (*_ns) rather than implied.
+type jsonTrace struct {
+	TraceID    string      `json:"trace_id"` // zero-padded hex, 16 digits
+	Addr       string      `json:"addr"`
+	ArrivalLC  int         `json:"arrival_lc"`
+	Start      string      `json:"start"` // RFC 3339 with nanoseconds, UTC
+	LatencyNS  int64       `json:"latency_ns"`
+	ServedBy   string      `json:"served_by"`
+	OK         bool        `json:"ok"`
+	Flags      []string    `json:"flags"`
+	DroppedEvs int         `json:"dropped_events"`
+	Events     []jsonEvent `json:"events"`
+}
+
+type jsonEvent struct {
+	Kind string `json:"kind"`
+	AtNS int64  `json:"at_ns"`
+	A    int64  `json:"a"`
+	B    int64  `json:"b"`
+}
+
+type jsonDoc struct {
+	Count  int         `json:"count"`
+	Traces []jsonTrace `json:"traces"`
+}
+
+func toJSONTrace(t *LookupTrace) jsonTrace {
+	out := jsonTrace{
+		TraceID:    fmt.Sprintf("%016x", t.ID),
+		Addr:       ip.FormatAddr(t.Addr),
+		ArrivalLC:  t.ArrivalLC,
+		Start:      t.Start.UTC().Format(time.RFC3339Nano),
+		LatencyNS:  t.LatencyNS,
+		ServedBy:   t.ServedBy,
+		OK:         t.OK,
+		Flags:      t.Flags.Strings(),
+		DroppedEvs: t.Dropped,
+		Events:     make([]jsonEvent, 0, t.EventCount),
+	}
+	for _, e := range t.EventSlice() {
+		out.Events = append(out.Events, jsonEvent{Kind: e.Kind.String(), AtNS: e.At, A: e.A, B: e.B})
+	}
+	return out
+}
+
+// WriteJSON encodes traces as an indented JSON document:
+// {"count": N, "traces": [...]}. The field order and units are stable —
+// see jsonTrace — and covered by a golden-file test.
+func WriteJSON(w io.Writer, traces []LookupTrace) error {
+	doc := jsonDoc{Count: len(traces), Traces: make([]jsonTrace, 0, len(traces))}
+	for i := range traces {
+		doc.Traces = append(doc.Traces, toJSONTrace(&traces[i]))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// Handler serves the trace journal as JSON (the /debug/spal/traces
+// endpoint). src is called per request (Router.Traces fits). Query
+// parameters filter the result:
+//
+//	served_by=cache|fe|remote|fallback   keep one verdict origin
+//	min_latency_ns=N                     keep traces at least this slow
+//	interesting=1                        keep retried/re-homed/fallback/expired
+//	limit=N                              keep only the newest N after filtering
+func Handler(src func() []LookupTrace) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		traces := src()
+		q := req.URL.Query()
+		if sb := q.Get("served_by"); sb != "" {
+			traces = filter(traces, func(t *LookupTrace) bool { return t.ServedBy == sb })
+		}
+		if v := q.Get("min_latency_ns"); v != "" {
+			min, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				http.Error(w, "bad min_latency_ns: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			traces = filter(traces, func(t *LookupTrace) bool { return t.LatencyNS >= min })
+		}
+		if q.Get("interesting") == "1" {
+			traces = filter(traces, func(t *LookupTrace) bool { return t.Flags.Interesting() })
+		}
+		if v := q.Get("limit"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				http.Error(w, "bad limit", http.StatusBadRequest)
+				return
+			}
+			if n < len(traces) {
+				traces = traces[len(traces)-n:]
+			}
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		WriteJSON(w, traces)
+	})
+}
+
+func filter(ts []LookupTrace, keep func(*LookupTrace) bool) []LookupTrace {
+	out := ts[:0:0]
+	for i := range ts {
+		if keep(&ts[i]) {
+			out = append(out, ts[i])
+		}
+	}
+	return out
+}

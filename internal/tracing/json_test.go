@@ -1,0 +1,88 @@
+package tracing
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// goldenTraces builds a fully deterministic pair of traces: timestamps
+// pinned, events written directly into the array (Record would stamp
+// wall-clock offsets).
+func goldenTraces() []LookupTrace {
+	t0 := time.Date(2026, 8, 5, 12, 0, 0, 123456789, time.UTC)
+	hit := LookupTrace{
+		ID:        1,
+		Addr:      0x0a010203, // 10.1.2.3
+		ArrivalLC: 0,
+		Start:     t0,
+		LatencyNS: 1500,
+		ServedBy:  "cache",
+		OK:        true,
+		Flags:     FlagSampled,
+	}
+	for _, e := range []SpanEvent{
+		{Kind: EvArrival, At: 0, A: 0},
+		{Kind: EvProbe, At: 400, A: 1, B: 0},
+		{Kind: EvVerdict, At: 1400, A: 1},
+	} {
+		hit.Events[hit.EventCount] = e
+		hit.EventCount++
+		hit.Counts[e.Kind]++
+	}
+	miss := LookupTrace{
+		ID:        2,
+		Addr:      0xc0a80001, // 192.168.0.1
+		ArrivalLC: 3,
+		Start:     t0.Add(2 * time.Millisecond),
+		LatencyNS: 84000,
+		ServedBy:  "remote",
+		OK:        true,
+		Flags:     FlagSampled | FlagRetried,
+		Dropped:   1,
+	}
+	for _, e := range []SpanEvent{
+		{Kind: EvArrival, At: 0, A: 3},
+		{Kind: EvProbe, At: 300, A: 0, B: 0},
+		{Kind: EvFabricSend, At: 900, A: 1, B: 1},
+		{Kind: EvRetry, At: 50000, A: 1, B: 100000},
+		{Kind: EvFabricSend, At: 50400, A: 1, B: 2},
+		{Kind: EvFabricRecv, At: 80000, A: 1, B: 0},
+		{Kind: EvFEExec, At: 80100, A: 61000, B: 1},
+		{Kind: EvFill, At: 82000, A: 1, B: 3},
+		{Kind: EvVerdict, At: 83500, A: 1},
+	} {
+		miss.Events[miss.EventCount] = e
+		miss.EventCount++
+		miss.Counts[e.Kind]++
+	}
+	return []LookupTrace{hit, miss}
+}
+
+// TestWriteJSONGolden pins the /debug/spal/traces wire format: field
+// order, the zero-padded hex trace ids, RFC 3339 nanosecond timestamps,
+// and the *_ns duration units.
+func TestWriteJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, goldenTraces()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("JSON encoding drifted from %s\ngot:\n%s\nwant:\n%s", path, buf.Bytes(), want)
+	}
+}

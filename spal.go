@@ -20,6 +20,7 @@
 package spal
 
 import (
+	"log/slog"
 	"time"
 
 	"spal/internal/cache"
@@ -39,6 +40,7 @@ import (
 	"spal/internal/rtable"
 	"spal/internal/sim"
 	"spal/internal/trace"
+	"spal/internal/tracing"
 )
 
 // Core re-exported types. Within this module the internal packages are
@@ -97,6 +99,14 @@ type (
 	// LCState is one line card's lifecycle state (see Router.LCStates,
 	// Router.KillLC, Router.DrainLC, Router.RestoreLC).
 	LCState = router.LCState
+	// LookupTrace is one lookup's end-to-end span record (from
+	// Router.Traces when tracing is enabled; see WithRouterTraceSampling).
+	LookupTrace = tracing.LookupTrace
+	// TraceEvent is one span event inside a LookupTrace.
+	TraceEvent = tracing.SpanEvent
+	// TraceEventKind classifies a TraceEvent (arrival, probe, fabric_send,
+	// fe_exec, verdict, ...).
+	TraceEventKind = tracing.EventKind
 )
 
 // ServedBy values, re-exported for verdict classification.
@@ -225,6 +235,21 @@ func WithRouterMaxRetries(n int) RouterOption { return router.WithMaxRetries(n) 
 func WithRouterHealthThresholds(suspectAfter, downAfter time.Duration) RouterOption {
 	return router.WithHealthThresholds(suspectAfter, downAfter)
 }
+
+// WithRouterTraceSampling enables per-lookup distributed tracing with
+// head-based probabilistic sampling (rate in 0..1). Interesting lookups
+// — retried, re-homed, fallback-served, deadline-expired — are captured
+// even at rate 0. Completed traces land in a bounded journal exposed by
+// (*Router).Traces and the /debug/spal/traces endpoint.
+func WithRouterTraceSampling(rate float64) RouterOption { return router.WithTraceSampling(rate) }
+
+// WithRouterTraceLogger emits one structured slog record per finished
+// trace; implies tracing.
+func WithRouterTraceLogger(l *slog.Logger) RouterOption { return router.WithLogger(l) }
+
+// WithRouterTraceJournal sizes the completed-trace ring behind
+// (*Router).Traces (default 1024); implies tracing.
+func WithRouterTraceJournal(size int) RouterOption { return router.WithTraceJournal(size) }
 
 // SeededFaults builds a deterministic fault injector: every fabric
 // message independently draws drop/duplicate/delay outcomes from a
