@@ -21,10 +21,12 @@
 //	spal-router -drain-after 50ms -n 500000   # drain LC 0 mid-drive, restore after
 //	spal-router -trace-rate 0.01 -n 100000 -trace-dump 3  # sample 1% of lookups, dump the last 3 traces
 //	spal-router -trace-rate 1 -fault-rate 0.1 -trace-log -n 10000  # full tracing + JSON log per lookup
+//	spal-router -overload-depth 256 -shed-mode drop-newest -n 1000000  # bounded inboxes, shed on overflow
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -34,6 +36,7 @@ import (
 	"os/signal"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"spal"
@@ -67,6 +70,8 @@ func main() {
 	traceRate := flag.Float64("trace-rate", -1, "per-lookup trace sampling rate 0..1 (negative = tracing off)")
 	traceDump := flag.Int("trace-dump", 0, "print the last N completed traces after the drive (implies tracing)")
 	traceLog := flag.Bool("trace-log", false, "emit one structured log line per finished trace (implies tracing)")
+	overloadDepth := flag.Int("overload-depth", 0, "bound each LC inbox to this many messages and shed on overflow (0 = legacy unbounded)")
+	shedMode := flag.String("shed-mode", "drop-newest", "shed policy under overload: drop-newest|drop-remote-first|block")
 	flag.Parse()
 
 	builder, ok := spal.Engines()[*engineName]
@@ -103,6 +108,14 @@ func main() {
 	}
 	if *traceLog {
 		opts = append(opts, router.WithLogger(slog.New(slog.NewJSONHandler(os.Stderr, nil))))
+	}
+	if *overloadDepth > 0 {
+		mode, err := router.ParseShedMode(*shedMode)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		opts = append(opts, router.WithOverload(router.OverloadPolicy{QueueDepth: *overloadDepth, Mode: mode}))
 	}
 	r, err := router.New(tbl, opts...)
 	if err != nil {
@@ -208,6 +221,7 @@ func drive(r *router.Router, psi int, addrs []ip.Addr, killLC int, drainAfter ti
 	}
 	before := r.Metrics()
 	start := time.Now()
+	var shed atomic.Int64
 	var wg sync.WaitGroup
 	for lc := 0; lc < psi; lc++ {
 		wg.Add(1)
@@ -215,6 +229,12 @@ func drive(r *router.Router, psi int, addrs []ip.Addr, killLC int, drainAfter ti
 			defer wg.Done()
 			for i := lc; i < len(addrs); i += psi {
 				if _, err := r.Lookup(lc, addrs[i]); err != nil {
+					// Under overload control ErrOverloaded is the
+					// expected per-lookup outcome, not a drive failure.
+					if errors.Is(err, router.ErrOverloaded) {
+						shed.Add(1)
+						continue
+					}
 					fmt.Fprintln(os.Stderr, err)
 					return
 				}
@@ -223,8 +243,14 @@ func drive(r *router.Router, psi int, addrs []ip.Addr, killLC int, drainAfter ti
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	served := int64(len(addrs)) - shed.Load()
 	fmt.Printf("forwarded %d packets in %.2fs (%.2f Mpps software)\n",
 		len(addrs), elapsed.Seconds(), float64(len(addrs))/elapsed.Seconds()/1e6)
+	if shed.Load() > 0 {
+		fmt.Printf("overload: shed %d of %d lookups (%.2f%%), goodput %.2f Mpps\n",
+			shed.Load(), len(addrs), 100*float64(shed.Load())/float64(len(addrs)),
+			float64(served)/elapsed.Seconds()/1e6)
+	}
 	fmt.Printf("%-4s %10s %10s %8s %9s %9s %10s %12s\n",
 		"LC", "lookups", "hits", "FE", "reqSent", "repSent", "coalesced", "p95 cache")
 	delta := r.Metrics().Delta(before)
@@ -252,6 +278,13 @@ func drive(r *router.Router, psi int, addrs []ip.Addr, killLC int, drainAfter ti
 	if retries+fallbacks+expired+forwarded > 0 {
 		fmt.Printf("fabric faults survived: %.0f retries, %.0f deadline expiries, %.0f fallback verdicts, %.0f forwarded requests\n",
 			retries, expired, fallbacks, forwarded)
+	}
+	sheds := delta.Sum(router.MetricShed)
+	shorts := delta.Sum(router.MetricBreakerShorts)
+	exhausted := delta.Sum(router.MetricBudgetExhausted)
+	if sheds+shorts+exhausted > 0 {
+		fmt.Printf("overload control: %.0f sheds, %.0f breaker short-circuits, %.0f budget-exhausted retries\n",
+			sheds, shorts, exhausted)
 	}
 
 	// Lifecycle summary: admin drain completion, crash re-homings, and the

@@ -35,6 +35,8 @@ func main() {
 	noCache := flag.Bool("no-cache", false, "disable LR-caches")
 	noPart := flag.Bool("no-partition", false, "keep the full table at every LC")
 	flushMS := flag.Float64("flush-ms", 0, "flush caches every N milliseconds (0 = never)")
+	offered := flag.Float64("offered-load", 1.0, "scale every LC's packet rate (2.0 = twice nominal)")
+	admitCap := flag.Int("admit-cap", 0, "shed arrivals when the LC arrival queue holds this many packets (0 = unbounded)")
 	perLC := flag.Bool("per-lc", false, "print per-LC statistics")
 	stages := flag.Bool("stages", false, "print the per-stage lookup latency breakdown")
 	configPath := flag.String("config", "", "JSON config file (flags for table size still apply)")
@@ -78,6 +80,8 @@ func main() {
 		if *flushMS > 0 {
 			cfg.FlushEveryCycles = int64(*flushMS * 1e6 / 5) // 5 ns cycles
 		}
+		cfg.OfferedLoad = *offered
+		cfg.AdmissionCap = *admitCap
 	}
 
 	cfg.StageAccounting = cfg.StageAccounting || *stages
@@ -114,8 +118,8 @@ func main() {
 	if *perLC {
 		fmt.Println("per-LC:")
 		for i, l := range res.PerLC {
-			fmt.Printf("  LC%-2d gen=%d hitLOC=%d hitREM=%d miss=%d reqSent=%d feLookups=%d feUtil=%.3f part=%d\n",
-				i, l.Generated, l.HitLoc, l.HitRem, l.MissLocal, l.RequestsSent,
+			fmt.Printf("  LC%-2d gen=%d shed=%d hitLOC=%d hitREM=%d miss=%d reqSent=%d feLookups=%d feUtil=%.3f part=%d\n",
+				i, l.Generated, l.Shed, l.HitLoc, l.HitRem, l.MissLocal, l.RequestsSent,
 				l.FELookups, l.FEUtilization, l.PartitionSize)
 		}
 	}

@@ -219,7 +219,7 @@ func (r *Router) rehomeLocked(dead int) {
 	l.exited = make(chan struct{})
 	l.lastBeat.Store(time.Now())
 	r.wg.Add(1)
-	go r.lcLoop(lc, r.outs[dead], l.die, l.exited)
+	go r.lcLoop(lc, r.outs[dead], r.ctrls[dead], l.die, l.exited)
 
 	// Replay the lookups that were parked at the dead LC: re-submitted at
 	// the reborn slot (FIFO-before the swap messages), they re-dispatch
@@ -237,7 +237,7 @@ func (r *Router) rehomeLocked(dead int) {
 				w.tr = r.lateTrace(dead, addr)
 			}
 			w.tr.Record(tracing.EvRehome, int64(dead), 0)
-			r.send(dead, message{kind: mLookup, addr: addr, resp: w.ch, start: w.start, tr: w.tr})
+			r.replaySend(dead, message{kind: mLookup, addr: addr, resp: w.ch, start: w.start, tr: w.tr})
 			replayed++
 		}
 		if wl.trLate {
@@ -378,10 +378,11 @@ func (r *Router) DrainLC(lc int) error {
 }
 
 // pendingAddrs snapshots the set of addresses with parked lookups at an
-// LC, collected on the owning goroutine.
+// LC, collected on the owning goroutine. Rides the control plane so the
+// snapshot lands even when the data inbox is at capacity.
 func (r *Router) pendingAddrs(lc int) (map[ip.Addr]struct{}, error) {
 	out := make(chan map[ip.Addr]struct{}, 1)
-	ok := r.send(lc, message{kind: mExec, do: func(lc *lineCard) {
+	ok := r.sendCtrl(lc, message{kind: mExec, do: func(lc *lineCard) {
 		m := make(map[ip.Addr]struct{}, len(lc.pending))
 		for a := range lc.pending {
 			m[a] = struct{}{}

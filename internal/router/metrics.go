@@ -73,6 +73,18 @@ const (
 	MetricReplayed      = "spal_router_replayed_lookups_total"
 	MetricDrains        = "spal_router_drains_total"
 	MetricDrainDuration = "spal_router_drain_duration_ns"
+	// Overload-control metrics (see overload.go). Only routers built
+	// WithOverload emit these, so snapshots of a default router are
+	// byte-identical to earlier releases.
+	MetricShed             = "spal_router_shed_total"
+	MetricWaitlistOverflow = "spal_router_waitlist_overflow_total"
+	MetricInboxDepth       = "spal_router_inbox_depth"
+	MetricRetryBudget      = "spal_router_retry_budget"
+	MetricBudgetExhausted  = "spal_router_retry_budget_exhausted_total"
+	MetricBreakerState     = "spal_router_breaker_state"
+	MetricBreakerShorts    = "spal_router_breaker_short_circuits_total"
+	MetricBreakerOpens     = "spal_router_breaker_opens_total"
+	MetricBreakerCloses    = "spal_router_breaker_closes_total"
 )
 
 // Metrics returns an immutable snapshot of every router metric: the
@@ -99,7 +111,7 @@ func (r *Router) Metrics() *metrics.Snapshot {
 			done := make(chan struct{})
 			views[i], dones[i] = view, done
 			lbl := metrics.L("lc", strconv.Itoa(i))
-			ok := r.send(i, message{kind: mExec, do: func(lc *lineCard) {
+			ok := r.sendCtrl(i, message{kind: mExec, do: func(lc *lineCard) {
 				if lc.cache != nil {
 					lc.cache.MetricsInto(view, lbl)
 				}
@@ -146,6 +158,34 @@ func (r *Router) Metrics() *metrics.Snapshot {
 		s.Hist(MetricLatency, latHelp, lc.lat.fe.Snapshot(), lbl, metrics.L("served_by", "fe"))
 		s.Hist(MetricLatency, latHelp, lc.lat.remote.Snapshot(), lbl, metrics.L("served_by", "remote"))
 		s.Hist(MetricLatency, latHelp, lc.lat.fallback.Snapshot(), lbl, metrics.L("served_by", "fallback"))
+
+		if r.ov.Enabled {
+			for why, name := range shedReasonNames {
+				s.Counter(MetricShed, "Messages/lookups shed by overload control, by reason.",
+					float64(lc.ov.shed[why].Load()), lbl, metrics.L("reason", name))
+			}
+			s.Counter(MetricWaitlistOverflow, "Waiters refused because the per-address waitlist hit its cap.",
+				float64(lc.ov.shed[shedWaitlistOverflow].Load()), lbl)
+			s.Gauge(MetricInboxDepth, "Messages queued in this LC's bounded inbox.",
+				float64(len(r.inboxes[i])), lbl)
+			s.Gauge(MetricRetryBudget, "Retry tokens currently available at this LC.",
+				float64(lc.ov.budgetMilli.Load())/1000, lbl)
+			s.Counter(MetricBudgetExhausted, "Retries refused for lack of budget (lookup went straight to fallback).",
+				float64(lc.ov.budgetExhausted.Load()), lbl)
+			s.Counter(MetricBreakerShorts, "Fabric sends short-circuited to fallback by an open breaker.",
+				float64(lc.ov.breakerShorts.Load()), lbl)
+			s.Counter(MetricBreakerOpens, "Per-home breaker transitions into open at this LC.",
+				float64(lc.ov.breakerOpens.Load()), lbl)
+			s.Counter(MetricBreakerCloses, "Per-home breaker transitions back to closed at this LC.",
+				float64(lc.ov.breakerCloses.Load()), lbl)
+			for h := range lc.ov.breakers {
+				if h == i {
+					continue
+				}
+				s.Gauge(MetricBreakerState, "Circuit breaker toward home LC: 0=closed 1=open 2=half-open.",
+					float64(lc.ov.breakers[h].state.Load()), lbl, metrics.L("home", strconv.Itoa(h)))
+			}
+		}
 	}
 	if probes > 0 {
 		s.Gauge(MetricHitRatio, "Router-wide fraction of lookups served by an LR-cache.", hits/probes)

@@ -1,0 +1,506 @@
+// Overload control for the concurrent forwarding plane: bounded per-LC
+// inboxes with an explicit admission layer, load shedding, an adaptive
+// per-LC retry budget, and per-home-LC circuit breakers.
+//
+// The paper sizes SPAL for line rate and treats the home LC's forwarding
+// engine as the contended resource; bit selection bounds *table*
+// imbalance but nothing bounds *traffic* imbalance. Without overload
+// control the router absorbs a hot home LC or a retry storm into
+// unbounded inter-LC queues — memory and tail latency grow without
+// limit and nothing tells the caller to back off. With WithOverload the
+// router defends itself at four points:
+//
+//   - Admission: each LC's inbox is a bounded channel. A locally
+//     submitted lookup that finds it full is refused immediately with
+//     ErrOverloaded (shed-at-arrival, mode ShedDropNewest), admitted
+//     only once space frees (ShedBlock), or admitted while *fabric*
+//     traffic sheds first (ShedDropRemoteFirst: remote requests are
+//     refused at 3/4 of the target's depth, reserving headroom for
+//     local arrivals).
+//   - Fabric: requests and replies are never allowed to block the
+//     sending LC — a full target inbox sheds the message and the
+//     requester's existing deadline/retry/fallback machinery keeps the
+//     lookup terminating. Mutually-full LCs therefore cannot deadlock.
+//   - Retry budget: each LC holds a token bucket refilled by successful
+//     fabric replies (RetryBudgetRatio tokens per success, the
+//     client-side "retry budget" pattern). A deadline-driven retry
+//     spends one token; with the bucket empty the lookup goes straight
+//     to the full-table fallback engine, so retries cannot amplify an
+//     already-overloaded fabric.
+//   - Circuit breaker: each LC tracks one breaker per home LC, driven
+//     by the deadline ticker. Consecutive deadline expiries from one
+//     home open its breaker; while open, dispatches homed there
+//     short-circuit to ServedByFallback without touching the fabric.
+//     After BreakerCooldown the ticker arms a half-open probe: the next
+//     dispatch crosses the fabric, and its success (reply) or failure
+//     (another expiry) closes or re-opens the breaker.
+//
+// Every structure here follows the package's ownership rules: token
+// buckets and breakers are mutated only on the owning LC goroutine;
+// Metrics reads atomic mirrors. Control messages (cache flush, table
+// swap, stats collection) bypass admission entirely on a dedicated
+// per-LC control channel, so drain/kill/UpdateTable keep their
+// no-lost-lookup guarantees under full data inboxes.
+package router
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"spal/internal/tracing"
+)
+
+// ctrlDepth sizes the per-LC control channel: the control plane's rate
+// is bounded by design (one flush/swap/exec in flight per admin call),
+// so a small buffer plus blocking sendCtrl semantics suffice.
+const ctrlDepth = 64
+
+// ErrOverloaded is returned by Lookup/LookupCtx (and delivered as a
+// ServedByShed verdict on async paths) when overload control refuses a
+// lookup: the arrival LC's inbox is full, or its waitlist for the
+// address is at capacity. The lookup was not executed; the caller may
+// retry later, ideally with backoff. Only routers built WithOverload
+// ever return it.
+var ErrOverloaded = errors.New("router: overloaded")
+
+// ShedMode selects what the admission layer does with a locally
+// submitted lookup when the arrival LC's inbox is full.
+type ShedMode uint8
+
+// Shed modes.
+const (
+	// ShedDropNewest (default): refuse the new lookup with ErrOverloaded.
+	ShedDropNewest ShedMode = iota
+	// ShedDropRemoteFirst: like ShedDropNewest for local arrivals, but
+	// fabric requests are refused already at 3/4 of the target inbox's
+	// depth, reserving the remaining headroom for local arrivals — the
+	// remote traffic has retry/fallback machinery to absorb the shed,
+	// the local caller does not.
+	ShedDropRemoteFirst
+	// ShedBlock: block the Lookup caller until inbox space frees (or the
+	// router stops). Only local admission blocks; the fabric path always
+	// sheds, preserving the no-deadlock invariant.
+	ShedBlock
+)
+
+// shedModeNames are the flag/report names.
+var shedModeNames = [...]string{"drop-newest", "drop-remote-first", "block"}
+
+// String implements fmt.Stringer.
+func (m ShedMode) String() string {
+	if int(m) < len(shedModeNames) {
+		return shedModeNames[m]
+	}
+	return "ShedMode(?)"
+}
+
+// ParseShedMode maps a flag string onto a ShedMode.
+func ParseShedMode(s string) (ShedMode, error) {
+	for i, n := range shedModeNames {
+		if s == n {
+			return ShedMode(i), nil
+		}
+	}
+	return 0, errors.New("router: unknown shed mode " + s)
+}
+
+// OverloadPolicy configures overload control; see WithOverload. The zero
+// value of every field selects a default, so WithOverload(OverloadPolicy{})
+// enables the subsystem with sane settings.
+type OverloadPolicy struct {
+	// Enabled turns the subsystem on; WithOverload sets it. When false
+	// (the default) the router keeps its original unbounded buffering
+	// goroutines and none of the machinery in this file runs.
+	Enabled bool
+	// QueueDepth bounds each LC's inbox (default 1024 messages).
+	QueueDepth int
+	// Mode is the admission policy for a full inbox (default
+	// ShedDropNewest).
+	Mode ShedMode
+	// WaitlistCap bounds the waiters (local + remote) coalesced onto one
+	// in-flight address (default 256); overflow local lookups shed with
+	// ErrOverloaded, overflow remote requests are dropped back onto the
+	// requester's retry path. Bounds the W-bit waiting lists so a
+	// single-address storm cannot grow state without limit.
+	WaitlistCap int
+	// RetryBudgetRatio is the token-bucket refill per successful fabric
+	// reply (default 0.1: retries may consume 10% of recent successes).
+	RetryBudgetRatio float64
+	// RetryBudgetBurst caps the bucket and seeds it at construction
+	// (default 10 tokens).
+	RetryBudgetBurst float64
+	// BreakerThreshold is the consecutive deadline-expiry count from one
+	// home LC that opens its breaker (default 5).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before the
+	// ticker arms a half-open probe (default 4× the request timeout).
+	BreakerCooldown time.Duration
+}
+
+// Overload defaults.
+const (
+	defaultQueueDepth       = 1024
+	defaultWaitlistCap      = 256
+	defaultRetryBudgetRatio = 0.1
+	defaultRetryBudgetBurst = 10
+	defaultBreakerThreshold = 5
+	defaultBreakerCooldown  = 4 // × RequestTimeout
+)
+
+// normalizeOverload fills policy defaults; a no-op when disabled.
+func normalizeOverload(p OverloadPolicy, timeout time.Duration) OverloadPolicy {
+	if !p.Enabled {
+		return p
+	}
+	if p.QueueDepth <= 0 {
+		p.QueueDepth = defaultQueueDepth
+	}
+	if p.WaitlistCap <= 0 {
+		p.WaitlistCap = defaultWaitlistCap
+	}
+	if p.RetryBudgetRatio <= 0 {
+		p.RetryBudgetRatio = defaultRetryBudgetRatio
+	}
+	if p.RetryBudgetBurst <= 0 {
+		p.RetryBudgetBurst = defaultRetryBudgetBurst
+	}
+	if p.BreakerThreshold <= 0 {
+		p.BreakerThreshold = defaultBreakerThreshold
+	}
+	if p.BreakerCooldown <= 0 {
+		p.BreakerCooldown = defaultBreakerCooldown * timeout
+	}
+	return p
+}
+
+// WithOverload enables overload control with the given policy. Zero
+// policy fields select defaults; see OverloadPolicy.
+func WithOverload(p OverloadPolicy) Option {
+	return func(c *Config) {
+		p.Enabled = true
+		c.Overload = p
+	}
+}
+
+// shedReason labels why a message or lookup was shed; the wire names
+// below are the reason="" label values of spal_router_shed_total.
+type shedReason uint8
+
+// Shed reasons.
+const (
+	// shedInboxFull: a locally submitted lookup found the arrival LC's
+	// inbox full (shed-at-arrival; the caller saw ErrOverloaded).
+	shedInboxFull shedReason = iota
+	// shedRemoteFull: a fabric request was dropped because the home LC's
+	// inbox was full. Attributed to the overloaded (target) LC.
+	shedRemoteFull
+	// shedRemotePressure: ShedDropRemoteFirst refused a fabric request at
+	// the 3/4-depth soft limit. Attributed to the target LC.
+	shedRemotePressure
+	// shedReplyFull: a fabric reply was dropped because the requester's
+	// inbox was full; the requester's deadline machinery re-resolves.
+	shedReplyFull
+	// shedWaitlistOverflow: the per-address waitlist was at WaitlistCap.
+	shedWaitlistOverflow
+	// shedReplayDropped: a re-homed replay found the reborn slot's inbox
+	// full; the parked caller received a ServedByShed verdict.
+	shedReplayDropped
+	numShedReasons
+)
+
+// shedReasonNames are the reason="" label values.
+var shedReasonNames = [numShedReasons]string{
+	"inbox_full", "remote_inbox_full", "remote_pressure",
+	"reply_inbox_full", "waitlist_overflow", "replay_shed",
+}
+
+// Breaker states, mirrored into spal_router_breaker_state.
+const (
+	breakerClosed int32 = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breakerStateNames are the report names for the state gauge docs.
+var breakerStateNames = [...]string{"closed", "open", "half_open"}
+
+// breaker is one (arrival LC, home LC) circuit. fails, openedAt and
+// probing are owned by the arrival LC goroutine (mutated from lcLoop's
+// handle/tick paths only); state is the atomic mirror Metrics and tests
+// read.
+type breaker struct {
+	fails    int       // consecutive deadline expiries from this home
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // half-open: the single probe is in flight
+	state    atomic.Int32
+}
+
+// lcOverload is one LC's overload-control state. The atomic counters are
+// written from whatever goroutine observes the event (admission runs on
+// caller goroutines, fabric sheds on the sending LC's goroutine);
+// tokens and breakers are goroutine-private to the owning lcLoop.
+type lcOverload struct {
+	shed            [numShedReasons]atomic.Int64
+	budgetExhausted atomic.Int64
+	breakerShorts   atomic.Int64
+	breakerOpens    atomic.Int64
+	breakerCloses   atomic.Int64
+	budgetMilli     atomic.Int64 // retry tokens × 1000, for the gauge
+
+	tokens   float64
+	breakers []breaker
+}
+
+// newLCOverload builds the per-LC state: a seeded token bucket and one
+// closed breaker per peer slot.
+func newLCOverload(p OverloadPolicy, numLCs int) *lcOverload {
+	ov := &lcOverload{breakers: make([]breaker, numLCs)}
+	if p.Enabled {
+		ov.tokens = p.RetryBudgetBurst
+		ov.budgetMilli.Store(int64(ov.tokens * 1000))
+	}
+	return ov
+}
+
+// shedCount increments one LC's shed counter for a reason.
+func (r *Router) shedCount(lc int, why shedReason) {
+	r.lcs[lc].ov.shed[why].Add(1)
+}
+
+// admitLookup is the admission layer: it delivers a locally submitted
+// lookup into the arrival LC's bounded inbox under the configured shed
+// mode. Only called when overload control is enabled.
+func (r *Router) admitLookup(lc int, m message) error {
+	if r.ov.Mode == ShedBlock {
+		select {
+		case r.inboxes[lc] <- m:
+			return nil
+		case <-r.quit:
+			return ErrStopped
+		}
+	}
+	select {
+	case r.inboxes[lc] <- m:
+		return nil
+	case <-r.quit:
+		return ErrStopped
+	default:
+	}
+	r.shedCount(lc, shedInboxFull)
+	if m.tr != nil {
+		m.tr.Record(tracing.EvShed, int64(shedInboxFull), int64(lc))
+		r.finishTrace(m.tr, ServedByShed, false)
+	}
+	return ErrOverloaded
+}
+
+// shedLocal abandons an already-admitted local lookup (waitlist
+// overflow, replay shed): the parked caller receives a ServedByShed
+// verdict, which the synchronous Lookup wrappers convert to
+// ErrOverloaded. The resp channel is buffered, so this never blocks.
+func (r *Router) shedLocal(lc int, m message, why shedReason) {
+	r.shedCount(lc, why)
+	if m.tr != nil {
+		m.tr.Record(tracing.EvShed, int64(why), int64(lc))
+		r.finishTrace(m.tr, ServedByShed, false)
+	}
+	m.resp <- Verdict{Addr: m.addr, ServedBy: ServedByShed}
+}
+
+// replaySend re-submits a lookup parked at a crashed LC into the reborn
+// slot's inbox. It runs on the health monitor with r.mu held, so with
+// overload control on it must never block on a full data inbox: instead
+// the replay is shed and the parked caller receives a ServedByShed
+// verdict — every lookup still terminates, and the monitor stays free to
+// keep re-homing.
+func (r *Router) replaySend(lc int, m message) {
+	if !r.ov.Enabled {
+		r.send(lc, m)
+		return
+	}
+	select {
+	case r.inboxes[lc] <- m:
+	case <-r.quit:
+	default:
+		r.shedLocal(lc, m, shedReplayDropped)
+	}
+}
+
+// waitlistFull reports whether one more waiter would push addr's
+// coalescing waitlist past the policy cap.
+func (r *Router) waitlistFull(wl *waitlist) bool {
+	return r.ov.Enabled && len(wl.locals)+len(wl.remotes) >= r.ov.WaitlistCap
+}
+
+// budgetRefill credits the retry bucket for a successful fabric reply.
+// LC goroutine only.
+func (r *Router) budgetRefill(lc *lineCard) {
+	ov := lc.ov
+	ov.tokens += r.ov.RetryBudgetRatio
+	if ov.tokens > r.ov.RetryBudgetBurst {
+		ov.tokens = r.ov.RetryBudgetBurst
+	}
+	ov.budgetMilli.Store(int64(ov.tokens * 1000))
+}
+
+// budgetTake spends one retry token; false means the budget is exhausted
+// and the caller must degrade to the fallback engine instead of
+// retrying. LC goroutine only.
+func (r *Router) budgetTake(lc *lineCard) bool {
+	ov := lc.ov
+	if ov.tokens < 1 {
+		ov.budgetExhausted.Add(1)
+		return false
+	}
+	ov.tokens--
+	ov.budgetMilli.Store(int64(ov.tokens * 1000))
+	return true
+}
+
+// breakerFailure records one deadline expiry from home; enough
+// consecutive failures (or any failure of a half-open probe) open the
+// breaker. LC goroutine only.
+func (r *Router) breakerFailure(lc *lineCard, home int, now time.Time) {
+	b := &lc.ov.breakers[home]
+	switch b.state.Load() {
+	case breakerOpen:
+		return // already open; the cooldown clock keeps running
+	case breakerHalfOpen:
+		// The probe failed: re-open with a fresh cooldown.
+		b.probing = false
+		b.openedAt = now
+		b.state.Store(breakerOpen)
+		lc.ov.breakerOpens.Add(1)
+		return
+	}
+	b.fails++
+	if b.fails >= r.ov.BreakerThreshold {
+		b.openedAt = now
+		b.state.Store(breakerOpen)
+		lc.ov.breakerOpens.Add(1)
+	}
+}
+
+// breakerSuccess records a fabric reply from home: any success fully
+// closes the circuit. LC goroutine only.
+func (r *Router) breakerSuccess(lc *lineCard, home int) {
+	b := &lc.ov.breakers[home]
+	b.fails = 0
+	b.probing = false
+	if b.state.Load() != breakerClosed {
+		b.state.Store(breakerClosed)
+		lc.ov.breakerCloses.Add(1)
+	}
+}
+
+// breakerTick arms half-open probes: an open breaker whose cooldown has
+// elapsed transitions to half-open, allowing the next dispatch through
+// as the probe. Runs on the LC's deadline ticker. LC goroutine only.
+func (r *Router) breakerTick(lc *lineCard, now time.Time) {
+	for i := range lc.ov.breakers {
+		b := &lc.ov.breakers[i]
+		if b.state.Load() == breakerOpen && now.Sub(b.openedAt) >= r.ov.BreakerCooldown {
+			b.probing = false
+			b.state.Store(breakerHalfOpen)
+		}
+	}
+}
+
+// breakerAllows reports whether a dispatch homed at home may cross the
+// fabric right now: closed always may; half-open admits exactly one
+// in-flight probe; open admits nothing until the ticker arms a probe.
+// LC goroutine only.
+func (r *Router) breakerAllows(lc *lineCard, home int) bool {
+	b := &lc.ov.breakers[home]
+	switch b.state.Load() {
+	case breakerClosed:
+		return true
+	case breakerHalfOpen:
+		if !b.probing {
+			b.probing = true
+			return true
+		}
+	}
+	return false
+}
+
+// BreakerStates returns LC lc's per-home breaker states (0 closed,
+// 1 open, 2 half-open), indexed by home LC. Nil when overload control is
+// disabled. Diagnostic mirror of spal_router_breaker_state.
+func (r *Router) BreakerStates(lc int) []int32 {
+	if !r.ov.Enabled || lc < 0 || lc >= len(r.lcs) {
+		return nil
+	}
+	out := make([]int32, len(r.lcs[lc].ov.breakers))
+	for i := range out {
+		out[i] = r.lcs[lc].ov.breakers[i].state.Load()
+	}
+	return out
+}
+
+// deliverData delivers a fabric message (request or reply) into a
+// bounded inbox without ever blocking the sender: a full target sheds
+// the message, and the requester-side deadline machinery keeps the
+// affected lookup terminating. Only called when overload control is
+// enabled; the unbounded path goes through Router.send.
+func (r *Router) deliverData(to int, m message) bool {
+	if m.kind == mRequest && r.ov.Mode == ShedDropRemoteFirst {
+		// Soft limit: refuse remote work while headroom remains for
+		// local arrivals at the target.
+		if len(r.inboxes[to]) >= r.remoteLimit {
+			r.shedCount(to, shedRemotePressure)
+			return false
+		}
+	}
+	select {
+	case r.inboxes[to] <- m:
+		return true
+	case <-r.quit:
+		return false
+	default:
+	}
+	if m.kind == mReply {
+		r.shedCount(to, shedReplyFull)
+	} else {
+		r.shedCount(to, shedRemoteFull)
+	}
+	return false
+}
+
+// sendCtrl delivers a control message (flush, swap, rekey, exec) to an
+// LC. Control traffic bypasses admission: with overload control on it
+// rides a dedicated bounded channel sized for the control plane's
+// bounded rate, and the send blocks (never sheds) so lifecycle and
+// update invariants hold even when the data inbox is saturated.
+func (r *Router) sendCtrl(lc int, m message) bool {
+	if !r.ov.Enabled {
+		return r.send(lc, m)
+	}
+	select {
+	case r.ctrls[lc] <- m:
+		return true
+	case <-r.quit:
+		return false
+	}
+}
+
+// sendCtrlSwap is sendCtrl for the two-phase partitioning swap, which
+// runs under r.mu: it additionally bails out when the target LC's
+// goroutine has exited (a crashed slot awaiting rebirth), because
+// blocking there while holding the mutex would also block the health
+// monitor that performs the rebirth. The caller's ack loop already
+// treats an exited LC as a skip. r.mu must be held.
+func (r *Router) sendCtrlSwap(lc int, m message) bool {
+	if !r.ov.Enabled {
+		return r.send(lc, m)
+	}
+	select {
+	case r.ctrls[lc] <- m:
+		return true
+	case <-r.life[lc].exited:
+		return true // skip: rehoming will re-install on the reborn slot
+	case <-r.quit:
+		return false
+	}
+}

@@ -20,9 +20,12 @@
 //
 // Concurrency design, per the repository's Go guides: no shared mutable
 // state. Each LC goroutine exclusively owns its cache and engine; all
-// communication is message passing. Inter-LC channels are unbounded
-// (a small buffering goroutine per LC) so LCs never deadlock on mutual
-// backpressure.
+// communication is message passing. By default inter-LC channels are
+// unbounded (a small buffering goroutine per LC) so LCs never deadlock
+// on mutual backpressure; WithOverload replaces them with bounded
+// inboxes plus an admission layer that sheds — never blocks — on the
+// fabric path, preserving the same deadlock freedom while bounding
+// memory and tail latency (see overload.go).
 //
 // Failure model: the paper assumes a lossless fabric; this package does
 // not. Every fabric request carries a deadline tracked by a coarse
@@ -123,6 +126,12 @@ type Config struct {
 	// TraceLogger, when non-nil, receives one structured record per
 	// completed trace.
 	TraceLogger *slog.Logger
+	// Overload configures the overload-control subsystem (bounded
+	// inboxes, load shedding, retry budgets, circuit breakers; see
+	// overload.go). The zero value keeps it disabled: the router runs its
+	// original unbounded buffering goroutines and never returns
+	// ErrOverloaded.
+	Overload OverloadPolicy
 }
 
 // Robustness defaults, chosen so that a healthy in-process fabric (tens
@@ -228,6 +237,13 @@ type lineCard struct {
 	lat          lcLatency
 	pendingDepth atomic.Int64
 	waiters      atomic.Int64
+
+	// ov is the overload-control state (shed counters, retry bucket,
+	// per-home breakers; see overload.go). Always allocated, only
+	// exercised when the router's policy is enabled. Its counters are
+	// atomic; its token bucket and breaker bookkeeping follow the same
+	// ownership rule as pending above.
+	ov *lcOverload
 }
 
 // fallbackEngine boxes the router-wide read-only full-table engine so it
@@ -239,6 +255,7 @@ type Router struct {
 	cfg     Config
 	inboxes []chan message
 	outs    []chan message // buffer → LC legs, kept for slot rebirth
+	ctrls   []chan message // control-plane legs (overload mode; nil entries otherwise)
 	quit    chan struct{}
 	stopped atomic.Bool
 	wg      sync.WaitGroup
@@ -251,6 +268,12 @@ type Router struct {
 	timeout    time.Duration
 	maxRetries int
 	tickEvery  time.Duration
+
+	// Overload control (see overload.go): the normalized policy and the
+	// ShedDropRemoteFirst soft limit (3/4 of QueueDepth). ov.Enabled
+	// false means every structure in overload.go stays inert.
+	ov          OverloadPolicy
+	remoteLimit int
 
 	// LC lifecycle (see lifecycle.go): per-slot health records, the
 	// suspicion/death windows, and the lifecycle event counters.
@@ -336,6 +359,12 @@ func NewWithConfig(cfg Config) (*Router, error) {
 			Logger:      cfg.TraceLogger,
 		})
 	}
+	r.ov = normalizeOverload(cfg.Overload, r.timeout)
+	if r.ov.Enabled {
+		if r.remoteLimit = r.ov.QueueDepth * 3 / 4; r.remoteLimit < 1 {
+			r.remoteLimit = 1
+		}
+	}
 	r.fallback.Store(&fallbackEngine{eng: cfg.Engine(cfg.Table)})
 	r.part = partition.Partition(cfg.Table, cfg.NumLCs)
 	// Build every per-LC structure before starting any goroutine: the LC
@@ -355,18 +384,35 @@ func NewWithConfig(cfg Config) (*Router, error) {
 			cc.Seed += uint64(i) * 31
 			lc.cache = cache.New(cc)
 		}
+		lc.ov = newLCOverload(r.ov, cfg.NumLCs)
 		life := &lcLife{die: make(chan struct{}), exited: make(chan struct{})}
 		life.lastBeat.Store(now)
-		r.inboxes = append(r.inboxes, make(chan message, 64))
-		r.outs = append(r.outs, make(chan message, 64))
+		if r.ov.Enabled {
+			// Bounded mode: the inbox IS the LC's queue (no buffering
+			// goroutine; outs aliases it so slot rebirth stays uniform),
+			// and control traffic rides its own channel so lifecycle and
+			// update messages never contend with data admission.
+			in := make(chan message, r.ov.QueueDepth)
+			r.inboxes = append(r.inboxes, in)
+			r.outs = append(r.outs, in)
+			r.ctrls = append(r.ctrls, make(chan message, ctrlDepth))
+		} else {
+			r.inboxes = append(r.inboxes, make(chan message, 64))
+			r.outs = append(r.outs, make(chan message, 64))
+			r.ctrls = append(r.ctrls, nil)
+		}
 		r.lcs = append(r.lcs, lc)
 		r.stats = append(r.stats, lc.stats)
 		r.life = append(r.life, life)
 	}
 	for i := 0; i < cfg.NumLCs; i++ {
-		r.wg.Add(2)
-		go r.buffer(r.inboxes[i], r.outs[i])
-		go r.lcLoop(r.lcs[i], r.outs[i], r.life[i].die, r.life[i].exited)
+		if r.ov.Enabled {
+			r.wg.Add(1)
+		} else {
+			r.wg.Add(2)
+			go r.buffer(r.inboxes[i], r.outs[i])
+		}
+		go r.lcLoop(r.lcs[i], r.outs[i], r.ctrls[i], r.life[i].die, r.life[i].exited)
 	}
 	r.wg.Add(1)
 	go r.healthLoop()
@@ -412,7 +458,7 @@ func (r *Router) send(lc int, m message) bool {
 // dropped, delayed, or duplicated.
 func (r *Router) sendFabric(to int, m message) {
 	if r.injector == nil {
-		r.send(to, m)
+		r.fabricDeliver(to, m)
 		return
 	}
 	d := r.injector(FabricMessage{Reply: m.kind == mReply, From: m.from, To: to, Addr: m.addr})
@@ -425,7 +471,7 @@ func (r *Router) sendFabric(to int, m message) {
 	}
 	for i := 0; i < copies; i++ {
 		if d.Delay <= 0 {
-			r.send(to, m)
+			r.fabricDeliver(to, m)
 			continue
 		}
 		// Delayed copies ride a helper goroutine; Stop waits for these
@@ -438,10 +484,21 @@ func (r *Router) sendFabric(to int, m message) {
 			defer t.Stop()
 			select {
 			case <-t.C:
-				r.send(to, m)
+				r.fabricDeliver(to, m)
 			case <-r.quit:
 			}
 		}()
+	}
+}
+
+// fabricDeliver is the final hop of a fabric send: the unbounded inbox
+// when overload control is off, the shedding bounded path when it is on.
+// Either way the sending LC never blocks on a full peer.
+func (r *Router) fabricDeliver(to int, m message) {
+	if r.ov.Enabled {
+		r.deliverData(to, m)
+	} else {
+		r.send(to, m)
 	}
 }
 
@@ -453,8 +510,10 @@ func (r *Router) sendFabric(to int, m message) {
 // state lives in the waitlists this goroutine already owns. die is the
 // crash switch (KillLC); exited announces this incarnation's death to
 // the health monitor, which may then adopt the lineCard and start a
-// successor incarnation (see lifecycle.go).
-func (r *Router) lcLoop(lc *lineCard, inbox <-chan message, die, exited chan struct{}) {
+// successor incarnation (see lifecycle.go). ctrl is the control-plane
+// leg when overload control is enabled (nil otherwise — a nil channel
+// case simply never fires).
+func (r *Router) lcLoop(lc *lineCard, inbox, ctrl <-chan message, die, exited chan struct{}) {
 	defer r.wg.Done()
 	defer close(exited)
 	tick := time.NewTicker(r.tickEvery)
@@ -463,8 +522,13 @@ func (r *Router) lcLoop(lc *lineCard, inbox <-chan message, die, exited chan str
 		select {
 		case m := <-inbox:
 			r.handle(lc, m)
+		case m := <-ctrl:
+			r.handle(lc, m)
 		case now := <-tick.C:
 			r.beat(lc.id, now)
+			if r.ov.Enabled {
+				r.breakerTick(lc, now)
+			}
 			r.checkDeadlines(lc, now)
 		case <-die:
 			return
@@ -493,7 +557,26 @@ func (r *Router) checkDeadlines(lc *lineCard, now time.Time) {
 			wl.tr = r.lateTrace(lc.id, addr)
 			wl.trLate = wl.tr != nil
 		}
-		if wl.attempts <= r.maxRetries {
+		home := lc.homeOf(addr)
+		if r.ov.Enabled && home != lc.id {
+			// A deadline expiry is the breaker's failure signal for this
+			// home; enough of them in a row open the circuit.
+			r.breakerFailure(lc, home, now)
+		}
+		retry := wl.attempts <= r.maxRetries
+		if retry && r.ov.Enabled && home != lc.id {
+			// An open breaker or an exhausted retry budget sends the
+			// lookup straight to the fallback engine: retries must not
+			// amplify load on a fabric that is already failing.
+			if lc.ov.breakers[home].state.Load() == breakerOpen {
+				retry = false
+				lc.ov.breakerShorts.Add(1)
+				wl.tr.Record(tracing.EvBreaker, int64(home), int64(breakerOpen))
+			} else if !r.budgetTake(lc) {
+				retry = false
+			}
+		}
+		if retry {
 			lc.stats.Retries.Add(1)
 			shift := wl.attempts
 			if shift > 16 {
@@ -503,7 +586,6 @@ func (r *Router) checkDeadlines(lc *lineCard, now time.Time) {
 			wl.tr.Record(tracing.EvRetry, int64(wl.attempts), int64(backoff))
 			wl.deadline = now.Add(backoff)
 			wl.attempts++
-			home := lc.homeOf(addr)
 			if home == lc.id {
 				// Re-homed onto this LC while the request was in
 				// flight: resolve locally against our own partition.
@@ -523,16 +605,20 @@ func (r *Router) checkDeadlines(lc *lineCard, now time.Time) {
 			r.sendFabric(home, message{kind: mRequest, addr: addr, from: lc.id, epoch: lc.epoch})
 			continue
 		}
-		lc.stats.DeadlineExpired.Add(1)
+		if wl.attempts > r.maxRetries {
+			// The classic path: every retry was spent. Budget- and
+			// breaker-stopped lookups keep their own counters instead.
+			lc.stats.DeadlineExpired.Add(1)
+			wl.tr.Record(tracing.EvDeadline, int64(wl.attempts), 0)
+		}
 		lc.stats.Fallbacks.Add(1)
-		wl.tr.Record(tracing.EvDeadline, int64(wl.attempts), 0)
 		wl.tr.Record(tracing.EvFallback, int64(lc.id), 0)
 		nh, _, ok := r.fallback.Load().eng.Lookup(addr)
 		if !ok {
 			nh = rtable.NoNextHop
 		}
 		origin := cache.REM
-		if lc.homeOf(addr) == lc.id {
+		if home == lc.id {
 			origin = cache.LOC
 		}
 		r.fillAndRelease(lc, addr, nh, ok, origin, ServedByFallback)
@@ -560,6 +646,13 @@ func (r *Router) handle(lc *lineCard, m message) {
 					wl.tr.Record(tracing.EvFEExec, m.feNS, int64(m.from))
 				}
 			}
+		}
+		if r.ov.Enabled {
+			// A successful fabric round trip closes the responder's
+			// breaker and refills the retry bucket (RetryBudgetRatio
+			// tokens per success).
+			r.breakerSuccess(lc, m.from)
+			r.budgetRefill(lc)
 		}
 		r.fillAndRelease(lc, m.addr, m.nextHop, m.ok, cache.REM, ServedByRemote)
 	case mFlush:
@@ -621,8 +714,12 @@ func (r *Router) handleLookup(lc *lineCard, m message) {
 			m.resp <- Verdict{Addr: m.addr, NextHop: res.NextHop, OK: ok, ServedBy: ServedByCache}
 			return
 		case cache.HitWaiting:
-			lc.stats.Coalesced.Add(1)
 			wl := r.park(lc, m.addr)
+			if r.waitlistFull(wl) {
+				r.shedLocal(lc.id, m, shedWaitlistOverflow)
+				return
+			}
+			lc.stats.Coalesced.Add(1)
 			if m.tr != nil {
 				m.tr.Record(tracing.EvProbe, int64(res.Kind), int64(res.Origin))
 				m.tr.Record(tracing.EvCoalesce, int64(len(wl.locals)+len(wl.remotes)), 0)
@@ -652,6 +749,10 @@ func (r *Router) handleLookup(lc *lineCard, m message) {
 	// but a dispatch for this address is already outstanding — a second
 	// dispatch would duplicate the FE execution and the fabric request.
 	if wl, ok := lc.pending[m.addr]; ok {
+		if r.waitlistFull(wl) {
+			r.shedLocal(lc.id, m, shedWaitlistOverflow)
+			return
+		}
 		lc.stats.Coalesced.Add(1)
 		if m.tr != nil {
 			m.tr.Record(tracing.EvCoalesce, int64(len(wl.locals)+len(wl.remotes)), 0)
@@ -710,8 +811,15 @@ func (r *Router) handleRequest(lc *lineCard, m message) {
 			r.sendReply(lc, rw, m.addr, res.NextHop, res.NextHop != rtable.NoNextHop, 0)
 			return
 		case cache.HitWaiting:
-			lc.stats.Coalesced.Add(1)
 			wl := r.park(lc, m.addr)
+			if r.waitlistFull(wl) {
+				// Drop the remote waiter: the requester's deadline
+				// machinery retries or degrades, so the lookup still
+				// terminates without this waitlist growing.
+				r.shedCount(lc.id, shedWaitlistOverflow)
+				return
+			}
+			lc.stats.Coalesced.Add(1)
 			wl.remotes = append(wl.remotes, rw)
 			lc.waiters.Add(1)
 			return
@@ -722,6 +830,10 @@ func (r *Router) handleRequest(lc *lineCard, m message) {
 	// Same bypass coalescing as handleLookup: never dispatch twice for
 	// one in-flight address.
 	if wl, ok := lc.pending[m.addr]; ok {
+		if r.waitlistFull(wl) {
+			r.shedCount(lc.id, shedWaitlistOverflow)
+			return
+		}
 		lc.stats.Coalesced.Add(1)
 		wl.remotes = append(wl.remotes, rw)
 		lc.waiters.Add(1)
@@ -758,6 +870,26 @@ func (r *Router) dispatch(lc *lineCard, addr ip.Addr, wl *waitlist) {
 		wl.feNS = elapsedNS(t0)
 		wl.tr.Record(tracing.EvFEExec, wl.feNS, int64(lc.id))
 		r.fillAndRelease(lc, addr, nh, ok, cache.LOC, ServedByFE)
+		return
+	}
+	if r.ov.Enabled && !r.breakerAllows(lc, home) {
+		// The breaker for this home is open: the fabric send is doomed,
+		// so short-circuit to the fallback engine without touching the
+		// fabric. Breaker short-circuits are always interesting — capture
+		// a late trace if nothing parked here was head-sampled.
+		lc.ov.breakerShorts.Add(1)
+		lc.stats.Fallbacks.Add(1)
+		if wl.tr == nil && r.tracer != nil {
+			wl.tr = r.lateTrace(lc.id, addr)
+			wl.trLate = wl.tr != nil
+		}
+		wl.tr.Record(tracing.EvBreaker, int64(home), int64(lc.ov.breakers[home].state.Load()))
+		wl.tr.Record(tracing.EvFallback, int64(lc.id), 0)
+		nh, _, ok := r.fallback.Load().eng.Lookup(addr)
+		if !ok {
+			nh = rtable.NoNextHop
+		}
+		r.fillAndRelease(lc, addr, nh, ok, cache.REM, ServedByFallback)
 		return
 	}
 	lc.stats.RequestsSent.Add(1)
@@ -804,7 +936,9 @@ func (r *Router) sendReply(lc *lineCard, rw remoteWaiter, addr ip.Addr, nh rtabl
 }
 
 // Lookup submits a destination address at line card lc and waits for the
-// verdict.
+// verdict. On a router built WithOverload it returns ErrOverloaded when
+// the lookup is shed — refused at admission (full inbox) or abandoned
+// mid-flight (waitlist overflow, replay shed).
 func (r *Router) Lookup(lc int, addr ip.Addr) (Verdict, error) {
 	ch, err := r.LookupAsync(lc, addr)
 	if err != nil {
@@ -812,6 +946,9 @@ func (r *Router) Lookup(lc int, addr ip.Addr) (Verdict, error) {
 	}
 	select {
 	case v := <-ch:
+		if v.ServedBy == ServedByShed {
+			return Verdict{}, ErrOverloaded
+		}
 		return v, nil
 	case <-r.quit:
 		return Verdict{}, ErrStopped
@@ -833,6 +970,9 @@ func (r *Router) LookupCtx(ctx context.Context, lc int, addr ip.Addr) (Verdict, 
 	}
 	select {
 	case v := <-ch:
+		if v.ServedBy == ServedByShed {
+			return Verdict{}, ErrOverloaded
+		}
 		return v, nil
 	case <-ctx.Done():
 		return Verdict{}, ctx.Err()
@@ -845,6 +985,12 @@ func (r *Router) LookupCtx(ctx context.Context, lc int, addr ip.Addr) (Verdict, 
 // its verdict will arrive on (buffered; the router never blocks on it).
 // Use it to keep many lookups in flight from one caller — the pattern a
 // real ingress pipeline uses.
+//
+// On a router built WithOverload, admission happens here: a full inbox
+// returns ErrOverloaded synchronously (drop modes) or blocks until space
+// frees (ShedBlock). A lookup shed after admission — waitlist overflow,
+// replay shed — delivers a ServedByShed verdict on the channel; the
+// synchronous wrappers convert it to ErrOverloaded.
 func (r *Router) LookupAsync(lc int, addr ip.Addr) (<-chan Verdict, error) {
 	if lc < 0 || lc >= r.cfg.NumLCs {
 		return nil, fmt.Errorf("router: no such LC %d", lc)
@@ -857,7 +1003,14 @@ func (r *Router) LookupAsync(lc int, addr ip.Addr) (<-chan Verdict, error) {
 			tr.Record(tracing.EvArrival, int64(lc), 0)
 		}
 	}
-	if !r.send(lc, message{kind: mLookup, addr: addr, resp: resp, start: start, tr: tr}) {
+	m := message{kind: mLookup, addr: addr, resp: resp, start: start, tr: tr}
+	if r.ov.Enabled {
+		if err := r.admitLookup(lc, m); err != nil {
+			return nil, err
+		}
+		return resp, nil
+	}
+	if !r.send(lc, m) {
 		return nil, ErrStopped
 	}
 	return resp, nil
@@ -877,6 +1030,11 @@ func (r *Router) LookupBatch(lc int, addrs []ip.Addr) ([]Verdict, error) {
 // positional, regardless of the order the forwarding plane resolves them
 // in (coalescing, retries and re-homing can complete lookups in any
 // internal order). Duplicate addresses each get their own verdict.
+//
+// On a router built WithOverload, admission refusal (full inbox) fails
+// the whole batch with ErrOverloaded; a lookup shed after admission
+// (waitlist overflow, replay shed) keeps its position and reports as a
+// Verdict with ServedBy == ServedByShed and OK == false.
 //
 // On cancellation (or deadline expiry) the call returns ctx.Err() and a
 // nil slice. Lookups already submitted are not recalled from the
@@ -934,10 +1092,11 @@ func (r *Router) NumLCs() int { return r.cfg.NumLCs }
 func (r *Router) Stats() []*LCStats { return r.stats }
 
 // FlushCaches invalidates every LR-cache (the paper's response to a
-// routing-table update).
+// routing-table update). Flushes ride the control plane, so they land
+// even when every data inbox is at capacity.
 func (r *Router) FlushCaches() {
 	for i := range r.inboxes {
-		r.send(i, message{kind: mFlush})
+		r.sendCtrl(i, message{kind: mFlush})
 	}
 }
 
@@ -996,7 +1155,7 @@ func (r *Router) swapPartitioning(part *partition.Partitioning) error {
 			dones[i] = make(chan struct{})
 			m := mk(i)
 			m.swapDone = dones[i]
-			if !r.send(i, m) {
+			if !r.sendCtrlSwap(i, m) {
 				return ErrStopped
 			}
 		}

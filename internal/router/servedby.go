@@ -25,11 +25,17 @@ const (
 	// the fallback engine holds the complete current table — but the
 	// lookup paid the deadline/retry latency to get there.
 	ServedByFallback
+	// ServedByShed: overload control refused or abandoned the lookup
+	// after admission (waitlist overflow, replay shed); the verdict
+	// carries no route. The synchronous Lookup wrappers convert this to
+	// ErrOverloaded; only batch/async callers observe it directly. Only
+	// routers built WithOverload ever produce it.
+	ServedByShed
 )
 
 // servedByNames are the wire/report names, aligned with the legacy
 // string constants.
-var servedByNames = [...]string{"unknown", "cache", "fe", "remote", "fallback"}
+var servedByNames = [...]string{"unknown", "cache", "fe", "remote", "fallback", "shed"}
 
 // String implements fmt.Stringer with the legacy names.
 func (s ServedBy) String() string {

@@ -66,6 +66,18 @@ type Config struct {
 	// packet rate). The paper assumes uniform ingress; this knob measures
 	// SPAL under unbalanced line cards. Nil means uniform.
 	LoadFactors []float64
+	// OfferedLoad uniformly scales every LC's packet rate on top of
+	// LoadFactors (1.0 = nominal, 2.0 = twice the paper's offered load).
+	// Zero means 1.0. The overload experiments drive the router past
+	// saturation with this knob.
+	OfferedLoad float64
+	// AdmissionCap > 0 enables admission control: a freshly arrived local
+	// packet is shed (counted, never enqueued) when the LC's arrival queue
+	// already holds that many packets — the simulator analogue of the
+	// concurrent router's bounded inboxes. Remote requests and replies are
+	// never shed, so an admitted packet always completes. 0 disables
+	// shedding (legacy unbounded queues).
+	AdmissionCap int
 	// PacketsPerLC is the per-LC packet budget (paper: 300,000).
 	PacketsPerLC int
 
@@ -166,6 +178,15 @@ func (c Config) normalize() (Config, error) {
 				return c, fmt.Errorf("sim: non-positive load factor %v at LC %d", f, i)
 			}
 		}
+	}
+	if c.OfferedLoad < 0 {
+		return c, fmt.Errorf("sim: negative OfferedLoad %v", c.OfferedLoad)
+	}
+	if c.OfferedLoad == 0 {
+		c.OfferedLoad = 1.0
+	}
+	if c.AdmissionCap < 0 {
+		return c, fmt.Errorf("sim: negative AdmissionCap %d", c.AdmissionCap)
 	}
 	if !c.DynamicLookup && c.LookupCycles <= 0 {
 		return c, fmt.Errorf("sim: LookupCycles must be positive")

@@ -12,7 +12,10 @@ import (
 
 // LCStats summarizes one line card after a run.
 type LCStats struct {
-	Generated, Completed       int64
+	Generated, Completed int64
+	// Shed counts arrivals refused by AdmissionCap (0 when admission
+	// control is off). Shed packets are not in Generated.
+	Shed                       int64
 	HitLoc, HitRem             int64
 	MissLocal                  int64
 	RequestsSent, RepliesSent  int64
@@ -49,6 +52,14 @@ type Result struct {
 	DerivedMppsRouter float64
 	// OfferedMppsRouter is the measured completion rate over the run.
 	OfferedMppsRouter float64
+	// Shed is the router-wide count of arrivals refused by AdmissionCap;
+	// ShedFraction is Shed over all offered packets (completed + shed).
+	Shed         int64
+	ShedFraction float64
+	// GoodputMppsRouter is the rate of packets that were admitted AND
+	// completed with a verified next hop — under overload this is the
+	// useful work, distinct from the offered rate.
+	GoodputMppsRouter float64
 	// HitRate is the aggregate LR-cache hit rate (0 when caches are off).
 	HitRate float64
 	// FabricMessages counts every request and reply crossed the fabric.
@@ -86,12 +97,18 @@ func (r *Router) result() *Result {
 	}
 	if r.now > 0 {
 		res.OfferedMppsRouter = float64(r.completed) / (float64(r.now) * r.cfg.CycleNS * 1e-9) / 1e6
+		res.GoodputMppsRouter = res.OfferedMppsRouter
+	}
+	res.Shed = r.shed
+	if r.completed+r.shed > 0 {
+		res.ShedFraction = float64(r.shed) / float64(r.completed+r.shed)
 	}
 	var probes, hits int64
 	for _, l := range r.lcs {
 		ls := LCStats{
 			Generated:        l.counters.Value("generated"),
 			Completed:        l.counters.Value("completed"),
+			Shed:             l.counters.Value("shed"),
 			HitLoc:           l.counters.Value("hit.loc"),
 			HitRem:           l.counters.Value("hit.rem"),
 			MissLocal:        l.counters.Value("miss.local"),
@@ -145,10 +162,17 @@ func (res *Result) Snapshot() *metrics.Snapshot {
 	s.Gauge("spal_sim_mean_lookup_cycles", "Mean per-packet lookup time in cycles.", res.MeanLookupCycles)
 	s.Gauge("spal_sim_cache_hit_ratio", "Aggregate LR-cache hit rate.", res.HitRate)
 	s.Gauge("spal_sim_derived_mpps_router", "Derived router throughput (Mpps).", res.DerivedMppsRouter)
+	if res.cfg.AdmissionCap > 0 {
+		s.Gauge("spal_sim_shed_fraction", "Shed packets over all offered packets.", res.ShedFraction)
+		s.Gauge("spal_sim_goodput_mpps_router", "Completion rate of admitted packets (Mpps).", res.GoodputMppsRouter)
+	}
 	for i, l := range res.PerLC {
 		lbl := metrics.L("lc", strconv.Itoa(i))
 		s.Counter("spal_sim_generated_total", "Packets generated at this LC.", float64(l.Generated), lbl)
 		s.Counter("spal_sim_completed_total", "Packets completed at this LC.", float64(l.Completed), lbl)
+		if res.cfg.AdmissionCap > 0 {
+			s.Counter("spal_sim_shed_total", "Arrivals refused by admission control at this LC.", float64(l.Shed), lbl)
+		}
 		s.Counter("spal_sim_hits_total", "LR-cache hits by origin class.", float64(l.HitLoc), lbl, metrics.L("origin", "loc"))
 		s.Counter("spal_sim_hits_total", "LR-cache hits by origin class.", float64(l.HitRem), lbl, metrics.L("origin", "rem"))
 		s.Counter("spal_sim_fe_lookups_total", "Forwarding-engine lookups at this LC.", float64(l.FELookups), lbl)
@@ -177,6 +201,10 @@ func (res *Result) String() string {
 		res.DerivedMppsPerLC, res.DerivedMppsRouter)
 	fmt.Fprintf(&b, "  cache hit rate = %.4f, fabric messages = %d, cycles = %d\n",
 		res.HitRate, res.FabricMessages, res.Cycles)
+	if res.cfg.AdmissionCap > 0 || res.Shed > 0 {
+		fmt.Fprintf(&b, "  offered load = %.2fx, shed = %d (%.2f%%), goodput = %.1f Mpps/router\n",
+			res.cfg.OfferedLoad, res.Shed, res.ShedFraction*100, res.GoodputMppsRouter)
+	}
 	return b.String()
 }
 

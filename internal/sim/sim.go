@@ -102,6 +102,7 @@ type Router struct {
 	packets   []packet
 	stages    []stageStamp // parallel to packets; nil unless StageAccounting
 	completed int64
+	shed      int64 // packets refused at arrival by AdmissionCap
 	lat       *stats.Hist
 	now       int64
 
@@ -175,6 +176,7 @@ func New(cfg Config) (*Router, error) {
 		if cfg.LoadFactors != nil {
 			l.loadFactor = cfg.LoadFactors[i]
 		}
+		l.loadFactor *= cfg.OfferedLoad
 		l.nextArrival = l.drawGap(cfg.GapMin, cfg.GapMax)
 		r.lcs = append(r.lcs, l)
 	}
@@ -192,10 +194,10 @@ func (r *Router) homeOf(a ip.Addr, arrival int) int {
 // Run executes the simulation to completion and returns the results.
 func (r *Router) Run() (*Result, error) {
 	total := int64(r.cfg.NumLCs * r.cfg.PacketsPerLC)
-	for r.completed < total {
+	for r.completed+r.shed < total {
 		if r.now > r.cfg.MaxCycles {
 			return nil, fmt.Errorf("sim: exceeded MaxCycles=%d with %d/%d packets done",
-				r.cfg.MaxCycles, r.completed, total)
+				r.cfg.MaxCycles, r.completed+r.shed, total)
 		}
 		r.step()
 		r.now++
@@ -241,9 +243,19 @@ func (r *Router) step() {
 	}
 
 	for _, l := range r.lcs {
-		// 3. Packet arrivals.
+		// 3. Packet arrivals. Under admission control a packet that finds
+		// the arrival queue at its cap is shed on the spot: counted, never
+		// enqueued, never completed — so everything that IS admitted still
+		// resolves to a verified next hop.
 		for l.toGenerate > 0 && l.nextArrival <= now {
 			a, _ := l.src.Next()
+			if r.cfg.AdmissionCap > 0 && l.localQ.len() >= r.cfg.AdmissionCap {
+				l.counters.Get("shed").Inc()
+				r.shed++
+				l.toGenerate--
+				l.nextArrival = now + l.drawGap(r.cfg.GapMin, r.cfg.GapMax)
+				continue
+			}
 			id := int64(len(r.packets))
 			r.packets = append(r.packets, packet{
 				addr:          a,

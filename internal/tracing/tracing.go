@@ -77,15 +77,23 @@ const (
 	EvFill
 	// EvVerdict: the verdict was delivered. A = 1 when a route matched.
 	EvVerdict
+	// EvShed: overload control refused or abandoned this lookup. A = shed
+	// reason code (router shed-reason numbering), B = the LC that shed.
+	EvShed
+	// EvBreaker: an open per-home-LC circuit breaker short-circuited the
+	// fabric send; the verdict came from the full-table fallback engine
+	// without ever touching the fabric. A = the home LC whose breaker was
+	// open, B = breaker state observed (1 open, 2 half-open).
+	EvBreaker
 )
 
 // NumEventKinds sizes per-kind count arrays.
-const NumEventKinds = int(EvVerdict) + 1
+const NumEventKinds = int(EvBreaker) + 1
 
 var kindNames = [NumEventKinds]string{
 	"arrival", "probe", "coalesce", "bypass", "fabric_send", "fabric_recv",
 	"fe_exec", "retry", "deadline", "fallback", "rehome", "redrive",
-	"fill", "verdict",
+	"fill", "verdict", "shed", "breaker_short_circuit",
 }
 
 // String returns the stable wire name used by logs and the JSON export.
@@ -116,6 +124,10 @@ const (
 	FlagFallback
 	FlagRehomed
 	FlagRedriven
+	// FlagShed and FlagBreaker mirror EvShed and EvBreaker (overload
+	// control; see the router's overload.go).
+	FlagShed
+	FlagBreaker
 )
 
 // kindFlag maps an event kind to the flag Record sets for it.
@@ -126,6 +138,8 @@ var kindFlag = [NumEventKinds]Flag{
 	EvFallback: FlagFallback,
 	EvRehome:   FlagRehomed,
 	EvRedrive:  FlagRedriven,
+	EvShed:     FlagShed,
+	EvBreaker:  FlagBreaker,
 }
 
 var flagNames = []struct {
@@ -140,6 +154,8 @@ var flagNames = []struct {
 	{FlagFallback, "fallback"},
 	{FlagRehomed, "rehomed"},
 	{FlagRedriven, "redriven"},
+	{FlagShed, "shed"},
+	{FlagBreaker, "breaker"},
 }
 
 // Strings returns the set flag names in declaration order.
@@ -154,9 +170,10 @@ func (f Flag) Strings() []string {
 }
 
 // Interesting reports whether the trace hit the always-capture criteria:
-// retried, deadline-expired, fallback-served, or re-homed.
+// retried, deadline-expired, fallback-served, re-homed, shed, or
+// breaker-short-circuited.
 func (f Flag) Interesting() bool {
-	return f&(FlagRetried|FlagDeadline|FlagFallback|FlagRehomed) != 0
+	return f&(FlagRetried|FlagDeadline|FlagFallback|FlagRehomed|FlagShed|FlagBreaker) != 0
 }
 
 // SpanEvent is one fixed-size lifecycle event. At is the offset from the

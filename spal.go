@@ -99,6 +99,12 @@ type (
 	// LCState is one line card's lifecycle state (see Router.LCStates,
 	// Router.KillLC, Router.DrainLC, Router.RestoreLC).
 	LCState = router.LCState
+	// OverloadPolicy configures overload control: bounded inboxes, load
+	// shedding, retry budgets, circuit breakers (see WithRouterOverload).
+	OverloadPolicy = router.OverloadPolicy
+	// ShedMode selects what admission does with a full inbox
+	// (ShedDropNewest, ShedDropRemoteFirst, ShedBlock).
+	ShedMode = router.ShedMode
 	// LookupTrace is one lookup's end-to-end span record (from
 	// Router.Traces when tracing is enabled; see WithRouterTraceSampling).
 	LookupTrace = tracing.LookupTrace
@@ -118,7 +124,22 @@ const (
 	// full-table engine after the home LC stayed unreachable through the
 	// whole retry budget.
 	ServedByFallback = router.ServedByFallback
+	// ServedByShed marks a lookup refused by overload control after
+	// admission; synchronous Lookup calls surface it as ErrOverloaded.
+	ServedByShed = router.ServedByShed
 )
+
+// Shed modes for OverloadPolicy.Mode.
+const (
+	ShedDropNewest      = router.ShedDropNewest
+	ShedDropRemoteFirst = router.ShedDropRemoteFirst
+	ShedBlock           = router.ShedBlock
+)
+
+// ErrOverloaded is returned by Lookup on a router built
+// WithRouterOverload when the lookup was shed instead of executed; the
+// caller may retry later, ideally with backoff.
+var ErrOverloaded = router.ErrOverloaded
 
 // LC lifecycle states, re-exported for Router.LCStates.
 const (
@@ -250,6 +271,14 @@ func WithRouterTraceLogger(l *slog.Logger) RouterOption { return router.WithLogg
 // WithRouterTraceJournal sizes the completed-trace ring behind
 // (*Router).Traces (default 1024); implies tracing.
 func WithRouterTraceJournal(size int) RouterOption { return router.WithTraceJournal(size) }
+
+// WithRouterOverload enables overload control: bounded per-LC inboxes
+// with shed-at-arrival admission (Lookup returns ErrOverloaded instead
+// of queueing without limit), an adaptive retry budget, and per-home-LC
+// circuit breakers that short-circuit doomed fabric sends to the
+// fallback engine. Zero policy fields select defaults; see
+// OverloadPolicy.
+func WithRouterOverload(p OverloadPolicy) RouterOption { return router.WithOverload(p) }
 
 // SeededFaults builds a deterministic fault injector: every fabric
 // message independently draws drop/duplicate/delay outcomes from a
