@@ -16,6 +16,8 @@
 //	spal-router -trace d75.trace              # replay a stored trace
 //	echo 10.1.2.3 | spal-router -i            # interactive lookups
 //	spal-router -metrics :9090 -n 1000000     # drive load, then serve /metrics
+//	spal-router -batch 64 -n 1000000          # batched submission, coalesced fabric messages
+//	spal-router -engine flat -cache-shards 8  # flat cache-line engine, sharded LR-caches
 //	spal-router -fault-rate 0.1 -n 100000     # chaos mode: drop 10% of fabric messages
 //	spal-router -kill-lc 2 -n 500000          # crash LC 2 mid-drive, watch the re-homing
 //	spal-router -drain-after 50ms -n 500000   # drain LC 0 mid-drive, restore after
@@ -26,6 +28,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -59,7 +62,9 @@ func main() {
 	tracePath := flag.String("trace", "", "replay a trace file instead of synthetic load")
 	interactive := flag.Bool("i", false, "read addresses from stdin, print verdicts")
 	noCache := flag.Bool("no-cache", false, "disable LR-caches")
-	engineName := flag.String("engine", "lulea", "matching engine: reference|bintrie|dptrie|lctrie|lulea|multibit|stride24")
+	engineName := flag.String("engine", "lulea", "matching engine: "+strings.Join(spal.EngineNames(), "|"))
+	cacheShards := flag.Int("cache-shards", 0, "split each LR-cache into this many line-padded shards (power of two, 0 = unsharded)")
+	batchSize := flag.Int("batch", 0, "drive load through the batched data plane in batches of this size (0 = per-address lookups)")
 	metricsAddr := flag.String("metrics", "", "serve /metrics and /healthz on this address (e.g. :9090)")
 	faultRate := flag.Float64("fault-rate", 0, "drop this fraction of fabric messages (chaos mode, 0..1)")
 	faultSeed := flag.Uint64("fault-seed", 1, "seed for the deterministic fault injector")
@@ -74,16 +79,14 @@ func main() {
 	shedMode := flag.String("shed-mode", "drop-newest", "shed policy under overload: drop-newest|drop-remote-first|block")
 	flag.Parse()
 
-	builder, ok := spal.Engines()[*engineName]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engineName)
-		os.Exit(2)
-	}
 	tbl := rtable.Synthesize(rtable.SynthConfig{N: *tableN, NextHops: 16, NestProb: 0.35, Seed: 0x5e3d_0001})
 	opts := []router.Option{
 		router.WithLCs(*psi),
-		router.WithEngine(builder),
+		router.WithEngineName(*engineName),
 		router.WithCache(cache.Config{Blocks: *beta, Assoc: 4, VictimBlocks: 8, MixPercent: *gamma, Policy: cache.LRU}),
+	}
+	if *cacheShards > 0 {
+		opts = append(opts, router.WithCacheShards(*cacheShards))
 	}
 	if *noCache {
 		opts = append(opts, router.WithoutCache())
@@ -149,12 +152,12 @@ func main() {
 			os.Exit(1)
 		}
 		addrs := trace.Slice(fs, fs.Len())
-		drive(r, *psi, addrs, *killLC, *drainAfter)
+		drive(r, *psi, addrs, *batchSize, *killLC, *drainAfter)
 	default:
 		tc := trace.PresetConfig(trace.Preset(*preset))
 		pool := trace.NewPool(tbl, tc)
 		addrs := trace.Slice(trace.NewSynthetic(pool, tc, 0), *n)
-		drive(r, *psi, addrs, *killLC, *drainAfter)
+		drive(r, *psi, addrs, *batchSize, *killLC, *drainAfter)
 	}
 
 	if *traceDump > 0 {
@@ -192,11 +195,13 @@ func serveMetrics(addr string, r *router.Router) error {
 }
 
 // drive spreads the addresses across LCs round-robin with one goroutine
-// per LC and reports aggregate throughput and per-LC counters. killLC >= 0
-// crashes that LC shortly into the drive; drainAfter > 0 drains LC 0
-// mid-drive and restores it once the drive ends — both exercise the
-// lifecycle subsystem under real load.
-func drive(r *router.Router, psi int, addrs []ip.Addr, killLC int, drainAfter time.Duration) {
+// per LC and reports aggregate throughput and per-LC counters. batch > 0
+// submits through the coalesced batch plane in batches of that size
+// instead of per-address Lookup calls. killLC >= 0 crashes that LC
+// shortly into the drive; drainAfter > 0 drains LC 0 mid-drive and
+// restores it once the drive ends — both exercise the lifecycle
+// subsystem under real load.
+func drive(r *router.Router, psi int, addrs []ip.Addr, batch, killLC int, drainAfter time.Duration) {
 	if killLC >= 0 {
 		time.AfterFunc(10*time.Millisecond, func() {
 			if err := r.KillLC(killLC); err != nil {
@@ -227,6 +232,35 @@ func drive(r *router.Router, psi int, addrs []ip.Addr, killLC int, drainAfter ti
 		wg.Add(1)
 		go func(lc int) {
 			defer wg.Done()
+			if batch > 0 {
+				buf := make([]ip.Addr, 0, batch)
+				out := make([]router.Verdict, batch)
+				ctx := context.Background()
+				flush := func() bool {
+					if len(buf) == 0 {
+						return true
+					}
+					err := r.LookupBatchInto(ctx, lc, buf, out)
+					if errors.Is(err, router.ErrOverloaded) {
+						// Admission sheds whole batches; count every address.
+						shed.Add(int64(len(buf)))
+					} else if err != nil {
+						fmt.Fprintln(os.Stderr, err)
+						return false
+					}
+					buf = buf[:0]
+					return true
+				}
+				for i := lc; i < len(addrs); i += psi {
+					if buf = append(buf, addrs[i]); len(buf) == batch {
+						if !flush() {
+							return
+						}
+					}
+				}
+				flush()
+				return
+			}
 			for i := lc; i < len(addrs); i += psi {
 				if _, err := r.Lookup(lc, addrs[i]); err != nil {
 					// Under overload control ErrOverloaded is the

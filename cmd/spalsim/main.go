@@ -13,8 +13,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"spal/internal/cache"
+	"spal/internal/lpm/engines"
 	"spal/internal/rtable"
 	"spal/internal/sim"
 	"spal/internal/trace"
@@ -27,6 +29,7 @@ func main() {
 	assoc := flag.Int("assoc", 4, "cache set associativity")
 	victim := flag.Int("victim", 8, "victim cache blocks")
 	lookup := flag.Int("lookup", 40, "FE lookup time in cycles (40=Lulea, 62=DP)")
+	engineName := flag.String("engine", "", "matching engine for the simulated FEs ("+strings.Join(engines.Names(), "|")+"; empty = reference)")
 	packets := flag.Int("packets", 300000, "packets per LC")
 	speed := flag.Int("speed", 40, "LC speed in Gbps (10 or 40)")
 	traceName := flag.String("trace", "D_75", "trace preset: D_75 D_81 L_92-0 L_92-1 B_L")
@@ -82,6 +85,15 @@ func main() {
 		}
 		cfg.OfferedLoad = *offered
 		cfg.AdmissionCap = *admitCap
+	}
+
+	if *engineName != "" {
+		b, err := engines.Lookup(*engineName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg.Engine = b
 	}
 
 	cfg.StageAccounting = cfg.StageAccounting || *stages

@@ -477,7 +477,14 @@ const (
 // called from the goroutine owning the cache; the snapshot it fills is a
 // plain value the caller may then hand across goroutines.
 func (c *Cache) MetricsInto(sn *metrics.Snapshot, labels ...metrics.Label) {
-	s := c.stat
+	loc, rem, waiting := c.Occupancy()
+	metricsInto(sn, c.stat, loc, rem, waiting, labels...)
+}
+
+// metricsInto emits one cache's (or one sharded aggregate's) stats and
+// occupancy under the shared metric names, so Cache and Sharded publish
+// an identical vocabulary.
+func metricsInto(sn *metrics.Snapshot, s Stats, loc, rem, waiting int, labels ...metrics.Label) {
 	sn.Counter(MetricProbes, "LR-cache probes.", float64(s.Probes), labels...)
 	sn.Counter(MetricHits, "LR-cache set hits (complete entries).", float64(s.Hits), labels...)
 	sn.Counter(MetricHitWaiting, "Probes that hit a W-bit (waiting) block.", float64(s.HitWaitings), labels...)
@@ -490,7 +497,6 @@ func (c *Cache) MetricsInto(sn *metrics.Snapshot, labels ...metrics.Label) {
 	sn.Counter(MetricParked, "Packets parked on waiting blocks.", float64(s.Parked), labels...)
 	sn.Gauge(MetricHitRatio, "(Hits + victim hits) / probes since construction.", s.HitRate(), labels...)
 
-	loc, rem, waiting := c.Occupancy()
 	occHelp := "Valid blocks by M-bit origin class (loc/rem) or W-bit waiting state."
 	sn.Gauge(MetricOccupancy, occHelp, float64(loc), append(append([]metrics.Label(nil), labels...), metrics.L("origin", "loc"))...)
 	sn.Gauge(MetricOccupancy, occHelp, float64(rem), append(append([]metrics.Label(nil), labels...), metrics.L("origin", "rem"))...)

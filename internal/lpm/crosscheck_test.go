@@ -8,6 +8,7 @@ import (
 	"spal/internal/lpm"
 	"spal/internal/lpm/bintrie"
 	"spal/internal/lpm/dptrie"
+	"spal/internal/lpm/flat"
 	"spal/internal/lpm/lctrie"
 	"spal/internal/lpm/lulea"
 	"spal/internal/lpm/multibit"
@@ -29,6 +30,7 @@ var builders = []lpm.Builder{
 	multibit.NewEngine,
 	wbs.NewEngine,
 	rangebs.NewEngine,
+	flat.NewEngine,
 }
 
 // checkAgainstOracle verifies that an engine agrees with the hash oracle on
@@ -189,6 +191,53 @@ func TestEnginesQuickProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestBatchEngineMatchesSingle is the BatchEngine ≡ Engine property: for
+// every engine, resolving a slice through lpm.LookupAll (native
+// LookupBatch where implemented, the single-key adapter otherwise) must
+// yield element-for-element the same (next hop, accesses, ok) triples as
+// per-key Lookup calls — including on duplicate addresses and across
+// batch-chunk boundaries.
+func TestBatchEngineMatchesSingle(t *testing.T) {
+	check := func(tbl *rtable.Table, e lpm.Engine, seed uint64) {
+		t.Helper()
+		rng := stats.NewRNG(seed)
+		// 200 addresses: crosses flat's 64-key chunk boundary, mixes
+		// matched, random, and duplicated keys.
+		addrs := make([]ip.Addr, 200)
+		for i := range addrs {
+			switch i % 3 {
+			case 0:
+				addrs[i] = tbl.RandomMatchedAddr(rng)
+			case 1:
+				addrs[i] = rng.Uint32()
+			default:
+				addrs[i] = addrs[i/2]
+			}
+		}
+		out := make([]lpm.Result, len(addrs))
+		lpm.LookupAll(e, addrs, out)
+		for i, a := range addrs {
+			nh, acc, ok := e.Lookup(a)
+			got := out[i]
+			if got.NextHop != nh || got.Accesses != int32(acc) || got.OK != ok {
+				t.Fatalf("%s: batch[%d] for %s = (%d,%d,%v), single says (%d,%d,%v)",
+					e.Name(), i, ip.FormatAddr(a), got.NextHop, got.Accesses, got.OK, nh, acc, ok)
+			}
+		}
+	}
+	all := append(append([]lpm.Builder{}, builders...), lpm.NewReferenceEngine)
+	for _, size := range []int{1, 73, 5000} {
+		tbl := rtable.Small(size, uint64(size)*17+5)
+		for _, build := range all {
+			check(tbl, build(tbl), uint64(size)+101)
+		}
+	}
+	if !testing.Short() {
+		tbl := rtable.Small(5000, 99) // one 32 MiB stride24 build per run
+		check(tbl, stride24.NewEngine(tbl), 7)
 	}
 }
 

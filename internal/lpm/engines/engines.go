@@ -1,0 +1,63 @@
+// Package engines is the name → builder registry for every
+// longest-prefix-matching engine in the repository. It exists so the
+// router's WithEngineName option, the spal façade, and both CLIs resolve
+// engine names through one table instead of each maintaining its own
+// copy (which is how a new engine used to miss a frontend).
+package engines
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"spal/internal/lpm"
+	"spal/internal/lpm/bintrie"
+	"spal/internal/lpm/dptrie"
+	"spal/internal/lpm/flat"
+	"spal/internal/lpm/lctrie"
+	"spal/internal/lpm/lulea"
+	"spal/internal/lpm/multibit"
+	"spal/internal/lpm/rangebs"
+	"spal/internal/lpm/stride24"
+	"spal/internal/lpm/wbs"
+)
+
+var registry = map[string]lpm.Builder{
+	"reference": lpm.NewReferenceEngine,
+	"bintrie":   bintrie.NewEngine,
+	"dptrie":    dptrie.NewEngine,
+	"lctrie":    lctrie.NewEngine,
+	"lulea":     lulea.NewEngine,
+	"multibit":  multibit.NewEngine,
+	"wbs":       wbs.NewEngine,
+	"rangebs":   rangebs.NewEngine,
+	"stride24":  stride24.NewEngine,
+	"flat":      flat.NewEngine,
+}
+
+// Builders returns a fresh copy of the registry (callers may mutate it).
+func Builders() map[string]lpm.Builder {
+	out := make(map[string]lpm.Builder, len(registry))
+	for k, v := range registry {
+		out[k] = v
+	}
+	return out
+}
+
+// Lookup resolves an engine name; the error lists every valid name.
+func Lookup(name string) (lpm.Builder, error) {
+	if b, ok := registry[name]; ok {
+		return b, nil
+	}
+	return nil, fmt.Errorf("unknown engine %q (have %s)", name, strings.Join(Names(), ", "))
+}
+
+// Names returns the registered engine names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,264 @@
+// Package flat implements a level-compressed multibit trie packed into a
+// single contiguous []uint32, sized and aligned for general-purpose CPU
+// cache hierarchies rather than the paper's SRAM model.
+//
+// The motivation is the cache-aware forwarding-table line of work (see
+// PAPERS.md): on a commodity core the dominant lookup cost is DRAM/LLC
+// latency, so the structure that wins is not the one with the fewest
+// modelled "memory accesses" but the one whose nodes are flat arrays the
+// prefetcher can stream. flat therefore trades memory for shape:
+//
+//   - a fixed 2^16-entry root array indexed by the top 16 address bits
+//     (one load resolves every prefix of length <= 16);
+//   - below the root, LC-trie-style level compression: each internal
+//     node is a 2^s-entry array (s chosen by a fill-factor heuristic,
+//     capped at 8) holding either a leaf or a child pointer;
+//   - every node group is padded to a multiple of 16 entries (64 bytes)
+//     and the whole table is copied into a 64-byte-aligned buffer, so a
+//     node never straddles more cache lines than its size requires.
+//
+// Entry encoding (uint32):
+//
+//	bit 31      = 0: leaf — low 16 bits are the next hop (0xffff: no route)
+//	bit 31      = 1: internal — bits 30..27 hold stride-1, bits 26..0 the
+//	                 child group index in 16-entry (64-byte) units
+//
+// Longest-prefix semantics come from leaf pushing: shorter-prefix results
+// are inherited down the trie at build time, so a lookup never needs to
+// remember a "best so far" — the first leaf it reaches is the answer.
+// Engines are immutable after construction, like every other engine.
+package flat
+
+import (
+	"unsafe"
+
+	"spal/internal/ip"
+	"spal/internal/lpm"
+	"spal/internal/rtable"
+)
+
+const (
+	rootBits     = 16
+	maxStride    = 8
+	internalBit  = uint32(1) << 31
+	strideShift  = 27
+	groupMask    = uint32(1)<<strideShift - 1
+	groupEntries = 16 // 64 bytes of uint32s: the alignment quantum
+	noRoute      = uint16(0xffff)
+)
+
+// Engine is the built structure. The only field a lookup touches is the
+// flat entry array.
+type Engine struct {
+	entries []uint32
+}
+
+var (
+	_ lpm.Engine      = (*Engine)(nil)
+	_ lpm.BatchEngine = (*Engine)(nil)
+)
+
+// NewEngine adapts New to the lpm.Builder signature.
+func NewEngine(t *rtable.Table) lpm.Engine { return New(t) }
+
+// bnode is the throwaway binary trie the builder expands from; hasNH
+// marks a prefix ending exactly at this node.
+type bnode struct {
+	child [2]*bnode
+	nh    rtable.NextHop
+	hasNH bool
+}
+
+type builder struct {
+	entries []uint32
+}
+
+// New builds the flat trie from a routing table snapshot.
+func New(t *rtable.Table) *Engine {
+	root := &bnode{}
+	for _, r := range t.Routes() {
+		n := root
+		for pos := 0; pos < int(r.Prefix.Len); pos++ {
+			b, _ := r.Prefix.Bit(pos)
+			if n.child[b] == nil {
+				n.child[b] = &bnode{}
+			}
+			n = n.child[b]
+		}
+		n.nh = r.NextHop
+		n.hasNH = true
+	}
+
+	b := &builder{entries: make([]uint32, 1<<rootBits)}
+	eff := noRoute
+	if root.hasNH {
+		eff = uint16(root.nh)
+	}
+	for i := 0; i < 1<<rootBits; i++ {
+		// The recursive emit may grow (reallocate) b.entries, and Go
+		// evaluates the destination slice before the right-hand side —
+		// compute into a temporary first, everywhere an emit call feeds
+		// an element assignment.
+		v := b.emitIndex(root, eff, rootBits, uint32(i), 0)
+		b.entries[i] = v
+	}
+
+	// Copy into a 64-byte-aligned buffer so each 16-entry group sits on
+	// its own cache-line boundary.
+	aligned := alignedUint32(len(b.entries))
+	copy(aligned, b.entries)
+	return &Engine{entries: aligned}
+}
+
+// emitIndex resolves one index of a stride-s node rooted at n: it walks
+// the s bits of i through the binary trie, inheriting next hops from the
+// prefixes it passes, and returns either a leaf entry (path ends early)
+// or the entry of the node found at full stride depth.
+func (b *builder) emitIndex(n *bnode, inh uint16, s int, i uint32, depth int) uint32 {
+	cur := n
+	for bit := s - 1; bit >= 0; bit-- {
+		next := cur.child[(i>>uint(bit))&1]
+		if next == nil {
+			return uint32(inh)
+		}
+		cur = next
+		if bit > 0 && cur.hasNH {
+			// Passing through a prefix end: it becomes the inherited
+			// answer for everything below. At bit == 0 the node's own
+			// next hop is applied by emitNode instead.
+			inh = uint16(cur.nh)
+		}
+	}
+	return b.emitNode(cur, inh, depth+s)
+}
+
+// emitNode encodes the subtree at n (depth bits consumed so far) as a
+// single entry, appending child groups as needed.
+func (b *builder) emitNode(n *bnode, inh uint16, depth int) uint32 {
+	eff := inh
+	if n.hasNH {
+		eff = uint16(n.nh)
+	}
+	if n.child[0] == nil && n.child[1] == nil {
+		return uint32(eff)
+	}
+	s := chooseStride(n, depth)
+	size := 1 << uint(s)
+	base := len(b.entries)
+	group := uint32(base / groupEntries)
+	b.entries = append(b.entries, make([]uint32, pad16(size))...)
+	for i := 0; i < size; i++ {
+		v := b.emitIndex(n, eff, s, uint32(i), depth)
+		b.entries[base+i] = v
+	}
+	return internalBit | uint32(s-1)<<strideShift | group
+}
+
+// chooseStride grows the stride while at least half of the would-be
+// array indexes lead to a real trie node (the LC-trie fill-factor rule
+// with fill = 0.5), capped at maxStride and at the remaining address
+// bits.
+func chooseStride(n *bnode, depth int) int {
+	max := 32 - depth
+	if max > maxStride {
+		max = maxStride
+	}
+	s := 1
+	for s < max && 2*countAt(n, s+1) >= 1<<uint(s+1) {
+		s++
+	}
+	return s
+}
+
+// countAt counts binary-trie nodes at exactly relative depth d below n.
+func countAt(n *bnode, d int) int {
+	if n == nil {
+		return 0
+	}
+	if d == 0 {
+		return 1
+	}
+	return countAt(n.child[0], d-1) + countAt(n.child[1], d-1)
+}
+
+func pad16(n int) int { return (n + groupEntries - 1) &^ (groupEntries - 1) }
+
+// alignedUint32 allocates an n-entry []uint32 whose first element sits
+// on a 64-byte boundary.
+func alignedUint32(n int) []uint32 {
+	buf := make([]uint32, n+groupEntries)
+	off := 0
+	if rem := uintptr(unsafe.Pointer(unsafe.SliceData(buf))) % 64; rem != 0 {
+		off = int((64 - rem) / 4)
+	}
+	return buf[off : off+n : off+n]
+}
+
+// Lookup implements lpm.Engine: one root load plus one load per
+// compressed level. Accesses counts entry fetches.
+func (e *Engine) Lookup(a ip.Addr) (rtable.NextHop, int, bool) {
+	ent := e.entries[a>>(32-rootBits)]
+	accesses := 1
+	pos := uint32(rootBits)
+	for ent&internalBit != 0 {
+		s := (ent>>strideShift)&0xf + 1
+		idx := (uint32(a) << pos) >> (32 - s)
+		ent = e.entries[(ent&groupMask)*groupEntries+idx]
+		pos += s
+		accesses++
+	}
+	nh := uint16(ent)
+	if nh == noRoute {
+		return rtable.NoNextHop, accesses, false
+	}
+	return rtable.NextHop(nh), accesses, true
+}
+
+// LookupBatch implements lpm.BatchEngine with a level-synchronous sweep:
+// up to 64 keys descend in lockstep, so each round issues up to 64
+// independent loads the memory system can overlap, instead of chaining
+// one key's levels serially. All traversal state lives in stack arrays —
+// no engine-held scratch, so concurrent batches are safe.
+func (e *Engine) LookupBatch(addrs []ip.Addr, out []lpm.Result) {
+	for len(addrs) > 0 {
+		n := len(addrs)
+		if n > 64 {
+			n = 64
+		}
+		var ent [64]uint32
+		var pos [64]uint32
+		var acc [64]int32
+		for i := 0; i < n; i++ {
+			ent[i] = e.entries[addrs[i]>>(32-rootBits)]
+			pos[i] = rootBits
+			acc[i] = 1
+		}
+		for live := true; live; {
+			live = false
+			for i := 0; i < n; i++ {
+				t := ent[i]
+				if t&internalBit == 0 {
+					continue
+				}
+				live = true
+				s := (t>>strideShift)&0xf + 1
+				idx := (uint32(addrs[i]) << pos[i]) >> (32 - s)
+				ent[i] = e.entries[(t&groupMask)*groupEntries+idx]
+				pos[i] += s
+				acc[i]++
+			}
+		}
+		for i := 0; i < n; i++ {
+			nh := uint16(ent[i])
+			out[i] = lpm.Result{NextHop: rtable.NextHop(nh), Accesses: acc[i], OK: nh != noRoute}
+		}
+		addrs = addrs[n:]
+		out = out[n:]
+	}
+}
+
+// MemoryBytes reports the flat array's footprint (4 bytes per entry).
+func (e *Engine) MemoryBytes() int { return len(e.entries) * 4 }
+
+// Name implements lpm.Engine.
+func (e *Engine) Name() string { return "flat" }

@@ -1,0 +1,112 @@
+package flat
+
+import (
+	"testing"
+	"unsafe"
+
+	"spal/internal/ip"
+	"spal/internal/lpm"
+	"spal/internal/rtable"
+	"spal/internal/stats"
+)
+
+// crosscheck verifies Lookup and LookupBatch against the linear-scan
+// oracle on matched and random addresses. (The engine is also in the
+// shared crosscheck/fuzz builder list one package up; this adds the
+// RT1/RT2-calibrated tables those sweeps are too slow for.)
+func crosscheck(t *testing.T, tbl *rtable.Table, n int, seed uint64) {
+	t.Helper()
+	e := New(tbl)
+	rng := stats.NewRNG(seed)
+	addrs := make([]ip.Addr, n)
+	for i := range addrs {
+		if i%2 == 0 && tbl.Len() > 0 {
+			addrs[i] = tbl.RandomMatchedAddr(rng)
+		} else {
+			addrs[i] = rng.Uint32()
+		}
+	}
+	out := make([]lpm.Result, n)
+	e.LookupBatch(addrs, out)
+	for i, a := range addrs {
+		wantNH, wantOK := tbl.LookupLinear(a)
+		nh, acc, ok := e.Lookup(a)
+		if ok != wantOK || (ok && nh != wantNH) {
+			t.Fatalf("Lookup(%s) = (%d,%v), oracle says (%d,%v)",
+				ip.FormatAddr(a), nh, ok, wantNH, wantOK)
+		}
+		// Worst case: root + 16 stride-1 levels = 17 fetches.
+		if acc < 1 || acc > 17 {
+			t.Fatalf("Lookup(%s): implausible access count %d", ip.FormatAddr(a), acc)
+		}
+		if out[i] != (lpm.Result{NextHop: nh, Accesses: int32(acc), OK: ok}) {
+			t.Fatalf("LookupBatch[%d] = %+v, Lookup says (%d,%d,%v)", i, out[i], nh, acc, ok)
+		}
+	}
+}
+
+func TestFlatAgreesWithOracleRT1(t *testing.T) {
+	crosscheck(t, rtable.RT1(), 3000, 41)
+}
+
+func TestFlatAgreesWithOracleRT2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RT2 linear-scan oracle is slow (140k prefixes)")
+	}
+	crosscheck(t, rtable.RT2(), 600, 140)
+}
+
+func TestFlatEmptyAndDefaultTables(t *testing.T) {
+	e := New(rtable.New(nil))
+	if nh, acc, ok := e.Lookup(0x01020304); ok || nh != rtable.NoNextHop || acc != 1 {
+		t.Fatalf("empty table: got (%d,%d,%v)", nh, acc, ok)
+	}
+	def := New(rtable.New([]rtable.Route{{Prefix: ip.MustPrefix("0.0.0.0/0"), NextHop: 9}}))
+	if nh, acc, ok := def.Lookup(0xdeadbeef); !ok || nh != 9 || acc != 1 {
+		t.Fatalf("default route: got (%d,%d,%v)", nh, acc, ok)
+	}
+}
+
+// TestFlatAlignment checks the structural invariants the package name
+// promises: the entry array starts on a 64-byte boundary and its length
+// is a whole number of 16-entry groups, so no node group straddles an
+// extra cache line.
+func TestFlatAlignment(t *testing.T) {
+	e := New(rtable.RT1())
+	if p := uintptr(unsafe.Pointer(unsafe.SliceData(e.entries))); p%64 != 0 {
+		t.Fatalf("entry array not 64-byte aligned: %#x", p)
+	}
+	if len(e.entries)%groupEntries != 0 {
+		t.Fatalf("entry array length %d not a multiple of %d", len(e.entries), groupEntries)
+	}
+	if e.MemoryBytes() != len(e.entries)*4 {
+		t.Fatalf("MemoryBytes %d != %d", e.MemoryBytes(), len(e.entries)*4)
+	}
+	if e.Name() != "flat" {
+		t.Fatalf("Name = %q", e.Name())
+	}
+}
+
+// TestFlatLookupAllocs: both lookup forms must be allocation-free — the
+// router's batch data plane budget depends on it.
+func TestFlatLookupAllocs(t *testing.T) {
+	e := New(rtable.RT1())
+	rng := stats.NewRNG(5)
+	addrs := make([]ip.Addr, 128)
+	for i := range addrs {
+		addrs[i] = rng.Uint32()
+	}
+	out := make([]lpm.Result, len(addrs))
+	if n := testing.AllocsPerRun(100, func() {
+		for _, a := range addrs {
+			e.Lookup(a)
+		}
+	}); n != 0 {
+		t.Fatalf("Lookup allocates %.1f/run", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		lpm.LookupAll(e, addrs, out)
+	}); n != 0 {
+		t.Fatalf("LookupBatch allocates %.1f/run", n)
+	}
+}

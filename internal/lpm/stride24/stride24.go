@@ -32,7 +32,10 @@ type Table struct {
 	tblLong []uint16 // concatenated 256-entry chunks
 }
 
-var _ lpm.Engine = (*Table)(nil)
+var (
+	_ lpm.Engine      = (*Table)(nil)
+	_ lpm.BatchEngine = (*Table)(nil)
+)
 
 // NewEngine adapts New to the lpm.Builder signature.
 func NewEngine(t *rtable.Table) lpm.Engine { return New(t) }
@@ -102,6 +105,26 @@ func (tb *Table) Lookup(a ip.Addr) (rtable.NextHop, int, bool) {
 		return rtable.NoNextHop, accesses, false
 	}
 	return rtable.NextHop(e), accesses, true
+}
+
+// LookupBatch implements lpm.BatchEngine. The table is at most two flat
+// array reads deep, so the batch form is a straight sweep: the first-level
+// loads of the whole batch are issued before any second-level load is
+// needed, letting the memory system overlap them.
+func (tb *Table) LookupBatch(addrs []ip.Addr, out []lpm.Result) {
+	for i, a := range addrs {
+		e := tb.tbl24[a>>8]
+		acc := int32(1)
+		if e&chunkTag != 0 {
+			e = tb.tblLong[int(e&^chunkTag)*chunkSize+int(a&0xff)]
+			acc = 2
+		}
+		if e == noRoute {
+			out[i] = lpm.Result{NextHop: rtable.NoNextHop, Accesses: acc}
+		} else {
+			out[i] = lpm.Result{NextHop: rtable.NextHop(e), Accesses: acc, OK: true}
+		}
+	}
 }
 
 // MemoryBytes reports the modelled footprint (2 bytes per entry in both

@@ -1,0 +1,510 @@
+// The batched data plane: one pooled descriptor per LookupBatch call
+// instead of N messages and N reply channels, and one coalesced fabric
+// message per destination home LC per batch instead of one per address.
+//
+// Submission: LookupBatchInto copies the addresses into a batchDesc
+// drawn from a sync.Pool and sends a single mBatch message at the
+// arrival LC. The descriptor carries a verdict array indexed by
+// submission position and an atomic countdown of unresolved slots;
+// whoever resolves the last slot signals the (buffered) done channel.
+// Steady state this path allocates nothing: the descriptor, its arrays,
+// the LC's scratch space and the fabric queue's ring all recycle.
+//
+// Inside the arrival LC, handleBatch classifies every address in one
+// pass: cache hits resolve inline; addresses with an in-flight miss
+// coalesce onto the existing waitlist as batch waiters (a localWaiter
+// whose bd/slot point back into the descriptor); same-home misses are
+// collected and resolved with one batched engine sweep after the scan —
+// no waitlist, no RecordMiss, no allocation; remote misses park exactly
+// like single lookups (same deadline/retry/fallback/re-home machinery)
+// but their fabric requests accumulate into one fabricBatch per home LC,
+// sent as a single mBatchRequest when the scan ends. That turns the
+// fabric cost of a ψ-way scattered batch from O(addresses) messages into
+// O(ψ), which is the tentpole win: the per-message constant (channel
+// send, select wakeup, injector call) is paid once per home instead of
+// once per address.
+//
+// Cancellation: the old batch path leaked one buffered channel per
+// outstanding address when the caller's context fired. Here the caller
+// flips the descriptor's state to abandoned and walks away; the last
+// in-flight sub-lookup to land observes the state and returns the
+// descriptor to the pool itself (Router.batchRecycled counts these).
+package router
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spal/internal/cache"
+	"spal/internal/ip"
+	"spal/internal/lpm"
+	"spal/internal/rtable"
+	"spal/internal/tracing"
+)
+
+// batchDesc lifecycle states.
+const (
+	bdRunning   int32 = iota
+	bdDone            // all slots resolved; done was signalled
+	bdAbandoned       // caller left (ctx/quit); last resolver recycles
+)
+
+// batchDesc is one in-flight LookupBatch call: the submitted addresses,
+// the positional verdict array, and the synchronization that hands the
+// finished batch (or the abandoned descriptor) to exactly one owner.
+type batchDesc struct {
+	addrs   []ip.Addr
+	out     []Verdict
+	pending atomic.Int32 // unresolved slots
+	state   atomic.Int32 // bdRunning / bdDone / bdAbandoned
+	done    chan struct{}
+	start   time.Time // submission time, shared by every slot's latency
+}
+
+var batchPool = sync.Pool{New: func() any { return &batchDesc{done: make(chan struct{}, 1)} }}
+
+// getBatchDesc draws a descriptor and loads it. The addresses are copied
+// (the caller may reuse its slice immediately); out is sized but not
+// cleared — every slot is written exactly once before it is read.
+func getBatchDesc(addrs []ip.Addr) *batchDesc {
+	bd := batchPool.Get().(*batchDesc)
+	bd.addrs = append(bd.addrs[:0], addrs...)
+	if cap(bd.out) < len(addrs) {
+		bd.out = make([]Verdict, len(addrs))
+	} else {
+		bd.out = bd.out[:len(addrs)]
+	}
+	bd.state.Store(bdRunning)
+	bd.pending.Store(int32(len(addrs)))
+	bd.start = time.Now()
+	return bd
+}
+
+func putBatchDesc(bd *batchDesc) {
+	// Verdicts and addresses hold no pointers, so truncating (keeping the
+	// capacity, which is the point of pooling) pins nothing.
+	bd.addrs = bd.addrs[:0]
+	bd.out = bd.out[:0]
+	batchPool.Put(bd)
+}
+
+// bdResolve retires one slot of a batch. The goroutine that retires the
+// last slot either wakes the waiting caller or — when the caller
+// abandoned the batch — recycles the descriptor on its behalf. The
+// atomic countdown orders every slot write before the final signal, so
+// the caller reads a fully written out array.
+func (r *Router) bdResolve(bd *batchDesc) {
+	if bd.pending.Add(-1) != 0 {
+		return
+	}
+	if bd.state.CompareAndSwap(bdRunning, bdDone) {
+		bd.done <- struct{}{}
+		return
+	}
+	r.batchRecycled.Add(1)
+	putBatchDesc(bd)
+}
+
+// abandonBatch detaches a cancelled caller from its descriptor. If the
+// batch completed concurrently, the done signal is already buffered:
+// drain it and recycle here instead.
+func (r *Router) abandonBatch(bd *batchDesc) {
+	if bd.state.CompareAndSwap(bdRunning, bdAbandoned) {
+		return
+	}
+	<-bd.done
+	putBatchDesc(bd)
+}
+
+// deliver answers one lookup message's submitter: the descriptor slot
+// when the lookup rides a batch, the buffered reply channel otherwise.
+func (r *Router) deliver(m message, v Verdict) {
+	if m.bd != nil {
+		m.bd.out[m.slot] = v
+		r.bdResolve(m.bd)
+		return
+	}
+	m.resp <- v
+}
+
+// fabricBatch is a coalesced fabric payload: parallel arrays of
+// addresses and (on replies) their verdicts. It is allocated fresh per
+// send and never mutated afterwards, so an injector-duplicated message
+// can share it safely.
+type fabricBatch struct {
+	addrs []ip.Addr
+	nhs   []rtable.NextHop
+	oks   []bool
+}
+
+// lcScratch is a line card's private batch workspace, reused across
+// batches so the steady-state path allocates nothing once warm: the
+// pending local-FE sweep (addrs/slots/trs/res) and the per-home fabric
+// accumulators (byHome, indexed by LC id; homes lists the active ones).
+type lcScratch struct {
+	addrs  []ip.Addr
+	slots  []int32
+	trs    []*tracing.LookupTrace
+	res    []lpm.Result
+	byHome []*fabricBatch
+	homes  []int
+}
+
+func newLCScratch(numLCs int) *lcScratch {
+	return &lcScratch{byHome: make([]*fabricBatch, numLCs)}
+}
+
+// resetSweep clears the local-FE collection arrays, dropping trace
+// pointers so the scratch pins nothing between batches.
+func (sc *lcScratch) resetSweep() {
+	sc.addrs = sc.addrs[:0]
+	sc.slots = sc.slots[:0]
+	clear(sc.trs)
+	sc.trs = sc.trs[:0]
+}
+
+// LookupBatch pipelines a whole slice of destinations at one line card
+// and returns the verdicts in submission order; see LookupBatchCtx for
+// the ordering guarantee.
+func (r *Router) LookupBatch(lc int, addrs []ip.Addr) ([]Verdict, error) {
+	return r.LookupBatchCtx(context.Background(), lc, addrs)
+}
+
+// LookupBatchInto is LookupBatchCtx writing into a caller-provided
+// verdict slice (len(out) >= len(addrs)); with BatchCoalescing on, the
+// steady-state cache-hit and local-home paths allocate nothing. On error
+// the contents of out are unspecified. The positional guarantee is the
+// same: on success out[i] answers addrs[i].
+func (r *Router) LookupBatchInto(ctx context.Context, lc int, addrs []ip.Addr, out []Verdict) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if lc < 0 || lc >= r.cfg.NumLCs {
+		return fmt.Errorf("router: no such LC %d", lc)
+	}
+	if len(out) < len(addrs) {
+		return fmt.Errorf("router: out holds %d verdicts, batch has %d addresses", len(out), len(addrs))
+	}
+	if len(addrs) == 0 {
+		return nil
+	}
+	if !r.cfg.BatchCoalescing {
+		return r.lookupBatchSingles(ctx, lc, addrs, out)
+	}
+	bd := getBatchDesc(addrs)
+	m := message{kind: mBatch, bd: bd}
+	if r.ov.Enabled {
+		if err := r.admitBatch(lc, m); err != nil {
+			putBatchDesc(bd)
+			return err
+		}
+	} else if !r.send(lc, m) {
+		putBatchDesc(bd)
+		return ErrStopped
+	}
+	select {
+	case <-bd.done:
+		copy(out, bd.out)
+		putBatchDesc(bd)
+		return nil
+	case <-ctx.Done():
+		r.abandonBatch(bd)
+		return ctx.Err()
+	case <-r.quit:
+		r.abandonBatch(bd)
+		return ErrStopped
+	}
+}
+
+// admitBatch is the admission layer for a whole batch: one inbox slot
+// carries the descriptor, and a full inbox refuses the entire batch (the
+// per-address shed verdicts only apply after admission).
+func (r *Router) admitBatch(lc int, m message) error {
+	if r.ov.Mode == ShedBlock {
+		select {
+		case r.inboxes[lc] <- m:
+			return nil
+		case <-r.quit:
+			return ErrStopped
+		}
+	}
+	select {
+	case r.inboxes[lc] <- m:
+		return nil
+	case <-r.quit:
+		return ErrStopped
+	default:
+	}
+	r.shedCount(lc, shedInboxFull)
+	return ErrOverloaded
+}
+
+// handleBatch classifies a batch at its arrival LC: inline cache hits,
+// waitlist coalescing, a single batched FE sweep for same-home misses,
+// and one accumulated fabric request per remote home LC.
+func (r *Router) handleBatch(lc *lineCard, m message) {
+	bd := m.bd
+	sc := lc.scratch
+	lc.stats.Lookups.Add(int64(len(bd.addrs)))
+	lc.stats.Batches.Add(1)
+	now := time.Now()
+	for i, addr := range bd.addrs {
+		slot := int32(i)
+		var tr *tracing.LookupTrace
+		if r.tracer != nil {
+			if tr = r.tracer.Sample(lc.id, addr, bd.start); tr != nil {
+				tr.Record(tracing.EvArrival, int64(lc.id), 0)
+			}
+		}
+		probeKind := cache.Miss
+		if lc.cache != nil {
+			res := lc.cache.Probe(addr)
+			probeKind = res.Kind
+			switch res.Kind {
+			case cache.Hit, cache.HitVictim:
+				lc.stats.CacheHits.Add(1)
+				ok := res.NextHop != rtable.NoNextHop
+				if tr != nil {
+					tr.Record(tracing.EvProbe, int64(res.Kind), int64(res.Origin))
+					r.finishTrace(tr, ServedByCache, ok)
+				}
+				lc.lat.observe(ServedByCache, bd.start, traceID(tr))
+				bd.out[slot] = Verdict{Addr: addr, NextHop: res.NextHop, OK: ok, ServedBy: ServedByCache}
+				r.bdResolve(bd)
+				continue
+			}
+		}
+		// Coalesce onto an in-flight miss (covers both HitWaiting and the
+		// cache-bypass case, exactly like handleLookup).
+		if wl, ok := lc.pending[addr]; ok {
+			if r.waitlistFull(wl) {
+				r.shedLocal(lc.id, message{addr: addr, bd: bd, slot: slot, tr: tr}, shedWaitlistOverflow)
+				continue
+			}
+			lc.stats.Coalesced.Add(1)
+			if tr != nil {
+				tr.Record(tracing.EvProbe, int64(probeKind), 0)
+				tr.Record(tracing.EvCoalesce, int64(len(wl.locals)+len(wl.remotes)), 0)
+				if wl.tr == nil {
+					wl.tr = tr
+				}
+			}
+			wl.locals = append(wl.locals, localWaiter{bd: bd, slot: slot, start: bd.start, tr: tr})
+			lc.waiters.Add(1)
+			continue
+		}
+		home := lc.homeOf(addr)
+		if home == lc.id {
+			// Same-home miss: no park, no RecordMiss — the batched FE
+			// sweep below answers it within this handler, so there is no
+			// in-flight window for anything to coalesce into. (Duplicates
+			// inside the batch simply run the engine twice.)
+			if tr != nil && lc.cache != nil {
+				tr.Record(tracing.EvProbe, int64(probeKind), int64(cache.LOC))
+			}
+			sc.addrs = append(sc.addrs, addr)
+			sc.slots = append(sc.slots, slot)
+			sc.trs = append(sc.trs, tr)
+			continue
+		}
+		// Remote miss: park a waitlist with the usual deadline/retry arming
+		// so the shared robustness machinery (checkDeadlines, re-homing,
+		// breakers) treats batch sub-lookups like any single lookup — only
+		// the fabric send is deferred into the per-home accumulator.
+		if lc.cache != nil {
+			recorded := lc.cache.RecordMiss(addr, cache.REM, 0)
+			if tr != nil {
+				tr.Record(tracing.EvProbe, int64(probeKind), int64(cache.REM))
+				if !recorded {
+					tr.Record(tracing.EvBypass, 0, 0)
+				}
+			}
+		}
+		wl := r.park(lc, addr)
+		wl.tr = tr
+		wl.locals = append(wl.locals, localWaiter{bd: bd, slot: slot, start: bd.start, tr: tr})
+		lc.waiters.Add(1)
+		if r.ov.Enabled && !r.breakerAllows(lc, home) {
+			lc.ov.breakerShorts.Add(1)
+			lc.stats.Fallbacks.Add(1)
+			wl.tr.Record(tracing.EvBreaker, int64(home), int64(lc.ov.breakers[home].state.Load()))
+			wl.tr.Record(tracing.EvFallback, int64(lc.id), 0)
+			nh, _, ok := r.fallback.Load().eng.Lookup(addr)
+			if !ok {
+				nh = rtable.NoNextHop
+			}
+			r.fillAndRelease(lc, addr, nh, ok, cache.REM, ServedByFallback)
+			continue
+		}
+		wl.attempts = 1
+		wl.deadline = now.Add(r.timeout)
+		wl.tr.Record(tracing.EvFabricSend, int64(home), 1)
+		fb := sc.byHome[home]
+		if fb == nil {
+			fb = &fabricBatch{}
+			sc.byHome[home] = fb
+			sc.homes = append(sc.homes, home)
+		}
+		fb.addrs = append(fb.addrs, addr)
+	}
+	// One engine sweep answers every same-home miss (BatchEngine engines
+	// run it level-synchronously; others fall back per key).
+	if n := len(sc.addrs); n > 0 {
+		lc.stats.FEExecs.Add(int64(n))
+		t0 := r.feTimer()
+		if cap(sc.res) < n {
+			sc.res = make([]lpm.Result, n)
+		}
+		res := sc.res[:n]
+		lpm.LookupAll(lc.engine, sc.addrs, res)
+		feNS := elapsedNS(t0) // batch-granular; per-address splits aren't measured
+		for k := 0; k < n; k++ {
+			addr, ok := sc.addrs[k], res[k].OK
+			nh := res[k].NextHop
+			if !ok {
+				nh = rtable.NoNextHop
+			}
+			if lc.cache != nil {
+				lc.cache.Fill(addr, nh, cache.LOC)
+			}
+			if tr := sc.trs[k]; tr != nil {
+				tr.Record(tracing.EvFEExec, feNS, int64(lc.id))
+				tr.Record(tracing.EvFill, int64(cache.LOC), int64(ServedByFE))
+				r.finishTrace(tr, ServedByFE, ok)
+			}
+			lc.lat.observe(ServedByFE, bd.start, traceID(sc.trs[k]))
+			bd.out[sc.slots[k]] = Verdict{Addr: addr, NextHop: nh, OK: ok, ServedBy: ServedByFE}
+			r.bdResolve(bd)
+		}
+		sc.resetSweep()
+	}
+	// One fabric message per remote home with misses in this batch.
+	for _, home := range sc.homes {
+		fb := sc.byHome[home]
+		sc.byHome[home] = nil
+		lc.stats.RequestsSent.Add(1)
+		lc.stats.BatchRequestsSent.Add(1)
+		r.sendFabric(home, message{kind: mBatchRequest, from: lc.id, epoch: lc.epoch, fb: fb, addr: fb.addrs[0]})
+	}
+	sc.homes = sc.homes[:0]
+}
+
+// handleBatchRequest serves a coalesced request at the home LC: cache
+// hits and freshly computed results accumulate into one reply batch;
+// addresses already in flight coalesce as remote waiters and ride
+// individual replies instead (their resolution happens later, outside
+// this handler). Re-homed addresses are forwarded as individual requests
+// exactly like handleRequest would.
+func (r *Router) handleBatchRequest(lc *lineCard, m message) {
+	sc := lc.scratch
+	var rb *fabricBatch
+	for _, addr := range m.fb.addrs {
+		if home := lc.homeOf(addr); home != lc.id {
+			// Re-homed while in flight: hand off per address with one
+			// forward hop consumed, preserving handleRequest's ping-pong
+			// cap via the individual-request path.
+			lc.stats.ForwardedRequests.Add(1)
+			r.sendFabric(home, message{kind: mRequest, addr: addr, from: m.from, epoch: m.epoch, hops: 1})
+			continue
+		}
+		rw := remoteWaiter{from: m.from, epoch: m.epoch}
+		if lc.cache != nil {
+			switch res := lc.cache.Probe(addr); res.Kind {
+			case cache.Hit, cache.HitVictim:
+				if rb == nil {
+					rb = &fabricBatch{}
+				}
+				rb.addrs = append(rb.addrs, addr)
+				rb.nhs = append(rb.nhs, res.NextHop)
+				rb.oks = append(rb.oks, res.NextHop != rtable.NoNextHop)
+				continue
+			case cache.HitWaiting:
+				wl := r.park(lc, addr)
+				if r.waitlistFull(wl) {
+					r.shedCount(lc.id, shedWaitlistOverflow)
+					continue
+				}
+				lc.stats.Coalesced.Add(1)
+				wl.remotes = append(wl.remotes, rw)
+				lc.waiters.Add(1)
+				continue
+			default:
+				lc.cache.RecordMiss(addr, cache.LOC, 0)
+			}
+		}
+		if wl, ok := lc.pending[addr]; ok {
+			if r.waitlistFull(wl) {
+				r.shedCount(lc.id, shedWaitlistOverflow)
+				continue
+			}
+			lc.stats.Coalesced.Add(1)
+			wl.remotes = append(wl.remotes, rw)
+			lc.waiters.Add(1)
+			continue
+		}
+		// Fresh miss: collect for the batched FE sweep. Park an empty
+		// waitlist so a duplicate of addr later in this same batch (or a
+		// W-block probe) coalesces instead of double-dispatching; the
+		// sweep's fillAndRelease clears it again.
+		r.park(lc, addr)
+		sc.addrs = append(sc.addrs, addr)
+	}
+	if n := len(sc.addrs); n > 0 {
+		lc.stats.FEExecs.Add(int64(n))
+		if cap(sc.res) < n {
+			sc.res = make([]lpm.Result, n)
+		}
+		res := sc.res[:n]
+		lpm.LookupAll(lc.engine, sc.addrs, res)
+		for k := 0; k < n; k++ {
+			addr, ok := sc.addrs[k], res[k].OK
+			nh := res[k].NextHop
+			if !ok {
+				nh = rtable.NoNextHop
+			}
+			r.fillAndRelease(lc, addr, nh, ok, cache.LOC, ServedByFE)
+			if rb == nil {
+				rb = &fabricBatch{}
+			}
+			rb.addrs = append(rb.addrs, addr)
+			rb.nhs = append(rb.nhs, nh)
+			rb.oks = append(rb.oks, ok)
+		}
+		sc.addrs = sc.addrs[:0]
+	}
+	if rb != nil {
+		lc.stats.RepliesSent.Add(1)
+		lc.stats.BatchRepliesSent.Add(1)
+		// Batch replies carry no per-address FE timing (feNS stays 0) —
+		// the home-side split isn't measured on this path.
+		r.sendFabric(m.from, message{kind: mBatchReply, from: lc.id, epoch: m.epoch, fb: rb, addr: rb.addrs[0]})
+	}
+}
+
+// handleBatchReply scatters a coalesced reply back into the requester's
+// waitlists positionally. The epoch guard is per message: the whole
+// batch predates a table swap or none of it does.
+func (r *Router) handleBatchReply(lc *lineCard, m message) {
+	fb := m.fb
+	if m.epoch != lc.epoch {
+		lc.stats.StaleReplies.Add(int64(len(fb.addrs)))
+		return
+	}
+	if r.ov.Enabled {
+		// One successful fabric round trip, one breaker/budget credit —
+		// the batch is a single message on the wire.
+		r.breakerSuccess(lc, m.from)
+		r.budgetRefill(lc)
+	}
+	for k, addr := range fb.addrs {
+		if r.tracer != nil {
+			if wl, ok := lc.pending[addr]; ok && wl.tr != nil {
+				wl.tr.Record(tracing.EvFabricRecv, int64(m.from), 0)
+			}
+		}
+		r.fillAndRelease(lc, addr, fb.nhs[k], fb.oks[k], cache.REM, ServedByRemote)
+	}
+}

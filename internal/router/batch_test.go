@@ -1,0 +1,477 @@
+// Batch data-plane tests: the coalesced plane must be observationally
+// equivalent to the per-address plane (same verdicts, same positional
+// ordering) under fabric chaos and LC crashes, recycle abandoned
+// descriptors instead of leaking, and hold the zero-allocation budget on
+// its steady-state paths. The Chaos* tests here ride the CI chaos matrix
+// (they honor SPAL_CHAOS_SEED).
+package router
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"spal/internal/cache"
+	"spal/internal/ip"
+	"spal/internal/lpm"
+	"spal/internal/rtable"
+	"spal/internal/stats"
+)
+
+// cacheConfigBlocks is the default cache organization with a different
+// total block count (for shard-geometry error cases).
+func cacheConfigBlocks(n int) cache.Config {
+	c := cache.DefaultConfig()
+	c.Blocks = n
+	return c
+}
+
+// batchAddrs builds one batch worth of addresses: matched, random (maybe
+// unmatched), and deliberate duplicates, the three shapes the positional
+// guarantee has to hold for.
+func batchAddrs(tbl *rtable.Table, rng *stats.RNG, n int) []ip.Addr {
+	addrs := make([]ip.Addr, n)
+	for i := range addrs {
+		switch {
+		case i%5 == 4 && i > 1:
+			addrs[i] = addrs[i/2] // duplicate of an earlier entry
+		case i%3 == 0:
+			addrs[i] = rng.Uint32() // may be unmatched
+		default:
+			addrs[i] = tbl.RandomMatchedAddr(rng)
+		}
+	}
+	return addrs
+}
+
+// checkBatch asserts the positional guarantee and oracle correctness of
+// one batch result.
+func checkBatch(addrs []ip.Addr, out []Verdict, oracle *lpm.Reference) string {
+	if len(out) != len(addrs) {
+		return "verdict count " + strconv.Itoa(len(out)) + " != batch size " + strconv.Itoa(len(addrs))
+	}
+	for i, a := range addrs {
+		if out[i].Addr != a {
+			return "out[" + strconv.Itoa(i) + "] answers " + ip.FormatAddr(out[i].Addr) + ", not " + ip.FormatAddr(a)
+		}
+		if !verdictMatches(out[i], oracle, a) {
+			return "wrong verdict for " + ip.FormatAddr(a) + " served by " + out[i].ServedBy.String()
+		}
+	}
+	return ""
+}
+
+// TestChaosBatchEquivalence drives the identical batched workload through
+// a coalescing router and a legacy per-address router under the same
+// seeded fault schedule: every batch from either plane must be
+// positionally ordered and oracle-correct, which makes the two planes'
+// (addr, nexthop, ok) outputs element-for-element identical.
+func TestChaosBatchEquivalence(t *testing.T) {
+	tbl := rtable.Small(2000, 23)
+	oracle := lpm.NewReference(tbl)
+	for _, seed := range chaosSeeds(t) {
+		t.Run("seed="+strconv.FormatUint(seed, 10), func(t *testing.T) {
+			planes := make(map[bool][][]Verdict, 2)
+			for _, coalesce := range []bool{true, false} {
+				r, err := New(tbl, WithLCs(4), WithDefaultCache(),
+					WithBatchCoalescing(coalesce),
+					WithFaultInjector(SeededFaults(FaultConfig{
+						Seed: seed, DropRate: 0.05, DupRate: 0.10,
+						DelayRate: 0.10, MaxDelay: 2 * time.Millisecond,
+					})),
+					WithRequestTimeout(3*time.Millisecond), WithMaxRetries(2))
+				if err != nil {
+					t.Fatal(err)
+				}
+				const perLC, batchLen = 25, 48
+				results := make([][]Verdict, 4*perLC)
+				var wg sync.WaitGroup
+				errs := make(chan string, 64)
+				for lc := 0; lc < 4; lc++ {
+					wg.Add(1)
+					go func(lc int) {
+						defer wg.Done()
+						rng := stats.NewRNG(seed + uint64(lc)*977)
+						for i := 0; i < perLC; i++ {
+							addrs := batchAddrs(tbl, rng, batchLen)
+							out, err := r.LookupBatch(lc, addrs)
+							if err != nil {
+								errs <- err.Error()
+								return
+							}
+							if msg := checkBatch(addrs, out, oracle); msg != "" {
+								errs <- msg
+								return
+							}
+							results[lc*perLC+i] = out
+						}
+					}(lc)
+				}
+				wg.Wait()
+				close(errs)
+				for e := range errs {
+					t.Fatal(e)
+				}
+				if coalesce {
+					s := r.Metrics()
+					if s.Sum(MetricBatches) != 4*perLC {
+						t.Errorf("batches metric = %v, want %d", s.Sum(MetricBatches), 4*perLC)
+					}
+					if s.Sum(MetricBatchFabricRequests) == 0 {
+						t.Error("coalescing plane sent no batched fabric requests")
+					}
+				}
+				r.Stop()
+				planes[coalesce] = results
+			}
+			// Both planes passed the oracle check with the same address
+			// sequences, so this comparison can only fail if one of them
+			// broke positional ordering on an unmatched (ok=false) verdict.
+			for i := range planes[true] {
+				for j := range planes[true][i] {
+					a, b := planes[true][i][j], planes[false][i][j]
+					if a.Addr != b.Addr || a.OK != b.OK || (a.OK && a.NextHop != b.NextHop) {
+						t.Fatalf("batch %d slot %d diverges: coalesced %+v, singles %+v", i, j, a, b)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestChaosKillLCBatchEquivalence crashes a line card in the middle of a
+// batched storm over a lossy fabric: every batch — including ones whose
+// sub-lookups were parked at the dead LC and re-homed, or submitted at
+// the dead slot before its rebirth — must stay positionally ordered and
+// oracle-correct, with none lost.
+func TestChaosKillLCBatchEquivalence(t *testing.T) {
+	tbl := rtable.Small(2000, 7)
+	oracle := lpm.NewReference(tbl)
+	for _, seed := range chaosSeeds(t) {
+		t.Run("seed="+strconv.FormatUint(seed, 10), func(t *testing.T) {
+			r, err := New(tbl, WithLCs(4), WithDefaultCache(),
+				WithFaultInjector(SeededFaults(FaultConfig{Seed: seed, DropRate: 0.10})),
+				WithRequestTimeout(2*time.Millisecond), WithMaxRetries(2),
+				WithHealthThresholds(4*time.Millisecond, 8*time.Millisecond))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Stop()
+
+			var wg sync.WaitGroup
+			var served atomic.Int64
+			errs := make(chan string, 64)
+			const perLC, batchLen = 30, 32
+			for lc := 0; lc < 4; lc++ {
+				wg.Add(1)
+				go func(lc int) {
+					defer wg.Done()
+					rng := stats.NewRNG(seed + uint64(lc)*101)
+					for i := 0; i < perLC; i++ {
+						addrs := batchAddrs(tbl, rng, batchLen)
+						out, err := r.LookupBatch(lc, addrs)
+						if err != nil {
+							errs <- err.Error()
+							return
+						}
+						if msg := checkBatch(addrs, out, oracle); msg != "" {
+							errs <- msg
+							return
+						}
+						served.Add(int64(len(out)))
+					}
+				}(lc)
+			}
+
+			waitFor(t, "traffic to start", func() bool { return served.Load() > 100 })
+			if err := r.KillLC(2); err != nil {
+				t.Fatal(err)
+			}
+			waitFor(t, "LC 2 to be declared down", func() bool {
+				return r.LCStates()[2] == LCDown
+			})
+
+			wg.Wait()
+			close(errs)
+			for e := range errs {
+				t.Fatal(e)
+			}
+			if got := served.Load(); got != 4*perLC*batchLen {
+				t.Fatalf("served %d sub-lookups, want %d (none may be lost)", got, 4*perLC*batchLen)
+			}
+			if s := r.Metrics(); s.Sum(MetricRehomes) < 1 {
+				t.Error("no re-homing recorded after the LC death")
+			}
+		})
+	}
+}
+
+// TestLookupBatchCancelRecyclesDescriptor is the regression test for the
+// old batch path's cancellation leak: a caller that abandons a batch
+// mid-flight must leave nothing behind — the last in-flight sub-lookup
+// returns the descriptor to the pool, observable via batchRecycled.
+func TestLookupBatchCancelRecyclesDescriptor(t *testing.T) {
+	tbl := rtable.Small(2000, 41)
+	// A fabric that drops everything plus disabled retries: remote misses
+	// hang for one full request timeout, then resolve via fallback —
+	// comfortably after the caller's context has fired.
+	r, err := New(tbl, WithLCs(2),
+		WithFaultInjector(SeededFaults(FaultConfig{Seed: 1, DropRate: 1})),
+		WithRequestTimeout(20*time.Millisecond), WithMaxRetries(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+
+	// All-remote addresses so no sub-lookup can resolve inline.
+	rng := stats.NewRNG(9)
+	var addrs []ip.Addr
+	for len(addrs) < 16 {
+		a := tbl.RandomMatchedAddr(rng)
+		if r.HomeLC(a) != 0 {
+			addrs = append(addrs, a)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Millisecond)
+	defer cancel()
+	if err := r.LookupBatchInto(ctx, 0, addrs, make([]Verdict, len(addrs))); err != context.DeadlineExceeded {
+		t.Fatalf("LookupBatchInto = %v, want context.DeadlineExceeded", err)
+	}
+	waitFor(t, "abandoned descriptor to be recycled", func() bool {
+		return r.batchRecycled.Load() >= 1
+	})
+}
+
+// TestLookupBatchSteadyStateAllocs is the tentpole's budget: once warm,
+// a batch served entirely from the LR-cache, and a batch resolved
+// entirely by the local home's batched FE sweep, must allocate nothing.
+func TestLookupBatchSteadyStateAllocs(t *testing.T) {
+	tbl := rtable.Small(2000, 7)
+	rng := stats.NewRNG(3)
+	addrs := make([]ip.Addr, 64)
+	for i := range addrs {
+		addrs[i] = tbl.RandomMatchedAddr(rng)
+	}
+	out := make([]Verdict, len(addrs))
+
+	measure := func(t *testing.T, opts ...Option) float64 {
+		t.Helper()
+		// The long timeout quiets the deadline ticker and health monitor
+		// so AllocsPerRun sees only the batch path.
+		base := []Option{WithLCs(1), WithRequestTimeout(time.Second)}
+		r, err := New(tbl, append(base, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Stop()
+		for i := 0; i < 5; i++ { // warm: pool, scratch, fabric ring, cache
+			if err := r.LookupBatchInto(context.Background(), 0, addrs, out); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return testing.AllocsPerRun(200, func() {
+			if err := r.LookupBatchInto(context.Background(), 0, addrs, out); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+
+	t.Run("cache-hit", func(t *testing.T) {
+		if n := measure(t, WithDefaultCache()); n != 0 {
+			t.Errorf("warmed cache-hit batch allocates %.2f/op, want 0", n)
+		}
+	})
+	t.Run("local-home", func(t *testing.T) {
+		if n := measure(t, WithoutCache(), WithEngineName("flat")); n != 0 {
+			t.Errorf("local-home batch allocates %.2f/op, want 0", n)
+		}
+	})
+}
+
+// TestLookupBatchShedKeepsPositions: sub-lookups shed after admission
+// (waitlist overflow) must keep their batch positions as ServedByShed
+// verdicts while the rest of the batch resolves normally.
+func TestLookupBatchShedKeepsPositions(t *testing.T) {
+	tbl := rtable.Small(2000, 13)
+	oracle := lpm.NewReference(tbl)
+	r, err := New(tbl, WithLCs(2),
+		WithOverload(OverloadPolicy{WaitlistCap: 4}),
+		WithFaultInjector(SeededFaults(FaultConfig{Seed: 5, DropRate: 1})),
+		WithRequestTimeout(5*time.Millisecond), WithMaxRetries(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+
+	// One remote-homed address repeated far past the waitlist cap: the
+	// first copy parks and dispatches, copies 2..cap coalesce, the rest
+	// shed. The dead fabric forces the parked copies through fallback.
+	rng := stats.NewRNG(17)
+	var hot ip.Addr
+	for {
+		hot = tbl.RandomMatchedAddr(rng)
+		if r.HomeLC(hot) == 1 {
+			break
+		}
+	}
+	addrs := make([]ip.Addr, 12)
+	for i := range addrs {
+		addrs[i] = hot
+	}
+	out, err := r.LookupBatch(0, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shed := 0
+	for i, v := range out {
+		if v.Addr != hot {
+			t.Fatalf("out[%d] answers %s, not the submitted address", i, ip.FormatAddr(v.Addr))
+		}
+		if v.ServedBy == ServedByShed {
+			shed++
+			continue
+		}
+		if !verdictMatches(v, oracle, hot) {
+			t.Fatalf("out[%d] wrong verdict, served by %s", i, v.ServedBy)
+		}
+	}
+	if shed == 0 || shed == len(addrs) {
+		t.Fatalf("shed %d of %d sub-lookups, want some shed and some served", shed, len(addrs))
+	}
+}
+
+// TestLookupBatchDuringUpdateTable hammers table swaps under batched
+// traffic: every verdict must match one of the two tables' oracles (the
+// documented update-window semantics), and stay positional throughout.
+func TestLookupBatchDuringUpdateTable(t *testing.T) {
+	t1 := rtable.Small(2000, 7)
+	t2 := rtable.Small(2000, 8)
+	o1, o2 := lpm.NewReference(t1), lpm.NewReference(t2)
+	r, err := New(t1, WithLCs(4), WithDefaultCache(), WithRequestTimeout(5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for lc := 0; lc < 4; lc++ {
+		wg.Add(1)
+		go func(lc int) {
+			defer wg.Done()
+			rng := stats.NewRNG(uint64(lc)*7 + 3)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				addrs := make([]ip.Addr, 32)
+				for i := range addrs {
+					addrs[i] = t1.RandomMatchedAddr(rng)
+				}
+				out, err := r.LookupBatch(lc, addrs)
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				for i, a := range addrs {
+					if out[i].Addr != a {
+						errs <- "positional ordering broken at slot " + strconv.Itoa(i)
+						return
+					}
+					if !verdictMatches(out[i], o1, a) && !verdictMatches(out[i], o2, a) {
+						errs <- "verdict for " + ip.FormatAddr(a) + " matches neither table"
+						return
+					}
+				}
+			}
+		}(lc)
+	}
+	for i := 0; i < 6; i++ {
+		tbl := t2
+		if i%2 == 1 {
+			tbl = t1
+		}
+		if err := r.UpdateTable(tbl); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// TestWithEngineNameAndCacheShards covers the new construction surface:
+// registry-name resolution (including the error listing valid names) and
+// cache-shard geometry validation.
+func TestWithEngineNameAndCacheShards(t *testing.T) {
+	tbl := rtable.Small(2000, 7)
+	oracle := lpm.NewReference(tbl)
+
+	r, err := New(tbl, WithLCs(2), WithEngineName("flat"), WithCacheShards(8), WithDefaultCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	rng := stats.NewRNG(21)
+	addrs := batchAddrs(tbl, rng, 64)
+	out, err := r.LookupBatch(0, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg := checkBatch(addrs, out, oracle); msg != "" {
+		t.Fatal(msg)
+	}
+	// Re-submit: the sharded cache must now serve hits.
+	if _, err := r.LookupBatch(0, addrs); err != nil {
+		t.Fatal(err)
+	}
+	if s := r.Metrics(); s.Sum(MetricCacheHits) == 0 {
+		t.Error("sharded cache served no hits on a repeated batch")
+	}
+
+	if _, err := New(tbl, WithEngineName("no-such-engine")); err == nil ||
+		!strings.Contains(err.Error(), "unknown engine") || !strings.Contains(err.Error(), "flat") {
+		t.Errorf("unknown engine name: err = %v, want the valid-name listing", err)
+	}
+	if _, err := New(tbl, WithDefaultCache(), WithCacheShards(3)); err == nil {
+		t.Error("CacheShards=3 accepted, want power-of-two error")
+	}
+	if _, err := New(tbl, WithCache(cacheConfigBlocks(4100)), WithCacheShards(8)); err == nil {
+		t.Error("indivisible Cache.Blocks accepted with CacheShards=8")
+	}
+}
+
+// TestLookupBatchIntoValidation pins the argument contract.
+func TestLookupBatchIntoValidation(t *testing.T) {
+	tbl := rtable.Small(200, 3)
+	r, err := New(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	ctx := context.Background()
+	addrs := []ip.Addr{1, 2, 3}
+	if err := r.LookupBatchInto(ctx, 0, addrs, make([]Verdict, 2)); err == nil {
+		t.Error("short out slice accepted")
+	}
+	if err := r.LookupBatchInto(ctx, 5, addrs, make([]Verdict, 3)); err == nil {
+		t.Error("out-of-range LC accepted")
+	}
+	if err := r.LookupBatchInto(ctx, 0, nil, nil); err != nil {
+		t.Errorf("empty batch: %v", err)
+	}
+	if out, err := r.LookupBatch(0, nil); err != nil || len(out) != 0 {
+		t.Errorf("empty LookupBatch = (%v, %v)", out, err)
+	}
+}

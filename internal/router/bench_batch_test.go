@@ -1,0 +1,184 @@
+// Batch data-plane benchmarks. CI's bench-guard job runs the LookupBatch
+// benches with -benchmem and gates on the allocs/op column (must be 0);
+// BENCH_6.json commits representative numbers, including the same-home
+// burst where the coalesced plane's O(ψ) fabric messaging shows up as
+// the headline speedup over per-address submission.
+package router
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"spal/internal/ip"
+	"spal/internal/rtable"
+	"spal/internal/stats"
+)
+
+const benchBatchLen = 64
+
+func benchAddrs(b *testing.B, tbl *rtable.Table, seed uint64) []ip.Addr {
+	b.Helper()
+	rng := stats.NewRNG(seed)
+	addrs := make([]ip.Addr, benchBatchLen)
+	for i := range addrs {
+		addrs[i] = tbl.RandomMatchedAddr(rng)
+	}
+	return addrs
+}
+
+func benchRouter(b *testing.B, tbl *rtable.Table, opts ...Option) *Router {
+	b.Helper()
+	base := []Option{WithRequestTimeout(time.Second)}
+	r, err := New(tbl, append(base, opts...)...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(r.Stop)
+	return r
+}
+
+// BenchmarkLookupSingleCacheHit is the per-address baseline: one warmed
+// cache-hit lookup per iteration (allocates its reply channel every time).
+func BenchmarkLookupSingleCacheHit(b *testing.B) {
+	tbl := rtable.Small(2000, 7)
+	r := benchRouter(b, tbl, WithLCs(1), WithDefaultCache())
+	addrs := benchAddrs(b, tbl, 3)
+	if _, err := r.LookupBatch(0, addrs); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Lookup(0, addrs[i%len(addrs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLookupBatchCacheHit: a 64-address batch served entirely from
+// the warmed LR-cache. Must report 0 allocs/op (CI gates on it).
+func BenchmarkLookupBatchCacheHit(b *testing.B) {
+	tbl := rtable.Small(2000, 7)
+	r := benchRouter(b, tbl, WithLCs(1), WithDefaultCache())
+	addrs := benchAddrs(b, tbl, 3)
+	out := make([]Verdict, len(addrs))
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if err := r.LookupBatchInto(ctx, 0, addrs, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.LookupBatchInto(ctx, 0, addrs, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLookupBatchLocalHome: a 64-address batch resolved by the
+// local home's batched FE sweep (no cache), per engine. Must report
+// 0 allocs/op (CI gates on the flat case).
+func BenchmarkLookupBatchLocalHome(b *testing.B) {
+	tbl := rtable.Small(2000, 7)
+	for _, engine := range []string{"reference", "lulea", "stride24", "flat"} {
+		b.Run("engine="+engine, func(b *testing.B) {
+			r := benchRouter(b, tbl, WithLCs(1), WithoutCache(), WithEngineName(engine))
+			addrs := benchAddrs(b, tbl, 5)
+			out := make([]Verdict, len(addrs))
+			ctx := context.Background()
+			for i := 0; i < 5; i++ {
+				if err := r.LookupBatchInto(ctx, 0, addrs, out); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := r.LookupBatchInto(ctx, 0, addrs, out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// sameHomeBurst builds a burst of addresses all homed at LC 1 of a
+// 2-LC router, submitted at LC 0: every one crosses the fabric, which
+// is where coalescing (1 request + 1 reply per batch, vs 64 + 64)
+// changes the message count asymptotically.
+func sameHomeBurst(b *testing.B, r *Router, tbl *rtable.Table) []ip.Addr {
+	b.Helper()
+	rng := stats.NewRNG(11)
+	addrs := make([]ip.Addr, 0, benchBatchLen)
+	for len(addrs) < benchBatchLen {
+		a := tbl.RandomMatchedAddr(rng)
+		if r.HomeLC(a) == 1 {
+			addrs = append(addrs, a)
+		}
+	}
+	return addrs
+}
+
+// BenchmarkLookupSingleSameHomeBurst: the burst as sequential
+// per-address LookupCtx calls (the pre-batch API), each paying a full
+// fabric round trip.
+func BenchmarkLookupSingleSameHomeBurst(b *testing.B) {
+	tbl := rtable.Small(2000, 7)
+	r := benchRouter(b, tbl, WithLCs(2), WithoutCache())
+	addrs := sameHomeBurst(b, r, tbl)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, a := range addrs {
+			if _, err := r.LookupCtx(ctx, 0, a); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkLookupBatchSameHomeBurst: the same burst as one coalesced
+// batch — one fabric request and one reply regardless of burst size.
+func BenchmarkLookupBatchSameHomeBurst(b *testing.B) {
+	tbl := rtable.Small(2000, 7)
+	r := benchRouter(b, tbl, WithLCs(2), WithoutCache())
+	addrs := sameHomeBurst(b, r, tbl)
+	out := make([]Verdict, len(addrs))
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if err := r.LookupBatchInto(ctx, 0, addrs, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.LookupBatchInto(ctx, 0, addrs, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLookupBatchSinglesSameHomeBurst: the same burst through the
+// legacy per-address batch plane (BatchCoalescing off) — pipelined but
+// one fabric message per address.
+func BenchmarkLookupBatchSinglesSameHomeBurst(b *testing.B) {
+	tbl := rtable.Small(2000, 7)
+	r := benchRouter(b, tbl, WithLCs(2), WithoutCache(), WithBatchCoalescing(false))
+	addrs := sameHomeBurst(b, r, tbl)
+	out := make([]Verdict, len(addrs))
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if err := r.LookupBatchInto(ctx, 0, addrs, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.LookupBatchInto(ctx, 0, addrs, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -237,7 +237,7 @@ func (r *Router) rehomeLocked(dead int) {
 				w.tr = r.lateTrace(dead, addr)
 			}
 			w.tr.Record(tracing.EvRehome, int64(dead), 0)
-			r.replaySend(dead, message{kind: mLookup, addr: addr, resp: w.ch, start: w.start, tr: w.tr})
+			r.replaySend(dead, message{kind: mLookup, addr: addr, resp: w.ch, bd: w.bd, slot: w.slot, start: w.start, tr: w.tr})
 			replayed++
 		}
 		if wl.trLate {

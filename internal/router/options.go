@@ -17,9 +17,19 @@ func WithLCs(n int) Option {
 	return func(c *Config) { c.NumLCs = n }
 }
 
-// WithEngine sets the matching-structure builder every LC uses.
+// WithEngine sets the matching-structure builder every LC uses. Most
+// callers want WithEngineName, which resolves a registry name and is
+// validated at construction; WithEngine remains for custom Builders.
 func WithEngine(b lpm.Builder) Option {
 	return func(c *Config) { c.Engine = b }
+}
+
+// WithEngineName selects the per-LC engine by registry name ("flat",
+// "lulea", "stride24", ...; see internal/lpm/engines). New fails with an
+// error listing the valid names when the name is unknown. A non-empty
+// name takes precedence over WithEngine.
+func WithEngineName(name string) Option {
+	return func(c *Config) { c.EngineName = name }
 }
 
 // WithCache enables LR-caches with the given organization.
@@ -38,6 +48,23 @@ func WithDefaultCache() Option { return WithCache(cache.DefaultConfig()) }
 // engine), the paper's baseline configuration.
 func WithoutCache() Option {
 	return func(c *Config) { c.CacheEnabled = false }
+}
+
+// WithCacheShards splits each LC's LR-cache into n line-padded shards
+// selected by the low address bits, keeping total capacity unchanged
+// (Cache.Blocks is divided among the shards). n must be a power of two
+// that leaves the per-shard geometry valid — New validates and returns
+// an error otherwise. 0 and 1 mean unsharded.
+func WithCacheShards(n int) Option {
+	return func(c *Config) { c.CacheShards = n }
+}
+
+// WithBatchCoalescing toggles the pooled-descriptor batch data plane
+// (see batch.go). New defaults it on; pass false to force the legacy
+// per-address submission path for every batch call — the chaos
+// equivalence suite uses exactly that to prove the two planes agree.
+func WithBatchCoalescing(on bool) Option {
+	return func(c *Config) { c.BatchCoalescing = on }
 }
 
 // WithFaultInjector installs a chaos hook on the inter-LC message path:

@@ -298,14 +298,16 @@ func (r *Router) admitLookup(lc int, m message) error {
 // shedLocal abandons an already-admitted local lookup (waitlist
 // overflow, replay shed): the parked caller receives a ServedByShed
 // verdict, which the synchronous Lookup wrappers convert to
-// ErrOverloaded. The resp channel is buffered, so this never blocks.
+// ErrOverloaded. A batch sub-lookup keeps its position — the verdict
+// lands in its descriptor slot; a single lookup's resp channel is
+// buffered — either way this never blocks.
 func (r *Router) shedLocal(lc int, m message, why shedReason) {
 	r.shedCount(lc, why)
 	if m.tr != nil {
 		m.tr.Record(tracing.EvShed, int64(why), int64(lc))
 		r.finishTrace(m.tr, ServedByShed, false)
 	}
-	m.resp <- Verdict{Addr: m.addr, ServedBy: ServedByShed}
+	r.deliver(m, Verdict{Addr: m.addr, ServedBy: ServedByShed})
 }
 
 // replaySend re-submits a lookup parked at a crashed LC into the reborn
@@ -445,7 +447,7 @@ func (r *Router) BreakerStates(lc int) []int32 {
 // affected lookup terminating. Only called when overload control is
 // enabled; the unbounded path goes through Router.send.
 func (r *Router) deliverData(to int, m message) bool {
-	if m.kind == mRequest && r.ov.Mode == ShedDropRemoteFirst {
+	if (m.kind == mRequest || m.kind == mBatchRequest) && r.ov.Mode == ShedDropRemoteFirst {
 		// Soft limit: refuse remote work while headroom remains for
 		// local arrivals at the target.
 		if len(r.inboxes[to]) >= r.remoteLimit {
@@ -460,7 +462,7 @@ func (r *Router) deliverData(to int, m message) bool {
 		return false
 	default:
 	}
-	if m.kind == mReply {
+	if m.kind == mReply || m.kind == mBatchReply {
 		r.shedCount(to, shedReplyFull)
 	} else {
 		r.shedCount(to, shedRemoteFull)

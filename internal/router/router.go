@@ -52,6 +52,7 @@ import (
 	"spal/internal/cache"
 	"spal/internal/ip"
 	"spal/internal/lpm"
+	"spal/internal/lpm/engines"
 	"spal/internal/metrics"
 	"spal/internal/partition"
 	"spal/internal/rtable"
@@ -84,10 +85,34 @@ type Config struct {
 	Table *rtable.Table
 	// Engine builds each LC's matching structure; nil uses the hash-based
 	// reference engine.
+	//
+	// Deprecated: prefer EngineName, which resolves through the shared
+	// engine registry (internal/lpm/engines) and is validated at
+	// construction. Engine remains for callers supplying a custom Builder
+	// (the WithEngine option still populates it); a non-empty EngineName
+	// takes precedence over this field.
 	Engine lpm.Builder
+	// EngineName selects the per-LC engine by registry name ("flat",
+	// "lulea", "stride24", ...). Empty falls back to Engine (or the
+	// reference engine); an unknown name fails construction with an error
+	// listing the valid names. See WithEngineName.
+	EngineName string
 	// Cache is the LR-cache organization, used when CacheEnabled.
 	Cache        cache.Config
 	CacheEnabled bool
+	// CacheShards, when > 1, splits each LC's LR-cache into that many
+	// line-padded shards selected by the low address bits (total capacity
+	// unchanged: Cache.Blocks is divided among the shards). Must be a
+	// power of two that keeps the per-shard geometry valid; 0 and 1 mean
+	// unsharded. See WithCacheShards.
+	CacheShards int
+	// BatchCoalescing selects the pooled-descriptor batch data plane for
+	// LookupBatch / LookupBatchCtx / LookupBatchInto: one message per
+	// batch, same-home misses coalesced into one fabric message per
+	// destination LC, zero steady-state allocations. False keeps the
+	// legacy per-address submission path. Routers built with New default
+	// it on; the zero Config (legacy NewWithConfig callers) keeps it off.
+	BatchCoalescing bool
 	// FaultInjector, when non-nil, intercepts every fabric request and
 	// reply; see fault.go. Nil is a perfect fabric.
 	FaultInjector FaultInjector
@@ -147,9 +172,12 @@ const (
 	mRequest
 	mReply
 	mFlush
-	mSwapEngine // phase 1 of UpdateTable: install engine + homeOf
-	mRekey      // phase 2: bump epoch, flush cache, re-drive pending
-	mExec       // run a closure on the LC goroutine (stats collection)
+	mSwapEngine   // phase 1 of UpdateTable: install engine + homeOf
+	mRekey        // phase 2: bump epoch, flush cache, re-drive pending
+	mExec         // run a closure on the LC goroutine (stats collection)
+	mBatch        // one pooled batch descriptor of local lookups (batch.go)
+	mBatchRequest // coalesced fabric request: many addresses, one home LC
+	mBatchReply   // coalesced fabric reply, scattered back positionally
 )
 
 // message is the fabric traffic plus local control.
@@ -165,6 +193,9 @@ type message struct {
 	start    time.Time            // submission time (mLookup), for latency histograms
 	resp     chan<- Verdict       // mLookup
 	tr       *tracing.LookupTrace // mLookup: the trace riding this lookup, if sampled
+	bd       *batchDesc           // mBatch, or an mLookup riding a batch slot
+	slot     int32                // index into bd.out when bd != nil
+	fb       *fabricBatch         // mBatchRequest / mBatchReply payload
 	engine   lpm.Engine           // mSwap
 	homeOf   func(ip.Addr) int
 	swapDone chan<- struct{}
@@ -178,6 +209,11 @@ type message struct {
 // LCStats remains for callers that want zero-allocation live reads.
 type LCStats struct {
 	Lookups, CacheHits, FEExecs, RequestsSent, RepliesSent, Coalesced, StaleReplies atomic.Int64
+	// Batch data-plane counters: batch descriptors admitted, and how many
+	// of RequestsSent / RepliesSent were coalesced multi-address fabric
+	// messages (RequestsSent counts fabric messages, so a batch request
+	// covering 30 addresses increments each by exactly one).
+	Batches, BatchRequestsSent, BatchRepliesSent atomic.Int64
 	// Robustness counters: fabric requests re-sent after a deadline
 	// expiry, lookups answered by the full-table fallback engine,
 	// deadlines that exhausted their retry budget, and in-flight
@@ -191,11 +227,15 @@ type remoteWaiter struct {
 	hops  uint8 // forwards the request survived, echoed back in the reply
 }
 
-// localWaiter is one parked local lookup: its reply channel plus its
+// localWaiter is one parked local lookup: its reply destination plus its
 // submission time, so coalesced lookups each record their own latency,
-// and its trace, so each traced lookup finishes its own span.
+// and its trace, so each traced lookup finishes its own span. The
+// destination is either a reply channel (single lookups) or a slot in a
+// batch descriptor's verdict array (bd non-nil); see Router.deliver.
 type localWaiter struct {
 	ch    chan<- Verdict
+	bd    *batchDesc
+	slot  int32
 	start time.Time
 	tr    *tracing.LookupTrace
 }
@@ -224,11 +264,15 @@ type waitlist struct {
 type lineCard struct {
 	id      int
 	engine  lpm.Engine
-	cache   *cache.Cache
+	cache   cache.Store
 	pending map[ip.Addr]*waitlist
 	homeOf  func(ip.Addr) int
 	epoch   uint32
 	stats   *LCStats
+	// scratch is this LC's reusable batch workspace (miss collection,
+	// batched FE results, per-home fabric accumulators); goroutine-private
+	// like pending, surviving across slot incarnations. See batch.go.
+	scratch *lcScratch
 
 	// lat, pendingDepth and waiters are atomic and may be read from
 	// outside the LC goroutine (Metrics); everything above is
@@ -286,6 +330,11 @@ type Router struct {
 	drains       atomic.Int64
 	drainDur     metrics.Histogram
 
+	// batchRecycled counts batch descriptors abandoned by a cancelled
+	// caller and returned to the pool by their last in-flight sub-lookup
+	// (the fix for the per-address channel leak the old batch path had).
+	batchRecycled atomic.Int64
+
 	// tracer is the per-lookup span recorder; nil when tracing is
 	// disabled, which is the only cost the hot path pays (see trace.go).
 	tracer *tracing.Recorder
@@ -305,7 +354,7 @@ type Router struct {
 //
 //	router.New(tbl, router.WithLCs(16), router.WithDefaultCache())
 func New(tbl *rtable.Table, opts ...Option) (*Router, error) {
-	cfg := Config{NumLCs: 1, Table: tbl}
+	cfg := Config{NumLCs: 1, Table: tbl, BatchCoalescing: true}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -323,8 +372,35 @@ func NewWithConfig(cfg Config) (*Router, error) {
 	if cfg.Table == nil || cfg.Table.Len() == 0 {
 		return nil, errors.New("router: empty routing table")
 	}
+	if cfg.EngineName != "" {
+		b, err := engines.Lookup(cfg.EngineName)
+		if err != nil {
+			return nil, fmt.Errorf("router: %w", err)
+		}
+		cfg.Engine = b
+	}
 	if cfg.Engine == nil {
 		cfg.Engine = lpm.NewReferenceEngine
+	}
+	if cfg.CacheShards > 1 {
+		n := cfg.CacheShards
+		if n&(n-1) != 0 {
+			return nil, fmt.Errorf("router: CacheShards must be a power of two, got %d", n)
+		}
+		if cfg.CacheEnabled {
+			// Validate the per-shard geometry up front so the cache
+			// constructor's panics become construction errors.
+			if cfg.Cache.Blocks%n != 0 {
+				return nil, fmt.Errorf("router: Cache.Blocks=%d not divisible by CacheShards=%d", cfg.Cache.Blocks, n)
+			}
+			per := cfg.Cache.Blocks / n
+			if cfg.Cache.Assoc < 1 || per%cfg.Cache.Assoc != 0 {
+				return nil, fmt.Errorf("router: per-shard blocks=%d not divisible by Assoc=%d", per, cfg.Cache.Assoc)
+			}
+			if sets := per / cfg.Cache.Assoc; sets == 0 || sets&(sets-1) != 0 {
+				return nil, fmt.Errorf("router: per-shard set count %d not a power of two", per/cfg.Cache.Assoc)
+			}
+		}
 	}
 	r := &Router{cfg: cfg, quit: make(chan struct{})}
 	r.injector = cfg.FaultInjector
@@ -379,10 +455,15 @@ func NewWithConfig(cfg Config) (*Router, error) {
 			homeOf:  r.part.HomeLC,
 			stats:   &LCStats{},
 		}
+		lc.scratch = newLCScratch(cfg.NumLCs)
 		if cfg.CacheEnabled {
 			cc := cfg.Cache
 			cc.Seed += uint64(i) * 31
-			lc.cache = cache.New(cc)
+			if cfg.CacheShards > 1 {
+				lc.cache = cache.NewSharded(cc, cfg.CacheShards)
+			} else {
+				lc.cache = cache.New(cc)
+			}
 		}
 		lc.ov = newLCOverload(r.ov, cfg.NumLCs)
 		life := &lcLife{die: make(chan struct{}), exited: make(chan struct{})}
@@ -420,22 +501,33 @@ func NewWithConfig(cfg Config) (*Router, error) {
 }
 
 // buffer is the unbounded queue between senders and an LC: it never blocks
-// a sender, which rules out inter-LC deadlock by construction.
+// a sender, which rules out inter-LC deadlock by construction. The queue
+// is a grow-only slice drained by a cursor and rewound whenever it runs
+// empty, so steady-state traffic recycles the same backing array instead
+// of allocating on every append the way the old q = q[1:] loop did — a
+// requirement of the batch data plane's zero-allocation budget.
 func (r *Router) buffer(in <-chan message, out chan<- message) {
 	defer r.wg.Done()
 	var q []message
+	head := 0
 	for {
 		var send chan<- message
-		var head message
-		if len(q) > 0 {
+		var first message
+		if head < len(q) {
 			send = out
-			head = q[0]
+			first = q[head]
+		} else if len(q) > 0 {
+			q = q[:0]
+			head = 0
 		}
 		select {
 		case m := <-in:
 			q = append(q, m)
-		case send <- head:
-			q = q[1:]
+		case send <- first:
+			// Zero the drained element: a parked message can hold a batch
+			// descriptor, trace, or reply channel the queue must not pin.
+			q[head] = message{}
+			head++
 		case <-r.quit:
 			return
 		}
@@ -454,14 +546,17 @@ func (r *Router) send(lc int, m message) bool {
 
 // sendFabric delivers a request or reply across the (virtual) fabric,
 // routing it through the fault injector when one is installed. Control
-// messages never pass through here — only mRequest and mReply can be
-// dropped, delayed, or duplicated.
+// messages never pass through here — only mRequest/mReply and their
+// batched forms can be dropped, delayed, or duplicated. A batch message
+// is one fabric unit: the injector sees its first address and a verdict
+// applies to the whole batch (a dropped batch request is re-driven
+// per-address by the requesters' deadline machinery).
 func (r *Router) sendFabric(to int, m message) {
 	if r.injector == nil {
 		r.fabricDeliver(to, m)
 		return
 	}
-	d := r.injector(FabricMessage{Reply: m.kind == mReply, From: m.from, To: to, Addr: m.addr})
+	d := r.injector(FabricMessage{Reply: m.kind == mReply || m.kind == mBatchReply, From: m.from, To: to, Addr: m.addr})
 	if d.Drop {
 		return
 	}
@@ -629,6 +724,12 @@ func (r *Router) handle(lc *lineCard, m message) {
 	switch m.kind {
 	case mLookup:
 		r.handleLookup(lc, m)
+	case mBatch:
+		r.handleBatch(lc, m)
+	case mBatchRequest:
+		r.handleBatchRequest(lc, m)
+	case mBatchReply:
+		r.handleBatchReply(lc, m)
 	case mRequest:
 		r.handleRequest(lc, m)
 	case mReply:
@@ -677,7 +778,7 @@ func (r *Router) handle(lc *lineCard, m message) {
 		for addr, wl := range pend {
 			for _, w := range wl.locals {
 				w.tr.Record(tracing.EvRedrive, int64(lc.id), 0)
-				r.handleLookup(lc, message{kind: mLookup, addr: addr, resp: w.ch, start: w.start, tr: w.tr})
+				r.handleLookup(lc, message{kind: mLookup, addr: addr, resp: w.ch, bd: w.bd, slot: w.slot, start: w.start, tr: w.tr})
 			}
 			for _, rw := range wl.remotes {
 				r.handleRequest(lc, message{kind: mRequest, addr: addr, from: rw.from, epoch: rw.epoch, hops: rw.hops})
@@ -711,7 +812,7 @@ func (r *Router) handleLookup(lc *lineCard, m message) {
 				r.finishTrace(m.tr, ServedByCache, ok)
 			}
 			lc.lat.observe(ServedByCache, m.start, traceID(m.tr))
-			m.resp <- Verdict{Addr: m.addr, NextHop: res.NextHop, OK: ok, ServedBy: ServedByCache}
+			r.deliver(m, Verdict{Addr: m.addr, NextHop: res.NextHop, OK: ok, ServedBy: ServedByCache})
 			return
 		case cache.HitWaiting:
 			wl := r.park(lc, m.addr)
@@ -727,7 +828,7 @@ func (r *Router) handleLookup(lc *lineCard, m message) {
 					wl.tr = m.tr
 				}
 			}
-			wl.locals = append(wl.locals, localWaiter{ch: m.resp, start: m.start, tr: m.tr})
+			wl.locals = append(wl.locals, localWaiter{ch: m.resp, bd: m.bd, slot: m.slot, start: m.start, tr: m.tr})
 			lc.waiters.Add(1)
 			return
 		default:
@@ -760,13 +861,13 @@ func (r *Router) handleLookup(lc *lineCard, m message) {
 				wl.tr = m.tr
 			}
 		}
-		wl.locals = append(wl.locals, localWaiter{ch: m.resp, start: m.start, tr: m.tr})
+		wl.locals = append(wl.locals, localWaiter{ch: m.resp, bd: m.bd, slot: m.slot, start: m.start, tr: m.tr})
 		lc.waiters.Add(1)
 		return
 	}
 	wl := r.park(lc, m.addr)
 	wl.tr = m.tr
-	wl.locals = append(wl.locals, localWaiter{ch: m.resp, start: m.start, tr: m.tr})
+	wl.locals = append(wl.locals, localWaiter{ch: m.resp, bd: m.bd, slot: m.slot, start: m.start, tr: m.tr})
 	lc.waiters.Add(1)
 	r.dispatch(lc, m.addr, wl)
 }
@@ -918,7 +1019,12 @@ func (r *Router) fillAndRelease(lc *lineCard, addr ip.Addr, nh rtable.NextHop, o
 		// Finish before delivering: a caller that waits on the verdict
 		// must find its trace already published.
 		r.finishTrace(w.tr, servedBy, ok)
-		w.ch <- v
+		if w.bd != nil {
+			w.bd.out[w.slot] = v
+			r.bdResolve(w.bd)
+		} else {
+			w.ch <- v
+		}
 	}
 	if wl.trLate {
 		// The late trace belongs to the address, not to any waiter;
@@ -1016,13 +1122,6 @@ func (r *Router) LookupAsync(lc int, addr ip.Addr) (<-chan Verdict, error) {
 	return resp, nil
 }
 
-// LookupBatch pipelines a whole slice of destinations at one line card
-// and returns the verdicts in submission order; see LookupBatchCtx for
-// the ordering guarantee.
-func (r *Router) LookupBatch(lc int, addrs []ip.Addr) ([]Verdict, error) {
-	return r.LookupBatchCtx(context.Background(), lc, addrs)
-}
-
 // LookupBatchCtx pipelines a whole slice of destinations at one line card
 // and collects their verdicts, honoring a context.
 //
@@ -1039,31 +1138,37 @@ func (r *Router) LookupBatch(lc int, addrs []ip.Addr) ([]Verdict, error) {
 // On cancellation (or deadline expiry) the call returns ctx.Err() and a
 // nil slice. Lookups already submitted are not recalled from the
 // forwarding plane: they run to completion inside the router and their
-// results are discarded (the per-lookup reply channels are buffered, so
-// no LC ever blocks on the abandoned batch).
+// results are discarded; the last one to land returns the batch
+// descriptor to its pool, so an abandoned batch costs nothing lasting.
 func (r *Router) LookupBatchCtx(ctx context.Context, lc int, addrs []ip.Addr) ([]Verdict, error) {
-	if err := ctx.Err(); err != nil {
+	out := make([]Verdict, len(addrs))
+	if err := r.LookupBatchInto(ctx, lc, addrs, out); err != nil {
 		return nil, err
 	}
+	return out, nil
+}
+
+// lookupBatchSingles is the legacy batch path (BatchCoalescing off): N
+// independent submissions, N buffered reply channels, collected in order.
+func (r *Router) lookupBatchSingles(ctx context.Context, lc int, addrs []ip.Addr, out []Verdict) error {
 	chans := make([]<-chan Verdict, len(addrs))
 	for i, a := range addrs {
 		ch, err := r.LookupAsync(lc, a)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		chans[i] = ch
 	}
-	out := make([]Verdict, len(addrs))
 	for i, ch := range chans {
 		select {
 		case out[i] = <-ch:
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return ctx.Err()
 		case <-r.quit:
-			return nil, ErrStopped
+			return ErrStopped
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // HomeLC exposes the partitioning decision for an address.

@@ -26,14 +26,7 @@ import (
 	"spal/internal/cache"
 	"spal/internal/ip"
 	"spal/internal/lpm"
-	"spal/internal/lpm/bintrie"
-	"spal/internal/lpm/dptrie"
-	"spal/internal/lpm/lctrie"
-	"spal/internal/lpm/lulea"
-	"spal/internal/lpm/multibit"
-	"spal/internal/lpm/rangebs"
-	"spal/internal/lpm/stride24"
-	"spal/internal/lpm/wbs"
+	"spal/internal/lpm/engines"
 	"spal/internal/metrics"
 	"spal/internal/partition"
 	"spal/internal/router"
@@ -62,6 +55,12 @@ type (
 	Engine = lpm.Engine
 	// EngineBuilder constructs an Engine from a table.
 	EngineBuilder = lpm.Builder
+	// BatchEngine is an Engine that also resolves whole address slices in
+	// one call (see LookupAll in internal/lpm for the generic fallback);
+	// the router's batched FE sweep detects it dynamically.
+	BatchEngine = lpm.BatchEngine
+	// EngineResult is one BatchEngine lookup outcome.
+	EngineResult = lpm.Result
 	// CacheConfig is an LR-cache organization.
 	CacheConfig = cache.Config
 	// SimConfig configures a cycle-simulation run.
@@ -176,20 +175,12 @@ func Partition(tbl *Table, numLCs int) *Partitioning {
 // SelectBits returns the eta control-bit positions the criteria choose.
 func SelectBits(tbl *Table, eta int) []int { return partition.SelectBits(tbl, eta) }
 
-// Engines lists the available matching-structure builders by name.
-func Engines() map[string]EngineBuilder {
-	return map[string]EngineBuilder{
-		"reference": lpm.NewReferenceEngine,
-		"bintrie":   bintrie.NewEngine,
-		"dptrie":    dptrie.NewEngine,
-		"lctrie":    lctrie.NewEngine,
-		"lulea":     lulea.NewEngine,
-		"multibit":  multibit.NewEngine,
-		"wbs":       wbs.NewEngine,
-		"rangebs":   rangebs.NewEngine,
-		"stride24":  stride24.NewEngine,
-	}
-}
+// Engines lists the available matching-structure builders by name
+// (a fresh copy of the shared registry in internal/lpm/engines).
+func Engines() map[string]EngineBuilder { return engines.Builders() }
+
+// EngineNames returns the registered engine names, sorted.
+func EngineNames() []string { return engines.Names() }
 
 // DefaultCacheConfig is the paper's standard LR-cache: 4K blocks, 4-way,
 // 8 victim blocks, γ=50%, LRU.
@@ -235,7 +226,26 @@ func WithRouterCache(cc CacheConfig) RouterOption { return router.WithCache(cc) 
 func WithDefaultRouterCache() RouterOption { return router.WithDefaultCache() }
 
 // WithRouterEngine sets the matching-structure builder every LC uses.
+// Most callers want WithRouterEngineName, which resolves a registry name
+// and is validated at construction.
 func WithRouterEngine(b EngineBuilder) RouterOption { return router.WithEngine(b) }
+
+// WithRouterEngineName selects the per-LC engine by registry name
+// ("flat", "lulea", "stride24", ...; see EngineNames). NewRouter fails
+// with an error listing the valid names when the name is unknown.
+func WithRouterEngineName(name string) RouterOption { return router.WithEngineName(name) }
+
+// WithRouterCacheShards splits each LC's LR-cache into n line-padded
+// shards selected by the low address bits, keeping total capacity
+// unchanged. n must be a power of two that leaves the per-shard
+// geometry valid; 0 and 1 mean unsharded.
+func WithRouterCacheShards(n int) RouterOption { return router.WithCacheShards(n) }
+
+// WithRouterBatchCoalescing toggles the pooled-descriptor batch data
+// plane behind (*Router).LookupBatchInto: one fabric message per
+// destination LC per batch instead of one per address. NewRouter
+// defaults it on; pass false to force per-address submission.
+func WithRouterBatchCoalescing(on bool) RouterOption { return router.WithBatchCoalescing(on) }
 
 // WithRouterFaultInjector installs a chaos hook on the fabric message
 // path; see SeededFaults for a deterministic injector.

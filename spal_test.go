@@ -14,8 +14,11 @@ func TestFacadePartitionAndLookup(t *testing.T) {
 		t.Fatalf("bits = %v", p.Bits)
 	}
 	engines := Engines()
-	if len(engines) != 9 {
+	if len(engines) != 10 {
 		t.Fatalf("Engines() has %d entries", len(engines))
+	}
+	if names := EngineNames(); len(names) != len(engines) {
+		t.Fatalf("EngineNames() has %d entries, Engines() %d", len(names), len(engines))
 	}
 	build := engines["lulea"]
 	e := build(p.Table(p.HomeLC(0x0a000001)))
@@ -51,6 +54,33 @@ func TestFacadeRouter(t *testing.T) {
 	}
 	if _, err := r.Lookup(0, a); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestFacadeBatchLookup(t *testing.T) {
+	tbl := SynthesizeTable(1000, 7)
+	r, err := NewRouter(tbl, WithLCs(2), WithDefaultRouterCache(),
+		WithRouterEngineName("flat"), WithRouterCacheShards(4),
+		WithRouterBatchCoalescing(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	addrs := make([]Addr, 32)
+	for i := range addrs {
+		addrs[i] = Addr(0x0a000000 + uint32(i)*9973)
+	}
+	out, err := r.LookupBatch(0, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v.Addr != addrs[i] {
+			t.Fatalf("out[%d].Addr = %v, want %v", i, v.Addr, addrs[i])
+		}
+	}
+	if _, err := NewRouter(tbl, WithRouterEngineName("no-such-engine")); err == nil {
+		t.Fatal("unknown engine name accepted")
 	}
 }
 
