@@ -24,6 +24,7 @@
 //	spal-router -trace-rate 0.01 -n 100000 -trace-dump 3  # sample 1% of lookups, dump the last 3 traces
 //	spal-router -trace-rate 1 -fault-rate 0.1 -trace-log -n 10000  # full tracing + JSON log per lookup
 //	spal-router -overload-depth 256 -shed-mode drop-newest -n 1000000  # bounded inboxes, shed on overflow
+//	spal-router -churn-rate 1000 -n 1000000   # absorb 1000 route updates/s while forwarding
 package main
 
 import (
@@ -77,6 +78,7 @@ func main() {
 	traceLog := flag.Bool("trace-log", false, "emit one structured log line per finished trace (implies tracing)")
 	overloadDepth := flag.Int("overload-depth", 0, "bound each LC inbox to this many messages and shed on overflow (0 = legacy unbounded)")
 	shedMode := flag.String("shed-mode", "drop-newest", "shed policy under overload: drop-newest|drop-remote-first|block")
+	churnRate := flag.Float64("churn-rate", 0, "stream BGP-style route updates at this rate (events/s) through ApplyUpdates while driving load (0 = off)")
 	flag.Parse()
 
 	tbl := rtable.Synthesize(rtable.SynthConfig{N: *tableN, NextHops: 16, NestProb: 0.35, Seed: 0x5e3d_0001})
@@ -134,6 +136,19 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	}
+
+	if *churnRate > 0 {
+		churnStop := make(chan struct{})
+		go runChurn(r, tbl, *churnRate, churnStop)
+		defer func() {
+			close(churnStop)
+			s := r.Metrics()
+			fmt.Printf("route churn: %.0f batches / %.0f events applied, %.0f rebalances, %.0f stale replies guarded, %.0f range invalidations\n",
+				s.Sum(router.MetricUpdateBatches), s.Sum(router.MetricUpdateEvents),
+				s.Sum(router.MetricRebalances), s.Sum(router.MetricStaleGen),
+				s.Sum(cache.MetricRangeInv))
+		}()
 	}
 
 	switch {
@@ -349,6 +364,46 @@ func drive(r *router.Router, psi int, addrs []ip.Addr, batch, killLC int, drainA
 			parts[i] = fmt.Sprintf("%d=%s", i, s)
 		}
 		fmt.Printf("lc states: %s\n", strings.Join(parts, " "))
+	}
+}
+
+// runChurn streams seeded BGP-style route updates into the live router
+// at approximately rate events per second, applying one incremental
+// batch (router.ApplyUpdates: no barrier, targeted cache invalidation)
+// per 50 ms tick until stop closes.
+func runChurn(r *router.Router, tbl *rtable.Table, rate float64, stop <-chan struct{}) {
+	const tick = 50 * time.Millisecond
+	const cycleNS = 5.0
+	cur := tbl
+	seed := uint64(0xc1124)
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		batch := rtable.GenerateUpdates(cur, rtable.UpdateStreamConfig{
+			RatePerSecond: rate,
+			CycleNS:       cycleNS,
+			Duration:      int64(tick.Seconds() * 1e9 / cycleNS),
+			WithdrawProb:  0.3,
+			NewPrefixProb: 0.2,
+			Seed:          seed,
+		})
+		seed++
+		if len(batch) == 0 {
+			continue
+		}
+		next := cur.ApplyAll(batch)
+		if next.Len() == 0 {
+			continue
+		}
+		if err := r.ApplyUpdates(batch); err != nil {
+			return // router stopping
+		}
+		cur = next
 	}
 }
 

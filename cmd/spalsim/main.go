@@ -38,6 +38,8 @@ func main() {
 	noCache := flag.Bool("no-cache", false, "disable LR-caches")
 	noPart := flag.Bool("no-partition", false, "keep the full table at every LC")
 	flushMS := flag.Float64("flush-ms", 0, "flush caches every N milliseconds (0 = never)")
+	updatesPS := flag.Float64("updates-per-sec", 0, "stream BGP-style route updates at this rate, applied incrementally with targeted cache invalidation (0 = no churn)")
+	updateFlush := flag.Bool("update-full-flush", false, "flush every cache on each update batch instead of targeted range invalidation")
 	offered := flag.Float64("offered-load", 1.0, "scale every LC's packet rate (2.0 = twice nominal)")
 	admitCap := flag.Int("admit-cap", 0, "shed arrivals when the LC arrival queue holds this many packets (0 = unbounded)")
 	perLC := flag.Bool("per-lc", false, "print per-LC statistics")
@@ -85,6 +87,8 @@ func main() {
 		}
 		cfg.OfferedLoad = *offered
 		cfg.AdmissionCap = *admitCap
+		cfg.UpdatesPerSecond = *updatesPS
+		cfg.UpdateFullFlush = *updateFlush
 	}
 
 	if *engineName != "" {

@@ -120,6 +120,9 @@ type Stats struct {
 	Probes, Hits, HitWaitings, HitVictims, Misses int64
 	Recorded, Bypasses, Evictions, Fills          int64
 	Flushes                                       int64
+	// Targeted invalidation: InvalidateRange calls and the complete
+	// entries they dropped (waiting blocks are never invalidated).
+	RangeInvalidations, Invalidated int64
 	// Waiting-list pressure: packets parked on W blocks, and the largest
 	// list one block ever accumulated (coalescing depth).
 	Parked, MaxWaitList int64
@@ -139,17 +142,28 @@ type Cache struct {
 
 // New validates cfg and builds an empty cache. Blocks/Assoc must give a
 // power-of-two number of sets so the set index is a bit mask of the
-// address, as in hardware.
+// address, as in hardware. New panics on bad geometry; NewErr is the
+// error-returning path for operator-supplied configurations.
 func New(cfg Config) *Cache {
+	c, err := NewErr(cfg)
+	if err != nil {
+		panic(err.Error())
+	}
+	return c
+}
+
+// NewErr validates cfg and builds an empty cache, reporting bad geometry
+// as an error instead of panicking.
+func NewErr(cfg Config) (*Cache, error) {
 	if cfg.Assoc < 1 || cfg.Blocks < cfg.Assoc || cfg.Blocks%cfg.Assoc != 0 {
-		panic(fmt.Sprintf("cache: bad geometry blocks=%d assoc=%d", cfg.Blocks, cfg.Assoc))
+		return nil, fmt.Errorf("cache: bad geometry blocks=%d assoc=%d", cfg.Blocks, cfg.Assoc)
 	}
 	numSets := cfg.Blocks / cfg.Assoc
 	if numSets&(numSets-1) != 0 {
-		panic(fmt.Sprintf("cache: sets=%d not a power of two", numSets))
+		return nil, fmt.Errorf("cache: sets=%d not a power of two", numSets)
 	}
 	if cfg.MixPercent < 0 || cfg.MixPercent > 100 {
-		panic("cache: MixPercent out of range")
+		return nil, fmt.Errorf("cache: MixPercent %d out of range [0,100]", cfg.MixPercent)
 	}
 	c := &Cache{cfg: cfg, rng: stats.NewRNG(cfg.Seed ^ 0xcafe)}
 	c.sets = make([][]entry, numSets)
@@ -157,7 +171,7 @@ func New(cfg Config) *Cache {
 		c.sets[i] = make([]entry, cfg.Assoc)
 	}
 	c.victim = make([]entry, cfg.VictimBlocks)
-	return c
+	return c, nil
 }
 
 // Config returns the cache's configuration.
@@ -441,6 +455,36 @@ func (c *Cache) Flush() []int64 {
 	return orphans
 }
 
+// InvalidateRange drops every complete entry whose address falls in the
+// inclusive range [lo, hi] — the targeted alternative to Flush for a
+// routing update: only addresses covered by a changed prefix can change
+// verdict, so everything else stays hot. Waiting (W-bit) blocks are left
+// in place: their result is still in flight and the router's update
+// generation guard discards stale fills, so dropping the block would only
+// orphan its waiters. Returns the number of entries invalidated.
+func (c *Cache) InvalidateRange(lo, hi ip.Addr) int {
+	c.stat.RangeInvalidations++
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			e := &set[i]
+			if e.valid && !e.waiting && e.addr >= lo && e.addr <= hi {
+				*e = entry{}
+				n++
+			}
+		}
+	}
+	for i := range c.victim {
+		v := &c.victim[i]
+		if v.valid && v.addr >= lo && v.addr <= hi {
+			*v = entry{}
+			n++
+		}
+	}
+	c.stat.Invalidated += int64(n)
+	return n
+}
+
 // Stats returns the event counters.
 func (c *Cache) Stats() Stats { return c.stat }
 
@@ -466,6 +510,8 @@ const (
 	MetricEvictions  = "spal_lrcache_evictions_total"
 	MetricFills      = "spal_lrcache_fills_total"
 	MetricFlushes    = "spal_lrcache_flushes_total"
+	MetricRangeInv   = "spal_lrcache_range_invalidations_total"
+	MetricInvalid    = "spal_lrcache_invalidated_total"
 	MetricParked     = "spal_lrcache_parked_total"
 	MetricOccupancy  = "spal_lrcache_occupancy_blocks"
 	MetricHitRatio   = "spal_lrcache_hit_ratio"
@@ -494,6 +540,8 @@ func metricsInto(sn *metrics.Snapshot, s Stats, loc, rem, waiting int, labels ..
 	sn.Counter(MetricEvictions, "Complete blocks evicted to the victim cache.", float64(s.Evictions), labels...)
 	sn.Counter(MetricFills, "Results filled into the cache.", float64(s.Fills), labels...)
 	sn.Counter(MetricFlushes, "Whole-cache flushes (routing-table updates).", float64(s.Flushes), labels...)
+	sn.Counter(MetricRangeInv, "Targeted InvalidateRange calls (incremental updates).", float64(s.RangeInvalidations), labels...)
+	sn.Counter(MetricInvalid, "Complete entries dropped by targeted invalidation.", float64(s.Invalidated), labels...)
 	sn.Counter(MetricParked, "Packets parked on waiting blocks.", float64(s.Parked), labels...)
 	sn.Gauge(MetricHitRatio, "(Hits + victim hits) / probes since construction.", s.HitRate(), labels...)
 

@@ -25,6 +25,7 @@ type Store interface {
 	RecordMiss(a ip.Addr, origin Origin, waiter int64) bool
 	Fill(a ip.Addr, nh rtable.NextHop, origin Origin) []int64
 	Flush() []int64
+	InvalidateRange(lo, hi ip.Addr) int
 	Stats() Stats
 	Occupancy() (loc, rem, waiting int)
 	MetricsInto(sn *metrics.Snapshot, labels ...metrics.Label)
@@ -57,14 +58,25 @@ type Sharded struct {
 // shard also gets its own cfg.VictimBlocks victim cache). n must be a
 // power of two >= 2, and the per-shard geometry must stay valid
 // (Blocks/n divisible by Assoc with a power-of-two set count) — New
-// panics otherwise, exactly like Cache's constructor. Use
-// router.WithCacheShards for the validated, error-returning path.
+// panics otherwise, exactly like Cache's constructor. NewShardedErr is
+// the error-returning path (used by router.WithCacheShards) so an
+// operator-supplied shard count reports a diagnosis instead of crashing.
 func NewSharded(cfg Config, n int) *Sharded {
+	s, err := NewShardedErr(cfg, n)
+	if err != nil {
+		panic(err.Error())
+	}
+	return s
+}
+
+// NewShardedErr validates the shard count and the per-shard geometry and
+// builds the sharded store, reporting any mis-sizing as an error.
+func NewShardedErr(cfg Config, n int) (*Sharded, error) {
 	if n < 2 || n&(n-1) != 0 {
-		panic(fmt.Sprintf("cache: shards=%d not a power of two >= 2", n))
+		return nil, fmt.Errorf("cache: shards=%d not a power of two >= 2", n)
 	}
 	if cfg.Blocks%n != 0 {
-		panic(fmt.Sprintf("cache: blocks=%d not divisible by shards=%d", cfg.Blocks, n))
+		return nil, fmt.Errorf("cache: blocks=%d not divisible by shards=%d", cfg.Blocks, n)
 	}
 	s := &Sharded{shards: make([]shard, n)}
 	for n > 1 {
@@ -75,9 +87,13 @@ func NewSharded(cfg Config, n int) *Sharded {
 	per.Blocks = cfg.Blocks / len(s.shards)
 	for i := range s.shards {
 		per.Seed = cfg.Seed + uint64(i)*0x9e3779b9
-		s.shards[i].c = *New(per)
+		c, err := NewErr(per)
+		if err != nil {
+			return nil, fmt.Errorf("%v (per-shard geometry, %d shards over %d blocks)", err, len(s.shards), cfg.Blocks)
+		}
+		s.shards[i].c = *c
 	}
-	return s
+	return s, nil
 }
 
 // NumShards returns the shard count.
@@ -114,6 +130,20 @@ func (s *Sharded) Flush() []int64 {
 	return orphans
 }
 
+// InvalidateRange drops complete entries for [lo, hi] in every shard.
+// Addresses are stored right-shifted by shardBits, so each shard is asked
+// to invalidate the shifted range [lo>>k, hi>>k]; the boundary blocks that
+// shift into the range from a non-matching shard cost at most one extra
+// eviction per end per shard, which is safe (invalidation is always
+// conservative) and negligible against a whole-cache flush.
+func (s *Sharded) InvalidateRange(lo, hi ip.Addr) int {
+	n := 0
+	for i := range s.shards {
+		n += s.shards[i].c.InvalidateRange(lo>>s.shardBits, hi>>s.shardBits)
+	}
+	return n
+}
+
 // Stats sums the per-shard counters (MaxWaitList takes the maximum).
 func (s *Sharded) Stats() Stats {
 	var sum Stats
@@ -129,6 +159,8 @@ func (s *Sharded) Stats() Stats {
 		sum.Evictions += st.Evictions
 		sum.Fills += st.Fills
 		sum.Flushes += st.Flushes
+		sum.RangeInvalidations += st.RangeInvalidations
+		sum.Invalidated += st.Invalidated
 		sum.Parked += st.Parked
 		if st.MaxWaitList > sum.MaxWaitList {
 			sum.MaxWaitList = st.MaxWaitList

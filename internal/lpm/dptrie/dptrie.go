@@ -36,7 +36,10 @@ type Trie struct {
 	nodes int
 }
 
-var _ lpm.Engine = (*Trie)(nil)
+var (
+	_ lpm.Engine        = (*Trie)(nil)
+	_ lpm.DynamicEngine = (*Trie)(nil)
+)
 
 // New builds the trie from a table snapshot.
 func New(t *rtable.Table) *Trie {

@@ -35,6 +35,29 @@ var registry = map[string]lpm.Builder{
 	"flat":      flat.NewEngine,
 }
 
+// dynamic names the engines whose built structures implement
+// lpm.DynamicEngine (in-place Insert/Delete), so the router's incremental
+// update plane can stream announces/withdraws into them instead of
+// rebuilding. Kept honest by TestDynamicRegistry, which builds each one
+// and type-asserts.
+var dynamic = map[string]bool{
+	"bintrie": true,
+	"dptrie":  true,
+}
+
+// IsDynamic reports whether the named engine supports in-place updates.
+func IsDynamic(name string) bool { return dynamic[name] }
+
+// DynamicNames returns the names of the dynamic engines, sorted.
+func DynamicNames() []string {
+	out := make([]string, 0, len(dynamic))
+	for k := range dynamic {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Builders returns a fresh copy of the registry (callers may mutate it).
 func Builders() map[string]lpm.Builder {
 	out := make(map[string]lpm.Builder, len(registry))

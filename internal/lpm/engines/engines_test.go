@@ -1,0 +1,61 @@
+package engines
+
+import (
+	"testing"
+
+	"spal/internal/ip"
+	"spal/internal/lpm"
+	"spal/internal/rtable"
+)
+
+func pfx(t *testing.T, s string) ip.Prefix {
+	t.Helper()
+	p, err := ip.ParsePrefix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func addr(t *testing.T, s string) ip.Addr {
+	t.Helper()
+	a, err := ip.ParseAddr(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestDynamicRegistry keeps the dynamic-capability metadata honest: every
+// engine flagged dynamic must actually build to an lpm.DynamicEngine whose
+// Insert/Delete keep Lookup correct, and no unflagged engine may
+// implement the interface (a new dynamic engine must be registered).
+func TestDynamicRegistry(t *testing.T) {
+	tbl := rtable.New([]rtable.Route{
+		{Prefix: pfx(t, "10.0.0.0/8"), NextHop: 1},
+		{Prefix: pfx(t, "10.1.0.0/16"), NextHop: 2},
+	})
+	for name, build := range registry {
+		e := build(tbl)
+		de, ok := e.(lpm.DynamicEngine)
+		if ok != IsDynamic(name) {
+			t.Fatalf("engine %q: implements DynamicEngine=%v but IsDynamic=%v", name, ok, IsDynamic(name))
+		}
+		if !ok {
+			continue
+		}
+		de.Insert(pfx(t, "10.1.2.0/24"), 7)
+		if nh, _, ok := de.Lookup(addr(t, "10.1.2.3")); !ok || nh != 7 {
+			t.Fatalf("engine %q: after Insert, got nh=%d ok=%v, want 7", name, nh, ok)
+		}
+		if !de.Delete(pfx(t, "10.1.0.0/16")) {
+			t.Fatalf("engine %q: Delete of present prefix returned false", name)
+		}
+		if nh, _, ok := de.Lookup(addr(t, "10.1.9.9")); !ok || nh != 1 {
+			t.Fatalf("engine %q: after Delete, got nh=%d ok=%v, want ancestor 1", name, nh, ok)
+		}
+	}
+	if got := DynamicNames(); len(got) != len(dynamic) {
+		t.Fatalf("DynamicNames() = %v, want %d names", got, len(dynamic))
+	}
+}

@@ -33,6 +33,22 @@ type Engine interface {
 	Name() string
 }
 
+// DynamicEngine is an Engine that additionally supports in-place
+// incremental updates, so a route announce/withdraw can be streamed into
+// an already-built structure instead of rebuilding it from a snapshot.
+// Implementations must keep Lookup correct after any Insert/Delete
+// sequence; they need not be safe for concurrent mutation (the router
+// serializes updates on the owning LC goroutine).
+type DynamicEngine interface {
+	Engine
+
+	// Insert adds or replaces a route in place.
+	Insert(p ip.Prefix, nh rtable.NextHop)
+
+	// Delete removes a route in place, reporting whether it was present.
+	Delete(p ip.Prefix) bool
+}
+
 // Builder constructs an engine from a routing table snapshot.
 type Builder func(t *rtable.Table) Engine
 

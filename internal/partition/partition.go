@@ -143,6 +143,48 @@ func SubsetWithBits(t *rtable.Table, numLCs int, alive []int, bits []int) *Parti
 	return p
 }
 
+// ApplyUpdates returns a new Partitioning with the update batch applied
+// under the SAME control bits and pattern→LC folding — the incremental
+// path for route churn, where re-selecting bits (and re-homing every
+// address) would be a full two-phase swap. The home-LC invariant is
+// preserved by construction: an updated prefix lands in exactly the
+// pattern groups compatiblePatterns assigns it, the same rule the full
+// rebuild uses. The second result is the per-LC sub-batch: update i
+// appears in subBatches[lc] iff lc's forwarding table changes under it,
+// which is what the router streams into each LC's dynamic trie. LCs with
+// an empty sub-batch share the previous table snapshot.
+func (p *Partitioning) ApplyUpdates(batch []rtable.Update) (*Partitioning, [][]rtable.Update) {
+	perLC := make([][]rtable.Update, p.NumLCs)
+	seen := make([]bool, p.NumLCs)
+	for _, u := range batch {
+		for i := range seen {
+			seen[i] = false
+		}
+		for _, pat := range compatiblePatterns(u.Route.Prefix.Canon(), p.Bits) {
+			lc := p.patternToLC[pat]
+			if !seen[lc] {
+				seen[lc] = true
+				perLC[lc] = append(perLC[lc], u)
+			}
+		}
+	}
+	np := &Partitioning{
+		Bits:        p.Bits,
+		NumLCs:      p.NumLCs,
+		patternToLC: p.patternToLC,
+		full:        p.full.ApplyAll(batch),
+		tables:      make([]*rtable.Table, p.NumLCs),
+	}
+	for lc := range np.tables {
+		if len(perLC[lc]) == 0 {
+			np.tables[lc] = p.tables[lc]
+		} else {
+			np.tables[lc] = p.tables[lc].ApplyAll(perLC[lc])
+		}
+	}
+	return np, perLC
+}
+
 // compatiblePatterns returns every control-bit pattern the prefix must be
 // stored under: a concrete bit pins its pattern position, a "*" bit fans
 // out to both values.

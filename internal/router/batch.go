@@ -292,7 +292,7 @@ func (r *Router) handleBatch(lc *lineCard, m message) {
 					wl.tr = tr
 				}
 			}
-			wl.locals = append(wl.locals, localWaiter{bd: bd, slot: slot, start: bd.start, tr: tr})
+			wl.locals = append(wl.locals, localWaiter{bd: bd, slot: slot, start: bd.start, tr: tr, gen: lc.gen})
 			lc.waiters.Add(1)
 			continue
 		}
@@ -325,7 +325,7 @@ func (r *Router) handleBatch(lc *lineCard, m message) {
 		}
 		wl := r.park(lc, addr)
 		wl.tr = tr
-		wl.locals = append(wl.locals, localWaiter{bd: bd, slot: slot, start: bd.start, tr: tr})
+		wl.locals = append(wl.locals, localWaiter{bd: bd, slot: slot, start: bd.start, tr: tr, gen: lc.gen})
 		lc.waiters.Add(1)
 		if r.ov.Enabled && !r.breakerAllows(lc, home) {
 			lc.ov.breakerShorts.Add(1)
@@ -410,7 +410,7 @@ func (r *Router) handleBatchRequest(lc *lineCard, m message) {
 			r.sendFabric(home, message{kind: mRequest, addr: addr, from: m.from, epoch: m.epoch, hops: 1})
 			continue
 		}
-		rw := remoteWaiter{from: m.from, epoch: m.epoch}
+		rw := remoteWaiter{from: m.from, epoch: m.epoch, gen: lc.gen}
 		if lc.cache != nil {
 			switch res := lc.cache.Probe(addr); res.Kind {
 			case cache.Hit, cache.HitVictim:
@@ -480,7 +480,7 @@ func (r *Router) handleBatchRequest(lc *lineCard, m message) {
 		lc.stats.BatchRepliesSent.Add(1)
 		// Batch replies carry no per-address FE timing (feNS stays 0) —
 		// the home-side split isn't measured on this path.
-		r.sendFabric(m.from, message{kind: mBatchReply, from: lc.id, epoch: m.epoch, fb: rb, addr: rb.addrs[0]})
+		r.sendFabric(m.from, message{kind: mBatchReply, from: lc.id, epoch: m.epoch, gen: lc.gen, fb: rb, addr: rb.addrs[0]})
 	}
 }
 
@@ -499,12 +499,19 @@ func (r *Router) handleBatchReply(lc *lineCard, m message) {
 		r.breakerSuccess(lc, m.from)
 		r.budgetRefill(lc)
 	}
+	// The gen guard is per message too: the whole batch was computed
+	// against one table generation at the home LC.
+	stale := m.gen < lc.gen
 	for k, addr := range fb.addrs {
 		if r.tracer != nil {
 			if wl, ok := lc.pending[addr]; ok && wl.tr != nil {
 				wl.tr.Record(tracing.EvFabricRecv, int64(m.from), 0)
 			}
 		}
-		r.fillAndRelease(lc, addr, fb.nhs[k], fb.oks[k], cache.REM, ServedByRemote)
+		if stale {
+			r.fillStaleRelease(lc, addr, fb.nhs[k], fb.oks[k], cache.REM, ServedByRemote, m.gen)
+		} else {
+			r.fillAndRelease(lc, addr, fb.nhs[k], fb.oks[k], cache.REM, ServedByRemote)
+		}
 	}
 }

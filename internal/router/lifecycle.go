@@ -177,6 +177,7 @@ func (r *Router) healthCheck(now time.Time) {
 	for _, i := range dead {
 		r.rehomeLocked(i)
 	}
+	r.maybeRebalanceLocked(now)
 }
 
 // rehomeLocked declares LC dead, re-homes its partition onto the
@@ -203,6 +204,7 @@ func (r *Router) rehomeLocked(dead int) {
 	lc.engine = r.cfg.Engine(part.Table(dead))
 	lc.homeOf = part.HomeLC
 	lc.epoch++
+	lc.gen = r.gen // the shell's engine is built from the current table
 	if lc.cache != nil {
 		lc.cache.Flush()
 	}

@@ -71,6 +71,14 @@ const (
 	MetricFallbacks       = "spal_router_fallbacks_total"
 	MetricDeadlineExpired = "spal_router_deadline_expired_total"
 	MetricForwarded       = "spal_router_requests_forwarded_total"
+	// Incremental-update metrics (see updates.go).
+	MetricUpdateBatches  = "spal_router_update_batches_total"
+	MetricUpdateEvents   = "spal_router_update_events_total"
+	MetricUpdatesApplied = "spal_router_updates_applied_total"
+	MetricStaleGen       = "spal_router_stale_gen_replies_total"
+	MetricRebalances     = "spal_router_rebalances_total"
+	MetricGeneration     = "spal_router_table_generation"
+	MetricReplication    = "spal_router_partition_replication"
 	// Lifecycle metrics (see lifecycle.go).
 	MetricWaiters       = "spal_router_waiters"
 	MetricLCState       = "spal_router_lc_state"
@@ -156,6 +164,8 @@ func (r *Router) Metrics() *metrics.Snapshot {
 		s.Counter(MetricFallbacks, "Lookups served by the full-table fallback engine.", float64(lc.stats.Fallbacks.Load()), lbl)
 		s.Counter(MetricDeadlineExpired, "Pending lookups whose fabric retry budget ran out.", float64(lc.stats.DeadlineExpired.Load()), lbl)
 		s.Counter(MetricForwarded, "In-flight requests forwarded because the address was re-homed.", float64(lc.stats.ForwardedRequests.Load()), lbl)
+		s.Counter(MetricUpdatesApplied, "Route updates this LC streamed into its forwarding engine.", float64(lc.stats.UpdatesApplied.Load()), lbl)
+		s.Counter(MetricStaleGen, "Fabric replies delivered but kept out of the cache by the generation guard.", float64(lc.stats.StaleGenReplies.Load()), lbl)
 		s.Gauge(MetricWaitlistDepth, "Addresses with lookups parked awaiting a result.", float64(lc.pendingDepth.Load()), lbl)
 		s.Gauge(MetricWaiters, "Individual lookups (local + remote) parked in this LC's waitlists.", float64(lc.waiters.Load()), lbl)
 		s.Gauge(MetricLCState, "Line-card lifecycle state: 0=healthy 1=suspect 2=down 3=draining.", float64(r.life[i].state.Load()), lbl)
@@ -199,6 +209,14 @@ func (r *Router) Metrics() *metrics.Snapshot {
 	if probes > 0 {
 		s.Gauge(MetricHitRatio, "Router-wide fraction of lookups served by an LR-cache.", hits/probes)
 	}
+	s.Counter(MetricUpdateBatches, "Incremental update batches applied (ApplyUpdates calls).", float64(r.updateBatches.Load()))
+	s.Counter(MetricUpdateEvents, "Individual route announce/withdraw events applied incrementally.", float64(r.updateEvents.Load()))
+	s.Counter(MetricRebalances, "Background partition rebalances (drift-triggered bit re-selections).", float64(r.rebalances.Load()))
+	r.mu.Lock()
+	gen, repl := r.gen, r.part.Stats().Replication
+	r.mu.Unlock()
+	s.Gauge(MetricGeneration, "Router-wide routing-table generation (update batches + full swaps).", float64(gen))
+	s.Gauge(MetricReplication, "Live partitioning replication factor Φ* (Σ partition sizes / table size).", repl)
 	s.Counter(MetricSuspects, "Healthy→Suspect demotions by the health monitor.", float64(r.suspects.Load()))
 	s.Counter(MetricRehomes, "Partition re-homings after a line-card death.", float64(r.rehomes.Load()))
 	s.Counter(MetricReplayed, "Parked lookups replayed after a re-homing.", float64(r.replayed.Load()))

@@ -67,6 +67,16 @@ func WithBatchCoalescing(on bool) Option {
 	return func(c *Config) { c.BatchCoalescing = on }
 }
 
+// WithRebalance enables the background partition rebalancer: when
+// incremental updates (ApplyUpdates) drift the partitioning's replication
+// factor or per-LC size skew past the policy's thresholds, the router
+// re-selects control bits over the current table and runs the full
+// two-phase swap. Pass DefaultRebalancePolicy() for the default
+// thresholds. See updates.go.
+func WithRebalance(p RebalancePolicy) Option {
+	return func(c *Config) { c.Rebalance = p }
+}
+
 // WithFaultInjector installs a chaos hook on the inter-LC message path:
 // every fabric request and reply is offered to fi, which may drop, delay,
 // or duplicate it (see SeededFaults for a deterministic injector). The

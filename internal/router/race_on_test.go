@@ -1,0 +1,8 @@
+//go:build race
+
+package router
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, whose instrumentation allocates on paths that are
+// zero-alloc in production builds.
+const raceEnabled = true

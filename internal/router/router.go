@@ -157,6 +157,13 @@ type Config struct {
 	// original unbounded buffering goroutines and never returns
 	// ErrOverloaded.
 	Overload OverloadPolicy
+	// Rebalance configures the background partition rebalancer that rides
+	// the health ticker: when incremental updates (ApplyUpdates) drift the
+	// partitioning's replication factor or per-LC load skew past the
+	// policy's thresholds, the router re-selects control bits and runs a
+	// full two-phase swap. The zero value keeps it disabled. See
+	// WithRebalance and updates.go.
+	Rebalance RebalancePolicy
 }
 
 // Robustness defaults, chosen so that a healthy in-process fabric (tens
@@ -178,6 +185,7 @@ const (
 	mBatch        // one pooled batch descriptor of local lookups (batch.go)
 	mBatchRequest // coalesced fabric request: many addresses, one home LC
 	mBatchReply   // coalesced fabric reply, scattered back positionally
+	mApplyUpdates // incremental route-update batch: engine delta + cache invalidation (updates.go)
 )
 
 // message is the fabric traffic plus local control.
@@ -200,6 +208,15 @@ type message struct {
 	homeOf   func(ip.Addr) int
 	swapDone chan<- struct{}
 	do       func(*lineCard) // mExec
+	// Incremental-update plumbing (see updates.go). gen rides every
+	// mSwapEngine / mApplyUpdates (the generation being installed) and
+	// every mReply / mBatchReply (the generation of the table the value
+	// was computed against, so the requester can spot values that predate
+	// an invalidation it has already run).
+	gen     uint64
+	updates []rtable.Update // mApplyUpdates: this LC's engine delta
+	ranges  []rtable.Range  // mApplyUpdates: coalesced invalidation ranges (whole batch)
+	table   *rtable.Table   // mApplyUpdates: rebuilt partition table (non-dynamic engines)
 }
 
 // LCStats are per-line-card counters (atomically updated, readable live).
@@ -219,12 +236,22 @@ type LCStats struct {
 	// deadlines that exhausted their retry budget, and in-flight
 	// requests forwarded because the address was re-homed.
 	Retries, Fallbacks, DeadlineExpired, ForwardedRequests atomic.Int64
+	// Incremental-update counters (see updates.go): route updates this
+	// LC applied to its engine, and fabric replies whose value predated
+	// an invalidation this LC had already run (delivered to waiters but
+	// kept out of the cache).
+	UpdatesApplied, StaleGenReplies atomic.Int64
 }
 
 type remoteWaiter struct {
 	from  int
 	epoch uint32
 	hops  uint8 // forwards the request survived, echoed back in the reply
+	// gen is the LC's table generation when the waiter parked. A reply
+	// whose value predates it must not answer this waiter (the waiter
+	// arrived after this LC already applied a newer update batch); release
+	// re-drives such waiters instead. See updates.go.
+	gen uint64
 }
 
 // localWaiter is one parked local lookup: its reply destination plus its
@@ -238,6 +265,7 @@ type localWaiter struct {
 	slot  int32
 	start time.Time
 	tr    *tracing.LookupTrace
+	gen   uint64 // LC generation at park time; see remoteWaiter.gen
 }
 
 type waitlist struct {
@@ -268,7 +296,12 @@ type lineCard struct {
 	pending map[ip.Addr]*waitlist
 	homeOf  func(ip.Addr) int
 	epoch   uint32
-	stats   *LCStats
+	// gen is the table generation this LC's engine (and the targeted
+	// invalidations already run against its cache) reflect; assigned only
+	// from mSwapEngine / mApplyUpdates messages, which arrive in send
+	// order, so it is monotonic. Goroutine-private like pending.
+	gen   uint64
+	stats *LCStats
 	// scratch is this LC's reusable batch workspace (miss collection,
 	// batched FE results, per-home fabric accumulators); goroutine-private
 	// like pending, surviving across slot incarnations. See batch.go.
@@ -346,6 +379,18 @@ type Router struct {
 
 	mu   sync.Mutex // guards part + lifecycle transitions, serializes swaps
 	part *partition.Partitioning
+
+	// Incremental-update plane (see updates.go). gen is the router-wide
+	// table generation, advanced under mu by ApplyUpdates and UpdateTable;
+	// the rebalancer fields track partition-quality drift against the
+	// baseline captured at the last full bit re-selection.
+	gen           uint64
+	rebalance     RebalancePolicy
+	baselineRepl  float64
+	lastRebalance time.Time
+	updateBatches atomic.Int64
+	updateEvents  atomic.Int64
+	rebalances    atomic.Int64
 }
 
 // New builds and starts a router over tbl. Defaults: one line card, the
@@ -382,25 +427,8 @@ func NewWithConfig(cfg Config) (*Router, error) {
 	if cfg.Engine == nil {
 		cfg.Engine = lpm.NewReferenceEngine
 	}
-	if cfg.CacheShards > 1 {
-		n := cfg.CacheShards
-		if n&(n-1) != 0 {
-			return nil, fmt.Errorf("router: CacheShards must be a power of two, got %d", n)
-		}
-		if cfg.CacheEnabled {
-			// Validate the per-shard geometry up front so the cache
-			// constructor's panics become construction errors.
-			if cfg.Cache.Blocks%n != 0 {
-				return nil, fmt.Errorf("router: Cache.Blocks=%d not divisible by CacheShards=%d", cfg.Cache.Blocks, n)
-			}
-			per := cfg.Cache.Blocks / n
-			if cfg.Cache.Assoc < 1 || per%cfg.Cache.Assoc != 0 {
-				return nil, fmt.Errorf("router: per-shard blocks=%d not divisible by Assoc=%d", per, cfg.Cache.Assoc)
-			}
-			if sets := per / cfg.Cache.Assoc; sets == 0 || sets&(sets-1) != 0 {
-				return nil, fmt.Errorf("router: per-shard set count %d not a power of two", per/cfg.Cache.Assoc)
-			}
-		}
+	if n := cfg.CacheShards; n > 1 && n&(n-1) != 0 {
+		return nil, fmt.Errorf("router: CacheShards must be a power of two, got %d", n)
 	}
 	r := &Router{cfg: cfg, quit: make(chan struct{})}
 	r.injector = cfg.FaultInjector
@@ -443,6 +471,9 @@ func NewWithConfig(cfg Config) (*Router, error) {
 	}
 	r.fallback.Store(&fallbackEngine{eng: cfg.Engine(cfg.Table)})
 	r.part = partition.Partition(cfg.Table, cfg.NumLCs)
+	r.rebalance = normalizeRebalance(cfg.Rebalance)
+	r.baselineRepl = r.part.Stats().Replication
+	r.lastRebalance = time.Now()
 	// Build every per-LC structure before starting any goroutine: the LC
 	// loops index r.life/r.outs from their first tick, so the slices must
 	// never be appended to (reallocated) once a goroutine is running.
@@ -457,12 +488,24 @@ func NewWithConfig(cfg Config) (*Router, error) {
 		}
 		lc.scratch = newLCScratch(cfg.NumLCs)
 		if cfg.CacheEnabled {
+			// The error-returning constructors turn a mis-sized cache or
+			// shard geometry (an operator flag) into a construction error
+			// instead of a panic; no goroutine is running yet, so bailing
+			// out here leaks nothing.
 			cc := cfg.Cache
 			cc.Seed += uint64(i) * 31
 			if cfg.CacheShards > 1 {
-				lc.cache = cache.NewSharded(cc, cfg.CacheShards)
+				sh, err := cache.NewShardedErr(cc, cfg.CacheShards)
+				if err != nil {
+					return nil, fmt.Errorf("router: %w", err)
+				}
+				lc.cache = sh
 			} else {
-				lc.cache = cache.New(cc)
+				c, err := cache.NewErr(cc)
+				if err != nil {
+					return nil, fmt.Errorf("router: %w", err)
+				}
+				lc.cache = c
 			}
 		}
 		lc.ov = newLCOverload(r.ov, cfg.NumLCs)
@@ -755,6 +798,15 @@ func (r *Router) handle(lc *lineCard, m message) {
 			r.breakerSuccess(lc, m.from)
 			r.budgetRefill(lc)
 		}
+		if m.gen < lc.gen {
+			// The responder computed this value before applying an update
+			// batch we have already applied (and invalidated for): the
+			// parked lookups may still observe it — they were in flight
+			// during the update window — but it must not survive as a
+			// cache entry.
+			r.fillStaleRelease(lc, m.addr, m.nextHop, m.ok, cache.REM, ServedByRemote, m.gen)
+			return
+		}
 		r.fillAndRelease(lc, m.addr, m.nextHop, m.ok, cache.REM, ServedByRemote)
 	case mFlush:
 		if lc.cache != nil {
@@ -763,7 +815,10 @@ func (r *Router) handle(lc *lineCard, m message) {
 	case mSwapEngine:
 		lc.engine = m.engine
 		lc.homeOf = m.homeOf
+		lc.gen = m.gen
 		close(m.swapDone)
+	case mApplyUpdates:
+		r.handleApplyUpdates(lc, m)
 	case mRekey:
 		lc.epoch++
 		if lc.cache != nil {
@@ -828,7 +883,7 @@ func (r *Router) handleLookup(lc *lineCard, m message) {
 					wl.tr = m.tr
 				}
 			}
-			wl.locals = append(wl.locals, localWaiter{ch: m.resp, bd: m.bd, slot: m.slot, start: m.start, tr: m.tr})
+			wl.locals = append(wl.locals, localWaiter{ch: m.resp, bd: m.bd, slot: m.slot, start: m.start, tr: m.tr, gen: lc.gen})
 			lc.waiters.Add(1)
 			return
 		default:
@@ -861,13 +916,13 @@ func (r *Router) handleLookup(lc *lineCard, m message) {
 				wl.tr = m.tr
 			}
 		}
-		wl.locals = append(wl.locals, localWaiter{ch: m.resp, bd: m.bd, slot: m.slot, start: m.start, tr: m.tr})
+		wl.locals = append(wl.locals, localWaiter{ch: m.resp, bd: m.bd, slot: m.slot, start: m.start, tr: m.tr, gen: lc.gen})
 		lc.waiters.Add(1)
 		return
 	}
 	wl := r.park(lc, m.addr)
 	wl.tr = m.tr
-	wl.locals = append(wl.locals, localWaiter{ch: m.resp, bd: m.bd, slot: m.slot, start: m.start, tr: m.tr})
+	wl.locals = append(wl.locals, localWaiter{ch: m.resp, bd: m.bd, slot: m.slot, start: m.start, tr: m.tr, gen: lc.gen})
 	lc.waiters.Add(1)
 	r.dispatch(lc, m.addr, wl)
 }
@@ -897,7 +952,7 @@ func (r *Router) handleRequest(lc *lineCard, m message) {
 			}
 			// Answer from here without caching: this LC is not home, so
 			// the result must not enter its LOC quota.
-			r.sendReply(lc, remoteWaiter{from: m.from, epoch: m.epoch, hops: m.hops}, m.addr, nh, ok, 0)
+			r.sendReply(lc, remoteWaiter{from: m.from, epoch: m.epoch, hops: m.hops}, m.addr, nh, ok, 0, lc.gen)
 			return
 		}
 		m.hops++
@@ -905,11 +960,11 @@ func (r *Router) handleRequest(lc *lineCard, m message) {
 		r.sendFabric(home, m)
 		return
 	}
-	rw := remoteWaiter{from: m.from, epoch: m.epoch, hops: m.hops}
+	rw := remoteWaiter{from: m.from, epoch: m.epoch, hops: m.hops, gen: lc.gen}
 	if lc.cache != nil {
 		switch res := lc.cache.Probe(m.addr); res.Kind {
 		case cache.Hit, cache.HitVictim:
-			r.sendReply(lc, rw, m.addr, res.NextHop, res.NextHop != rtable.NoNextHop, 0)
+			r.sendReply(lc, rw, m.addr, res.NextHop, res.NextHop != rtable.NoNextHop, 0, lc.gen)
 			return
 		case cache.HitWaiting:
 			wl := r.park(lc, m.addr)
@@ -1005,6 +1060,31 @@ func (r *Router) fillAndRelease(lc *lineCard, addr ip.Addr, nh rtable.NextHop, o
 	if lc.cache != nil {
 		lc.cache.Fill(addr, nh, origin)
 	}
+	r.release(lc, addr, nh, ok, origin, servedBy, lc.gen)
+}
+
+// fillStaleRelease handles a fabric reply whose value was computed against
+// a table generation older than the one this LC has already applied and
+// invalidated for. The parked lookups were in flight across the update
+// window, so delivering the older verdict to them is within the documented
+// window semantics — but the value must not outlive the window as a cache
+// entry, because the targeted invalidation covering it has already run
+// here. Fill still runs (it is what clears the W block so later probes
+// re-dispatch instead of parking forever); the point invalidation right
+// after drops the entry again. Remote waiters are answered with the
+// value's true generation, so the next hop applies the same rule.
+func (r *Router) fillStaleRelease(lc *lineCard, addr ip.Addr, nh rtable.NextHop, ok bool, origin cache.Origin, servedBy ServedBy, valueGen uint64) {
+	lc.stats.StaleGenReplies.Add(1)
+	if lc.cache != nil {
+		lc.cache.Fill(addr, nh, origin)
+		lc.cache.InvalidateRange(addr, addr)
+	}
+	r.release(lc, addr, nh, ok, origin, servedBy, valueGen)
+}
+
+// release answers everything parked on addr with the verdict. valueGen is
+// the table generation the value reflects, echoed to remote waiters.
+func (r *Router) release(lc *lineCard, addr ip.Addr, nh rtable.NextHop, ok bool, origin cache.Origin, servedBy ServedBy, valueGen uint64) {
 	wl, present := lc.pending[addr]
 	if !present {
 		return
@@ -1012,6 +1092,41 @@ func (r *Router) fillAndRelease(lc *lineCard, addr ip.Addr, nh rtable.NextHop, o
 	delete(lc.pending, addr)
 	lc.pendingDepth.Store(int64(len(lc.pending)))
 	lc.waiters.Add(-int64(len(wl.locals) + len(wl.remotes)))
+	if valueGen < lc.gen {
+		// A generationally stale value may only answer waiters that
+		// parked before this LC applied the newer batch; later waiters
+		// were promised the updated table (ApplyUpdates had returned
+		// before they were submitted), so they are re-driven against the
+		// current engine instead. The pending entry is already cleared,
+		// so the re-drive parks a fresh waitlist and dispatches anew.
+		keepL, keepR := wl.locals[:0], wl.remotes[:0]
+		var redriveL []localWaiter
+		var redriveR []remoteWaiter
+		for _, w := range wl.locals {
+			if w.gen > valueGen {
+				redriveL = append(redriveL, w)
+			} else {
+				keepL = append(keepL, w)
+			}
+		}
+		for _, rw := range wl.remotes {
+			if rw.gen > valueGen {
+				redriveR = append(redriveR, rw)
+			} else {
+				keepR = append(keepR, rw)
+			}
+		}
+		wl.locals, wl.remotes = keepL, keepR
+		defer func() {
+			for _, w := range redriveL {
+				w.tr.Record(tracing.EvRedrive, int64(lc.id), 0)
+				r.handleLookup(lc, message{kind: mLookup, addr: addr, resp: w.ch, bd: w.bd, slot: w.slot, start: w.start, tr: w.tr})
+			}
+			for _, rw := range redriveR {
+				r.handleRequest(lc, message{kind: mRequest, addr: addr, from: rw.from, epoch: rw.epoch, hops: rw.hops})
+			}
+		}()
+	}
 	wl.tr.Record(tracing.EvFill, int64(origin), int64(servedBy))
 	v := Verdict{Addr: addr, NextHop: nh, OK: ok, ServedBy: servedBy}
 	for _, w := range wl.locals {
@@ -1032,13 +1147,17 @@ func (r *Router) fillAndRelease(lc *lineCard, addr ip.Addr, nh rtable.NextHop, o
 		r.finishTrace(wl.tr, servedBy, ok)
 	}
 	for _, rw := range wl.remotes {
-		r.sendReply(lc, rw, addr, nh, ok, wl.feNS)
+		r.sendReply(lc, rw, addr, nh, ok, wl.feNS, valueGen)
 	}
 }
 
-func (r *Router) sendReply(lc *lineCard, rw remoteWaiter, addr ip.Addr, nh rtable.NextHop, ok bool, feNS int64) {
+// sendReply answers a remote waiter. gen is the table generation the value
+// was computed against (usually lc.gen; older when relaying a stale-gen
+// fill), letting the requester keep generationally stale values out of its
+// cache.
+func (r *Router) sendReply(lc *lineCard, rw remoteWaiter, addr ip.Addr, nh rtable.NextHop, ok bool, feNS int64, gen uint64) {
 	lc.stats.RepliesSent.Add(1)
-	r.sendFabric(rw.from, message{kind: mReply, addr: addr, nextHop: nh, ok: ok, from: lc.id, epoch: rw.epoch, hops: rw.hops, feNS: feNS})
+	r.sendFabric(rw.from, message{kind: mReply, addr: addr, nextHop: nh, ok: ok, from: lc.id, epoch: rw.epoch, hops: rw.hops, feNS: feNS, gen: gen})
 }
 
 // Lookup submits a destination address at line card lc and waits for the
@@ -1236,6 +1355,7 @@ func (r *Router) UpdateTable(tbl *rtable.Table) error {
 	// update-window semantics, and once UpdateTable returns it is
 	// guaranteed to be the new one.
 	r.fallback.Store(&fallbackEngine{eng: r.cfg.Engine(tbl)})
+	r.gen++
 
 	if err := r.swapPartitioning(part); err != nil {
 		return err
@@ -1277,7 +1397,7 @@ func (r *Router) swapPartitioning(part *partition.Partitioning) error {
 	}
 
 	if err := phase(func(i int) message {
-		return message{kind: mSwapEngine, engine: r.cfg.Engine(part.Table(i)), homeOf: part.HomeLC}
+		return message{kind: mSwapEngine, engine: r.cfg.Engine(part.Table(i)), homeOf: part.HomeLC, gen: r.gen}
 	}); err != nil {
 		return err
 	}
@@ -1289,6 +1409,10 @@ func (r *Router) swapPartitioning(part *partition.Partitioning) error {
 	if r.stopped.Load() {
 		return ErrStopped
 	}
+	// A successful full swap re-selected control bits over the current
+	// table, so it is the rebalancer's new quality baseline.
+	r.baselineRepl = part.Stats().Replication
+	r.lastRebalance = time.Now()
 	return nil
 }
 

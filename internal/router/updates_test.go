@@ -1,0 +1,621 @@
+// Tests for the incremental-update plane (updates.go): ApplyUpdates
+// equivalence against the full-rebuild oracle, targeted invalidation
+// accounting against the full-flush oracle, generation-guard behavior,
+// the drift-triggered rebalancer, and the churn chaos / soak scenarios
+// CI runs under -race.
+package router
+
+import (
+	"context"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"spal/internal/cache"
+	"spal/internal/ip"
+	"spal/internal/lpm"
+	"spal/internal/rtable"
+	"spal/internal/stats"
+)
+
+// churnStream draws one seeded update batch over cur (≈10 events).
+func churnStream(cur *rtable.Table, seed uint64) []rtable.Update {
+	return rtable.GenerateUpdates(cur, rtable.UpdateStreamConfig{
+		RatePerSecond: 1000, CycleNS: 5, Duration: 2_000_000,
+		WithdrawProb: 0.35, NewPrefixProb: 0.25, Seed: seed,
+	})
+}
+
+// TestApplyUpdatesEquivalence drives the incremental plane against an
+// UpdateTable-per-event oracle router: after every batch, both planes
+// must produce element-wise identical verdicts at every LC, for dynamic
+// (in-place trie update) and non-dynamic (partition rebuild) engines.
+func TestApplyUpdatesEquivalence(t *testing.T) {
+	for _, engine := range []string{"bintrie", "flat"} {
+		t.Run("engine="+engine, func(t *testing.T) {
+			tbl := rtable.Small(1200, 37)
+			inc, err := New(tbl, WithLCs(4), WithDefaultCache(), WithEngineName(engine))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer inc.Stop()
+			oracle, err := New(tbl, WithLCs(4), WithDefaultCache(), WithEngineName(engine))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer oracle.Stop()
+
+			rng := stats.NewRNG(5)
+			cur := tbl
+			for round := 0; round < 6; round++ {
+				stream := churnStream(cur, rng.Uint64())
+				if len(stream) == 0 {
+					t.Fatal("empty update stream")
+				}
+				if err := inc.ApplyUpdates(stream); err != nil {
+					t.Fatal(err)
+				}
+				// The oracle applies the same batch one event at a time,
+				// with a full two-phase swap + flush per event.
+				for _, u := range stream {
+					cur = cur.Apply(u)
+					if err := oracle.UpdateTable(cur); err != nil {
+						t.Fatal(err)
+					}
+				}
+				ref := lpm.NewReference(cur)
+				for lc := 0; lc < 4; lc++ {
+					for i := 0; i < 60; i++ {
+						var a ip.Addr
+						if i%3 == 0 {
+							a = rng.Uint32()
+						} else {
+							a = cur.RandomMatchedAddr(rng)
+						}
+						vi, err := inc.Lookup(lc, a)
+						if err != nil {
+							t.Fatal(err)
+						}
+						vo, err := oracle.Lookup(lc, a)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if vi.OK != vo.OK || (vi.OK && vi.NextHop != vo.NextHop) {
+							t.Fatalf("round %d lc %d addr %s: incremental %v/%d, oracle %v/%d",
+								round, lc, ip.FormatAddr(a), vi.OK, vi.NextHop, vo.OK, vo.NextHop)
+						}
+						if !verdictMatches(vi, ref, a) {
+							t.Fatalf("round %d lc %d addr %s: verdict %v/%d disagrees with reference",
+								round, lc, ip.FormatAddr(a), vi.OK, vi.NextHop)
+						}
+					}
+				}
+			}
+			s := inc.Metrics()
+			if got := s.Sum(MetricUpdateBatches); got != 6 {
+				t.Fatalf("update batches = %v, want 6", got)
+			}
+			if s.Sum(MetricUpdatesApplied) == 0 {
+				t.Fatal("no per-LC updates applied")
+			}
+			if got := s.Sum("spal_lrcache_flushes_total"); got != 0 {
+				t.Fatalf("incremental plane flushed caches %v times; targeted invalidation must not flush", got)
+			}
+		})
+	}
+}
+
+// TestApplyUpdatesEdgeCases: an empty batch is a no-op, and a batch that
+// would empty the table is rejected without touching the plane.
+func TestApplyUpdatesEdgeCases(t *testing.T) {
+	routes := []rtable.Route{
+		{Prefix: mustPfx(t, "10.0.0.0/8"), NextHop: 1},
+		{Prefix: mustPfx(t, "192.168.0.0/16"), NextHop: 2},
+	}
+	tbl := rtable.New(routes)
+	r, err := New(tbl, WithLCs(2), WithDefaultCache(), WithEngineName("bintrie"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	if err := r.ApplyUpdates(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	kill := []rtable.Update{
+		{Kind: rtable.Withdraw, Route: routes[0]},
+		{Kind: rtable.Withdraw, Route: routes[1]},
+	}
+	if err := r.ApplyUpdates(kill); err == nil {
+		t.Fatal("batch emptying the table was accepted")
+	}
+	if v, err := r.Lookup(0, mustAddr(t, "10.1.2.3")); err != nil || !v.OK || v.NextHop != 1 {
+		t.Fatalf("table damaged by rejected batch: %+v, %v", v, err)
+	}
+}
+
+func mustPfx(t *testing.T, s string) ip.Prefix {
+	t.Helper()
+	p, err := ip.ParsePrefix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func mustAddr(t *testing.T, s string) ip.Addr {
+	t.Helper()
+	a, err := ip.ParseAddr(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestTargetedInvalidationAccounting reconciles the invalidation counters
+// exactly — every LC cache must see one InvalidateRange call per coalesced
+// range per batch, and nothing else — and proves the headline claim:
+// across a churn workload, targeted invalidation evicts strictly fewer
+// cache entries than the full-flush oracle loses to its flushes.
+func TestTargetedInvalidationAccounting(t *testing.T) {
+	const numLCs = 4
+	tbl := rtable.Small(1500, 53)
+	inc, err := New(tbl, WithLCs(numLCs), WithDefaultCache(), WithEngineName("bintrie"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inc.Stop()
+	fl, err := New(tbl, WithLCs(numLCs), WithDefaultCache(), WithEngineName("bintrie"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Stop()
+
+	occupancy := func(r *Router) float64 {
+		s := r.Metrics()
+		return s.Sum("spal_lrcache_occupancy_blocks")
+	}
+
+	rng := stats.NewRNG(99)
+	cur := tbl
+	var rangeCalls, flushLost float64
+	for round := 0; round < 8; round++ {
+		// Warm both planes with the identical workload.
+		for lc := 0; lc < numLCs; lc++ {
+			for i := 0; i < 300; i++ {
+				a := cur.RandomMatchedAddr(rng)
+				if _, err := inc.Lookup(lc, a); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := fl.Lookup(lc, a); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		stream := churnStream(cur, rng.Uint64())
+		cur = cur.ApplyAll(stream)
+		rangeCalls += float64(numLCs * len(rtable.UpdateRanges(stream)))
+		// Everything the flush plane holds right now is lost to the flush
+		// below (quiescent: no waiting blocks in flight).
+		flushLost += occupancy(fl)
+		if err := inc.ApplyUpdates(stream); err != nil {
+			t.Fatal(err)
+		}
+		if err := fl.UpdateTable(cur); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s := inc.Metrics()
+	if got := s.Sum("spal_lrcache_range_invalidations_total"); got != rangeCalls {
+		t.Fatalf("range invalidation calls = %v, want exactly %v", got, rangeCalls)
+	}
+	if got := s.Sum(MetricStaleGen); got != 0 {
+		t.Fatalf("quiescent churn produced %v stale-gen replies", got)
+	}
+	invalidated := s.Sum("spal_lrcache_invalidated_total")
+	if flushLost == 0 {
+		t.Fatal("flush oracle never held cache entries; test is vacuous")
+	}
+	if invalidated >= flushLost {
+		t.Fatalf("targeted invalidation evicted %v entries, full flush lost %v; want strictly fewer", invalidated, flushLost)
+	}
+	t.Logf("targeted: %v entries invalidated vs %v lost to flushes (%.1f%%)",
+		invalidated, flushLost, 100*invalidated/flushLost)
+}
+
+// TestRebalancerTriggersOnDrift floods the incremental plane with new
+// prefixes until partition quality drifts past a tight policy, and
+// expects the health ticker to run a full bit re-selection — after which
+// verdicts must still be correct.
+func TestRebalancerTriggersOnDrift(t *testing.T) {
+	tbl := rtable.Small(600, 7)
+	r, err := New(tbl, WithLCs(4), WithEngineName("bintrie"),
+		WithRequestTimeout(4*time.Millisecond),
+		WithRebalance(RebalancePolicy{
+			Enabled:              true,
+			MaxReplicationGrowth: 1.001,
+			MaxSkew:              0.05,
+			MinInterval:          time.Millisecond,
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+
+	rng := stats.NewRNG(123)
+	cur := tbl
+	for i := 0; i < 20 && r.Metrics().Sum(MetricRebalances) == 0; i++ {
+		stream := rtable.GenerateUpdates(cur, rtable.UpdateStreamConfig{
+			RatePerSecond: 4000, CycleNS: 5, Duration: 10_000_000,
+			WithdrawProb: 0.1, NewPrefixProb: 0.9, Seed: rng.Uint64(),
+		})
+		if len(stream) == 0 {
+			continue
+		}
+		cur = cur.ApplyAll(stream)
+		if err := r.ApplyUpdates(stream); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(3 * time.Millisecond) // let the health ticker observe the drift
+	}
+	waitFor(t, "a drift-triggered rebalance", func() bool {
+		return r.Metrics().Sum(MetricRebalances) > 0
+	})
+	ref := lpm.NewReference(cur)
+	for lc := 0; lc < 4; lc++ {
+		for i := 0; i < 50; i++ {
+			a := cur.RandomMatchedAddr(rng)
+			v, err := r.Lookup(lc, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !verdictMatches(v, ref, a) {
+				t.Fatalf("post-rebalance wrong verdict for %s", ip.FormatAddr(a))
+			}
+		}
+	}
+}
+
+// TestCacheConfigErrors: a mis-sized -cache-shards flag (or a broken cache
+// geometry) must surface as a construction error, never a panic.
+func TestCacheConfigErrors(t *testing.T) {
+	tbl := rtable.Small(100, 3)
+	for name, opts := range map[string][]Option{
+		"shards not power of two": {WithDefaultCache(), WithCacheShards(3)},
+		"per-shard sets not pow2": {WithCache(cache.Config{Blocks: 96, Assoc: 4, MixPercent: 50}), WithCacheShards(8)},
+		"blocks not divisible":    {WithCache(cache.Config{Blocks: 100, Assoc: 4, MixPercent: 50}), WithCacheShards(8)},
+		"unsharded bad geometry":  {WithCache(cache.Config{Blocks: 1000, Assoc: 3, MixPercent: 50})},
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("construction panicked: %v", p)
+				}
+			}()
+			r, err := New(tbl, append([]Option{WithLCs(2)}, opts...)...)
+			if err == nil {
+				r.Stop()
+				t.Fatal("bad cache config accepted")
+			}
+		})
+	}
+}
+
+// versionedOracle is the batch-granular table history the churn tests
+// check verdicts against: a verdict is correct if it matches any version
+// that was current or in flight during the lookup's lifetime.
+type versionedOracle struct {
+	mu      sync.Mutex
+	refs    []*lpm.Reference
+	applied int // batches whose ApplyUpdates has returned
+}
+
+func newVersionedOracle(tbl *rtable.Table) *versionedOracle {
+	return &versionedOracle{refs: []*lpm.Reference{lpm.NewReference(tbl)}}
+}
+
+// announce registers the next version; call before ApplyUpdates.
+func (o *versionedOracle) announce(tbl *rtable.Table) {
+	o.mu.Lock()
+	o.refs = append(o.refs, lpm.NewReference(tbl))
+	o.mu.Unlock()
+}
+
+// settle marks the newest version fully applied; call after ApplyUpdates
+// returns.
+func (o *versionedOracle) settle() {
+	o.mu.Lock()
+	o.applied = len(o.refs) - 1
+	o.mu.Unlock()
+}
+
+// window returns the validity bounds for a lookup submitted now: the
+// newest fully-applied version (older values for changed addresses have
+// been invalidated everywhere) and the newest announced version.
+func (o *versionedOracle) window() (lo, hi int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.applied, len(o.refs) - 1
+}
+
+// matches reports whether the verdict agrees with any version in
+// [lo, hi] (hi re-read internally: versions announced while the lookup
+// was in flight are valid too, capped by the caller's post-completion
+// read).
+func (o *versionedOracle) matches(v Verdict, a ip.Addr, lo, hi int) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for i := lo; i <= hi && i < len(o.refs); i++ {
+		nh, _, ok := o.refs[i].Lookup(a)
+		if v.OK == ok && (!ok || v.NextHop == nh) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestChaosChurn is the churn acceptance scenario: a seeded
+// announce/withdraw stream racing a KillLC/RestoreLC cycle, overload
+// shedding, and the coalesced batch data plane. Every non-shed verdict
+// must match a table version that was live during its lookup's window —
+// zero wrong verdicts — and the stale-generation guard must be the only
+// thing keeping cross-window values out of the caches (no flushes on the
+// incremental path).
+func TestChaosChurn(t *testing.T) {
+	tbl := rtable.Small(1500, 71)
+	for _, seed := range chaosSeeds(t) {
+		t.Run("seed="+strconv.FormatUint(seed, 10), func(t *testing.T) {
+			r, err := New(tbl, WithLCs(4), WithDefaultCache(), WithEngineName("bintrie"),
+				WithRequestTimeout(5*time.Millisecond),
+				WithOverload(OverloadPolicy{QueueDepth: 512}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Stop()
+
+			oracle := newVersionedOracle(tbl)
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			var wrong, served, shed atomic.Int64
+
+			// Churn: seeded batches applied incrementally, as fast as the
+			// control plane absorbs them.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rng := stats.NewRNG(seed * 31)
+				cur := tbl
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					stream := churnStream(cur, rng.Uint64())
+					if len(stream) == 0 {
+						continue
+					}
+					next := cur.ApplyAll(stream)
+					if next.Len() == 0 {
+						continue
+					}
+					oracle.announce(next)
+					if err := r.ApplyUpdates(stream); err != nil {
+						return // stopping
+					}
+					oracle.settle()
+					cur = next
+				}
+			}()
+
+			// Chaos: kill LC 3 mid-churn, wait for the re-home, restore it.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				time.Sleep(30 * time.Millisecond)
+				if err := r.KillLC(3); err != nil {
+					return
+				}
+				deadline := time.Now().Add(5 * time.Second)
+				for time.Now().Before(deadline) {
+					if r.LCStates()[3] == LCDown {
+						_ = r.RestoreLC(3)
+						return
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}()
+
+			// Lookups: the coalesced batch plane at every LC.
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rng := stats.NewRNG(seed + 1000 + uint64(w)*17)
+					addrs := make([]ip.Addr, 64)
+					out := make([]Verdict, 64)
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						for i := range addrs {
+							if rng.Intn(4) == 0 {
+								addrs[i] = rng.Uint32()
+							} else {
+								addrs[i] = tbl.RandomMatchedAddr(rng)
+							}
+						}
+						lo, _ := oracle.window()
+						err := r.LookupBatchInto(context.Background(), w, addrs, out)
+						if err == ErrOverloaded {
+							shed.Add(int64(len(addrs)))
+							continue
+						}
+						if err != nil {
+							return // stopping
+						}
+						_, hi := oracle.window()
+						for i, v := range out {
+							if v.ServedBy == ServedByShed {
+								shed.Add(1)
+								continue
+							}
+							served.Add(1)
+							if !oracle.matches(v, addrs[i], lo, hi) {
+								wrong.Add(1)
+							}
+						}
+					}
+				}(w)
+			}
+
+			time.Sleep(400 * time.Millisecond)
+			close(stop)
+			wg.Wait()
+
+			if w := wrong.Load(); w != 0 {
+				t.Fatalf("%d wrong verdicts among %d served", w, served.Load())
+			}
+			if served.Load() == 0 {
+				t.Fatal("no lookups served")
+			}
+			s := r.Metrics()
+			if got := s.Sum(MetricUpdateBatches); got == 0 {
+				t.Fatal("no update batches applied during the chaos window")
+			}
+			// The incremental plane must never have flushed a cache itself;
+			// the only flushes allowed are the re-home/restore swaps of the
+			// KillLC cycle (two swaps × up to 4 LC caches each, plus the
+			// adopted corpse's flush).
+			if got := s.Sum("spal_lrcache_flushes_total"); got > 9 {
+				t.Fatalf("%v cache flushes; incremental churn must not flush", got)
+			}
+			t.Logf("served=%d shed=%d batches=%v staleGen=%v rangeInv=%v",
+				served.Load(), shed.Load(), s.Sum(MetricUpdateBatches),
+				s.Sum(MetricStaleGen), s.Sum("spal_lrcache_range_invalidations_total"))
+		})
+	}
+}
+
+// TestUpdateSoak is the CI update-soak scenario: a 30-second sim-time
+// stream at 1000 updates/s (30k events) pushed through ApplyUpdates in
+// batches while the batch data plane keeps serving, with a flat heap and
+// zero wrong verdicts.
+func TestUpdateSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	tbl := rtable.Small(2000, 7)
+	r, err := New(tbl, WithLCs(4), WithDefaultCache(), WithEngineName("bintrie"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+
+	// 30 s of simulated time at 1000 updates/s and 5 ns cycles.
+	stream := rtable.GenerateUpdates(tbl, rtable.UpdateStreamConfig{
+		RatePerSecond: 1000, CycleNS: 5, Duration: 6_000_000_000,
+		WithdrawProb: 0.35, NewPrefixProb: 0.2, Seed: 4242,
+	})
+	if len(stream) < 25_000 {
+		t.Fatalf("stream too short for a 30s/1000ups soak: %d events", len(stream))
+	}
+
+	heap := func() uint64 {
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return ms.HeapAlloc
+	}
+
+	oracle := newVersionedOracle(tbl)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var wrong, served atomic.Int64
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := stats.NewRNG(7 + uint64(w)*13)
+			addrs := make([]ip.Addr, 64)
+			out := make([]Verdict, 64)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := range addrs {
+					if rng.Intn(4) == 0 {
+						addrs[i] = rng.Uint32()
+					} else {
+						addrs[i] = tbl.RandomMatchedAddr(rng)
+					}
+				}
+				lo, _ := oracle.window()
+				if err := r.LookupBatchInto(context.Background(), w%4, addrs, out); err != nil {
+					return
+				}
+				_, hi := oracle.window()
+				for i, v := range out {
+					served.Add(1)
+					if !oracle.matches(v, addrs[i], lo, hi) {
+						wrong.Add(1)
+					}
+				}
+			}
+		}(w)
+	}
+
+	cur := tbl
+	var batches int
+	var mid uint64
+	for off := 0; off < len(stream); off += 100 {
+		end := off + 100
+		if end > len(stream) {
+			end = len(stream)
+		}
+		batch := stream[off:end]
+		next := cur.ApplyAll(batch)
+		if next.Len() == 0 {
+			continue
+		}
+		oracle.announce(next)
+		if err := r.ApplyUpdates(batch); err != nil {
+			t.Fatal(err)
+		}
+		oracle.settle()
+		cur = next
+		batches++
+		if batches == len(stream)/300 {
+			mid = heap()
+		}
+	}
+	close(stop)
+	wg.Wait()
+	end := heap()
+
+	if w := wrong.Load(); w != 0 {
+		t.Fatalf("%d wrong verdicts among %d served", w, served.Load())
+	}
+	if served.Load() == 0 {
+		t.Fatal("no lookups served during the soak")
+	}
+	if end > mid && end-mid > 16<<20 {
+		t.Fatalf("heap grew %d bytes across the soak; incremental updates must not accumulate", end-mid)
+	}
+	s := r.Metrics()
+	if got := s.Sum(MetricUpdateEvents); got < 25_000 {
+		t.Fatalf("only %v update events applied", got)
+	}
+	if got := s.Sum("spal_lrcache_flushes_total"); got != 0 {
+		t.Fatalf("%v cache flushes during incremental soak", got)
+	}
+	t.Logf("soak: %d batches / %v events, served=%d, heap mid=%dKB end=%dKB, staleGen=%v",
+		batches, s.Sum(MetricUpdateEvents), served.Load(), mid>>10, end>>10, s.Sum(MetricStaleGen))
+}

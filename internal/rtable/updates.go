@@ -1,6 +1,8 @@
 package rtable
 
 import (
+	"sort"
+
 	"spal/internal/ip"
 	"spal/internal/stats"
 )
@@ -34,13 +36,20 @@ type UpdateStreamConfig struct {
 	// WithdrawProb is the probability an event withdraws an existing route
 	// rather than announcing one.
 	WithdrawProb float64
+	// NewPrefixProb is the probability an announce introduces a prefix not
+	// currently in the table (drawn from the same length distribution as
+	// the synthetic tables) instead of re-announcing an existing one.
+	NewPrefixProb float64
 	// Seed drives randomness.
 	Seed uint64
 }
 
 // GenerateUpdates produces a time-ordered update stream against table t.
-// Announces re-announce existing prefixes with a new next hop (the common
-// case in BGP churn); withdraws remove a random existing prefix.
+// The generator tracks the evolving route set: withdraws only remove
+// prefixes still present at that point in the stream, re-announces pick
+// from the live set, and NewPrefixProb introduces genuinely new prefixes.
+// A table that churns down to zero routes only emits announces until
+// routes exist again.
 func GenerateUpdates(t *Table, cfg UpdateStreamConfig) []Update {
 	if cfg.RatePerSecond <= 0 || cfg.Duration <= 0 {
 		return nil
@@ -48,46 +57,109 @@ func GenerateUpdates(t *Table, cfg UpdateStreamConfig) []Update {
 	rng := stats.NewRNG(cfg.Seed)
 	// Mean inter-arrival gap in cycles.
 	gap := 1e9 / cfg.RatePerSecond / cfg.CycleNS
-	routes := t.Routes()
+	live := append([]Route(nil), t.Routes()...)
+	idx := make(map[ip.Prefix]int, len(live))
+	for i, r := range live {
+		idx[r.Prefix] = i
+	}
 	var out []Update
 	// Exponential-ish arrivals via uniform [0.5, 1.5) * gap; BGP churn is
-	// bursty but the simulator only cares about the flush points.
+	// bursty but the simulator only cares about the invalidation points.
 	at := int64(gap * (0.5 + rng.Float64()))
 	for at < cfg.Duration {
-		r := routes[rng.Intn(len(routes))]
-		kind := Announce
-		if rng.Bool(cfg.WithdrawProb) {
-			kind = Withdraw
-		} else {
-			r.NextHop = NextHop(rng.Intn(64))
+		var u Update
+		switch {
+		case len(live) > 0 && rng.Bool(cfg.WithdrawProb):
+			i := rng.Intn(len(live))
+			r := live[i]
+			last := len(live) - 1
+			live[i] = live[last]
+			idx[live[i].Prefix] = i
+			live = live[:last]
+			delete(idx, r.Prefix)
+			u = Update{Kind: Withdraw, Route: r, AtCycle: at}
+		case len(live) == 0 || rng.Bool(cfg.NewPrefixProb):
+			p := randomNewPrefix(rng, idx)
+			nh := NextHop(rng.Intn(64))
+			if j, ok := idx[p]; ok {
+				// Retry budget exhausted: announce degrades to a replace.
+				live[j].NextHop = nh
+			} else {
+				idx[p] = len(live)
+				live = append(live, Route{Prefix: p, NextHop: nh})
+			}
+			u = Update{Kind: Announce, Route: Route{Prefix: p, NextHop: nh}, AtCycle: at}
+		default:
+			i := rng.Intn(len(live))
+			live[i].NextHop = NextHop(rng.Intn(64))
+			u = Update{Kind: Announce, Route: live[i], AtCycle: at}
 		}
-		out = append(out, Update{Kind: kind, Route: r, AtCycle: at})
+		out = append(out, u)
 		at += int64(gap * (0.5 + rng.Float64()))
 	}
 	return out
 }
 
-// Apply returns a new table with the update applied. Withdrawing a missing
-// prefix and re-announcing an existing one are both no-fail operations,
-// mirroring BGP semantics.
-func (t *Table) Apply(u Update) *Table {
-	routes := make([]Route, 0, len(t.routes)+1)
-	target := u.Route.Prefix.Canon()
-	replaced := false
-	for _, r := range t.routes {
-		if r.Prefix == target {
-			if u.Kind == Withdraw {
-				continue // drop it
+// randomNewPrefix draws a canonical prefix not present in idx, sampling the
+// length from the same 2003-era distribution the synthetic tables use. The
+// address space at every sampled length dwarfs any real table, so a handful
+// of retries suffices; on exhaustion the (existing) candidate is returned
+// and the announce degrades to a replace.
+func randomNewPrefix(rng *stats.RNG, idx map[ip.Prefix]int) ip.Prefix {
+	var p ip.Prefix
+	for try := 0; try < 32; try++ {
+		r := rng.Intn(1000)
+		ln := 24 // distribution mode, also the fallback
+		for l, share := range lengthDistribution {
+			if r < share {
+				ln = l
+				break
 			}
-			r.NextHop = u.Route.NextHop
-			replaced = true
+			r -= share
 		}
-		routes = append(routes, r)
+		p = ip.Prefix{Value: ip.Addr(rng.Uint64()), Len: uint8(ln)}.Canon()
+		if _, ok := idx[p]; !ok {
+			return p
+		}
 	}
-	if u.Kind == Announce && !replaced {
-		routes = append(routes, Route{Prefix: target, NextHop: u.Route.NextHop})
+	return p
+}
+
+// ApplyAll returns a new table with the whole batch applied in one pass,
+// in order. Withdrawing a missing prefix and re-announcing an existing one
+// are both no-fail operations, mirroring BGP semantics; duplicate canonical
+// prefixes in the batch resolve to the last event.
+func (t *Table) ApplyAll(batch []Update) *Table {
+	if len(batch) == 0 {
+		return t
 	}
-	return New(routes)
+	byPrefix := make(map[ip.Prefix]NextHop, len(t.routes)+len(batch))
+	for _, r := range t.routes {
+		byPrefix[r.Prefix] = r.NextHop
+	}
+	for _, u := range batch {
+		p := u.Route.Prefix.Canon()
+		if u.Kind == Withdraw {
+			delete(byPrefix, p)
+		} else {
+			byPrefix[p] = u.Route.NextHop
+		}
+	}
+	ps := make([]ip.Prefix, 0, len(byPrefix))
+	for p := range byPrefix {
+		ps = append(ps, p)
+	}
+	ip.Sort(ps)
+	routes := make([]Route, len(ps))
+	for i, p := range ps {
+		routes[i] = Route{Prefix: p, NextHop: byPrefix[p]}
+	}
+	return &Table{routes: routes}
+}
+
+// Apply returns a new table with the single update applied.
+func (t *Table) Apply(u Update) *Table {
+	return t.ApplyAll([]Update{u})
 }
 
 // RandomMatchedAddr draws an address guaranteed to match some route in t,
@@ -96,4 +168,42 @@ func (t *Table) RandomMatchedAddr(rng *stats.RNG) ip.Addr {
 	r := t.routes[rng.Intn(len(t.routes))]
 	span := uint64(r.Prefix.LastAddr()-r.Prefix.FirstAddr()) + 1
 	return r.Prefix.FirstAddr() + ip.Addr(rng.Uint64()%span)
+}
+
+// Range is an inclusive address interval [Lo, Hi].
+type Range struct {
+	Lo, Hi ip.Addr
+}
+
+// Contains reports whether a falls inside the range.
+func (r Range) Contains(a ip.Addr) bool { return r.Lo <= a && a <= r.Hi }
+
+// UpdateRanges returns the sorted, coalesced address ranges whose lookup
+// verdicts can change when batch is applied. An announce changes verdicts
+// only for addresses inside the announced prefix, and a withdraw exposes
+// the prefix's ancestors only for addresses inside the withdrawn prefix —
+// so each update contributes exactly [FirstAddr, LastAddr] of its prefix,
+// and caches need invalidate nothing outside the returned ranges.
+func UpdateRanges(batch []Update) []Range {
+	if len(batch) == 0 {
+		return nil
+	}
+	rs := make([]Range, len(batch))
+	for i, u := range batch {
+		p := u.Route.Prefix.Canon()
+		rs[i] = Range{Lo: p.FirstAddr(), Hi: p.LastAddr()}
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Lo < rs[j].Lo })
+	out := rs[:1]
+	for _, r := range rs[1:] {
+		last := &out[len(out)-1]
+		if r.Lo <= last.Hi || (last.Hi != ^ip.Addr(0) && r.Lo == last.Hi+1) {
+			if r.Hi > last.Hi {
+				last.Hi = r.Hi
+			}
+		} else {
+			out = append(out, r)
+		}
+	}
+	return out
 }

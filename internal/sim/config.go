@@ -95,6 +95,24 @@ type Config struct {
 	// the paper's route-update cache invalidation.
 	FlushEveryCycles int64
 
+	// UpdatesPerSecond > 0 streams seeded BGP-style route updates
+	// (rtable.GenerateUpdates over the evolving table) through the run:
+	// each event mutates the routing table incrementally — dynamic
+	// engines are updated in place, others rebuild their partition — and
+	// only the affected address ranges are invalidated in the LR-caches.
+	// This is the simulator analogue of the concurrent router's
+	// ApplyUpdates plane; FlushEveryCycles remains the legacy
+	// full-flush-on-a-timer model.
+	UpdatesPerSecond float64
+	// UpdateWithdrawProb and UpdateNewPrefixProb parameterize the churn
+	// stream; zero values default to 0.3 and 0.2.
+	UpdateWithdrawProb  float64
+	UpdateNewPrefixProb float64
+	// UpdateFullFlush switches churn invalidation from targeted ranges
+	// to whole-cache flushes — the conservative model the churn
+	// experiments compare targeted invalidation against.
+	UpdateFullFlush bool
+
 	// DisableEarlyRecording turns off the paper's "early cache block
 	// recording" (Sec. 3.2): misses no longer reserve a W-bit block, so
 	// concurrent lookups for one address each run the full miss path.
@@ -187,6 +205,17 @@ func (c Config) normalize() (Config, error) {
 	}
 	if c.AdmissionCap < 0 {
 		return c, fmt.Errorf("sim: negative AdmissionCap %d", c.AdmissionCap)
+	}
+	if c.UpdatesPerSecond < 0 {
+		return c, fmt.Errorf("sim: negative UpdatesPerSecond %v", c.UpdatesPerSecond)
+	}
+	if c.UpdatesPerSecond > 0 {
+		if c.UpdateWithdrawProb == 0 {
+			c.UpdateWithdrawProb = 0.3
+		}
+		if c.UpdateNewPrefixProb == 0 {
+			c.UpdateNewPrefixProb = 0.2
+		}
 	}
 	if !c.DynamicLookup && c.LookupCycles <= 0 {
 		return c, fmt.Errorf("sim: LookupCycles must be positive")

@@ -14,25 +14,27 @@ import (
 // tools (engines and tables are program-level choices; everything the
 // paper sweeps is here).
 type FileConfig struct {
-	NumLCs           int    `json:"num_lcs"`
-	LookupCycles     int    `json:"lookup_cycles"`
-	DynamicLookup    bool   `json:"dynamic_lookup"`
-	CacheBlocks      int    `json:"cache_blocks"`
-	CacheAssoc       int    `json:"cache_assoc"`
-	VictimBlocks     int    `json:"victim_blocks"`
-	MixPercent       int    `json:"mix_percent"`
-	CachePolicy      string `json:"cache_policy"` // lru | fifo | random
-	CacheEnabled     *bool  `json:"cache_enabled"`
-	PartitionEnabled *bool  `json:"partition_enabled"`
-	FabricKind       string `json:"fabric_kind"` // bus | crossbar | multistage
-	FabricLatency    int    `json:"fabric_latency"`
-	FabricContention bool   `json:"fabric_contention"`
-	SpeedGbps        int    `json:"speed_gbps"` // 10 or 40
-	PacketsPerLC     int    `json:"packets_per_lc"`
-	Trace            string `json:"trace"`
-	FlushEveryCycles int64  `json:"flush_every_cycles"`
-	DisableEarlyRec  bool   `json:"disable_early_recording"`
-	Seed             uint64 `json:"seed"`
+	NumLCs           int     `json:"num_lcs"`
+	LookupCycles     int     `json:"lookup_cycles"`
+	DynamicLookup    bool    `json:"dynamic_lookup"`
+	CacheBlocks      int     `json:"cache_blocks"`
+	CacheAssoc       int     `json:"cache_assoc"`
+	VictimBlocks     int     `json:"victim_blocks"`
+	MixPercent       int     `json:"mix_percent"`
+	CachePolicy      string  `json:"cache_policy"` // lru | fifo | random
+	CacheEnabled     *bool   `json:"cache_enabled"`
+	PartitionEnabled *bool   `json:"partition_enabled"`
+	FabricKind       string  `json:"fabric_kind"` // bus | crossbar | multistage
+	FabricLatency    int     `json:"fabric_latency"`
+	FabricContention bool    `json:"fabric_contention"`
+	SpeedGbps        int     `json:"speed_gbps"` // 10 or 40
+	PacketsPerLC     int     `json:"packets_per_lc"`
+	Trace            string  `json:"trace"`
+	FlushEveryCycles int64   `json:"flush_every_cycles"`
+	UpdatesPerSecond float64 `json:"updates_per_second"`
+	UpdateFullFlush  bool    `json:"update_full_flush"`
+	DisableEarlyRec  bool    `json:"disable_early_recording"`
+	Seed             uint64  `json:"seed"`
 }
 
 // LoadConfig reads a FileConfig from JSON and converts it to a Config
@@ -124,6 +126,8 @@ func (fc FileConfig) ToConfig() (Config, error) {
 		cfg.Trace = trace.Preset(fc.Trace)
 	}
 	cfg.FlushEveryCycles = fc.FlushEveryCycles
+	cfg.UpdatesPerSecond = fc.UpdatesPerSecond
+	cfg.UpdateFullFlush = fc.UpdateFullFlush
 	cfg.DisableEarlyRecording = fc.DisableEarlyRec
 	if fc.Seed != 0 {
 		cfg.Seed = fc.Seed

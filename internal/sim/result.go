@@ -64,6 +64,10 @@ type Result struct {
 	HitRate float64
 	// FabricMessages counts every request and reply crossed the fabric.
 	FabricMessages int64
+	// Route-churn accounting (UpdatesPerSecond > 0): update events
+	// applied, targeted range invalidations issued across all caches,
+	// and stale fills caught by the version guard.
+	ChurnEvents, ChurnRangeInvalidations, ChurnStaleFills int64
 	// PerLC holds per-line-card breakdowns.
 	PerLC []LCStats
 	// Samples is the latency time series (SampleWindowCycles > 0): the
@@ -91,6 +95,9 @@ func (r *Router) result() *Result {
 		cfg:               r.cfg,
 		lat:               r.lat,
 	}
+	res.ChurnEvents = r.churnEvents
+	res.ChurnRangeInvalidations = r.churnRangeInv
+	res.ChurnStaleFills = r.churnStaleFills
 	if res.MeanLookupCycles > 0 {
 		res.DerivedMppsPerLC = 1e3 / (res.MeanLookupCycles * r.cfg.CycleNS)
 		res.DerivedMppsRouter = res.DerivedMppsPerLC * float64(r.cfg.NumLCs)
@@ -166,6 +173,11 @@ func (res *Result) Snapshot() *metrics.Snapshot {
 		s.Gauge("spal_sim_shed_fraction", "Shed packets over all offered packets.", res.ShedFraction)
 		s.Gauge("spal_sim_goodput_mpps_router", "Completion rate of admitted packets (Mpps).", res.GoodputMppsRouter)
 	}
+	if res.cfg.UpdatesPerSecond > 0 {
+		s.Counter("spal_sim_update_events_total", "Route-update events applied during the run.", float64(res.ChurnEvents))
+		s.Counter("spal_sim_range_invalidations_total", "Targeted cache range invalidations from churn.", float64(res.ChurnRangeInvalidations))
+		s.Counter("spal_sim_stale_fills_total", "Stale fills point-invalidated by the version guard.", float64(res.ChurnStaleFills))
+	}
 	for i, l := range res.PerLC {
 		lbl := metrics.L("lc", strconv.Itoa(i))
 		s.Counter("spal_sim_generated_total", "Packets generated at this LC.", float64(l.Generated), lbl)
@@ -204,6 +216,10 @@ func (res *Result) String() string {
 	if res.cfg.AdmissionCap > 0 || res.Shed > 0 {
 		fmt.Fprintf(&b, "  offered load = %.2fx, shed = %d (%.2f%%), goodput = %.1f Mpps/router\n",
 			res.cfg.OfferedLoad, res.Shed, res.ShedFraction*100, res.GoodputMppsRouter)
+	}
+	if res.ChurnEvents > 0 {
+		fmt.Fprintf(&b, "  churn = %d updates (%.0f/s), %d range invalidations, %d stale fills guarded\n",
+			res.ChurnEvents, res.cfg.UpdatesPerSecond, res.ChurnRangeInvalidations, res.ChurnStaleFills)
 	}
 	return b.String()
 }

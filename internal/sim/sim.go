@@ -22,6 +22,11 @@ type packet struct {
 	arrivalCycle  int64
 	completeCycle int64 // -1 while pending
 	nextHop       rtable.NextHop
+	// valueVersion is the table version the packet's next hop was
+	// computed against (stamped when its FE lookup starts). Under route
+	// churn it drives the stale-fill guard and exact verification; it
+	// stays 0 when churn is off.
+	valueVersion int32
 }
 
 // feJob is a lookup in flight at a forwarding engine.
@@ -92,12 +97,26 @@ func (l *lineCard) sampleQueues() {
 
 // Router is one simulation instance. Build with New, run with Run.
 type Router struct {
-	cfg    Config
-	part   *partition.Partitioning
-	lcs    []*lineCard
-	pipe   *fabric.Pipe
-	pool   *trace.Pool
-	oracle *lpm.Reference // for VerifyNextHops
+	cfg  Config
+	part *partition.Partitioning
+	lcs  []*lineCard
+	pipe *fabric.Pipe
+	pool *trace.Pool
+	// refs is the table-version history for VerifyNextHops: refs[v] is
+	// the reference oracle of version v. Without churn it holds one
+	// entry; nil when verification is off.
+	refs []*lpm.Reference
+
+	// Route churn (UpdatesPerSecond > 0): the pre-generated update
+	// stream, the cursor into it, the evolving table, and the current
+	// version number (incremented per applied batch even when
+	// verification is off, to drive the stale-fill guard).
+	updates    []rtable.Update
+	nextUpdate int
+	curTable   *rtable.Table
+	version    int32
+
+	churnEvents, churnRangeInv, churnStaleFills int64
 
 	packets   []packet
 	stages    []stageStamp // parallel to packets; nil unless StageAccounting
@@ -149,7 +168,21 @@ func New(cfg Config) (*Router, error) {
 		r.part = partition.Partition(cfg.Table, cfg.NumLCs)
 	}
 	if cfg.VerifyNextHops {
-		r.oracle = lpm.NewReference(cfg.Table)
+		r.refs = []*lpm.Reference{lpm.NewReference(cfg.Table)}
+	}
+	r.curTable = cfg.Table
+	if cfg.UpdatesPerSecond > 0 {
+		// The stream covers the packet-generation horizon; updates that
+		// would land after the last arrival change nothing observable.
+		horizon := int64(cfg.PacketsPerLC) * int64(cfg.GapMax)
+		r.updates = rtable.GenerateUpdates(cfg.Table, rtable.UpdateStreamConfig{
+			RatePerSecond: cfg.UpdatesPerSecond,
+			CycleNS:       cfg.CycleNS,
+			Duration:      horizon,
+			WithdrawProb:  cfg.UpdateWithdrawProb,
+			NewPrefixProb: cfg.UpdateNewPrefixProb,
+			Seed:          cfg.Seed ^ 0xc1124,
+		})
 	}
 	r.pool = trace.NewPool(cfg.Table, cfg.TraceConfig)
 	root := stats.NewRNG(cfg.Seed ^ 0x5e3d)
@@ -242,6 +275,11 @@ func (r *Router) step() {
 		r.flushAll()
 	}
 
+	// 2b. Route churn: apply every update event due this cycle.
+	if r.nextUpdate < len(r.updates) {
+		r.applyChurn(now)
+	}
+
 	for _, l := range r.lcs {
 		// 3. Packet arrivals. Under admission control a packet that finds
 		// the arrival queue at its cap is shed on the spot: counted, never
@@ -316,6 +354,7 @@ func (r *Router) startFE(l *lineCard, id int64) {
 		}
 	}
 	r.stamp(id, stFEStart)
+	p.valueVersion = r.version // the value is bound to the table as of now
 	l.feActive = feJob{packetID: id, addr: p.addr, nextHop: nh, ok: ok, doneAt: r.now + cycles}
 	if !ok {
 		l.feActive.nextHop = rtable.NoNextHop
@@ -325,49 +364,64 @@ func (r *Router) startFE(l *lineCard, id int64) {
 }
 
 // finishFE completes the active lookup: fill the LR-cache as LOC, then
-// resolve the originator and every parked packet.
+// resolve the originator and every parked packet. Under churn a value
+// computed against an older table version is still delivered (in-window
+// semantics) but immediately point-invalidated so it never serves a later
+// probe — the simulator analogue of the router's stale-generation guard.
 func (r *Router) finishFE(l *lineCard) {
 	job := l.feActive
 	l.feBusy = false
 	r.stamp(job.packetID, stFEDone)
+	v := r.packets[job.packetID].valueVersion
 	var waiters []int64
 	if l.cache != nil {
 		waiters = l.cache.Fill(job.addr, job.nextHop, cache.LOC)
+		if v < r.version {
+			l.cache.InvalidateRange(job.addr, job.addr)
+			r.churnStaleFills++
+		}
 	}
-	r.resolveAll(l, job.packetID, waiters, job.nextHop)
+	r.resolveAll(l, job.packetID, waiters, job.nextHop, v)
 }
 
 // handleReply processes a fabric reply at the arrival LC: fill as REM,
 // release the parked packets.
 func (r *Router) handleReply(l *lineCard, m fabric.Message) {
+	v := r.packets[m.PacketID].valueVersion
 	var waiters []int64
 	if l.cache != nil {
 		waiters = l.cache.Fill(m.Addr, m.NextHop, cache.REM)
+		if v < r.version {
+			l.cache.InvalidateRange(m.Addr, m.Addr)
+			r.churnStaleFills++
+		}
 	}
 	l.counters.Get("reply.received").Inc()
-	r.resolveAll(l, m.PacketID, waiters, m.NextHop)
+	r.resolveAll(l, m.PacketID, waiters, m.NextHop, v)
 }
 
 // resolveAll routes a lookup result to the originating packet and all
 // waiters, exactly once each: local packets complete, remote requests get
-// a reply toward their arrival LC.
-func (r *Router) resolveAll(l *lineCard, origin int64, waiters []int64, nh rtable.NextHop) {
+// a reply toward their arrival LC. v is the table version the value was
+// computed against.
+func (r *Router) resolveAll(l *lineCard, origin int64, waiters []int64, nh rtable.NextHop, v int32) {
 	seen := false
 	for _, id := range waiters {
 		if id == origin {
 			seen = true
 		}
-		r.resolve(l, id, nh)
+		r.resolve(l, id, nh, v)
 	}
 	if !seen {
-		r.resolve(l, origin, nh)
+		r.resolve(l, origin, nh, v)
 	}
 }
 
-func (r *Router) resolve(l *lineCard, id int64, nh rtable.NextHop) {
+func (r *Router) resolve(l *lineCard, id int64, nh rtable.NextHop, v int32) {
 	p := &r.packets[id]
+	p.valueVersion = v
 	if int(p.arrivalLC) == l.id {
-		r.complete(l, id, nh)
+		r.complete(l, id, nh, v)
 		return
 	}
 	// A remote request parked at the home LC: answer its arrival LC.
@@ -384,7 +438,9 @@ func (r *Router) resolve(l *lineCard, id int64, nh rtable.NextHop) {
 
 // complete finalizes a packet at its arrival LC; duplicate resolutions
 // (possible after a flush reissues an in-flight packet) are ignored.
-func (r *Router) complete(l *lineCard, id int64, nh rtable.NextHop) {
+// Verification is exact even under churn: the served next hop must equal
+// the oracle of the table version the value was computed against.
+func (r *Router) complete(l *lineCard, id int64, nh rtable.NextHop, v int32) {
 	p := &r.packets[id]
 	if p.completeCycle >= 0 {
 		return
@@ -397,11 +453,11 @@ func (r *Router) complete(l *lineCard, id int64, nh rtable.NextHop) {
 	r.lat.Add(int(latency))
 	r.winSum += latency
 	r.winN++
-	if r.oracle != nil {
-		wantNH, _, wantOK := r.oracle.Lookup(p.addr)
+	if r.refs != nil {
+		wantNH, _, wantOK := r.refs[v].Lookup(p.addr)
 		if wantOK && nh != wantNH || !wantOK && nh != rtable.NoNextHop {
-			panic(fmt.Sprintf("sim: packet %d addr %s completed with nh=%d, oracle says (%d,%v)",
-				id, ip.FormatAddr(p.addr), nh, wantNH, wantOK))
+			panic(fmt.Sprintf("sim: packet %d addr %s completed with nh=%d, version-%d oracle says (%d,%v)",
+				id, ip.FormatAddr(p.addr), nh, v, wantNH, wantOK))
 		}
 	}
 }
@@ -438,7 +494,10 @@ func (r *Router) probeLocal(l *lineCard, id int64) {
 		} else {
 			l.counters.Get("hit.rem").Inc()
 		}
-		r.complete(l, id, res.NextHop)
+		// A live (non-waiting) entry always matches the current table:
+		// churn invalidates every affected range and stale fills are
+		// point-invalidated, so hits verify against the current version.
+		r.complete(l, id, res.NextHop, r.version)
 	case cache.HitWaiting:
 		l.cache.AddWaiter(p.addr, id)
 		l.counters.Get("parked").Inc()
@@ -488,7 +547,7 @@ func (r *Router) probeRemoteRequest(l *lineCard, id int64) {
 	switch res.Kind {
 	case cache.Hit, cache.HitVictim:
 		l.counters.Get("hit.remote-request").Inc()
-		r.resolve(l, id, res.NextHop)
+		r.resolve(l, id, res.NextHop, r.version)
 	case cache.HitWaiting:
 		l.cache.AddWaiter(p.addr, id)
 		l.counters.Get("parked").Inc()
@@ -499,6 +558,75 @@ func (r *Router) probeRemoteRequest(l *lineCard, id int64) {
 		l.counters.Get("miss.remote-request").Inc()
 		l.feQ.push(id)
 	}
+}
+
+// applyChurn applies every pending route update scheduled at or before
+// now: the evolving table and the ROT-partitioning advance (control bits
+// are preserved, so home-LC assignments of in-flight requests stay
+// valid), engines update in place when dynamic, and the LR-caches see
+// either targeted range invalidation or — under UpdateFullFlush — a full
+// flush.
+func (r *Router) applyChurn(now int64) {
+	start := r.nextUpdate
+	for r.nextUpdate < len(r.updates) && r.updates[r.nextUpdate].AtCycle <= now {
+		r.nextUpdate++
+	}
+	if r.nextUpdate == start {
+		return
+	}
+	batch := r.updates[start:r.nextUpdate]
+	next := r.curTable.ApplyAll(batch)
+	if next.Len() == 0 {
+		return // never let churn empty the table; drop the batch
+	}
+	r.curTable = next
+	r.churnEvents += int64(len(batch))
+	if r.part != nil {
+		np, sub := r.part.ApplyUpdates(batch)
+		r.part = np
+		for i, l := range r.lcs {
+			if len(sub[i]) > 0 {
+				r.updateEngine(l, sub[i], np.Table(i))
+			}
+		}
+	} else {
+		for _, l := range r.lcs {
+			r.updateEngine(l, batch, next)
+		}
+	}
+	r.version++
+	if r.refs != nil {
+		r.refs = append(r.refs, lpm.NewReference(next))
+	}
+	if r.cfg.UpdateFullFlush {
+		r.flushAll()
+		return
+	}
+	for _, rg := range rtable.UpdateRanges(batch) {
+		for _, l := range r.lcs {
+			if l.cache != nil {
+				l.cache.InvalidateRange(rg.Lo, rg.Hi)
+				r.churnRangeInv++
+			}
+		}
+	}
+}
+
+// updateEngine absorbs a sub-batch into one LC's matching structure:
+// in place for dynamic engines, by rebuild from the LC's new partition
+// otherwise.
+func (r *Router) updateEngine(l *lineCard, batch []rtable.Update, tbl *rtable.Table) {
+	if de, ok := l.engine.(lpm.DynamicEngine); ok {
+		for _, u := range batch {
+			if u.Kind == rtable.Withdraw {
+				de.Delete(u.Route.Prefix)
+			} else {
+				de.Insert(u.Route.Prefix, u.Route.NextHop)
+			}
+		}
+		return
+	}
+	l.engine = r.cfg.Engine(tbl)
 }
 
 // flushAll invalidates every LR-cache and reissues the orphaned waiters

@@ -112,6 +112,23 @@ type (
 	// TraceEventKind classifies a TraceEvent (arrival, probe, fabric_send,
 	// fe_exec, verdict, ...).
 	TraceEventKind = tracing.EventKind
+	// Update is one incremental routing change (announce or withdraw);
+	// feed batches to (*Router).ApplyUpdates or (*Table).ApplyAll.
+	Update = rtable.Update
+	// UpdateKind distinguishes Announce from Withdraw.
+	UpdateKind = rtable.UpdateKind
+	// UpdateStreamConfig parameterizes GenerateUpdates.
+	UpdateStreamConfig = rtable.UpdateStreamConfig
+	// RebalancePolicy governs the background partition rebalancer that
+	// re-selects control bits when incremental updates drift replication
+	// or per-LC skew past its thresholds (see WithRouterRebalance).
+	RebalancePolicy = router.RebalancePolicy
+)
+
+// Update kinds.
+const (
+	Announce = rtable.Announce
+	Withdraw = rtable.Withdraw
 )
 
 // ServedBy values, re-exported for verdict classification.
@@ -289,6 +306,26 @@ func WithRouterTraceJournal(size int) RouterOption { return router.WithTraceJour
 // fallback engine. Zero policy fields select defaults; see
 // OverloadPolicy.
 func WithRouterOverload(p OverloadPolicy) RouterOption { return router.WithOverload(p) }
+
+// WithRouterRebalance enables the background partition rebalancer: when
+// ApplyUpdates drifts the partitioning's replication factor or per-LC
+// size skew past the policy's thresholds, the router re-selects control
+// bits over the current table and runs the full two-phase swap. Pass
+// DefaultRebalancePolicy() for the default thresholds.
+func WithRouterRebalance(p RebalancePolicy) RouterOption { return router.WithRebalance(p) }
+
+// DefaultRebalancePolicy returns the rebalancer's default thresholds
+// (enabled, 15% replication growth, 1.0 relative size skew, 1 s minimum
+// interval between rebalances).
+func DefaultRebalancePolicy() RebalancePolicy { return router.DefaultRebalancePolicy() }
+
+// GenerateUpdates synthesizes a seeded BGP-style churn stream over tbl:
+// announces of new and existing prefixes mixed with withdraws, stamped
+// with arrival cycles at cfg.RatePerSecond. The stream is generated
+// against the evolving table, so withdraws always name live prefixes.
+func GenerateUpdates(tbl *Table, cfg UpdateStreamConfig) []Update {
+	return rtable.GenerateUpdates(tbl, cfg)
+}
 
 // SeededFaults builds a deterministic fault injector: every fabric
 // message independently draws drop/duplicate/delay outcomes from a
