@@ -25,6 +25,7 @@
 //	spal-router -trace-rate 1 -fault-rate 0.1 -trace-log -n 10000  # full tracing + JSON log per lookup
 //	spal-router -overload-depth 256 -shed-mode drop-newest -n 1000000  # bounded inboxes, shed on overflow
 //	spal-router -churn-rate 1000 -n 1000000   # absorb 1000 route updates/s while forwarding
+//	spal-router -corrupt-rate 0.001 -scrub-interval 20ms -n 1000000  # inject state corruption, scrub and self-heal
 package main
 
 import (
@@ -79,6 +80,9 @@ func main() {
 	overloadDepth := flag.Int("overload-depth", 0, "bound each LC inbox to this many messages and shed on overflow (0 = legacy unbounded)")
 	shedMode := flag.String("shed-mode", "drop-newest", "shed policy under overload: drop-newest|drop-remote-first|block")
 	churnRate := flag.Float64("churn-rate", 0, "stream BGP-style route updates at this rate (events/s) through ApplyUpdates while driving load (0 = off)")
+	corruptRate := flag.Float64("corrupt-rate", 0, "inject state corruption at this rate: engine verdict flips, wrong cache fills, dropped invalidations (0 = off)")
+	corruptSeed := flag.Uint64("corrupt-seed", 1, "seed for the deterministic corruption injector")
+	scrubInterval := flag.Duration("scrub-interval", 0, "run the online integrity scrubber this often, quarantining and rebuilding corrupted LCs (0 = off)")
 	flag.Parse()
 
 	tbl := rtable.Synthesize(rtable.SynthConfig{N: *tableN, NextHops: 16, NestProb: 0.35, Seed: 0x5e3d_0001})
@@ -113,6 +117,20 @@ func main() {
 	}
 	if *traceLog {
 		opts = append(opts, router.WithLogger(slog.New(slog.NewJSONHandler(os.Stderr, nil))))
+	}
+	if *corruptRate > 0 {
+		opts = append(opts, router.WithCorruption(router.CorruptionPolicy{
+			Enabled:            true,
+			Seed:               *corruptSeed,
+			EngineFlipRate:     *corruptRate,
+			WrongFillRate:      *corruptRate,
+			DropInvalidateRate: *corruptRate,
+		}))
+	}
+	if *scrubInterval > 0 {
+		p := router.DefaultScrubPolicy()
+		p.Interval = *scrubInterval
+		opts = append(opts, router.WithScrub(p))
 	}
 	if *overloadDepth > 0 {
 		mode, err := router.ParseShedMode(*shedMode)
@@ -173,6 +191,19 @@ func main() {
 		pool := trace.NewPool(tbl, tc)
 		addrs := trace.Slice(trace.NewSynthetic(pool, tc, 0), *n)
 		drive(r, *psi, addrs, *batchSize, *killLC, *drainAfter)
+	}
+
+	if *corruptRate > 0 || *scrubInterval > 0 {
+		rep := r.Integrity()
+		fmt.Printf("integrity: %d scrub cycles, %d quarantines, %d rebuilds; injected %d engine flips, %d wrong fills, %d dropped invalidations\n",
+			rep.ScrubCycles, rep.Quarantines, rep.Rebuilds,
+			rep.EngineFlips, rep.WrongFills, rep.DroppedInvalidations)
+		for _, l := range rep.LCs {
+			if l.EngineMismatches+l.CacheMismatches > 0 {
+				fmt.Printf("  LC%-2d state=%s samples=%d engine-mismatches=%d cache-mismatches=%d repaired=%d score=%.4f\n",
+					l.LC, l.State, l.Samples, l.EngineMismatches, l.CacheMismatches, l.CacheRepairs, l.Score)
+			}
+		}
 	}
 
 	if *traceDump > 0 {

@@ -7,6 +7,7 @@
 //	spalsim -psi 1 -no-partition -no-cache          # conventional router
 //	spalsim -speed 10 -lookup 62                    # 10 Gbps, DP-trie FE
 //	spalsim -stages -packets 50000                  # per-stage latency breakdown
+//	spalsim -corrupt-rate 1e-4 -scrub-every 50000   # inject fill corruption, scrub it back out
 package main
 
 import (
@@ -40,6 +41,9 @@ func main() {
 	flushMS := flag.Float64("flush-ms", 0, "flush caches every N milliseconds (0 = never)")
 	updatesPS := flag.Float64("updates-per-sec", 0, "stream BGP-style route updates at this rate, applied incrementally with targeted cache invalidation (0 = no churn)")
 	updateFlush := flag.Bool("update-full-flush", false, "flush every cache on each update batch instead of targeted range invalidation")
+	corruptRate := flag.Float64("corrupt-rate", 0, "corrupt each cache fill with this probability (bit-flipped next hop, 0 = off)")
+	corruptSeed := flag.Uint64("corrupt-seed", 0, "seed for the corruption injector (0 = derive from -seed)")
+	scrubEvery := flag.Int64("scrub-every", 0, "audit every LR-cache against the oracle every N cycles, evicting mismatches (0 = off)")
 	offered := flag.Float64("offered-load", 1.0, "scale every LC's packet rate (2.0 = twice nominal)")
 	admitCap := flag.Int("admit-cap", 0, "shed arrivals when the LC arrival queue holds this many packets (0 = unbounded)")
 	perLC := flag.Bool("per-lc", false, "print per-LC statistics")
@@ -89,6 +93,14 @@ func main() {
 		cfg.AdmissionCap = *admitCap
 		cfg.UpdatesPerSecond = *updatesPS
 		cfg.UpdateFullFlush = *updateFlush
+		cfg.CorruptRate = *corruptRate
+		cfg.CorruptSeed = *corruptSeed
+		cfg.ScrubEveryCycles = *scrubEvery
+		// With corruption on, verification is what turns a bad verdict
+		// into a counter instead of silence.
+		if *corruptRate > 0 {
+			cfg.VerifyNextHops = true
+		}
 	}
 
 	if *engineName != "" {

@@ -1,0 +1,160 @@
+package cache
+
+import (
+	"strings"
+	"testing"
+
+	"spal/internal/ip"
+	"spal/internal/rtable"
+)
+
+// TestAuditEntriesVisitsAndEvicts: the audit sees every complete entry
+// (sets and victim) with its stored value, skips waiting blocks, and
+// evicts exactly the entries the visitor rejects.
+func TestAuditEntriesVisitsAndEvicts(t *testing.T) {
+	c := New(corruptTestConfig())
+	addrs := []ip.Addr{0x0a000001, 0x0a000002, 0x0b000003}
+	for i, a := range addrs {
+		c.Fill(a, rtable.NextHop(10+i), LOC)
+	}
+	waiting := ip.Addr(0x0c000004)
+	c.RecordMiss(waiting, LOC, 99) // waiting block: value undecided, must be skipped
+
+	seen := map[ip.Addr]rtable.NextHop{}
+	if n := c.AuditEntries(func(a ip.Addr, nh rtable.NextHop) bool {
+		seen[a] = nh
+		return true
+	}); n != 0 {
+		t.Fatalf("always-true visitor evicted %d entries", n)
+	}
+	if len(seen) != len(addrs) {
+		t.Fatalf("audit saw %d entries, want %d (waiting block must be skipped)", len(seen), len(addrs))
+	}
+	for i, a := range addrs {
+		if seen[a] != rtable.NextHop(10+i) {
+			t.Fatalf("audit saw %v -> %d, want %d", a, seen[a], 10+i)
+		}
+	}
+
+	// Reject exactly one address: it must be evicted, the rest must stay.
+	evict := addrs[1]
+	if n := c.AuditEntries(func(a ip.Addr, nh rtable.NextHop) bool { return a != evict }); n != 1 {
+		t.Fatalf("single-reject audit evicted %d entries, want 1", n)
+	}
+	if got := c.Probe(evict); got.Kind != Miss {
+		t.Fatalf("rejected entry still resident: %+v", got)
+	}
+	if got := c.Probe(addrs[0]); got.Kind != Hit {
+		t.Fatalf("surviving entry lost: %+v", got)
+	}
+	// The waiting block is untouched by audits.
+	if got := c.Probe(waiting); got.Kind != HitWaiting {
+		t.Fatalf("waiting block disturbed by audit: %+v", got)
+	}
+}
+
+// TestAuditEntriesVictimCache: entries demoted into the victim cache are
+// audited (and evictable) too.
+func TestAuditEntriesVictimCache(t *testing.T) {
+	cfg := Config{Blocks: 8, Assoc: 2, VictimBlocks: 4, MixPercent: 50, Policy: LRU}
+	c := New(cfg)
+	// Overfill one set so a demotion lands in the victim cache: addresses
+	// with identical index bits conflict.
+	var conflict []ip.Addr
+	for i := 0; i < 3; i++ {
+		conflict = append(conflict, ip.Addr(uint32(i)<<16)) // same low bits, same set
+	}
+	for i, a := range conflict {
+		c.Fill(a, rtable.NextHop(20+i), LOC)
+	}
+	total := 0
+	c.AuditEntries(func(a ip.Addr, nh rtable.NextHop) bool {
+		total++
+		return true
+	})
+	if total != len(conflict) {
+		t.Fatalf("audit saw %d entries across sets+victim, want %d", total, len(conflict))
+	}
+	// Reject everything: every entry in both structures is evicted.
+	if n := c.AuditEntries(func(ip.Addr, rtable.NextHop) bool { return false }); n != len(conflict) {
+		t.Fatalf("reject-all evicted %d, want %d", n, len(conflict))
+	}
+	for _, a := range conflict {
+		if got := c.Probe(a); got.Kind != Miss {
+			t.Fatalf("entry %v survived reject-all audit: %+v", a, got)
+		}
+	}
+}
+
+// TestShardedAuditReconstructsAddresses: the sharded store's audit must
+// report original (pre-shard-split) addresses, so the scrubber compares
+// the right oracle verdicts.
+func TestShardedAuditReconstructsAddresses(t *testing.T) {
+	s := NewSharded(DefaultConfig(), 4)
+	addrs := []ip.Addr{0x0a000000, 0x0a000001, 0x0a000002, 0x0a000003, 0x0bff1234}
+	for i, a := range addrs {
+		s.Fill(a, rtable.NextHop(i), LOC)
+	}
+	seen := map[ip.Addr]rtable.NextHop{}
+	s.AuditEntries(func(a ip.Addr, nh rtable.NextHop) bool {
+		seen[a] = nh
+		return true
+	})
+	if len(seen) != len(addrs) {
+		t.Fatalf("audit saw %d entries, want %d", len(seen), len(addrs))
+	}
+	for i, a := range addrs {
+		nh, ok := seen[a]
+		if !ok {
+			t.Fatalf("address %v missing from audit (shard bits not restored?)", a)
+		}
+		if nh != rtable.NextHop(i) {
+			t.Fatalf("audit saw %v -> %d, want %d", a, nh, i)
+		}
+	}
+	// Evicting through the audit works across shards.
+	if n := s.AuditEntries(func(a ip.Addr, nh rtable.NextHop) bool { return a != addrs[4] }); n != 1 {
+		t.Fatalf("sharded targeted evict removed %d, want 1", n)
+	}
+	if got := s.Probe(addrs[4]); got.Kind != Miss {
+		t.Fatalf("evicted sharded entry still resident: %+v", got)
+	}
+}
+
+// TestNewShardedErrGeometry: every bad-geometry path reports a diagnostic
+// error instead of panicking, and the messages identify the failure.
+func TestNewShardedErrGeometry(t *testing.T) {
+	base := DefaultConfig()
+	cases := []struct {
+		name    string
+		cfg     Config
+		shards  int
+		wantSub string
+	}{
+		{"zero shards", base, 0, "not a power of two"},
+		{"one shard", base, 1, "not a power of two"},
+		{"three shards", base, 3, "not a power of two"},
+		{"negative shards", base, -4, "not a power of two"},
+		{"blocks not divisible", Config{Blocks: 100, Assoc: 4, MixPercent: 50}, 8, "not divisible"},
+		{"per-shard geometry", Config{Blocks: 96, Assoc: 4, MixPercent: 50}, 8, "per-shard geometry"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := NewShardedErr(tc.cfg, tc.shards)
+			if err == nil {
+				t.Fatalf("NewShardedErr(%+v, %d) accepted bad geometry", tc.cfg, tc.shards)
+			}
+			if s != nil {
+				t.Fatal("non-nil store returned alongside an error")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+	// And the happy path still works.
+	s, err := NewShardedErr(base, 4)
+	if err != nil || s == nil {
+		t.Fatalf("valid geometry rejected: %v", err)
+	}
+}

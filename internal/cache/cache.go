@@ -485,6 +485,33 @@ func (c *Cache) InvalidateRange(lo, hi ip.Addr) int {
 	return n
 }
 
+// AuditEntries visits every complete (valid, non-waiting) entry in the
+// sets and the victim cache, passing its address and cached next hop.
+// Returning false evicts the entry on the spot — the integrity scrubber's
+// inline repair for a corrupted or stale value. Waiting blocks are skipped:
+// their result is still in flight and owned by the fill path. Returns the
+// number of entries evicted.
+func (c *Cache) AuditEntries(visit func(a ip.Addr, nh rtable.NextHop) bool) int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			e := &set[i]
+			if e.valid && !e.waiting && !visit(e.addr, e.nextHop) {
+				*e = entry{}
+				n++
+			}
+		}
+	}
+	for i := range c.victim {
+		v := &c.victim[i]
+		if v.valid && !visit(v.addr, v.nextHop) {
+			*v = entry{}
+			n++
+		}
+	}
+	return n
+}
+
 // Stats returns the event counters.
 func (c *Cache) Stats() Stats { return c.stat }
 

@@ -1,0 +1,149 @@
+// Corruption-injection wrapper for the LR-cache: a Store that, on a
+// seeded deterministic schedule, stamps a fill with a wrong next hop or
+// silently drops an InvalidateRange — the two cache-side failure modes the
+// integrity scrubber must catch (a wrong resident value, and a stale value
+// that should have been evicted by a route update). Everything else passes
+// through unchanged.
+package cache
+
+import (
+	"sync/atomic"
+
+	"spal/internal/ip"
+	"spal/internal/metrics"
+	"spal/internal/rtable"
+)
+
+// CorruptConfig parameterizes a CorruptStore. Rates are per-call
+// probabilities in [0, 1]; the same seed always produces the same
+// corruption schedule for the same call sequence.
+type CorruptConfig struct {
+	Seed uint64
+	// WrongFillRate corrupts Fill values: the stored next hop is the true
+	// value XOR 1 (always different, never NoNextHop for small next hops).
+	WrongFillRate float64
+	// DropInvalidateRate silently swallows InvalidateRange calls.
+	DropInvalidateRate float64
+	// MaxEvents caps the total corruptions injected (both kinds combined);
+	// 0 means unlimited. A finite cap lets tests assert that the system
+	// reaches a corruption-free steady state after the last repair.
+	MaxEvents int64
+}
+
+// CorruptStore wraps a Store with seeded fill/invalidate corruption.
+type CorruptStore struct {
+	inner Store
+	cfg   CorruptConfig
+
+	n          atomic.Uint64 // draw counter (schedule position)
+	events     atomic.Int64  // corruptions injected so far
+	wrongFills atomic.Int64
+	droppedInv atomic.Int64
+}
+
+// NewCorrupt wraps inner with the given corruption schedule.
+func NewCorrupt(inner Store, cfg CorruptConfig) *CorruptStore {
+	return &CorruptStore{inner: inner, cfg: cfg}
+}
+
+// splitmix64 is the standard SplitMix64 finalizer; one step turns a
+// counter into a well-mixed 64-bit value (same generator as the router's
+// fault injector, duplicated here to keep the dependency arrow pointing
+// from router to cache).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// draw advances the schedule and reports whether an event with the given
+// rate fires, respecting the MaxEvents cap.
+func (s *CorruptStore) draw(rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	h := splitmix64(s.cfg.Seed ^ s.n.Add(1))
+	if float64(h&0x1f_ffff)/float64(1<<21) >= rate {
+		return false
+	}
+	if s.cfg.MaxEvents > 0 && s.events.Add(1) > s.cfg.MaxEvents {
+		s.events.Add(-1)
+		return false
+	}
+	if s.cfg.MaxEvents == 0 {
+		s.events.Add(1)
+	}
+	return true
+}
+
+// WrongFills returns the number of fills stamped with a corrupted value.
+func (s *CorruptStore) WrongFills() int64 { return s.wrongFills.Load() }
+
+// DroppedInvalidations returns the number of swallowed InvalidateRange
+// calls.
+func (s *CorruptStore) DroppedInvalidations() int64 { return s.droppedInv.Load() }
+
+// Events returns the total corruptions injected.
+func (s *CorruptStore) Events() int64 { return s.events.Load() }
+
+// Exhausted reports whether the MaxEvents cap has been reached (always
+// false for an uncapped store).
+func (s *CorruptStore) Exhausted() bool {
+	return s.cfg.MaxEvents > 0 && s.events.Load() >= s.cfg.MaxEvents
+}
+
+// Inner returns the wrapped store.
+func (s *CorruptStore) Inner() Store { return s.inner }
+
+// Probe implements Store.
+func (s *CorruptStore) Probe(a ip.Addr) ProbeResult { return s.inner.Probe(a) }
+
+// RecordMiss implements Store.
+func (s *CorruptStore) RecordMiss(a ip.Addr, origin Origin, waiter int64) bool {
+	return s.inner.RecordMiss(a, origin, waiter)
+}
+
+// Fill implements Store, occasionally stamping the block with a wrong
+// next hop. Waiters still receive the correct value from the reply path —
+// the corruption poisons only what later probes will hit, which is
+// exactly the silent-wrong-verdict failure the scrubber exists for.
+func (s *CorruptStore) Fill(a ip.Addr, nh rtable.NextHop, origin Origin) []int64 {
+	if s.draw(s.cfg.WrongFillRate) {
+		s.wrongFills.Add(1)
+		nh ^= 1
+	}
+	return s.inner.Fill(a, nh, origin)
+}
+
+// Flush implements Store.
+func (s *CorruptStore) Flush() []int64 { return s.inner.Flush() }
+
+// InvalidateRange implements Store, occasionally dropping the call so a
+// stale entry survives a route update.
+func (s *CorruptStore) InvalidateRange(lo, hi ip.Addr) int {
+	if s.draw(s.cfg.DropInvalidateRate) {
+		s.droppedInv.Add(1)
+		return 0
+	}
+	return s.inner.InvalidateRange(lo, hi)
+}
+
+// AuditEntries implements Store; audits pass through uncorrupted (the
+// scrubber must see the cache as it really is).
+func (s *CorruptStore) AuditEntries(visit func(a ip.Addr, nh rtable.NextHop) bool) int {
+	return s.inner.AuditEntries(visit)
+}
+
+// Stats implements Store.
+func (s *CorruptStore) Stats() Stats { return s.inner.Stats() }
+
+// Occupancy implements Store.
+func (s *CorruptStore) Occupancy() (loc, rem, waiting int) { return s.inner.Occupancy() }
+
+// MetricsInto implements Store.
+func (s *CorruptStore) MetricsInto(sn *metrics.Snapshot, labels ...metrics.Label) {
+	s.inner.MetricsInto(sn, labels...)
+}
+
+var _ Store = (*CorruptStore)(nil)

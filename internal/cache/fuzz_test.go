@@ -1,0 +1,77 @@
+package cache_test
+
+import (
+	"testing"
+
+	"spal/internal/cache"
+	"spal/internal/ip"
+	"spal/internal/rtable"
+)
+
+// FuzzInvalidateRange checks the range-invalidation boundary math on both
+// store shapes: after InvalidateRange(lo, hi), exactly the resident
+// entries with lo <= addr <= hi are gone, everything else survives with
+// its value intact, and the return value counts the evictions. An
+// inverted range (lo > hi) must evict nothing. The seeds cover the
+// boundary cases: inverted, full-range, and single-address.
+func FuzzInvalidateRange(f *testing.F) {
+	f.Add(uint32(0x0a000010), uint32(0x0a000001), uint64(1)) // lo > hi: no-op
+	f.Add(uint32(0), ^uint32(0), uint64(2))                  // full range: flush-equivalent
+	f.Add(uint32(0x0a000003), uint32(0x0a000003), uint64(3)) // single address
+	f.Add(uint32(0x0a000000), uint32(0x0b000000), uint64(4))
+	f.Fuzz(func(t *testing.T, lo, hi uint32, seed uint64) {
+		cfg := cache.Config{Blocks: 64, Assoc: 4, VictimBlocks: 4, MixPercent: 50, Policy: cache.LRU, Seed: seed}
+		stores := map[string]cache.Store{
+			"single":  cache.New(cfg),
+			"sharded": cache.NewSharded(cfg, 4),
+		}
+		for name, s := range stores {
+			// Populate with a seed-derived working set, then snapshot what
+			// is actually resident (fills can evict one another).
+			x := seed
+			for i := 0; i < 48; i++ {
+				x = x*6364136223846793005 + 1442695040888963407
+				s.Fill(ip.Addr(x>>32), rtable.NextHop(i), cache.LOC)
+			}
+			before := map[ip.Addr]rtable.NextHop{}
+			s.AuditEntries(func(a ip.Addr, nh rtable.NextHop) bool {
+				before[a] = nh
+				return true
+			})
+
+			evicted := s.InvalidateRange(lo, hi)
+
+			after := map[ip.Addr]rtable.NextHop{}
+			s.AuditEntries(func(a ip.Addr, nh rtable.NextHop) bool {
+				after[a] = nh
+				return true
+			})
+
+			wantEvicted := 0
+			for a, nh := range before {
+				inRange := lo <= hi && a >= ip.Addr(lo) && a <= ip.Addr(hi)
+				if inRange {
+					wantEvicted++
+					if _, still := after[a]; still {
+						t.Fatalf("%s: entry %v inside [%v,%v] survived", name, a, lo, hi)
+					}
+					continue
+				}
+				got, ok := after[a]
+				if !ok {
+					t.Fatalf("%s: entry %v outside [%v,%v] was evicted", name, a, lo, hi)
+				}
+				if got != nh {
+					t.Fatalf("%s: entry %v changed value %d -> %d across invalidation", name, a, nh, got)
+				}
+			}
+			if evicted != wantEvicted {
+				t.Fatalf("%s: InvalidateRange(%v,%v) returned %d, actual evictions %d",
+					name, lo, hi, evicted, wantEvicted)
+			}
+			if len(after) != len(before)-wantEvicted {
+				t.Fatalf("%s: %d entries after, want %d", name, len(after), len(before)-wantEvicted)
+			}
+		}
+	})
+}

@@ -26,6 +26,7 @@ type Store interface {
 	Fill(a ip.Addr, nh rtable.NextHop, origin Origin) []int64
 	Flush() []int64
 	InvalidateRange(lo, hi ip.Addr) int
+	AuditEntries(visit func(a ip.Addr, nh rtable.NextHop) bool) int
 	Stats() Stats
 	Occupancy() (loc, rem, waiting int)
 	MetricsInto(sn *metrics.Snapshot, labels ...metrics.Label)
@@ -140,6 +141,21 @@ func (s *Sharded) InvalidateRange(lo, hi ip.Addr) int {
 	n := 0
 	for i := range s.shards {
 		n += s.shards[i].c.InvalidateRange(lo>>s.shardBits, hi>>s.shardBits)
+	}
+	return n
+}
+
+// AuditEntries visits every shard's complete entries, reconstructing the
+// original address from the shard index and the shifted tag (the
+// (shard, shifted-address) mapping is injective, so the reconstruction is
+// exact). Returns the number of entries the visitor evicted.
+func (s *Sharded) AuditEntries(visit func(a ip.Addr, nh rtable.NextHop) bool) int {
+	n := 0
+	for i := range s.shards {
+		idx := ip.Addr(i)
+		n += s.shards[i].c.AuditEntries(func(sa ip.Addr, nh rtable.NextHop) bool {
+			return visit(sa<<s.shardBits|idx, nh)
+		})
 	}
 	return n
 }

@@ -1,0 +1,127 @@
+// Corruption-injection wrapper: a poison overlay over any Engine, used by
+// the router's integrity subsystem to model a bit-flipped trie node. A
+// poisoned range serves a fixed wrong verdict until the overlay is cleared
+// (which the self-healing rebuild does implicitly by constructing a fresh
+// wrapper). The wrapper deliberately does NOT implement BatchEngine: the
+// LookupAll adapter then falls back to per-key Lookup calls, so the batch
+// data plane sees exactly the same corrupted verdicts as the scalar path.
+package lpm
+
+import (
+	"sync"
+
+	"spal/internal/ip"
+	"spal/internal/rtable"
+)
+
+// poisonRange is one corrupted region of the address space: every lookup
+// inside [lo, hi] returns nh instead of the engine's answer.
+type poisonRange struct {
+	lo, hi ip.Addr
+	nh     rtable.NextHop
+}
+
+// Corrupt wraps an Engine with a mutable poison overlay. Reads and writes
+// are mutex-guarded so the injector (router control plane) and the owning
+// LC goroutine can touch it from different goroutines; the wrapper only
+// exists when corruption injection is enabled, so the lock never sits on a
+// production hot path.
+type Corrupt struct {
+	mu     sync.RWMutex
+	inner  Engine
+	ranges []poisonRange
+}
+
+// NewCorrupt wraps inner in a poison overlay. The returned engine
+// implements DynamicEngine when (and only when) inner does, so the
+// router's in-place update path keeps its behavior — and corruption then
+// survives incremental updates, exactly like real SRAM damage would.
+func NewCorrupt(inner Engine) Engine {
+	c := &Corrupt{inner: inner}
+	if _, ok := inner.(DynamicEngine); ok {
+		return &corruptDynamic{c}
+	}
+	return c
+}
+
+// AsCorrupt unwraps an engine produced by NewCorrupt, returning nil when e
+// is not corruption-wrapped.
+func AsCorrupt(e Engine) *Corrupt {
+	switch v := e.(type) {
+	case *Corrupt:
+		return v
+	case *corruptDynamic:
+		return v.Corrupt
+	}
+	return nil
+}
+
+// Poison marks [lo, hi] as corrupted: lookups inside it return nh. The
+// narrowest containing range wins when poisons nest.
+func (c *Corrupt) Poison(lo, hi ip.Addr, nh rtable.NextHop) {
+	c.mu.Lock()
+	c.ranges = append(c.ranges, poisonRange{lo: lo, hi: hi, nh: nh})
+	c.mu.Unlock()
+}
+
+// Clear removes every poison range, restoring the inner engine's answers.
+func (c *Corrupt) Clear() {
+	c.mu.Lock()
+	c.ranges = nil
+	c.mu.Unlock()
+}
+
+// PoisonCount returns the number of live poison ranges.
+func (c *Corrupt) PoisonCount() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.ranges)
+}
+
+// Inner returns the wrapped engine.
+func (c *Corrupt) Inner() Engine { return c.inner }
+
+// Lookup consults the poison overlay first; clean addresses fall through
+// to the inner engine.
+func (c *Corrupt) Lookup(a ip.Addr) (rtable.NextHop, int, bool) {
+	c.mu.RLock()
+	best := -1
+	for i, r := range c.ranges {
+		if a < r.lo || a > r.hi {
+			continue
+		}
+		if best < 0 || r.hi-r.lo < c.ranges[best].hi-c.ranges[best].lo {
+			best = i
+		}
+	}
+	if best >= 0 {
+		nh := c.ranges[best].nh
+		c.mu.RUnlock()
+		return nh, 1, nh != rtable.NoNextHop
+	}
+	c.mu.RUnlock()
+	return c.inner.Lookup(a)
+}
+
+// MemoryBytes reports the inner engine's footprint (the overlay models
+// damage, not extra memory).
+func (c *Corrupt) MemoryBytes() int { return c.inner.MemoryBytes() }
+
+// Name identifies the wrapped algorithm unchanged, so registry-keyed
+// metrics and reports stay stable under injection.
+func (c *Corrupt) Name() string { return c.inner.Name() }
+
+// corruptDynamic adds the DynamicEngine surface when the inner engine has
+// one. In-place updates pass straight through; poison is left in place —
+// a damaged node stays damaged until the scrubber forces a rebuild.
+type corruptDynamic struct {
+	*Corrupt
+}
+
+func (c *corruptDynamic) Insert(p ip.Prefix, nh rtable.NextHop) {
+	c.inner.(DynamicEngine).Insert(p, nh)
+}
+
+func (c *corruptDynamic) Delete(p ip.Prefix) bool {
+	return c.inner.(DynamicEngine).Delete(p)
+}

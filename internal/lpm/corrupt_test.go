@@ -1,0 +1,191 @@
+package lpm
+
+import (
+	"testing"
+
+	"spal/internal/ip"
+	"spal/internal/rtable"
+)
+
+func corruptTestTable(t *testing.T) *rtable.Table {
+	t.Helper()
+	return rtable.New([]rtable.Route{
+		{Prefix: ip.MustPrefix("10.0.0.0/8"), NextHop: 1},
+		{Prefix: ip.MustPrefix("10.1.0.0/16"), NextHop: 2},
+		{Prefix: ip.MustPrefix("192.168.0.0/16"), NextHop: 3},
+	})
+}
+
+func TestCorruptPoisonAndClear(t *testing.T) {
+	tbl := corruptTestTable(t)
+	e := NewCorrupt(NewReferenceEngine(tbl))
+	c := AsCorrupt(e)
+	if c == nil {
+		t.Fatal("AsCorrupt failed on a freshly wrapped engine")
+	}
+	a, _ := ip.ParseAddr("10.1.2.3")
+	if nh, _, ok := e.Lookup(a); !ok || nh != 2 {
+		t.Fatalf("clean lookup = (%d,%v), want (2,true)", nh, ok)
+	}
+
+	p := ip.MustPrefix("10.1.0.0/16")
+	c.Poison(p.FirstAddr(), p.LastAddr(), 9)
+	if c.PoisonCount() != 1 {
+		t.Fatalf("PoisonCount = %d, want 1", c.PoisonCount())
+	}
+	if nh, acc, ok := e.Lookup(a); !ok || nh != 9 || acc != 1 {
+		t.Fatalf("poisoned lookup = (%d,%d,%v), want (9,1,true)", nh, acc, ok)
+	}
+	// Addresses outside the poison still fall through to the inner engine.
+	b, _ := ip.ParseAddr("192.168.0.1")
+	if nh, _, ok := e.Lookup(b); !ok || nh != 3 {
+		t.Fatalf("lookup outside poison = (%d,%v), want (3,true)", nh, ok)
+	}
+
+	c.Clear()
+	if c.PoisonCount() != 0 {
+		t.Fatalf("PoisonCount after Clear = %d", c.PoisonCount())
+	}
+	if nh, _, ok := e.Lookup(a); !ok || nh != 2 {
+		t.Fatalf("lookup after Clear = (%d,%v), want (2,true)", nh, ok)
+	}
+}
+
+func TestCorruptNarrowestRangeWins(t *testing.T) {
+	tbl := corruptTestTable(t)
+	e := NewCorrupt(NewReferenceEngine(tbl))
+	c := AsCorrupt(e)
+	wide := ip.MustPrefix("10.0.0.0/8")
+	narrow := ip.MustPrefix("10.1.0.0/16")
+	c.Poison(wide.FirstAddr(), wide.LastAddr(), 7)
+	c.Poison(narrow.FirstAddr(), narrow.LastAddr(), 8)
+	a, _ := ip.ParseAddr("10.1.2.3")
+	if nh, _, _ := e.Lookup(a); nh != 8 {
+		t.Fatalf("nested poisons: got %d, want the narrower range's 8", nh)
+	}
+	b, _ := ip.ParseAddr("10.9.9.9")
+	if nh, _, _ := e.Lookup(b); nh != 7 {
+		t.Fatalf("outside the narrow poison: got %d, want 7", nh)
+	}
+}
+
+// TestCorruptPoisonNoNextHop: poisoning with the no-route sentinel makes
+// matching addresses report "no route" — a lost prefix, not a wrong hop.
+func TestCorruptPoisonNoNextHop(t *testing.T) {
+	tbl := corruptTestTable(t)
+	e := NewCorrupt(NewReferenceEngine(tbl))
+	p := ip.MustPrefix("10.0.0.0/8")
+	AsCorrupt(e).Poison(p.FirstAddr(), p.LastAddr(), rtable.NoNextHop)
+	a, _ := ip.ParseAddr("10.1.2.3")
+	if nh, _, ok := e.Lookup(a); ok || nh != rtable.NoNextHop {
+		t.Fatalf("NoNextHop poison = (%d,%v), want (NoNextHop,false)", nh, ok)
+	}
+}
+
+func TestAsCorruptOnPlainEngine(t *testing.T) {
+	if c := AsCorrupt(NewReferenceEngine(corruptTestTable(t))); c != nil {
+		t.Fatalf("AsCorrupt on an unwrapped engine = %v, want nil", c)
+	}
+}
+
+// TestCorruptDynamicProxy: wrapping a DynamicEngine keeps the dynamic
+// surface (in-place updates pass through) while poison survives updates —
+// damaged SRAM does not heal because a route changed.
+func TestCorruptDynamicProxy(t *testing.T) {
+	tbl := corruptTestTable(t)
+	inner := mustDynamic(t, tbl)
+	e := NewCorrupt(inner)
+	de, ok := e.(DynamicEngine)
+	if !ok {
+		t.Fatal("wrapped dynamic engine lost the DynamicEngine surface")
+	}
+	if AsCorrupt(e) == nil {
+		t.Fatal("AsCorrupt failed on the dynamic wrapper")
+	}
+	if e.Name() != inner.Name() {
+		t.Fatalf("Name = %q, want inner %q", e.Name(), inner.Name())
+	}
+	if e.MemoryBytes() != inner.MemoryBytes() {
+		t.Fatalf("MemoryBytes = %d, want inner %d", e.MemoryBytes(), inner.MemoryBytes())
+	}
+
+	p := ip.MustPrefix("10.1.0.0/16")
+	AsCorrupt(e).Poison(p.FirstAddr(), p.LastAddr(), 9)
+	de.Insert(ip.MustPrefix("10.1.2.0/24"), 5)
+	a, _ := ip.ParseAddr("10.1.2.3")
+	if nh, _, _ := e.Lookup(a); nh != 9 {
+		t.Fatalf("poison did not survive Insert: got %d, want 9", nh)
+	}
+	if !de.Delete(ip.MustPrefix("10.1.2.0/24")) {
+		t.Fatal("Delete of the inserted prefix reported absent")
+	}
+	b, _ := ip.ParseAddr("192.168.0.1")
+	if nh, _, ok := e.Lookup(b); !ok || nh != 3 {
+		t.Fatalf("clean lookup after update = (%d,%v), want (3,true)", nh, ok)
+	}
+}
+
+// TestCorruptBatchFallback: the wrapper deliberately hides any inner
+// BatchEngine, so LookupAll degrades to per-key lookups and the batch
+// plane observes exactly the poisoned verdicts.
+func TestCorruptBatchFallback(t *testing.T) {
+	tbl := corruptTestTable(t)
+	e := NewCorrupt(NewReferenceEngine(tbl))
+	if _, ok := e.(BatchEngine); ok {
+		t.Fatal("corruption wrapper must not implement BatchEngine")
+	}
+	p := ip.MustPrefix("10.1.0.0/16")
+	AsCorrupt(e).Poison(p.FirstAddr(), p.LastAddr(), 9)
+
+	a1, _ := ip.ParseAddr("10.1.2.3")
+	a2, _ := ip.ParseAddr("192.168.0.1")
+	addrs := []ip.Addr{a1, a2}
+	out := make([]Result, len(addrs))
+	LookupAll(e, addrs, out)
+	for i, a := range addrs {
+		nh, acc, ok := e.Lookup(a)
+		want := Result{NextHop: nh, Accesses: int32(acc), OK: ok}
+		if out[i] != want {
+			t.Fatalf("LookupAll[%d] = %+v, scalar says %+v", i, out[i], want)
+		}
+	}
+	if out[0].NextHop != 9 || out[1].NextHop != 3 {
+		t.Fatalf("batch verdicts = %d,%d, want 9,3", out[0].NextHop, out[1].NextHop)
+	}
+}
+
+// mustDynamic builds a DynamicEngine for the proxy test. The real dynamic
+// tries live in subpackages this package cannot import, so the test uses a
+// tiny table-backed adapter that rebuilds its oracle on each mutation —
+// correctness is all the proxy test needs.
+func mustDynamic(t *testing.T, tbl *rtable.Table) DynamicEngine {
+	t.Helper()
+	return &dynRef{tbl: tbl, ref: NewReference(tbl)}
+}
+
+type dynRef struct {
+	tbl *rtable.Table
+	ref *Reference
+}
+
+func (d *dynRef) Lookup(a ip.Addr) (rtable.NextHop, int, bool) { return d.ref.Lookup(a) }
+func (d *dynRef) MemoryBytes() int                             { return d.ref.MemoryBytes() }
+func (d *dynRef) Name() string                                 { return "dynref" }
+
+func (d *dynRef) Insert(p ip.Prefix, nh rtable.NextHop) {
+	d.tbl = d.tbl.Apply(rtable.Update{Kind: rtable.Announce, Route: rtable.Route{Prefix: p, NextHop: nh}})
+	d.ref = NewReference(d.tbl)
+}
+
+func (d *dynRef) Delete(p ip.Prefix) bool {
+	had := false
+	for _, rt := range d.tbl.Routes() {
+		if rt.Prefix == p {
+			had = true
+			break
+		}
+	}
+	d.tbl = d.tbl.Apply(rtable.Update{Kind: rtable.Withdraw, Route: rtable.Route{Prefix: p}})
+	d.ref = NewReference(d.tbl)
+	return had
+}

@@ -20,8 +20,9 @@ func goldenSnapshot() *Snapshot {
 	s.Gauge("spal_waitlist_depth", "Parked addresses.", 2, L("lc", "0"))
 	s.Gauge("spal_router_waiters", "Individual lookups parked in waitlists.", 3, L("lc", "0"))
 	s.Gauge("spal_router_waiters", "Individual lookups parked in waitlists.", 0, L("lc", "1"))
-	s.Gauge("spal_router_lc_state", "Line-card lifecycle state: 0=healthy 1=suspect 2=down 3=draining.", 0, L("lc", "0"))
-	s.Gauge("spal_router_lc_state", "Line-card lifecycle state: 0=healthy 1=suspect 2=down 3=draining.", 3, L("lc", "1"))
+	s.Gauge("spal_router_lc_state", "Line-card lifecycle state: 0=healthy 1=suspect 2=down 3=draining 4=quarantined.", 0, L("lc", "0"))
+	s.Gauge("spal_router_lc_state", "Line-card lifecycle state: 0=healthy 1=suspect 2=down 3=draining 4=quarantined.", 3, L("lc", "1"))
+	s.Gauge("spal_router_lc_state", "Line-card lifecycle state: 0=healthy 1=suspect 2=down 3=draining 4=quarantined.", 4, L("lc", "2"))
 	s.Gauge("spal_hit_ratio", "Hits over probes.", 0.9375)
 	s.Counter("spal_weird_total", "Escapes: backslash \\ and newline\nhandled.", 1, L("path", `C:\tmp`+"\n"))
 	var h HistogramSnapshot

@@ -500,8 +500,11 @@ func (r *Router) handleBatchReply(lc *lineCard, m message) {
 		r.budgetRefill(lc)
 	}
 	// The gen guard is per message too: the whole batch was computed
-	// against one table generation at the home LC.
+	// against one table generation at the home LC. A quarantined
+	// responder never catches up until rebuilt, so its stale replies are
+	// final — delivered, not re-driven (see fillStaleRelease).
 	stale := m.gen < lc.gen
+	final := stale && r.life[m.from].state.Load() == LCQuarantined
 	for k, addr := range fb.addrs {
 		if r.tracer != nil {
 			if wl, ok := lc.pending[addr]; ok && wl.tr != nil {
@@ -509,7 +512,7 @@ func (r *Router) handleBatchReply(lc *lineCard, m message) {
 			}
 		}
 		if stale {
-			r.fillStaleRelease(lc, addr, fb.nhs[k], fb.oks[k], cache.REM, ServedByRemote, m.gen)
+			r.fillStaleRelease(lc, addr, fb.nhs[k], fb.oks[k], cache.REM, ServedByRemote, m.gen, final)
 		} else {
 			r.fillAndRelease(lc, addr, fb.nhs[k], fb.oks[k], cache.REM, ServedByRemote)
 		}

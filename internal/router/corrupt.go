@@ -1,0 +1,165 @@
+// Corruption injection for the data-plane state itself. Where fault.go
+// models a lossy fabric (messages that never arrive), this file models
+// damaged state: a trie node whose verdict flipped, a cache fill stamped
+// with the wrong next hop, a route-update invalidation that never ran.
+// None of these failures are visible to the deadline/retry machinery —
+// the lookup completes promptly, with a wrong answer — which is exactly
+// why the integrity scrubber (scrub.go) exists. The injector is seeded
+// and deterministic in the same style as SeededFaults, and capped, so
+// chaos tests can assert the system returns to a corruption-free steady
+// state after the last repair.
+//
+// Engine flips are driven from the health ticker rather than from the
+// lookup path: each tick, each LC draws against EngineFlipRate; a firing
+// draw picks one prefix from that LC's current partition table, computes
+// the authoritative verdict at the prefix's first address from the
+// canonical table, and poisons the prefix's whole address range in the
+// LC's live engine with that verdict XOR 1 (see lpm.Corrupt). Poisoning
+// table-derived ranges is what makes the scrubber's detection bound
+// provable: the scrub cursor sweeps exactly those prefixes' first
+// addresses, so an injected flip is re-sampled within ceil(P/K) cycles.
+package router
+
+import (
+	"spal/internal/cache"
+	"spal/internal/lpm"
+	"spal/internal/rtable"
+)
+
+// CorruptionPolicy configures the state-corruption injector. The zero
+// value disables it entirely; a disabled policy leaves every engine and
+// cache unwrapped, so the production hot paths are untouched.
+type CorruptionPolicy struct {
+	// Enabled turns the injector on.
+	Enabled bool
+	// Seed drives every injection draw; the same seed always produces the
+	// same corruption schedule for the same draw sequence.
+	Seed uint64
+	// EngineFlipRate is the per-LC, per-health-tick probability of
+	// poisoning one randomly chosen prefix range in that LC's live engine
+	// with a wrong next hop — the software model of a flipped trie node.
+	EngineFlipRate float64
+	// WrongFillRate is the per-call probability that an LR-cache fill is
+	// stamped with the true next hop XOR 1 (see cache.CorruptStore).
+	WrongFillRate float64
+	// DropInvalidateRate is the per-call probability that an LR-cache
+	// InvalidateRange is silently swallowed, leaving stale entries behind
+	// a route update.
+	DropInvalidateRate float64
+	// MaxCorruptions caps injections per site: the engine flipper as a
+	// whole, and each LC's cache store independently. 0 means unlimited.
+	// A finite cap lets tests wait for CorruptionExhausted and then
+	// assert zero wrong verdicts after the final repair.
+	MaxCorruptions int64
+}
+
+// buildEngine constructs an LC's forwarding engine from a partition
+// table, wrapping it in the corruption overlay when engine-flip injection
+// is enabled. Every engine incarnation funnels through here —
+// construction, two-phase swap, crash re-home, quarantine rebuild, and
+// the non-dynamic ApplyUpdates rebuild — so injected damage stays
+// coverable (and a rebuild, which constructs a fresh overlay, implicitly
+// clears it, exactly like replacing a damaged SRAM bank).
+func (r *Router) buildEngine(tbl *rtable.Table) lpm.Engine {
+	e := r.cfg.Engine(tbl)
+	if r.corruptPol.Enabled && r.corruptPol.EngineFlipRate > 0 {
+		e = lpm.NewCorrupt(e)
+	}
+	return e
+}
+
+// wrapCache wraps an LC's cache store with fill/invalidate corruption
+// when the policy asks for it. Construction-time only: caches survive
+// crashes and rebuilds (they are flushed, never replaced), so the set of
+// corrupt stores is fixed for the router's lifetime.
+func (r *Router) wrapCache(i int, s cache.Store) cache.Store {
+	p := r.corruptPol
+	if !p.Enabled || (p.WrongFillRate <= 0 && p.DropInvalidateRate <= 0) {
+		return s
+	}
+	cs := cache.NewCorrupt(s, cache.CorruptConfig{
+		Seed:               splitmix64(p.Seed + uint64(i)),
+		WrongFillRate:      p.WrongFillRate,
+		DropInvalidateRate: p.DropInvalidateRate,
+		MaxEvents:          p.MaxCorruptions,
+	})
+	r.corruptStores = append(r.corruptStores, cs)
+	return cs
+}
+
+// maybeInjectLocked is the health ticker's engine-flip hook: one draw per
+// serving LC per tick; a firing draw poisons one partition prefix in that
+// LC's live engine with the wrong verdict. The poison is applied on the
+// owning LC goroutine (the engine is goroutine-private) and the monitor
+// waits for it, so the flip counter is exact. r.mu must be held.
+func (r *Router) maybeInjectLocked() {
+	p := r.corruptPol
+	if !p.Enabled || p.EngineFlipRate <= 0 {
+		return
+	}
+	for i := range r.lcs {
+		if st := r.life[i].state.Load(); st == LCDown || st == LCDraining || st == LCQuarantined {
+			continue
+		}
+		if p.MaxCorruptions > 0 && r.engineFlips.Load() >= p.MaxCorruptions {
+			return
+		}
+		h := splitmix64(p.Seed ^ r.corruptN.Add(1))
+		if float64(h&0x1f_ffff)/float64(1<<21) >= p.EngineFlipRate {
+			continue
+		}
+		tbl := r.part.Table(i)
+		n := tbl.Len()
+		if n == 0 {
+			continue
+		}
+		pfx := tbl.Routes()[int(splitmix64(h)%uint64(n))].Prefix
+		lo, hi := pfx.FirstAddr(), pfx.LastAddr()
+		// The poison verdict is the authoritative answer at lo, flipped —
+		// guaranteed wrong at lo, which is exactly the address the scrub
+		// cursor will re-sample.
+		nh := rtable.NextHop(1)
+		if rt, ok := tbl.LongestMatch(lo); ok {
+			nh = rt.NextHop ^ 1
+		}
+		done := make(chan struct{})
+		sent := r.sendCtrlSwap(i, message{kind: mExec, do: func(lc *lineCard) {
+			if c := lpm.AsCorrupt(lc.engine); c != nil {
+				c.Poison(lo, hi, nh)
+				r.engineFlips.Add(1)
+			}
+			close(done)
+		}})
+		if !sent {
+			return
+		}
+		select {
+		case <-done:
+		case <-r.life[i].exited:
+			// Crashed before the poison landed; the reborn slot gets a
+			// fresh engine anyway.
+		case <-r.quit:
+			return
+		}
+	}
+}
+
+// CorruptionExhausted reports whether every injection site has reached
+// its MaxCorruptions cap — the point after which no new corruption can
+// appear and the scrubber's repairs converge to a clean steady state.
+// Always false for an uncapped or disabled policy.
+func (r *Router) CorruptionExhausted() bool {
+	p := r.corruptPol
+	if !p.Enabled || p.MaxCorruptions <= 0 {
+		return false
+	}
+	if p.EngineFlipRate > 0 && r.engineFlips.Load() < p.MaxCorruptions {
+		return false
+	}
+	for _, cs := range r.corruptStores {
+		if !cs.Exhausted() {
+			return false
+		}
+	}
+	return true
+}

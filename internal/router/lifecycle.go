@@ -35,6 +35,11 @@
 // partition moves first, then the call blocks until every waitlist that
 // existed at drain time has resolved — no lookup is ever dropped or
 // expired by an admin drain.
+//
+// A fifth state, QUARANTINED, is entered from Healthy/Suspect by the
+// integrity scrubber rather than by the health monitor: the LC's
+// forwarding state disagreed with the canonical table. It leaves via a
+// self-healing rebuild, RestoreLC, or any full swap; see scrub.go.
 package router
 
 import (
@@ -79,11 +84,18 @@ const (
 	// LCDraining: an administrator called DrainLC; the partition has been
 	// re-homed and the LC is quiescing (or has quiesced) its waitlists.
 	LCDraining
+	// LCQuarantined: the integrity scrubber found the LC's forwarding
+	// state disagreeing with the canonical table (see scrub.go). The LC
+	// keeps its partition and keeps serving — but it holds a stale table
+	// generation, so the generation guard keeps every reply it sends out
+	// of peer caches. A rebuild (automatic under ScrubPolicy.AutoRepair),
+	// RestoreLC, or any full partitioning swap returns it to LCHealthy.
+	LCQuarantined
 )
 
 // lcStateNames are the wire/report names, used by String and the
 // spal_router_lc_state gauge documentation.
-var lcStateNames = [...]string{"healthy", "suspect", "down", "draining"}
+var lcStateNames = [...]string{"healthy", "suspect", "down", "draining", "quarantined"}
 
 // String implements fmt.Stringer.
 func (s LCState) String() string {
@@ -177,6 +189,8 @@ func (r *Router) healthCheck(now time.Time) {
 	for _, i := range dead {
 		r.rehomeLocked(i)
 	}
+	r.maybeInjectLocked()
+	r.maybeScrubLocked(now)
 	r.maybeRebalanceLocked(now)
 }
 
@@ -201,10 +215,11 @@ func (r *Router) rehomeLocked(dead int) {
 	// and bump the epoch so replies computed for the dead incarnation
 	// cannot fill the flushed cache.
 	lc := r.lcs[dead]
-	lc.engine = r.cfg.Engine(part.Table(dead))
+	lc.engine = r.buildEngine(part.Table(dead))
 	lc.homeOf = part.HomeLC
 	lc.epoch++
 	lc.gen = r.gen // the shell's engine is built from the current table
+	r.scrub[dead].streak.Store(0)
 	if lc.cache != nil {
 		lc.cache.Flush()
 	}
@@ -257,13 +272,14 @@ func (r *Router) rehomeLocked(dead int) {
 	r.part = part
 }
 
-// aliveLCsLocked returns the LCs that currently own partitions (Healthy
-// or Suspect — a Suspect may just be behind a lossy fabric). r.mu must
-// be held.
+// aliveLCsLocked returns the LCs that currently own partitions (Healthy,
+// Suspect — a Suspect may just be behind a lossy fabric — or Quarantined,
+// which still serves while its replies are fenced out of peer caches).
+// r.mu must be held.
 func (r *Router) aliveLCsLocked() []int {
 	var out []int
 	for i, l := range r.life {
-		if st := l.state.Load(); st == LCHealthy || st == LCSuspect {
+		if st := l.state.Load(); st == LCHealthy || st == LCSuspect || st == LCQuarantined {
 			out = append(out, i)
 		}
 	}
@@ -402,11 +418,14 @@ func (r *Router) pendingAddrs(lc int) (map[ip.Addr]struct{}, error) {
 	}
 }
 
-// RestoreLC returns a drained or down line card to service: the
-// partitioning is recomputed over the enlarged alive set and swapped in
-// two phases, after which the LC owns a ROT-partition again. For a Down
-// LC this restores the reborn shell (the slot's goroutine keeps running
-// across a crash), so no separate "replace card" call is needed.
+// RestoreLC returns a drained, down, or quarantined line card to
+// service: the partitioning is recomputed over the enlarged alive set
+// and swapped in two phases, after which the LC owns a ROT-partition
+// again. For a Down LC this restores the reborn shell (the slot's
+// goroutine keeps running across a crash), so no separate "replace card"
+// call is needed. For a Quarantined LC the swap rebuilds its engine from
+// the canonical table, which is exactly the manual repair path when
+// ScrubPolicy.AutoRepair is off.
 func (r *Router) RestoreLC(lc int) error {
 	if lc < 0 || lc >= r.cfg.NumLCs {
 		return fmt.Errorf("router: no such LC %d", lc)

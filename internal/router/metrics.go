@@ -99,6 +99,17 @@ const (
 	MetricBreakerShorts    = "spal_router_breaker_short_circuits_total"
 	MetricBreakerOpens     = "spal_router_breaker_opens_total"
 	MetricBreakerCloses    = "spal_router_breaker_closes_total"
+	// Integrity metrics (see scrub.go / corrupt.go). Emitted only when
+	// the scrubber or the corruption injector is enabled, so snapshots of
+	// a default router are byte-identical to earlier releases.
+	MetricScrubCycles         = "spal_router_scrub_cycles_total"
+	MetricScrubSamples        = "spal_router_scrub_samples_total"
+	MetricScrubRepairs        = "spal_router_scrub_repairs_total"
+	MetricIntegrityMismatches = "spal_router_integrity_mismatches_total"
+	MetricIntegrityScore      = "spal_router_integrity_score"
+	MetricQuarantines         = "spal_router_quarantines_total"
+	MetricRebuilds            = "spal_router_rebuilds_total"
+	MetricCorruptions         = "spal_router_corruptions_injected_total"
 )
 
 // Metrics returns an immutable snapshot of every router metric: the
@@ -168,9 +179,29 @@ func (r *Router) Metrics() *metrics.Snapshot {
 		s.Counter(MetricStaleGen, "Fabric replies delivered but kept out of the cache by the generation guard.", float64(lc.stats.StaleGenReplies.Load()), lbl)
 		s.Gauge(MetricWaitlistDepth, "Addresses with lookups parked awaiting a result.", float64(lc.pendingDepth.Load()), lbl)
 		s.Gauge(MetricWaiters, "Individual lookups (local + remote) parked in this LC's waitlists.", float64(lc.waiters.Load()), lbl)
-		s.Gauge(MetricLCState, "Line-card lifecycle state: 0=healthy 1=suspect 2=down 3=draining.", float64(r.life[i].state.Load()), lbl)
+		s.Gauge(MetricLCState, "Line-card lifecycle state: 0=healthy 1=suspect 2=down 3=draining 4=quarantined.", float64(r.life[i].state.Load()), lbl)
 		hits += float64(lc.stats.CacheHits.Load())
 		probes += float64(lc.stats.Lookups.Load())
+
+		if r.scrubPol.Enabled || r.corruptPol.Enabled {
+			sc := r.scrub[i]
+			s.Counter(MetricScrubSamples, "Engine verdicts the integrity scrubber re-verified at this LC.",
+				float64(sc.samples.Load()), lbl)
+			s.Counter(MetricIntegrityMismatches, "Scrub mismatches against the canonical table, by state kind.",
+				float64(sc.engineMism.Load()), lbl, metrics.L("kind", "engine"))
+			s.Counter(MetricIntegrityMismatches, "Scrub mismatches against the canonical table, by state kind.",
+				float64(sc.cacheMism.Load()), lbl, metrics.L("kind", "cache"))
+			s.Counter(MetricScrubRepairs, "Mismatched LR-cache entries evicted by the scrub audit.",
+				float64(sc.cacheRepairs.Load()), lbl)
+			score := 1.0
+			if n := sc.samples.Load(); n > 0 {
+				if score = 1 - float64(sc.engineMism.Load())/float64(n); score < 0 {
+					score = 0
+				}
+			}
+			s.Gauge(MetricIntegrityScore, "Per-LC integrity score: 1 − engine-mismatch fraction over all scrub samples.",
+				score, lbl)
+		}
 
 		latHelp := "End-to-end lookup latency in nanoseconds, by result origin."
 		s.Hist(MetricLatency, latHelp, lc.lat.cache.Snapshot(), lbl, metrics.L("served_by", "cache"))
@@ -222,6 +253,20 @@ func (r *Router) Metrics() *metrics.Snapshot {
 	s.Counter(MetricReplayed, "Parked lookups replayed after a re-homing.", float64(r.replayed.Load()))
 	s.Counter(MetricDrains, "Completed administrative drains.", float64(r.drains.Load()))
 	s.Hist(MetricDrainDuration, "DrainLC wall time in nanoseconds, partition swap through quiescence.", r.drainDur.Snapshot())
+	if r.scrubPol.Enabled || r.corruptPol.Enabled {
+		s.Counter(MetricScrubCycles, "Completed integrity scrub cycles.", float64(r.scrubCycles.Load()))
+		s.Counter(MetricQuarantines, "Line cards quarantined by the integrity scrubber.", float64(r.quarantines.Load()))
+		s.Counter(MetricRebuilds, "Self-healing LC rebuilds (fresh engine + rekey) after quarantine.", float64(r.rebuilds.Load()))
+		var wrongFills, droppedInv float64
+		for _, cs := range r.corruptStores {
+			wrongFills += float64(cs.WrongFills())
+			droppedInv += float64(cs.DroppedInvalidations())
+		}
+		corrHelp := "Corruptions injected by the chaos injector, by kind."
+		s.Counter(MetricCorruptions, corrHelp, float64(r.engineFlips.Load()), metrics.L("kind", "engine_flip"))
+		s.Counter(MetricCorruptions, corrHelp, wrongFills, metrics.L("kind", "wrong_fill"))
+		s.Counter(MetricCorruptions, corrHelp, droppedInv, metrics.L("kind", "dropped_invalidate"))
+	}
 	for _, v := range views {
 		s.Append(v)
 	}

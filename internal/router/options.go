@@ -100,6 +100,24 @@ func WithMaxRetries(n int) Option {
 	return func(c *Config) { c.MaxRetries = n }
 }
 
+// WithScrub enables the online integrity scrubber: per health-ticker
+// cycle it re-verifies sampled engine verdicts and every LR-cache entry
+// against the canonical routing table, evicts mismatched cache entries,
+// and quarantines (and, under AutoRepair, rebuilds) line cards whose
+// engines disagree. Pass DefaultScrubPolicy() for the defaults. See
+// scrub.go.
+func WithScrub(p ScrubPolicy) Option {
+	return func(c *Config) { c.Scrub = p }
+}
+
+// WithCorruption installs the seeded state-corruption injector: engine
+// verdict flips, wrong-value cache fills, and dropped cache
+// invalidations, capped by MaxCorruptions. Chaos-test hook for the
+// scrubber; see corrupt.go.
+func WithCorruption(p CorruptionPolicy) Option {
+	return func(c *Config) { c.Corruption = p }
+}
+
 // WithHealthThresholds sets the LC lifecycle windows (see lifecycle.go):
 // an LC with no recorded heartbeat for suspectAfter is demoted to Suspect,
 // and a crashed LC silent for downAfter is declared Down and re-homed.

@@ -164,6 +164,15 @@ type Config struct {
 	// full two-phase swap. The zero value keeps it disabled. See
 	// WithRebalance and updates.go.
 	Rebalance RebalancePolicy
+	// Scrub configures the online integrity scrubber (engine sweeps,
+	// cache audits, quarantine + self-healing rebuild; see scrub.go). The
+	// zero value keeps it disabled.
+	Scrub ScrubPolicy
+	// Corruption configures the state-corruption injector (seeded engine
+	// flips and cache fill/invalidate corruption; see corrupt.go). The
+	// zero value keeps it disabled and leaves every engine and cache
+	// unwrapped.
+	Corruption CorruptionPolicy
 }
 
 // Robustness defaults, chosen so that a healthy in-process fabric (tens
@@ -391,6 +400,24 @@ type Router struct {
 	updateBatches atomic.Int64
 	updateEvents  atomic.Int64
 	rebalances    atomic.Int64
+
+	// Integrity plane (see scrub.go / corrupt.go): the normalized scrub
+	// and corruption policies, per-LC scrub bookkeeping, the corruption
+	// injector's draw counter and per-kind totals, and the cached
+	// full-table authority the cache audit compares against (rebuilt per
+	// generation, under mu like lastScrub).
+	scrubPol      ScrubPolicy
+	corruptPol    CorruptionPolicy
+	scrub         []*lcScrub
+	corruptStores []*cache.CorruptStore
+	corruptN      atomic.Uint64
+	engineFlips   atomic.Int64
+	scrubCycles   atomic.Int64
+	quarantines   atomic.Int64
+	rebuilds      atomic.Int64
+	lastScrub     time.Time
+	scrubAuth     lpm.Engine
+	scrubAuthGen  uint64
 }
 
 // New builds and starts a router over tbl. Defaults: one line card, the
@@ -469,9 +496,14 @@ func NewWithConfig(cfg Config) (*Router, error) {
 			r.remoteLimit = 1
 		}
 	}
+	// The fallback engine is deliberately never corruption-wrapped: it is
+	// the degraded-path and repair authority, and must stay correct no
+	// matter what the injector does to the per-LC state.
 	r.fallback.Store(&fallbackEngine{eng: cfg.Engine(cfg.Table)})
 	r.part = partition.Partition(cfg.Table, cfg.NumLCs)
 	r.rebalance = normalizeRebalance(cfg.Rebalance)
+	r.scrubPol = normalizeScrub(cfg.Scrub, r.tickEvery)
+	r.corruptPol = cfg.Corruption
 	r.baselineRepl = r.part.Stats().Replication
 	r.lastRebalance = time.Now()
 	// Build every per-LC structure before starting any goroutine: the LC
@@ -481,7 +513,7 @@ func NewWithConfig(cfg Config) (*Router, error) {
 	for i := 0; i < cfg.NumLCs; i++ {
 		lc := &lineCard{
 			id:      i,
-			engine:  cfg.Engine(r.part.Table(i)),
+			engine:  r.buildEngine(r.part.Table(i)),
 			pending: make(map[ip.Addr]*waitlist),
 			homeOf:  r.part.HomeLC,
 			stats:   &LCStats{},
@@ -499,16 +531,17 @@ func NewWithConfig(cfg Config) (*Router, error) {
 				if err != nil {
 					return nil, fmt.Errorf("router: %w", err)
 				}
-				lc.cache = sh
+				lc.cache = r.wrapCache(i, sh)
 			} else {
 				c, err := cache.NewErr(cc)
 				if err != nil {
 					return nil, fmt.Errorf("router: %w", err)
 				}
-				lc.cache = c
+				lc.cache = r.wrapCache(i, c)
 			}
 		}
 		lc.ov = newLCOverload(r.ov, cfg.NumLCs)
+		r.scrub = append(r.scrub, &lcScrub{})
 		life := &lcLife{die: make(chan struct{}), exited: make(chan struct{})}
 		life.lastBeat.Store(now)
 		if r.ov.Enabled {
@@ -803,8 +836,11 @@ func (r *Router) handle(lc *lineCard, m message) {
 			// batch we have already applied (and invalidated for): the
 			// parked lookups may still observe it — they were in flight
 			// during the update window — but it must not survive as a
-			// cache entry.
-			r.fillStaleRelease(lc, m.addr, m.nextHop, m.ok, cache.REM, ServedByRemote, m.gen)
+			// cache entry. A quarantined responder stays behind until it
+			// is rebuilt, so its replies are final: delivered to every
+			// waiter rather than re-driven back at it.
+			final := r.life[m.from].state.Load() == LCQuarantined
+			r.fillStaleRelease(lc, m.addr, m.nextHop, m.ok, cache.REM, ServedByRemote, m.gen, final)
 			return
 		}
 		r.fillAndRelease(lc, m.addr, m.nextHop, m.ok, cache.REM, ServedByRemote)
@@ -1060,7 +1096,7 @@ func (r *Router) fillAndRelease(lc *lineCard, addr ip.Addr, nh rtable.NextHop, o
 	if lc.cache != nil {
 		lc.cache.Fill(addr, nh, origin)
 	}
-	r.release(lc, addr, nh, ok, origin, servedBy, lc.gen)
+	r.release(lc, addr, nh, ok, origin, servedBy, lc.gen, false)
 }
 
 // fillStaleRelease handles a fabric reply whose value was computed against
@@ -1073,18 +1109,27 @@ func (r *Router) fillAndRelease(lc *lineCard, addr ip.Addr, nh rtable.NextHop, o
 // re-dispatch instead of parking forever); the point invalidation right
 // after drops the entry again. Remote waiters are answered with the
 // value's true generation, so the next hop applies the same rule.
-func (r *Router) fillStaleRelease(lc *lineCard, addr ip.Addr, nh rtable.NextHop, ok bool, origin cache.Origin, servedBy ServedBy, valueGen uint64) {
+//
+// final marks staleness that will not resolve by waiting: the responder is
+// quarantined, pinned behind the current generation until it is rebuilt.
+// Re-driving such a lookup would park it, forward it to the same
+// quarantined home, and draw another stale reply — forever — so final
+// replies answer every waiter, new-generation ones included. That is the
+// documented quarantine contract: the damaged LC keeps serving, its
+// verdicts just never enter a cache.
+func (r *Router) fillStaleRelease(lc *lineCard, addr ip.Addr, nh rtable.NextHop, ok bool, origin cache.Origin, servedBy ServedBy, valueGen uint64, final bool) {
 	lc.stats.StaleGenReplies.Add(1)
 	if lc.cache != nil {
 		lc.cache.Fill(addr, nh, origin)
 		lc.cache.InvalidateRange(addr, addr)
 	}
-	r.release(lc, addr, nh, ok, origin, servedBy, valueGen)
+	r.release(lc, addr, nh, ok, origin, servedBy, valueGen, final)
 }
 
 // release answers everything parked on addr with the verdict. valueGen is
 // the table generation the value reflects, echoed to remote waiters.
-func (r *Router) release(lc *lineCard, addr ip.Addr, nh rtable.NextHop, ok bool, origin cache.Origin, servedBy ServedBy, valueGen uint64) {
+// final suppresses the stale-value re-drive (see fillStaleRelease).
+func (r *Router) release(lc *lineCard, addr ip.Addr, nh rtable.NextHop, ok bool, origin cache.Origin, servedBy ServedBy, valueGen uint64, final bool) {
 	wl, present := lc.pending[addr]
 	if !present {
 		return
@@ -1092,7 +1137,7 @@ func (r *Router) release(lc *lineCard, addr ip.Addr, nh rtable.NextHop, ok bool,
 	delete(lc.pending, addr)
 	lc.pendingDepth.Store(int64(len(lc.pending)))
 	lc.waiters.Add(-int64(len(wl.locals) + len(wl.remotes)))
-	if valueGen < lc.gen {
+	if valueGen < lc.gen && !final {
 		// A generationally stale value may only answer waiters that
 		// parked before this LC applied the newer batch; later waiters
 		// were promised the updated table (ApplyUpdates had returned
@@ -1397,7 +1442,7 @@ func (r *Router) swapPartitioning(part *partition.Partitioning) error {
 	}
 
 	if err := phase(func(i int) message {
-		return message{kind: mSwapEngine, engine: r.cfg.Engine(part.Table(i)), homeOf: part.HomeLC, gen: r.gen}
+		return message{kind: mSwapEngine, engine: r.buildEngine(part.Table(i)), homeOf: part.HomeLC, gen: r.gen}
 	}); err != nil {
 		return err
 	}
@@ -1413,6 +1458,15 @@ func (r *Router) swapPartitioning(part *partition.Partitioning) error {
 	// table, so it is the rebalancer's new quality baseline.
 	r.baselineRepl = part.Stats().Replication
 	r.lastRebalance = time.Now()
+	// It also rebuilt every LC's engine from the canonical table, which
+	// makes it an integrity repair: quarantines lift and mismatch streaks
+	// reset (see scrub.go).
+	for i, l := range r.life {
+		r.scrub[i].streak.Store(0)
+		if l.state.Load() == LCQuarantined {
+			l.state.Store(LCHealthy)
+		}
+	}
 	return nil
 }
 

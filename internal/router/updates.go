@@ -177,11 +177,21 @@ func (r *Router) handleApplyUpdates(lc *lineCard, m message) {
 				}
 			}
 		} else if m.table != nil {
-			lc.engine = r.cfg.Engine(m.table)
+			lc.engine = r.buildEngine(m.table)
 		}
 		lc.stats.UpdatesApplied.Add(int64(len(m.updates)))
 	}
-	lc.gen = m.gen
+	if r.life[lc.id].state.Load() != LCQuarantined {
+		// The quarantine fence is the generation gap itself: peers keep
+		// a quarantined LC's replies out of their caches because its gen
+		// trails theirs. Advancing it here would silently re-arm caching
+		// of a known-damaged engine's verdicts on the next routine batch,
+		// so a quarantined LC's gen stays pinned — the engine delta and
+		// cache invalidation still land, keeping served verdicts as
+		// fresh as possible — and catches up only through the rebuild
+		// swap (mSwapEngine).
+		lc.gen = m.gen
+	}
 	if lc.cache != nil {
 		for _, rg := range m.ranges {
 			lc.cache.InvalidateRange(rg.Lo, rg.Hi)

@@ -134,6 +134,36 @@ func TestApplyUpdatesEdgeCases(t *testing.T) {
 	if v, err := r.Lookup(0, mustAddr(t, "10.1.2.3")); err != nil || !v.OK || v.NextHop != 1 {
 		t.Fatalf("table damaged by rejected batch: %+v, %v", v, err)
 	}
+
+	// Duplicate prefixes inside one batch apply in order: the last event
+	// for a prefix wins, exactly as if the events had arrived in separate
+	// batches.
+	p := mustPfx(t, "172.16.0.0/12")
+	dup := []rtable.Update{
+		{Kind: rtable.Announce, Route: rtable.Route{Prefix: p, NextHop: 7}},
+		{Kind: rtable.Announce, Route: rtable.Route{Prefix: p, NextHop: 9}},
+	}
+	if err := r.ApplyUpdates(dup); err != nil {
+		t.Fatalf("duplicate-announce batch: %v", err)
+	}
+	if v, err := r.Lookup(0, mustAddr(t, "172.16.1.1")); err != nil || !v.OK || v.NextHop != 9 {
+		t.Fatalf("duplicate announce: got %+v, %v; want the later next hop 9", v, err)
+	}
+
+	// Announce then withdraw of the same prefix in one batch nets out to
+	// absence.
+	q := mustPfx(t, "172.31.0.0/16")
+	upDown := []rtable.Update{
+		{Kind: rtable.Announce, Route: rtable.Route{Prefix: q, NextHop: 5}},
+		{Kind: rtable.Withdraw, Route: rtable.Route{Prefix: q}},
+	}
+	if err := r.ApplyUpdates(upDown); err != nil {
+		t.Fatalf("announce+withdraw batch: %v", err)
+	}
+	// 172.31.x falls back to the /12 announced above (now next hop 9).
+	if v, err := r.Lookup(1, mustAddr(t, "172.31.2.2")); err != nil || !v.OK || v.NextHop != 9 {
+		t.Fatalf("announce+withdraw: got %+v, %v; want the covering /12's 9", v, err)
+	}
 }
 
 func mustPfx(t *testing.T, s string) ip.Prefix {

@@ -54,6 +54,57 @@ func TestLookupLinearLongestWins(t *testing.T) {
 	}
 }
 
+// TestLongestMatchAgainstLinear: the binary-search LongestMatch (the
+// scrubber's authoritative verdict) must agree with the O(N) linear scan
+// on every address — random probes plus every prefix boundary, over
+// synthesized tables with nested prefixes.
+func TestLongestMatchAgainstLinear(t *testing.T) {
+	rng := stats.NewRNG(0xa11d17)
+	for _, n := range []int{1, 17, 500, 5000} {
+		tbl := Synthesize(SynthConfig{N: n, NextHops: 16, NestProb: 0.5, Seed: uint64(n) + 9})
+		check := func(a ip.Addr) {
+			t.Helper()
+			wantNH, wantOK := tbl.LookupLinear(a)
+			rt, ok := tbl.LongestMatch(a)
+			if ok != wantOK || (ok && rt.NextHop != wantNH) {
+				t.Fatalf("n=%d LongestMatch(%s) = (%+v,%v), linear says (%d,%v)",
+					n, ip.FormatAddr(a), rt, ok, wantNH, wantOK)
+			}
+			if ok && (a < rt.Prefix.FirstAddr() || a > rt.Prefix.LastAddr()) {
+				t.Fatalf("n=%d LongestMatch(%s) returned non-containing prefix %v",
+					n, ip.FormatAddr(a), rt.Prefix)
+			}
+		}
+		for i := 0; i < 2000; i++ {
+			check(ip.Addr(rng.Uint32()))
+		}
+		// Boundary addresses: first/last covered address of every prefix
+		// and their outside neighbours, where off-by-one bugs live.
+		for _, rt := range tbl.Routes() {
+			lo, hi := rt.Prefix.FirstAddr(), rt.Prefix.LastAddr()
+			check(lo)
+			check(hi)
+			if lo > 0 {
+				check(lo - 1)
+			}
+			if hi < ^ip.Addr(0) {
+				check(hi + 1)
+			}
+		}
+	}
+}
+
+// TestLongestMatchNoMatch: an address outside every prefix yields the
+// explicit no-route sentinel.
+func TestLongestMatchNoMatch(t *testing.T) {
+	tbl := New([]Route{{Prefix: ip.MustPrefix("10.0.0.0/8"), NextHop: 1}})
+	a, _ := ip.ParseAddr("11.0.0.1")
+	rt, ok := tbl.LongestMatch(a)
+	if ok || rt.NextHop != NoNextHop {
+		t.Fatalf("LongestMatch outside table = (%+v,%v), want (NoNextHop,false)", rt, ok)
+	}
+}
+
 func TestReadWriteRoundTrip(t *testing.T) {
 	tbl := Small(500, 7)
 	var buf bytes.Buffer

@@ -113,6 +113,24 @@ type Config struct {
 	// experiments compare targeted invalidation against.
 	UpdateFullFlush bool
 
+	// CorruptRate > 0 enables the seeded state-corruption injector: each
+	// LR-cache fill (LOC and REM alike) is independently corrupted with
+	// this probability — the stored and delivered next hop is bit-flipped
+	// — modelling soft errors on the fill path. With corruption on,
+	// completed packets that disagree with the verification oracle are
+	// counted (Result.WrongVerdicts) instead of failing the run, so the
+	// scrub experiments can measure exposure rather than crash.
+	CorruptRate float64
+	// CorruptSeed drives the corruption draws independently of the other
+	// random streams; 0 derives a seed from Seed.
+	CorruptSeed uint64
+	// ScrubEveryCycles > 0 enables the online integrity scrubber: every
+	// that many cycles each LR-cache is audited in full against the
+	// current table's oracle and mismatched entries are evicted
+	// (Result.ScrubMismatches / ScrubRepairs) — the simulator analogue of
+	// the concurrent router's scrub plane.
+	ScrubEveryCycles int64
+
 	// DisableEarlyRecording turns off the paper's "early cache block
 	// recording" (Sec. 3.2): misses no longer reserve a W-bit block, so
 	// concurrent lookups for one address each run the full miss path.
@@ -216,6 +234,15 @@ func (c Config) normalize() (Config, error) {
 		if c.UpdateNewPrefixProb == 0 {
 			c.UpdateNewPrefixProb = 0.2
 		}
+	}
+	if c.CorruptRate < 0 || c.CorruptRate > 1 {
+		return c, fmt.Errorf("sim: CorruptRate %v outside [0,1]", c.CorruptRate)
+	}
+	if c.ScrubEveryCycles < 0 {
+		return c, fmt.Errorf("sim: negative ScrubEveryCycles %d", c.ScrubEveryCycles)
+	}
+	if c.CorruptRate > 0 && c.CorruptSeed == 0 {
+		c.CorruptSeed = c.Seed ^ 0xbadf111
 	}
 	if !c.DynamicLookup && c.LookupCycles <= 0 {
 		return c, fmt.Errorf("sim: LookupCycles must be positive")

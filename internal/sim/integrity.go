@@ -1,0 +1,76 @@
+// State-integrity plane of the simulator: seeded fill corruption and the
+// online cache scrubber.
+//
+// CorruptRate flips the next hop of a fill with a fixed per-fill
+// probability drawn from an independent splitmix64 stream, so every
+// corruption in a run is reproducible from (Seed, CorruptSeed). The
+// corrupted value behaves exactly like the concurrent router's CorruptStore
+// wrong fill: it is stored in the LR-cache, delivered to the parked
+// packets, and keeps serving hits until something removes it — a churn
+// invalidation that happens to cover it, capacity eviction, or the
+// scrubber.
+//
+// ScrubEveryCycles audits every LR-cache entry against the oracle of the
+// current table version and evicts mismatches. The audit is exhaustive
+// (unlike the concurrent router's sampled engine sweep, a cache holds few
+// enough entries to walk in full), so a corrupted entry's exposure window
+// is bounded by one scrub period. Without corruption the audit must find
+// nothing: live entries always agree with the current version because
+// churn invalidates affected ranges and stale fills are point-invalidated.
+package sim
+
+import (
+	"spal/internal/ip"
+	"spal/internal/lpm"
+	"spal/internal/rtable"
+)
+
+// maybeCorrupt applies the seeded fill corruption: with probability
+// CorruptRate the next hop is bit-flipped before it reaches the cache and
+// the packets parked on it.
+func (r *Router) maybeCorrupt(nh rtable.NextHop) rtable.NextHop {
+	if r.corruptRNG == nil || !r.corruptRNG.Bool(r.cfg.CorruptRate) {
+		return nh
+	}
+	r.corruptions++
+	return nh ^ 1
+}
+
+// scrubAuthority returns the oracle for the current table version,
+// reusing the verification history when it exists and caching one
+// reference per version otherwise.
+func (r *Router) scrubAuthority() *lpm.Reference {
+	if r.refs != nil {
+		return r.refs[r.version]
+	}
+	if r.scrubAuth == nil || r.scrubAuthVer != r.version {
+		r.scrubAuth = lpm.NewReference(r.curTable)
+		r.scrubAuthVer = r.version
+	}
+	return r.scrubAuth
+}
+
+// scrubAll audits every LR-cache entry against the current oracle and
+// evicts the ones that disagree. Waiting blocks are skipped (their value
+// is not yet decided); an evicted address simply misses again.
+func (r *Router) scrubAll() {
+	auth := r.scrubAuthority()
+	for _, l := range r.lcs {
+		if l.cache == nil {
+			continue
+		}
+		evicted := l.cache.AuditEntries(func(a ip.Addr, nh rtable.NextHop) bool {
+			want, _, ok := auth.Lookup(a)
+			if !ok {
+				want = rtable.NoNextHop
+			}
+			if nh == want {
+				return true
+			}
+			r.scrubMismatches++
+			return false
+		})
+		r.scrubRepairs += int64(evicted)
+	}
+	r.scrubCycles++
+}

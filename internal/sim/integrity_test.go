@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"testing"
+
+	"spal/internal/rtable"
+)
+
+// TestSimCorruptionScrub: with fill corruption and the scrubber both on,
+// the run completes without the oracle panic (wrong verdicts are counted
+// instead), every injected corruption that a scrub sweep finds is
+// evicted, and the counters surface through the Result.
+func TestSimCorruptionScrub(t *testing.T) {
+	tbl := rtable.Small(2000, 4)
+	cfg := testConfig(tbl)
+	cfg.VerifyNextHops = true
+	cfg.CorruptRate = 0.01
+	cfg.ScrubEveryCycles = 200
+	res := run(t, cfg)
+
+	if res.CorruptionsInjected == 0 {
+		t.Fatal("corrupt rate 1% over 12k packets injected nothing")
+	}
+	if res.ScrubCycles == 0 {
+		t.Fatal("scrubber never ran")
+	}
+	if res.ScrubMismatches == 0 {
+		t.Fatal("corruption injected but no scrub sweep found a mismatch")
+	}
+	if res.ScrubRepairs != res.ScrubMismatches {
+		t.Fatalf("scrub evicted %d of %d mismatches; every find must be repaired",
+			res.ScrubRepairs, res.ScrubMismatches)
+	}
+	// A corrupted fill can serve wrong verdicts until a sweep evicts it —
+	// that is the injected failure, not a sim bug — but it must be
+	// bounded by the number of corrupted entries times their residency.
+	t.Logf("injected=%d mismatches=%d repaired=%d wrongVerdicts=%d sweeps=%d",
+		res.CorruptionsInjected, res.ScrubMismatches, res.ScrubRepairs,
+		res.WrongVerdicts, res.ScrubCycles)
+}
+
+// TestSimCorruptionDeterminism: the corruption schedule is seeded; the
+// same config reproduces the same injection and detection counts.
+func TestSimCorruptionDeterminism(t *testing.T) {
+	tbl := rtable.Small(2000, 4)
+	cfg := testConfig(tbl)
+	cfg.VerifyNextHops = true
+	cfg.CorruptRate = 0.01
+	cfg.ScrubEveryCycles = 200
+	a, b := run(t, cfg), run(t, cfg)
+	if a.CorruptionsInjected != b.CorruptionsInjected ||
+		a.ScrubMismatches != b.ScrubMismatches ||
+		a.WrongVerdicts != b.WrongVerdicts {
+		t.Fatalf("same seed diverged: injected %d/%d mismatches %d/%d wrong %d/%d",
+			a.CorruptionsInjected, b.CorruptionsInjected,
+			a.ScrubMismatches, b.ScrubMismatches,
+			a.WrongVerdicts, b.WrongVerdicts)
+	}
+}
+
+// TestSimScrubCleanNoFalsePositives: the scrubber over an uncorrupted
+// run — including one with route churn — must find nothing; a false
+// positive would evict live entries and skew every cache metric built on
+// top.
+func TestSimScrubCleanNoFalsePositives(t *testing.T) {
+	tbl := rtable.Small(2000, 4)
+	cfg := testConfig(tbl)
+	cfg.VerifyNextHops = true
+	cfg.ScrubEveryCycles = 100
+	cfg.UpdatesPerSecond = 50000
+	res := run(t, cfg)
+	if res.ScrubCycles == 0 {
+		t.Fatal("scrubber never ran")
+	}
+	if res.ScrubMismatches != 0 || res.ScrubRepairs != 0 {
+		t.Fatalf("clean churn run flagged %d mismatches (%d evictions)",
+			res.ScrubMismatches, res.ScrubRepairs)
+	}
+	if res.CorruptionsInjected != 0 || res.WrongVerdicts != 0 {
+		t.Fatalf("no injector configured but injected=%d wrong=%d",
+			res.CorruptionsInjected, res.WrongVerdicts)
+	}
+}

@@ -68,6 +68,13 @@ type Result struct {
 	// applied, targeted range invalidations issued across all caches,
 	// and stale fills caught by the version guard.
 	ChurnEvents, ChurnRangeInvalidations, ChurnStaleFills int64
+	// State-integrity accounting (CorruptRate / ScrubEveryCycles > 0):
+	// fills corrupted by the injector, scrub passes run, cache entries
+	// the scrubber found disagreeing with the oracle and evicted, and
+	// packets that completed with a wrong next hop (only counted when
+	// VerifyNextHops is set; without corruption a wrong verdict panics
+	// instead).
+	CorruptionsInjected, ScrubCycles, ScrubMismatches, ScrubRepairs, WrongVerdicts int64
 	// PerLC holds per-line-card breakdowns.
 	PerLC []LCStats
 	// Samples is the latency time series (SampleWindowCycles > 0): the
@@ -98,6 +105,11 @@ func (r *Router) result() *Result {
 	res.ChurnEvents = r.churnEvents
 	res.ChurnRangeInvalidations = r.churnRangeInv
 	res.ChurnStaleFills = r.churnStaleFills
+	res.CorruptionsInjected = r.corruptions
+	res.ScrubCycles = r.scrubCycles
+	res.ScrubMismatches = r.scrubMismatches
+	res.ScrubRepairs = r.scrubRepairs
+	res.WrongVerdicts = r.wrongVerdicts
 	if res.MeanLookupCycles > 0 {
 		res.DerivedMppsPerLC = 1e3 / (res.MeanLookupCycles * r.cfg.CycleNS)
 		res.DerivedMppsRouter = res.DerivedMppsPerLC * float64(r.cfg.NumLCs)
@@ -178,6 +190,13 @@ func (res *Result) Snapshot() *metrics.Snapshot {
 		s.Counter("spal_sim_range_invalidations_total", "Targeted cache range invalidations from churn.", float64(res.ChurnRangeInvalidations))
 		s.Counter("spal_sim_stale_fills_total", "Stale fills point-invalidated by the version guard.", float64(res.ChurnStaleFills))
 	}
+	if res.cfg.CorruptRate > 0 || res.cfg.ScrubEveryCycles > 0 {
+		s.Counter("spal_sim_corruptions_injected_total", "Cache fills corrupted by the injector.", float64(res.CorruptionsInjected))
+		s.Counter("spal_sim_scrub_cycles_total", "Full-cache scrub passes run.", float64(res.ScrubCycles))
+		s.Counter("spal_sim_scrub_mismatches_total", "Cache entries the scrubber found disagreeing with the oracle.", float64(res.ScrubMismatches))
+		s.Counter("spal_sim_scrub_repairs_total", "Mismatched cache entries evicted by the scrubber.", float64(res.ScrubRepairs))
+		s.Counter("spal_sim_wrong_verdicts_total", "Packets completed with a next hop the oracle rejects.", float64(res.WrongVerdicts))
+	}
 	for i, l := range res.PerLC {
 		lbl := metrics.L("lc", strconv.Itoa(i))
 		s.Counter("spal_sim_generated_total", "Packets generated at this LC.", float64(l.Generated), lbl)
@@ -220,6 +239,10 @@ func (res *Result) String() string {
 	if res.ChurnEvents > 0 {
 		fmt.Fprintf(&b, "  churn = %d updates (%.0f/s), %d range invalidations, %d stale fills guarded\n",
 			res.ChurnEvents, res.cfg.UpdatesPerSecond, res.ChurnRangeInvalidations, res.ChurnStaleFills)
+	}
+	if res.cfg.CorruptRate > 0 || res.cfg.ScrubEveryCycles > 0 {
+		fmt.Fprintf(&b, "  integrity = %d fills corrupted, %d scrubs found %d mismatches (%d evicted), %d wrong verdicts served\n",
+			res.CorruptionsInjected, res.ScrubCycles, res.ScrubMismatches, res.ScrubRepairs, res.WrongVerdicts)
 	}
 	return b.String()
 }

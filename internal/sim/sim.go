@@ -118,6 +118,14 @@ type Router struct {
 
 	churnEvents, churnRangeInv, churnStaleFills int64
 
+	// State-integrity plane (see integrity.go): the corruption draw
+	// stream, the per-version scrub oracle, and the run counters.
+	corruptRNG   *stats.RNG
+	scrubAuth    *lpm.Reference
+	scrubAuthVer int32
+
+	corruptions, scrubCycles, scrubMismatches, scrubRepairs, wrongVerdicts int64
+
 	packets   []packet
 	stages    []stageStamp // parallel to packets; nil unless StageAccounting
 	completed int64
@@ -171,6 +179,9 @@ func New(cfg Config) (*Router, error) {
 		r.refs = []*lpm.Reference{lpm.NewReference(cfg.Table)}
 	}
 	r.curTable = cfg.Table
+	if cfg.CorruptRate > 0 {
+		r.corruptRNG = stats.NewRNG(cfg.CorruptSeed)
+	}
 	if cfg.UpdatesPerSecond > 0 {
 		// The stream covers the packet-generation horizon; updates that
 		// would land after the last arrival change nothing observable.
@@ -280,6 +291,12 @@ func (r *Router) step() {
 		r.applyChurn(now)
 	}
 
+	// 2c. Online integrity scrub: audit every LR-cache against the
+	// current oracle, evicting corrupted entries (see integrity.go).
+	if r.cfg.ScrubEveryCycles > 0 && now > 0 && now%r.cfg.ScrubEveryCycles == 0 {
+		r.scrubAll()
+	}
+
 	for _, l := range r.lcs {
 		// 3. Packet arrivals. Under admission control a packet that finds
 		// the arrival queue at its cap is shed on the spot: counted, never
@@ -373,31 +390,35 @@ func (r *Router) finishFE(l *lineCard) {
 	l.feBusy = false
 	r.stamp(job.packetID, stFEDone)
 	v := r.packets[job.packetID].valueVersion
+	nh := job.nextHop
 	var waiters []int64
 	if l.cache != nil {
-		waiters = l.cache.Fill(job.addr, job.nextHop, cache.LOC)
+		nh = r.maybeCorrupt(nh)
+		waiters = l.cache.Fill(job.addr, nh, cache.LOC)
 		if v < r.version {
 			l.cache.InvalidateRange(job.addr, job.addr)
 			r.churnStaleFills++
 		}
 	}
-	r.resolveAll(l, job.packetID, waiters, job.nextHop, v)
+	r.resolveAll(l, job.packetID, waiters, nh, v)
 }
 
 // handleReply processes a fabric reply at the arrival LC: fill as REM,
 // release the parked packets.
 func (r *Router) handleReply(l *lineCard, m fabric.Message) {
 	v := r.packets[m.PacketID].valueVersion
+	nh := m.NextHop
 	var waiters []int64
 	if l.cache != nil {
-		waiters = l.cache.Fill(m.Addr, m.NextHop, cache.REM)
+		nh = r.maybeCorrupt(nh)
+		waiters = l.cache.Fill(m.Addr, nh, cache.REM)
 		if v < r.version {
 			l.cache.InvalidateRange(m.Addr, m.Addr)
 			r.churnStaleFills++
 		}
 	}
 	l.counters.Get("reply.received").Inc()
-	r.resolveAll(l, m.PacketID, waiters, m.NextHop, v)
+	r.resolveAll(l, m.PacketID, waiters, nh, v)
 }
 
 // resolveAll routes a lookup result to the originating packet and all
@@ -456,6 +477,12 @@ func (r *Router) complete(l *lineCard, id int64, nh rtable.NextHop, v int32) {
 	if r.refs != nil {
 		wantNH, _, wantOK := r.refs[v].Lookup(p.addr)
 		if wantOK && nh != wantNH || !wantOK && nh != rtable.NoNextHop {
+			// With the corruption injector on, wrong verdicts are the
+			// phenomenon under measurement, not a simulator bug.
+			if r.cfg.CorruptRate > 0 {
+				r.wrongVerdicts++
+				return
+			}
 			panic(fmt.Sprintf("sim: packet %d addr %s completed with nh=%d, version-%d oracle says (%d,%v)",
 				id, ip.FormatAddr(p.addr), nh, v, wantNH, wantOK))
 		}

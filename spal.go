@@ -123,6 +123,17 @@ type (
 	// re-selects control bits when incremental updates drift replication
 	// or per-LC skew past its thresholds (see WithRouterRebalance).
 	RebalancePolicy = router.RebalancePolicy
+	// ScrubPolicy configures the online integrity scrubber that samples
+	// per-LC state against the canonical table (see WithRouterScrub).
+	ScrubPolicy = router.ScrubPolicy
+	// CorruptionPolicy configures the seeded state-corruption injector
+	// (see WithRouterCorruption).
+	CorruptionPolicy = router.CorruptionPolicy
+	// IntegrityReport is the scrubber's cumulative view of detected and
+	// repaired state damage (see Router.Integrity).
+	IntegrityReport = router.IntegrityReport
+	// LCIntegrity is one line card's row in an IntegrityReport.
+	LCIntegrity = router.LCIntegrity
 )
 
 // Update kinds.
@@ -159,10 +170,11 @@ var ErrOverloaded = router.ErrOverloaded
 
 // LC lifecycle states, re-exported for Router.LCStates.
 const (
-	LCHealthy  = router.LCHealthy
-	LCSuspect  = router.LCSuspect
-	LCDown     = router.LCDown
-	LCDraining = router.LCDraining
+	LCHealthy     = router.LCHealthy
+	LCSuspect     = router.LCSuspect
+	LCDown        = router.LCDown
+	LCDraining    = router.LCDraining
+	LCQuarantined = router.LCQuarantined
 )
 
 // ParsePrefix parses CIDR notation ("10.0.0.0/8").
@@ -318,6 +330,27 @@ func WithRouterRebalance(p RebalancePolicy) RouterOption { return router.WithReb
 // (enabled, 15% replication growth, 1.0 relative size skew, 1 s minimum
 // interval between rebalances).
 func DefaultRebalancePolicy() RebalancePolicy { return router.DefaultRebalancePolicy() }
+
+// WithRouterScrub enables the online integrity scrubber: every Interval
+// it samples SamplesPerLC prefixes per line card with a rotating cursor,
+// recomputes authoritative verdicts from the canonical routing table,
+// compares them against the live engine walk and the resident cache
+// entries, evicts mismatched cache entries, and quarantines (and, with
+// AutoRepair, rebuilds) a line card whose engine keeps failing audits.
+// Pass DefaultScrubPolicy() for defaults.
+func WithRouterScrub(p ScrubPolicy) RouterOption { return router.WithScrub(p) }
+
+// DefaultScrubPolicy returns the scrubber's defaults: enabled, interval
+// of 4 health ticks, 32 samples per LC per cycle, quarantine after 1
+// confirmed engine mismatch, auto-repair on.
+func DefaultScrubPolicy() ScrubPolicy { return router.DefaultScrubPolicy() }
+
+// WithRouterCorruption installs the seeded state-corruption injector:
+// engine verdict flips over poisoned address ranges, wrong values stored
+// on cache fills, and dropped range invalidations, each drawn from a
+// counter-keyed hash of the seed so a corruption schedule replays
+// exactly. For chaos testing the scrub plane; never on by default.
+func WithRouterCorruption(p CorruptionPolicy) RouterOption { return router.WithCorruption(p) }
 
 // GenerateUpdates synthesizes a seeded BGP-style churn stream over tbl:
 // announces of new and existing prefixes mixed with withdraws, stamped
