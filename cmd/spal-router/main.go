@@ -83,6 +83,7 @@ func main() {
 	corruptRate := flag.Float64("corrupt-rate", 0, "inject state corruption at this rate: engine verdict flips, wrong cache fills, dropped invalidations (0 = off)")
 	corruptSeed := flag.Uint64("corrupt-seed", 1, "seed for the deterministic corruption injector")
 	scrubInterval := flag.Duration("scrub-interval", 0, "run the online integrity scrubber this often, quarantining and rebuilding corrupted LCs (0 = off)")
+	processMetrics := flag.Bool("process-metrics", false, "also export Go process gauges (goroutines, heap bytes, GC pause) on /metrics")
 	flag.Parse()
 
 	tbl := rtable.Synthesize(rtable.SynthConfig{N: *tableN, NextHops: 16, NestProb: 0.35, Seed: 0x5e3d_0001})
@@ -150,7 +151,7 @@ func main() {
 		*psi, tbl.Len(), r.PartitionBits(), *engineName)
 
 	if *metricsAddr != "" {
-		if err := serveMetrics(*metricsAddr, r); err != nil {
+		if err := serveMetrics(*metricsAddr, r, *processMetrics); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -227,13 +228,19 @@ func main() {
 // failing fast when the address cannot be bound. /healthz reflects the
 // lifecycle state machine (503 while any LC is Down or Draining),
 // /debug/spal/traces serves the completed-trace journal, and the
-// standard pprof profiles hang under /debug/pprof/.
-func serveMetrics(addr string, r *router.Router) error {
+// standard pprof profiles hang under /debug/pprof/. withProcess opts the
+// scrape into the Go process gauges; the default snapshot stays exactly
+// the router's own metric families.
+func serveMetrics(addr string, r *router.Router, withProcess bool) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	mux := metrics.NewMux(r.Metrics, r.Healthy)
+	src := r.Metrics
+	if withProcess {
+		src = metrics.WithProcess(src)
+	}
+	mux := metrics.NewMux(src, r.Healthy)
 	mux.Handle("/debug/spal/traces", tracing.Handler(r.Traces))
 	metrics.RegisterPprof(mux)
 	go http.Serve(ln, mux)

@@ -50,6 +50,7 @@ func main() {
 	stages := flag.Bool("stages", false, "print the per-stage lookup latency breakdown")
 	configPath := flag.String("config", "", "JSON config file (flags for table size still apply)")
 	promPath := flag.String("prom", "", "write the run's metrics in Prometheus text format to this file (\"-\" for stdout)")
+	jsonPath := flag.String("json", "", "write the full machine-readable Result as JSON to this file (\"-\" for stdout, replacing the human report)")
 	flag.Parse()
 
 	tbl := rtable.Synthesize(rtable.SynthConfig{N: *tableN, NextHops: 16, NestProb: 0.35, Seed: 0x5e3d_0002})
@@ -123,7 +124,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Print(res.String())
+	if *jsonPath != "-" {
+		fmt.Print(res.String())
+	}
+	if *jsonPath != "" {
+		out := os.Stdout
+		if *jsonPath != "-" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := res.WriteJSON(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	if *promPath != "" {
 		out := os.Stdout
 		if *promPath != "-" {

@@ -1,0 +1,210 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CompareMetrics are the lower-is-better latency metrics the value
+// comparator checks when present in both snapshots.
+var CompareMetrics = []string{
+	"ns_per_op", "p50_ns", "p99_ns",
+	"mean_cycles", "p99_cycles", "worst_cycles",
+}
+
+// CompareRow is one (benchmark, metric) ratio between two snapshots.
+type CompareRow struct {
+	Section string  `json:"section"` // "benchmarks" or "sim"
+	Name    string  `json:"name"`
+	Metric  string  `json:"metric"`
+	Old     float64 `json:"old"`
+	New     float64 `json:"new"`
+	Ratio   float64 `json:"ratio"`
+	Ceiling float64 `json:"ceiling"`
+	// Regressed means new/old exceeded the ceiling for this metric.
+	Regressed bool `json:"regressed,omitempty"`
+}
+
+// CompareReport is the result of a value comparison.
+type CompareReport struct {
+	Rows        []CompareRow
+	Regressions []CompareRow
+}
+
+// String renders the report as an aligned table, regressions marked.
+func (r *CompareReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-44s %-12s %12s %12s %7s %8s\n", "benchmark", "metric", "old", "new", "ratio", "ceiling")
+	for _, row := range r.Rows {
+		mark := ""
+		if row.Regressed {
+			mark = "  REGRESSED"
+		}
+		fmt.Fprintf(&b, "%-44s %-12s %12.1f %12.1f %7.3f %8.2f%s\n",
+			row.Name, row.Metric, row.Old, row.New, row.Ratio, row.Ceiling, mark)
+	}
+	fmt.Fprintf(&b, "%d comparisons, %d regressions\n", len(r.Rows), len(r.Regressions))
+	return b.String()
+}
+
+func numField(m map[string]any, k string) (float64, bool) {
+	v, ok := m[k]
+	if !ok {
+		return 0, false
+	}
+	f, ok := v.(float64) // encoding/json decodes every number to float64
+	return f, ok
+}
+
+func nameOf(m map[string]any) string {
+	if s, ok := m["name"].(string); ok {
+		return s
+	}
+	return ""
+}
+
+func indexByName(entries []map[string]any) map[string]map[string]any {
+	out := make(map[string]map[string]any, len(entries))
+	for _, e := range entries {
+		if n := nameOf(e); n != "" {
+			out[n] = e
+		}
+	}
+	return out
+}
+
+// Compare checks every benchmark name the two snapshots share, metric
+// by metric, against ratio ceilings (new/old, lower-is-better).
+// perMetric overrides the default ceiling for individual metrics.
+// Benchmarks present in only one snapshot are skipped — stacked PRs
+// add cells; that is not a regression. An empty intersection is an
+// error: it means the snapshots are not comparable at all.
+func Compare(oldS, newS *Snapshot, ceiling float64, perMetric map[string]float64) (*CompareReport, error) {
+	if ceiling <= 0 {
+		return nil, fmt.Errorf("compare: ceiling must be positive, got %g", ceiling)
+	}
+	rep := &CompareReport{}
+	sections := []struct {
+		name     string
+		old, new []map[string]any
+	}{
+		{"benchmarks", oldS.Benchmarks, newS.Benchmarks},
+		{"sim", oldS.Sim, newS.Sim},
+	}
+	for _, sec := range sections {
+		oldIdx := indexByName(sec.old)
+		var names []string
+		for _, e := range sec.new {
+			if n := nameOf(e); n != "" && oldIdx[n] != nil {
+				names = append(names, n)
+			}
+		}
+		sort.Strings(names)
+		newIdx := indexByName(sec.new)
+		for _, n := range names {
+			oe, ne := oldIdx[n], newIdx[n]
+			for _, metric := range CompareMetrics {
+				ov, ok1 := numField(oe, metric)
+				nv, ok2 := numField(ne, metric)
+				if !ok1 || !ok2 || ov <= 0 {
+					continue
+				}
+				c := ceiling
+				if v, ok := perMetric[metric]; ok {
+					c = v
+				}
+				row := CompareRow{
+					Section: sec.name, Name: n, Metric: metric,
+					Old: ov, New: nv, Ratio: nv / ov, Ceiling: c,
+					Regressed: nv/ov > c,
+				}
+				rep.Rows = append(rep.Rows, row)
+				if row.Regressed {
+					rep.Regressions = append(rep.Regressions, row)
+				}
+			}
+		}
+	}
+	if len(rep.Rows) == 0 {
+		return nil, fmt.Errorf("compare: snapshots share no benchmark names with comparable metrics")
+	}
+	return rep, nil
+}
+
+// CompareFields is the machine-independent freshness gate: it checks
+// that two snapshots have identical benchmark name sets and, per
+// benchmark, identical field-key sets — values are ignored, so a
+// committed BENCH_<pr>.json and a fresh run on different hardware
+// agree unless someone changed the grid or the schema without
+// regenerating the snapshot. Returns the list of discrepancies.
+func CompareFields(oldS, newS *Snapshot) []string {
+	var problems []string
+	sections := []struct {
+		name     string
+		old, new []map[string]any
+	}{
+		{"benchmarks", oldS.Benchmarks, newS.Benchmarks},
+		{"sim", oldS.Sim, newS.Sim},
+	}
+	for _, sec := range sections {
+		oldIdx, newIdx := indexByName(sec.old), indexByName(sec.new)
+		for _, n := range sortedNames(oldIdx) {
+			if newIdx[n] == nil {
+				problems = append(problems, fmt.Sprintf("%s %q: missing from new snapshot", sec.name, n))
+			}
+		}
+		for _, n := range sortedNames(newIdx) {
+			if oldIdx[n] == nil {
+				problems = append(problems, fmt.Sprintf("%s %q: missing from old snapshot", sec.name, n))
+			}
+		}
+		for _, n := range sortedNames(oldIdx) {
+			ne := newIdx[n]
+			if ne == nil {
+				continue
+			}
+			ok, nk := fieldKeys(oldIdx[n]), fieldKeys(ne)
+			if !equalStrings(ok, nk) {
+				problems = append(problems, fmt.Sprintf("%s %q: field sets differ: old=[%s] new=[%s]",
+					sec.name, n, strings.Join(ok, " "), strings.Join(nk, " ")))
+			}
+		}
+	}
+	return problems
+}
+
+func sortedNames(idx map[string]map[string]any) []string {
+	out := make([]string, 0, len(idx))
+	for n := range idx {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// fieldKeys lists an entry's keys, dropping ones that legitimately
+// vary run to run without a schema change.
+func fieldKeys(m map[string]any) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		if k == "note" || k == "variance_flagged" {
+			continue
+		}
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

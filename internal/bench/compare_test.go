@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func snap(entries ...map[string]any) *Snapshot {
+	return &Snapshot{PR: 1, Title: "t", Benchmarks: entries}
+}
+
+func TestCompareCleanAndRegressed(t *testing.T) {
+	oldS := snap(map[string]any{"name": "A", "ns_per_op": 100.0, "p99_ns": 500.0})
+	newS := snap(map[string]any{"name": "A", "ns_per_op": 150.0, "p99_ns": 450.0})
+
+	rep, err := Compare(oldS, newS, 2.0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 || len(rep.Regressions) != 0 {
+		t.Fatalf("clean compare: rows=%d regressions=%d", len(rep.Rows), len(rep.Regressions))
+	}
+
+	// 1.5x ratio trips a 1.2 ceiling.
+	rep, err = Compare(oldS, newS, 1.2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Regressions) != 1 || rep.Regressions[0].Metric != "ns_per_op" {
+		t.Fatalf("regression not detected: %+v", rep.Regressions)
+	}
+	if got := rep.Regressions[0].Ratio; got < 1.49 || got > 1.51 {
+		t.Errorf("ratio = %v, want 1.5", got)
+	}
+	if !strings.Contains(rep.String(), "REGRESSED") {
+		t.Errorf("report does not mark the regression:\n%s", rep.String())
+	}
+}
+
+func TestComparePerMetricCeiling(t *testing.T) {
+	oldS := snap(map[string]any{"name": "A", "ns_per_op": 100.0, "p99_ns": 100.0})
+	newS := snap(map[string]any{"name": "A", "ns_per_op": 130.0, "p99_ns": 130.0})
+	rep, err := Compare(oldS, newS, 1.5, map[string]float64{"p99_ns": 1.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Regressions) != 1 || rep.Regressions[0].Metric != "p99_ns" {
+		t.Fatalf("per-metric ceiling not honored: %+v", rep.Regressions)
+	}
+}
+
+func TestCompareSkipsUnsharedAndNonNumeric(t *testing.T) {
+	oldS := snap(
+		map[string]any{"name": "A", "ns_per_op": 100.0, "note": "x"},
+		map[string]any{"name": "OnlyOld", "ns_per_op": 1.0},
+	)
+	newS := snap(
+		map[string]any{"name": "A", "ns_per_op": 110.0, "note": "y"},
+		map[string]any{"name": "OnlyNew", "ns_per_op": 999999.0},
+	)
+	rep, err := Compare(oldS, newS, 2.0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 1 || rep.Rows[0].Name != "A" {
+		t.Fatalf("expected only the shared benchmark compared: %+v", rep.Rows)
+	}
+}
+
+func TestCompareNoOverlapIsError(t *testing.T) {
+	oldS := snap(map[string]any{"name": "A", "ns_per_op": 1.0})
+	newS := snap(map[string]any{"name": "B", "ns_per_op": 1.0})
+	if _, err := Compare(oldS, newS, 2.0, nil); err == nil {
+		t.Fatal("disjoint snapshots compared without error")
+	}
+	if _, err := Compare(oldS, newS, 0, nil); err == nil {
+		t.Fatal("non-positive ceiling accepted")
+	}
+}
+
+func TestCompareSimSection(t *testing.T) {
+	oldS := &Snapshot{PR: 1, Sim: []map[string]any{{"name": "S", "mean_cycles": 7.0}}}
+	newS := &Snapshot{PR: 2, Sim: []map[string]any{{"name": "S", "mean_cycles": 21.0}}}
+	rep, err := Compare(oldS, newS, 2.0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Regressions) != 1 || rep.Regressions[0].Section != "sim" {
+		t.Fatalf("sim regression missed: %+v", rep.Regressions)
+	}
+}
+
+func TestCompareFields(t *testing.T) {
+	a := snap(map[string]any{"name": "A", "ns_per_op": 100.0, "p99_ns": 1.0})
+	b := snap(map[string]any{"name": "A", "ns_per_op": 999.0, "p99_ns": 2.0})
+	if problems := CompareFields(a, b); len(problems) != 0 {
+		t.Errorf("value-only differences flagged: %v", problems)
+	}
+
+	// note and variance_flagged may vary run to run.
+	c := snap(map[string]any{"name": "A", "ns_per_op": 1.0, "p99_ns": 1.0, "note": "x", "variance_flagged": true})
+	if problems := CompareFields(a, c); len(problems) != 0 {
+		t.Errorf("volatile fields flagged: %v", problems)
+	}
+
+	missing := snap(map[string]any{"name": "B", "ns_per_op": 1.0})
+	problems := CompareFields(a, missing)
+	if len(problems) != 2 {
+		t.Errorf("name mismatch should produce 2 problems, got %v", problems)
+	}
+
+	extraField := snap(map[string]any{"name": "A", "ns_per_op": 1.0})
+	problems = CompareFields(a, extraField)
+	if len(problems) != 1 || !strings.Contains(problems[0], "field sets differ") {
+		t.Errorf("field-set drift not reported: %v", problems)
+	}
+}

@@ -1,0 +1,318 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"time"
+
+	"spal/internal/experiments"
+	"spal/internal/metrics"
+	"spal/internal/stats"
+)
+
+// Options configures one grid run.
+type Options struct {
+	Spec *GridSpec
+	// OutDir receives records.csv, summary.csv, cells.json, figures/
+	// and profiles/. Empty = no files written (results only).
+	OutDir string
+	// Profiles captures a CPU profile of the first measured repeat of
+	// every cell plus a post-run heap profile, under OutDir/profiles.
+	Profiles bool
+	// SlowdownNS injects that many nanoseconds of sleep into every
+	// timed router operation — a synthetic regression for proving the
+	// compare gate trips. Zero in any honest run.
+	SlowdownNS int64
+	// Logf receives progress lines; nil = silent.
+	Logf func(format string, args ...any)
+}
+
+// RepeatResult is one execution of one cell.
+type RepeatResult struct {
+	Repeat    int                `json:"repeat"`
+	Warmup    bool               `json:"warmup,omitempty"`
+	ElapsedMS float64            `json:"elapsed_ms"`
+	Metrics   map[string]float64 `json:"metrics"`
+	Resources map[string]float64 `json:"resources"`
+}
+
+// CellResult aggregates a cell's repeats. Summary covers measured
+// repeats only (warmups excluded).
+type CellResult struct {
+	Name            string                   `json:"name"`
+	Kind            string                   `json:"kind"`
+	Params          map[string]string        `json:"params"`
+	Repeats         []RepeatResult           `json:"repeats"`
+	Summary         map[string]stats.Summary `json:"summary"`
+	VarianceFlagged bool                     `json:"variance_flagged,omitempty"`
+}
+
+// RunResult is the machine-readable outcome of a whole grid.
+type RunResult struct {
+	Grid               string       `json:"grid"`
+	Scale              string       `json:"scale"`
+	Repeats            int          `json:"repeats"`
+	WarmupRepeats      int          `json:"warmup_repeats"`
+	VarianceWarnRelStd float64      `json:"variance_warn_rel_std"`
+	SlowdownNS         int64        `json:"slowdown_ns,omitempty"`
+	Cells              []CellResult `json:"cells"`
+	Figures            []string     `json:"figures,omitempty"`
+}
+
+// primaryMetric is the latency metric the variance flag watches.
+func primaryMetric(kind string) string {
+	if kind == "sim" {
+		return "mean_cycles"
+	}
+	return "ns_per_op"
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// Run executes every cell of the grid (warmup repeats, then measured
+// repeats), captures per-repeat runtime resources, optionally profiles,
+// regenerates the requested figures, and writes the record files.
+func Run(o Options) (*RunResult, error) {
+	s := o.Spec
+	if s == nil {
+		return nil, fmt.Errorf("bench: Options.Spec is nil")
+	}
+	if o.OutDir != "" {
+		for _, d := range []string{o.OutDir, filepath.Join(o.OutDir, "figures")} {
+			if err := os.MkdirAll(d, 0o755); err != nil {
+				return nil, err
+			}
+		}
+		if o.Profiles {
+			if err := os.MkdirAll(filepath.Join(o.OutDir, "profiles"), 0o755); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	res := &RunResult{
+		Grid:               s.Name,
+		Scale:              s.Scale,
+		Repeats:            s.Repeats,
+		WarmupRepeats:      s.WarmupRepeats,
+		VarianceWarnRelStd: s.VarianceWarnRelStd,
+		SlowdownNS:         o.SlowdownNS,
+	}
+	cells := s.Cells()
+	for ci, cell := range cells {
+		cr := CellResult{Name: cell.Name, Kind: cell.Kind, Params: cell.Params}
+		total := s.WarmupRepeats + s.Repeats
+		o.logf("cell %d/%d %s (%d warmup + %d measured)", ci+1, len(cells), cell.Name, s.WarmupRepeats, s.Repeats)
+		for rep := 0; rep < total; rep++ {
+			warm := rep < s.WarmupRepeats
+			profile := o.Profiles && o.OutDir != "" && rep == s.WarmupRepeats
+			rr, err := runOnce(cell, rep, warm, profile, o)
+			if err != nil {
+				return nil, fmt.Errorf("cell %s repeat %d: %w", cell.Name, rep, err)
+			}
+			cr.Repeats = append(cr.Repeats, rr)
+		}
+		cr.Summary = summarize(cr.Repeats)
+		if sum, ok := cr.Summary[primaryMetric(cell.Kind)]; ok {
+			cr.VarianceFlagged = sum.N > 1 && sum.RelStd() > s.VarianceWarnRelStd
+			if cr.VarianceFlagged {
+				o.logf("  variance flag: %s rel_std %.3f > %.3f",
+					primaryMetric(cell.Kind), sum.RelStd(), s.VarianceWarnRelStd)
+			}
+		}
+		res.Cells = append(res.Cells, cr)
+	}
+
+	for _, name := range s.Figures {
+		run, _ := experiments.Get(name) // validated at load
+		scale := experiments.Quick
+		if s.Scale == "full" {
+			scale = experiments.Full
+		}
+		o.logf("figure %s (scale=%s)", name, s.Scale)
+		tbl, err := run(scale)
+		if err != nil {
+			return nil, fmt.Errorf("figure %s: %w", name, err)
+		}
+		if o.OutDir != "" {
+			path := filepath.Join(o.OutDir, "figures", name+".csv")
+			if err := os.WriteFile(path, []byte("# "+tbl.Title+"\n"+tbl.CSV()), 0o644); err != nil {
+				return nil, err
+			}
+			res.Figures = append(res.Figures, path)
+		}
+	}
+
+	if o.OutDir != "" {
+		if err := writeRecords(o.OutDir, res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// runOnce executes a single repeat with resource bookkeeping and
+// optional CPU/heap profiling around the measured region.
+func runOnce(cell Cell, rep int, warm, profile bool, o Options) (RepeatResult, error) {
+	runtime.GC() // stable baseline so per-repeat GC deltas are comparable
+	before := metrics.ReadProcess()
+
+	var cpuFile *os.File
+	if profile {
+		f, err := os.Create(filepath.Join(o.OutDir, "profiles", profileName(cell.Name)+".cpu.pprof"))
+		if err != nil {
+			return RepeatResult{}, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return RepeatResult{}, err
+		}
+		cpuFile = f
+	}
+
+	start := time.Now()
+	var m map[string]float64
+	var err error
+	switch cell.Kind {
+	case "router":
+		m, err = runRouterCell(cell.Router, rep, time.Duration(o.SlowdownNS))
+	case "sim":
+		m, err = runSimCell(cell.Sim, rep)
+	default:
+		err = fmt.Errorf("unknown cell kind %q", cell.Kind)
+	}
+	elapsed := time.Since(start)
+
+	if cpuFile != nil {
+		pprof.StopCPUProfile()
+		cpuFile.Close()
+	}
+	if err != nil {
+		return RepeatResult{}, err
+	}
+	if profile {
+		f, err := os.Create(filepath.Join(o.OutDir, "profiles", profileName(cell.Name)+".heap.pprof"))
+		if err != nil {
+			return RepeatResult{}, err
+		}
+		runtime.GC() // heap profile of live objects after the run
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return RepeatResult{}, err
+		}
+		f.Close()
+	}
+
+	after := metrics.ReadProcess()
+	return RepeatResult{
+		Repeat:    rep,
+		Warmup:    warm,
+		ElapsedMS: float64(elapsed) / 1e6,
+		Metrics:   m,
+		Resources: map[string]float64{
+			"goroutines":      float64(after.Goroutines),
+			"heap_bytes":      float64(after.HeapBytes),
+			"live_objects":    float64(after.LiveObjects),
+			"alloc_bytes":     float64(after.AllocBytes - before.AllocBytes),
+			"gc_cycles":       float64(after.GCCycles - before.GCCycles),
+			"gc_pause_ns":     after.GCPauseNS - before.GCPauseNS,
+			"slowdown_ns_inj": float64(o.SlowdownNS),
+		},
+	}, nil
+}
+
+// profileName flattens a cell name into a filesystem-safe stem.
+func profileName(cell string) string {
+	r := strings.NewReplacer("/", "_", "=", "-", " ", "_")
+	return r.Replace(cell)
+}
+
+// summarize folds the measured repeats into per-metric summaries.
+func summarize(reps []RepeatResult) map[string]stats.Summary {
+	byMetric := map[string][]float64{}
+	for _, r := range reps {
+		if r.Warmup {
+			continue
+		}
+		for k, v := range r.Metrics {
+			byMetric[k] = append(byMetric[k], v)
+		}
+	}
+	out := make(map[string]stats.Summary, len(byMetric))
+	for k, vs := range byMetric {
+		out[k] = stats.Summarize(vs)
+	}
+	return out
+}
+
+// writeRecords emits the three machine-readable record files:
+// records.csv (every repeat, long format), summary.csv (per-cell
+// cross-repeat statistics), cells.json (the full RunResult).
+func writeRecords(dir string, res *RunResult) error {
+	var rec strings.Builder
+	rec.WriteString("cell,kind,repeat,warmup,metric,value\n")
+	for _, c := range res.Cells {
+		for _, r := range c.Repeats {
+			for _, k := range sortedKeys(r.Metrics) {
+				fmt.Fprintf(&rec, "%s,%s,%d,%t,%s,%g\n", c.Name, c.Kind, r.Repeat, r.Warmup, k, r.Metrics[k])
+			}
+			for _, k := range sortedKeys(r.Resources) {
+				fmt.Fprintf(&rec, "%s,%s,%d,%t,res.%s,%g\n", c.Name, c.Kind, r.Repeat, r.Warmup, k, r.Resources[k])
+			}
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "records.csv"), []byte(rec.String()), 0o644); err != nil {
+		return err
+	}
+
+	var sum strings.Builder
+	sum.WriteString("cell,kind,metric,n,mean,std,rel_std,min,max,variance_flagged\n")
+	for _, c := range res.Cells {
+		for _, k := range sortedSummaryKeys(c.Summary) {
+			s := c.Summary[k]
+			fmt.Fprintf(&sum, "%s,%s,%s,%d,%g,%g,%g,%g,%g,%t\n",
+				c.Name, c.Kind, k, s.N, s.Mean, s.Std, s.RelStd(), s.Min, s.Max,
+				c.VarianceFlagged && k == primaryMetric(c.Kind))
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "summary.csv"), []byte(sum.String()), 0o644); err != nil {
+		return err
+	}
+
+	f, err := os.Create(filepath.Join(dir, "cells.json"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedSummaryKeys(m map[string]stats.Summary) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,204 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGridEndToEnd runs a miniature grid (router + sim cells, one
+// warmup repeat, a figure) and checks every artifact the harness
+// promises: records, summaries, cells.json, figure CSVs, profiles,
+// and a BENCH snapshot that the comparator accepts.
+func TestGridEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid run in -short mode")
+	}
+	spec, err := LoadSpec(strings.NewReader(`{
+		"name": "mini",
+		"repeats": 2,
+		"warmup_repeats": 1,
+		"router": [{
+			"name": "MiniChurn",
+			"update_rates": [0, 50],
+			"table_prefixes": 3000,
+			"warmup_lookups": 500,
+			"lookups": 2000
+		}],
+		"sim": [{
+			"name": "MiniSim",
+			"psi": [2],
+			"packets_per_lc": 1500,
+			"table_prefixes": 3000
+		}],
+		"figures": ["bits"]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	var logged []string
+	res, err := Run(Options{
+		Spec:     spec,
+		OutDir:   dir,
+		Profiles: true,
+		Logf:     func(f string, a ...any) { logged = append(logged, f) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 3 {
+		t.Fatalf("got %d cells, want 3", len(res.Cells))
+	}
+	if len(logged) == 0 {
+		t.Error("no progress was logged")
+	}
+
+	for _, c := range res.Cells {
+		if len(c.Repeats) != 3 {
+			t.Errorf("%s: %d repeats, want 3 (1 warmup + 2 measured)", c.Name, len(c.Repeats))
+		}
+		if !c.Repeats[0].Warmup || c.Repeats[1].Warmup || c.Repeats[2].Warmup {
+			t.Errorf("%s: warmup flags wrong: %+v", c.Name, c.Repeats)
+		}
+		prim := primaryMetric(c.Kind)
+		sum, ok := c.Summary[prim]
+		if !ok || sum.N != 2 {
+			t.Errorf("%s: summary for %s covers %d repeats, want 2 (warmup excluded)", c.Name, prim, sum.N)
+		}
+		if sum.Mean <= 0 {
+			t.Errorf("%s: %s mean = %v, want > 0", c.Name, prim, sum.Mean)
+		}
+		for _, r := range c.Repeats {
+			if r.Resources["goroutines"] <= 0 || r.Resources["heap_bytes"] <= 0 {
+				t.Errorf("%s: resource capture missing: %v", c.Name, r.Resources)
+			}
+		}
+	}
+
+	// Churned cell must have applied updates; churn-free must not report them.
+	byName := map[string]CellResult{}
+	for _, c := range res.Cells {
+		byName[c.Name] = c
+	}
+	if _, ok := byName["MiniChurn/rate=50"].Summary["updates_applied"]; !ok {
+		t.Error("churned cell did not record updates_applied")
+	}
+	if _, ok := byName["MiniChurn/rate=0"].Summary["updates_applied"]; ok {
+		t.Error("churn-free cell recorded updates_applied")
+	}
+
+	for _, f := range []string{
+		"records.csv", "summary.csv", "cells.json",
+		filepath.Join("figures", "bits.csv"),
+		filepath.Join("profiles", "MiniChurn_rate-0.cpu.pprof"),
+		filepath.Join("profiles", "MiniChurn_rate-0.heap.pprof"),
+		filepath.Join("profiles", "MiniSim.cpu.pprof"),
+	} {
+		st, err := os.Stat(filepath.Join(dir, f))
+		if err != nil {
+			t.Errorf("missing artifact %s: %v", f, err)
+		} else if st.Size() == 0 {
+			t.Errorf("artifact %s is empty", f)
+		}
+	}
+
+	rec, err := os.ReadFile(filepath.Join(dir, "records.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(rec), "MiniChurn/rate=50,router,0,true,ns_per_op,") {
+		t.Errorf("records.csv missing warmup row:\n%s", firstLines(string(rec), 5))
+	}
+	if !strings.Contains(string(rec), "res.gc_cycles") {
+		t.Error("records.csv missing resource rows")
+	}
+
+	var reloaded RunResult
+	cb, err := os.ReadFile(filepath.Join(dir, "cells.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(cb, &reloaded); err != nil {
+		t.Fatalf("cells.json does not round-trip: %v", err)
+	}
+	if reloaded.Grid != "mini" || len(reloaded.Cells) != 3 {
+		t.Errorf("cells.json content wrong: grid=%q cells=%d", reloaded.Grid, len(reloaded.Cells))
+	}
+
+	// Snapshot: schema-compatible with the comparator, and fields mode
+	// agrees with itself.
+	snap := BuildSnapshot(res, 9, "t", "d", "cmd", "2026-08-07")
+	if len(snap.Benchmarks) != 2 || len(snap.Sim) != 1 {
+		t.Fatalf("snapshot sections wrong: %d benchmarks, %d sim", len(snap.Benchmarks), len(snap.Sim))
+	}
+	path := filepath.Join(dir, "BENCH_t.json")
+	if err := snap.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if problems := CompareFields(snap, loaded); len(problems) != 0 {
+		t.Errorf("snapshot does not round-trip: %v", problems)
+	}
+	rep, err := Compare(loaded, loaded, 1.01, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Regressions) != 0 {
+		t.Errorf("self-compare regressed: %+v", rep.Regressions)
+	}
+}
+
+// TestGridSlowdownTripsCompare proves the regression gate end to end:
+// the same tiny grid run with an injected per-op slowdown must blow
+// through the ratio ceiling against its honest twin.
+func TestGridSlowdownTripsCompare(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid run in -short mode")
+	}
+	const specJSON = `{
+		"name": "tripwire",
+		"repeats": 1,
+		"router": [{
+			"name": "Trip",
+			"table_prefixes": 2000,
+			"warmup_lookups": 200,
+			"lookups": 400
+		}]
+	}`
+	runOne := func(slowdown int64) *Snapshot {
+		spec, err := LoadSpec(strings.NewReader(specJSON))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(Options{Spec: spec, SlowdownNS: slowdown})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return BuildSnapshot(res, 0, "t", "", "", "")
+	}
+	honest := runOne(0)
+	slowed := runOne(500_000) // +0.5ms per op dwarfs any real lookup
+
+	rep, err := Compare(honest, slowed, 3.0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Regressions) == 0 {
+		t.Fatalf("injected 0.5ms/op slowdown not flagged at 3x ceiling:\n%s", rep.String())
+	}
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}

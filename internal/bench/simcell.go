@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"spal/internal/lpm/engines"
+	"spal/internal/rtable"
+	"spal/internal/sim"
+	"spal/internal/trace"
+)
+
+// runSimCell executes one repeat of a simulator cell and returns its
+// metric map, drawn from the same JSONResult the spalsim -json flag
+// emits so harness records and CLI output never disagree. Repeats vary
+// the seed (base + repeat index) so cross-repeat variance measures
+// seed sensitivity rather than collapsing to zero on a deterministic
+// simulator.
+func runSimCell(c *SimCell, repeat int) (map[string]float64, error) {
+	tbl := rtable.Synthesize(rtable.SynthConfig{
+		N: c.TablePrefixes, NextHops: 16, NestProb: 0.35, Seed: 0x5e3d_0002,
+	})
+	cfg := sim.DefaultConfig(tbl)
+	cfg.NumLCs = c.Psi
+	cfg.PacketsPerLC = c.PacketsPerLC
+	cfg.LookupCycles = c.LookupCycles
+	cfg.Trace = trace.Preset(c.Trace)
+	cfg.Seed = c.Seed + uint64(repeat)
+	if c.CacheBlocks > 0 {
+		cfg.Cache.Blocks = c.CacheBlocks
+	}
+	cfg.UpdatesPerSecond = c.UpdatesPerSec
+	cfg.UpdateFullFlush = c.FullFlush
+	cfg.CorruptRate = c.CorruptRate
+	cfg.ScrubEveryCycles = c.ScrubEvery
+	if c.CorruptRate > 0 {
+		cfg.VerifyNextHops = true
+	}
+	if c.Engine != "" {
+		b, err := engines.Lookup(c.Engine)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Engine = b
+	}
+
+	r, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := r.Run()
+	if err != nil {
+		return nil, err
+	}
+	j := res.JSONReport()
+	m := map[string]float64{
+		"mean_cycles":       j.MeanLookupCycles,
+		"p50_cycles":        float64(j.P50Cycles),
+		"p90_cycles":        float64(j.P90Cycles),
+		"p95_cycles":        float64(j.P95Cycles),
+		"p99_cycles":        float64(j.P99Cycles),
+		"worst_cycles":      float64(j.WorstCycles),
+		"hit_rate":          j.HitRate,
+		"mpps_router":       j.DerivedMppsRouter,
+		"goodput_mpps":      j.GoodputMppsRouter,
+		"shed_fraction":     j.ShedFraction,
+		"fabric_messages":   float64(j.FabricMessages),
+		"packets_completed": float64(j.PacketsCompleted),
+	}
+	if c.UpdatesPerSec > 0 {
+		m["churn_events"] = float64(j.ChurnEvents)
+		m["churn_range_invalidations"] = float64(j.ChurnRangeInvalidations)
+		m["churn_stale_fills"] = float64(j.ChurnStaleFills)
+	}
+	if c.CorruptRate > 0 {
+		m["corruptions_injected"] = float64(j.CorruptionsInjected)
+		m["scrub_repairs"] = float64(j.ScrubRepairs)
+		m["wrong_verdicts"] = float64(j.WrongVerdicts)
+	}
+	return m, nil
+}

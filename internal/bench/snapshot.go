@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"strings"
+)
+
+// Snapshot is a BENCH_<pr>.json document. Benchmark entries are open
+// maps so hand-authored snapshots from earlier PRs (BENCH_6, BENCH_7)
+// and harness-generated ones share one loader and one comparator.
+type Snapshot struct {
+	PR          int              `json:"pr"`
+	Title       string           `json:"title"`
+	Description string           `json:"description,omitempty"`
+	Command     string           `json:"command,omitempty"`
+	Environment map[string]any   `json:"environment,omitempty"`
+	Benchmarks  []map[string]any `json:"benchmarks,omitempty"`
+	Sim         []map[string]any `json:"sim,omitempty"`
+	Headline    map[string]any   `json:"headline,omitempty"`
+}
+
+// LoadSnapshot reads any BENCH_*.json document.
+func LoadSnapshot(path string) (*Snapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(s.Benchmarks) == 0 && len(s.Sim) == 0 {
+		return nil, fmt.Errorf("%s: snapshot has no benchmarks", path)
+	}
+	return &s, nil
+}
+
+// Write emits the snapshot as indented JSON.
+func (s *Snapshot) Write(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// round keeps snapshot numbers readable: integers for ns-scale values,
+// a few decimals for rates and cycle counts.
+func round(v float64, digits int) float64 {
+	p := math.Pow10(digits)
+	return math.Round(v*p) / p
+}
+
+// BuildSnapshot folds a grid run into the BENCH_<pr>.json schema.
+// Router cells land in "benchmarks" with the ns_per_op/p50_ns/p99_ns
+// keys prior snapshots use (means across measured repeats, exact
+// percentiles within each repeat); sim cells land in "sim" keyed in
+// lookup cycles. rel_std and repeats make run quality auditable.
+func BuildSnapshot(res *RunResult, pr int, title, description, command, date string) *Snapshot {
+	s := &Snapshot{
+		PR:          pr,
+		Title:       title,
+		Description: description,
+		Command:     command,
+		Environment: map[string]any{
+			"goos":    runtime.GOOS,
+			"goarch":  runtime.GOARCH,
+			"cpu":     cpuModel(),
+			"num_cpu": runtime.NumCPU(),
+			"go":      runtime.Version(),
+			"grid":    res.Grid,
+			"scale":   res.Scale,
+			"repeats": res.Repeats,
+			"warmup":  res.WarmupRepeats,
+		},
+	}
+	if date != "" {
+		s.Environment["date"] = date
+	}
+	for _, c := range res.Cells {
+		entry := map[string]any{
+			"name":    c.Name,
+			"repeats": res.Repeats,
+		}
+		switch c.Kind {
+		case "router":
+			for src, dst := range map[string]string{
+				"ns_per_op": "ns_per_op", "p50_ns": "p50_ns", "p99_ns": "p99_ns", "max_ns": "max_ns",
+			} {
+				if sum, ok := c.Summary[src]; ok {
+					entry[dst] = round(sum.Mean, 0)
+				}
+			}
+			if sum, ok := c.Summary["ns_per_op"]; ok {
+				entry["rel_std"] = round(sum.RelStd(), 4)
+			}
+			if sum, ok := c.Summary["updates_applied"]; ok {
+				entry["updates_applied"] = round(sum.Mean, 0)
+			}
+			if c.VarianceFlagged {
+				entry["variance_flagged"] = true
+			}
+			s.Benchmarks = append(s.Benchmarks, entry)
+		case "sim":
+			for _, k := range []string{"mean_cycles", "p50_cycles", "p99_cycles", "worst_cycles"} {
+				if sum, ok := c.Summary[k]; ok {
+					entry[k] = round(sum.Mean, 2)
+				}
+			}
+			for _, k := range []string{"hit_rate", "mpps_router"} {
+				if sum, ok := c.Summary[k]; ok {
+					entry[k] = round(sum.Mean, 3)
+				}
+			}
+			if sum, ok := c.Summary["mean_cycles"]; ok {
+				entry["rel_std"] = round(sum.RelStd(), 4)
+			}
+			if c.VarianceFlagged {
+				entry["variance_flagged"] = true
+			}
+			s.Sim = append(s.Sim, entry)
+		}
+	}
+	return s
+}
+
+// cpuModel reads the CPU model string, best effort.
+func cpuModel() string {
+	f, err := os.Open("/proc/cpuinfo")
+	if err != nil {
+		return runtime.GOARCH
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "model name") {
+			if _, after, ok := strings.Cut(line, ":"); ok {
+				return strings.TrimSpace(after)
+			}
+		}
+	}
+	return runtime.GOARCH
+}

@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// procFamilies is the exact family set AppendProcess may emit. The test
+// pins it so a new gauge cannot sneak into the opt-in set (or, worse,
+// into default snapshots) unnoticed.
+var procFamilies = []string{
+	MetricProcGoroutines,
+	MetricProcHeapBytes,
+	MetricProcGCPauseNS,
+	MetricProcGCCycles,
+	MetricProcTotalAlloc,
+	MetricProcLiveObjects,
+}
+
+func TestReadProcessSane(t *testing.T) {
+	u := ReadProcess()
+	if u.Goroutines < 1 {
+		t.Errorf("goroutines = %d, want >= 1", u.Goroutines)
+	}
+	if u.HeapBytes == 0 {
+		t.Errorf("heap bytes = 0, want > 0")
+	}
+	if u.AllocBytes < u.HeapBytes {
+		t.Errorf("cumulative allocs %d < live heap %d", u.AllocBytes, u.HeapBytes)
+	}
+	if u.LiveObjects == 0 {
+		t.Errorf("live objects = 0, want > 0")
+	}
+}
+
+func TestReadProcessCountersMonotone(t *testing.T) {
+	before := ReadProcess()
+	runtime.GC()
+	sink := make([][]byte, 256)
+	for i := range sink {
+		sink[i] = make([]byte, 4096)
+	}
+	runtime.GC()
+	after := ReadProcess()
+	_ = sink
+	if after.GCCycles <= before.GCCycles {
+		t.Errorf("GC cycles did not advance: %d -> %d", before.GCCycles, after.GCCycles)
+	}
+	if after.AllocBytes <= before.AllocBytes {
+		t.Errorf("allocated bytes did not advance: %d -> %d", before.AllocBytes, after.AllocBytes)
+	}
+	if after.GCPauseNS < before.GCPauseNS {
+		t.Errorf("GC pause total went backwards: %v -> %v", before.GCPauseNS, after.GCPauseNS)
+	}
+}
+
+func TestAppendProcessFamilies(t *testing.T) {
+	s := NewSnapshot()
+	AppendProcess(s)
+	got := map[string]bool{}
+	for _, sm := range s.Samples {
+		got[sm.Name] = true
+	}
+	for _, f := range procFamilies {
+		if !got[f] {
+			t.Errorf("missing process family %s", f)
+		}
+		delete(got, f)
+	}
+	for f := range got {
+		t.Errorf("unexpected process family %s", f)
+	}
+	// The counters must be typed as counters, gauges as gauges.
+	for _, sm := range s.Samples {
+		wantCounter := strings.HasSuffix(sm.Name, "_total")
+		if (sm.Kind == KindCounter) != wantCounter {
+			t.Errorf("%s: kind %v inconsistent with _total naming", sm.Name, sm.Kind)
+		}
+	}
+}
+
+// TestProcessOptInKeepsDefaultSnapshotsByteIdentical is the golden-file
+// guarantee the opt-in promises: the committed golden.prom rendering of a
+// default snapshot contains no process family, and wrapping the same
+// source with WithProcess is purely additive — the default rendering is
+// a byte-identical prefix-preserving subset of the wrapped one.
+func TestProcessOptInKeepsDefaultSnapshotsByteIdentical(t *testing.T) {
+	golden, err := os.ReadFile(filepath.Join("testdata", "golden.prom"))
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	for _, f := range procFamilies {
+		if strings.Contains(string(golden), f) {
+			t.Errorf("default golden snapshot leaks process family %s", f)
+		}
+	}
+
+	src := func() *Snapshot { return goldenSnapshot() }
+	plain := serveText(t, Handler(src))
+	if plain != string(golden) {
+		t.Fatalf("default handler output drifted from golden.prom")
+	}
+
+	wrapped := serveText(t, Handler(WithProcess(src)))
+	for _, f := range procFamilies {
+		if !strings.Contains(wrapped, f) {
+			t.Errorf("opted-in output missing process family %s", f)
+		}
+	}
+	// Every golden line must survive verbatim: opting in adds families,
+	// it never rewrites the default ones.
+	for _, ln := range strings.Split(strings.TrimRight(string(golden), "\n"), "\n") {
+		if !strings.Contains(wrapped, ln+"\n") {
+			t.Errorf("opted-in output lost default line %q", ln)
+		}
+	}
+}
+
+func TestWithProcessNilSource(t *testing.T) {
+	s := WithProcess(nil)()
+	if s == nil || len(s.Samples) == 0 {
+		t.Fatalf("nil source must still produce process gauges")
+	}
+}
+
+func TestWithProcessDoesNotMutateShared(t *testing.T) {
+	shared := goldenSnapshot()
+	n := len(shared.Samples)
+	_ = WithProcess(func() *Snapshot { return shared })()
+	if len(shared.Samples) != n {
+		t.Errorf("WithProcess mutated the shared snapshot: %d -> %d samples", n, len(shared.Samples))
+	}
+}
+
+func serveText(t *testing.T, h http.Handler) string {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body, err := io.ReadAll(rec.Result().Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return string(body)
+}

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary condenses a small sample set — typically one metric observed
+// across the repeats of a benchmark cell — into the cross-repeat
+// statistics the perf harness records: mean, population standard
+// deviation, and the extremes. Unlike Mean it is built in one shot from
+// the full slice, because repeat counts are tiny and the harness wants
+// value semantics it can embed in JSON records.
+type Summary struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// Summarize computes the cross-repeat summary of samples. An empty slice
+// yields the zero Summary (N=0), which callers treat as "no data" rather
+// than a measurement of zero.
+func Summarize(samples []float64) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(samples), Min: samples[0], Max: samples[0]}
+	var sum float64
+	for _, x := range samples {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	var m2 float64
+	for _, x := range samples {
+		d := x - s.Mean
+		m2 += d * d
+	}
+	s.Std = math.Sqrt(m2 / float64(s.N))
+	return s
+}
+
+// RelStd is the coefficient of variation Std/|Mean| — the harness flags a
+// cell whose repeats disagree by more than a configured threshold. A zero
+// mean (or no data) reports 0: with nothing measured there is nothing to
+// flag.
+func (s Summary) RelStd() float64 {
+	if s.N == 0 || s.Mean == 0 {
+		return 0
+	}
+	return s.Std / math.Abs(s.Mean)
+}
+
+// PercentileInt64 returns the exact p-quantile (p in 0..1) of samples
+// under the same convention Hist.Percentile uses: the smallest sample v
+// such that at least ceil(p*n) of the samples are <= v. The slice is not
+// retained or modified. n=0 returns 0; p <= 0 returns the minimum; p >= 1
+// the maximum.
+func PercentileInt64(samples []int64, p float64) int64 {
+	n := len(samples)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]int64(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return percentileSorted(sorted, p)
+}
+
+// PercentilesInt64 returns the exact quantiles for each p in ps, sorting
+// the copied sample set once — the harness asks for p50/p90/p99/min/max
+// together on every repeat.
+func PercentilesInt64(samples []int64, ps ...float64) []int64 {
+	out := make([]int64, len(ps))
+	n := len(samples)
+	if n == 0 {
+		return out
+	}
+	sorted := append([]int64(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i, p := range ps {
+		out[i] = percentileSorted(sorted, p)
+	}
+	return out
+}
+
+// percentileSorted implements the ceil-rank convention on an already
+// sorted slice.
+func percentileSorted(sorted []int64, p float64) int64 {
+	n := len(sorted)
+	rank := int(math.Ceil(p * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}

@@ -1,0 +1,203 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.Std != 0 || s.Min != 0 || s.Max != 0 {
+		t.Errorf("empty summary not zero: %+v", s)
+	}
+	if s.RelStd() != 0 {
+		t.Errorf("empty RelStd = %v, want 0", s.RelStd())
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{42.5})
+	if s.N != 1 || s.Mean != 42.5 || s.Min != 42.5 || s.Max != 42.5 {
+		t.Errorf("single-sample summary wrong: %+v", s)
+	}
+	if s.Std != 0 || s.RelStd() != 0 {
+		t.Errorf("single sample must have zero spread, got std=%v relstd=%v", s.Std, s.RelStd())
+	}
+}
+
+func TestSummarizeKnownValues(t *testing.T) {
+	// Population std of {2, 4, 4, 4, 5, 5, 7, 9} is exactly 2 (mean 5).
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 || s.Min != 2 || s.Max != 9 {
+		t.Errorf("summary wrong: %+v", s)
+	}
+	if math.Abs(s.Std-2) > 1e-12 {
+		t.Errorf("std = %v, want 2", s.Std)
+	}
+	if math.Abs(s.RelStd()-0.4) > 1e-12 {
+		t.Errorf("relstd = %v, want 0.4", s.RelStd())
+	}
+}
+
+func TestSummarizeNegativeMeanRelStd(t *testing.T) {
+	s := Summarize([]float64{-4, -6})
+	if s.Mean != -5 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if got := s.RelStd(); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("relstd with negative mean = %v, want 0.2 (uses |mean|)", got)
+	}
+}
+
+func TestSummarizeAgreesWithWelford(t *testing.T) {
+	rng := NewRNG(99)
+	samples := make([]float64, 1000)
+	var m Mean
+	for i := range samples {
+		samples[i] = rng.Float64() * 100
+		m.Add(samples[i])
+	}
+	s := Summarize(samples)
+	if math.Abs(s.Mean-m.Mean()) > 1e-9 || math.Abs(s.Std-m.Std()) > 1e-9 {
+		t.Errorf("Summarize (%v, %v) disagrees with Mean accumulator (%v, %v)",
+			s.Mean, s.Std, m.Mean(), m.Std())
+	}
+	if s.Min != m.Min() || s.Max != m.Max() {
+		t.Errorf("extremes disagree: (%v,%v) vs (%v,%v)", s.Min, s.Max, m.Min(), m.Max())
+	}
+}
+
+func TestPercentileInt64Empty(t *testing.T) {
+	if got := PercentileInt64(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %d, want 0", got)
+	}
+	out := PercentilesInt64(nil, 0.5, 0.99)
+	if out[0] != 0 || out[1] != 0 {
+		t.Errorf("empty percentiles = %v, want zeros", out)
+	}
+}
+
+func TestPercentileInt64Single(t *testing.T) {
+	for _, p := range []float64{-1, 0, 0.5, 0.99, 1, 2} {
+		if got := PercentileInt64([]int64{7}, p); got != 7 {
+			t.Errorf("p=%v of single sample = %d, want 7", p, got)
+		}
+	}
+}
+
+func TestPercentileInt64Ties(t *testing.T) {
+	// All-equal samples: every quantile is that value.
+	ties := []int64{5, 5, 5, 5, 5}
+	for _, p := range []float64{0, 0.5, 0.9, 1} {
+		if got := PercentileInt64(ties, p); got != 5 {
+			t.Errorf("tied p=%v = %d, want 5", p, got)
+		}
+	}
+	// Heavy tie at the low end: 9 of 10 samples are 1.
+	skew := []int64{1, 1, 1, 1, 1, 1, 1, 1, 1, 100}
+	if got := PercentileInt64(skew, 0.90); got != 1 {
+		t.Errorf("p90 of 90%%-tied set = %d, want 1", got)
+	}
+	if got := PercentileInt64(skew, 0.91); got != 100 {
+		t.Errorf("p91 of 90%%-tied set = %d, want 100", got)
+	}
+}
+
+func TestPercentileInt64CeilRankConvention(t *testing.T) {
+	samples := []int64{10, 20, 30, 40} // unsorted input is fine
+	cases := []struct {
+		p    float64
+		want int64
+	}{
+		{0, 10},    // clamp to minimum
+		{0.25, 10}, // ceil(0.25*4)=1st
+		{0.26, 20}, // ceil(1.04)=2nd
+		{0.5, 20},  // ceil(2)=2nd
+		{0.75, 30}, // 3rd
+		{0.99, 40}, // ceil(3.96)=4th
+		{1, 40},    // maximum
+		{1.5, 40},  // clamp above
+		{-0.5, 10}, // clamp below
+	}
+	for _, c := range cases {
+		if got := PercentileInt64(samples, c.p); got != c.want {
+			t.Errorf("p=%v = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileMatchesHistConvention(t *testing.T) {
+	// The slice-based percentile and the histogram's must agree on any
+	// integer sample set that fits the histogram's bins.
+	rng := NewRNG(1234)
+	samples := make([]int64, 5000)
+	h := NewHist(256)
+	for i := range samples {
+		v := int64(rng.Intn(200))
+		samples[i] = v
+		h.Add(int(v))
+	}
+	for _, p := range []float64{0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1} {
+		want := int64(h.Percentile(p))
+		if got := PercentileInt64(samples, p); got != want {
+			t.Errorf("p=%v: slice %d vs hist %d", p, got, want)
+		}
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	samples := []int64{9, 1, 5, 3}
+	_ = PercentilesInt64(samples, 0.5, 0.99)
+	if samples[0] != 9 || samples[1] != 1 || samples[2] != 5 || samples[3] != 3 {
+		t.Errorf("input mutated: %v", samples)
+	}
+}
+
+func TestHistPercentileEdges(t *testing.T) {
+	h := NewHist(100)
+	if got := h.Percentile(0.5); got != 0 {
+		t.Errorf("empty hist p50 = %d, want 0", got)
+	}
+	h.Add(42)
+	for _, p := range []float64{0, 0.5, 1} {
+		if got := h.Percentile(p); got != 42 {
+			t.Errorf("single-sample hist p=%v = %d, want 42", p, got)
+		}
+	}
+	// Overflow samples report the cap.
+	h2 := NewHist(10)
+	h2.Add(500)
+	if got := h2.Percentile(1); got != 10 {
+		t.Errorf("overflow percentile = %d, want cap 10", got)
+	}
+}
+
+func TestSeededDeterminismAcrossHelpers(t *testing.T) {
+	// Two independent RNGs with the same seed must drive Summarize and
+	// the percentile helpers to byte-identical results — the property the
+	// grid harness's reproducibility story rests on.
+	run := func(seed uint64) (Summary, []int64) {
+		rng := NewRNG(seed)
+		f := make([]float64, 100)
+		l := make([]int64, 100)
+		for i := range f {
+			f[i] = rng.Float64()
+			l[i] = int64(rng.Intn(1000))
+		}
+		return Summarize(f), PercentilesInt64(l, 0.5, 0.9, 0.99)
+	}
+	s1, p1 := run(7)
+	s2, p2 := run(7)
+	if s1 != s2 {
+		t.Errorf("summaries diverged for equal seeds: %+v vs %+v", s1, s2)
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Errorf("percentiles diverged: %v vs %v", p1, p2)
+		}
+	}
+	s3, _ := run(8)
+	if s1 == s3 {
+		t.Errorf("different seeds produced identical summaries — RNG not seeding")
+	}
+}
