@@ -8,6 +8,7 @@
 //	spalsim -speed 10 -lookup 62                    # 10 Gbps, DP-trie FE
 //	spalsim -stages -packets 50000                  # per-stage latency breakdown
 //	spalsim -corrupt-rate 1e-4 -scrub-every 50000   # inject fill corruption, scrub it back out
+//	spalsim -slow-lc 3 -slow-factor 10              # brown out LC 3, measure the latency skew
 package main
 
 import (
@@ -46,6 +47,8 @@ func main() {
 	scrubEvery := flag.Int64("scrub-every", 0, "audit every LR-cache against the oracle every N cycles, evicting mismatches (0 = off)")
 	offered := flag.Float64("offered-load", 1.0, "scale every LC's packet rate (2.0 = twice nominal)")
 	admitCap := flag.Int("admit-cap", 0, "shed arrivals when the LC arrival queue holds this many packets (0 = unbounded)")
+	slowLC := flag.Int("slow-lc", -1, "brown out this line card: fabric messages touching it pay slow-factor x latency (gray-failure exposure baseline)")
+	slowFactor := flag.Float64("slow-factor", 10, "brownout severity for -slow-lc")
 	perLC := flag.Bool("per-lc", false, "print per-LC statistics")
 	stages := flag.Bool("stages", false, "print the per-stage lookup latency breakdown")
 	configPath := flag.String("config", "", "JSON config file (flags for table size still apply)")
@@ -101,6 +104,10 @@ func main() {
 		// into a counter instead of silence.
 		if *corruptRate > 0 {
 			cfg.VerifyNextHops = true
+		}
+		if *slowLC >= 0 {
+			cfg.SlowLC = *slowLC
+			cfg.SlowFactor = *slowFactor
 		}
 	}
 

@@ -27,6 +27,17 @@ func runRouterCell(c *RouterCell, repeat int, slowdown time.Duration) (map[strin
 	if c.CacheShards > 0 {
 		opts = append(opts, router.WithCacheShards(c.CacheShards))
 	}
+	if c.TimeoutMS > 0 {
+		opts = append(opts, router.WithRequestTimeout(time.Duration(c.TimeoutMS*float64(time.Millisecond))))
+	}
+	if c.SlowLC >= 0 {
+		lf := router.NewLinkFaults(c.Seed + uint64(repeat)*17 + 5)
+		lf.SlowLC(c.SlowLC, c.SlowFactor)
+		opts = append(opts, router.WithFaultInjector(lf.Injector()))
+	}
+	if c.Hedge {
+		opts = append(opts, router.WithGray(router.DefaultGrayPolicy()))
+	}
 	if c.CorruptRate > 0 {
 		opts = append(opts,
 			router.WithCorruption(router.CorruptionPolicy{
@@ -170,6 +181,15 @@ func runRouterCell(c *RouterCell, repeat int, slowdown time.Duration) (map[strin
 	if c.CorruptRate > 0 {
 		m["corruptions_injected"] = r.Metrics().Sum(router.MetricCorruptions)
 		m["scrub_repairs"] = r.Metrics().Sum(router.MetricScrubRepairs)
+	}
+	if c.SlowLC >= 0 || c.Hedge {
+		// Gray() is zero-valued when the subsystem is off, so exposure
+		// cells (slow set, hedge off) record zeros — the contrast the
+		// Brownout experiment exists to show.
+		g := r.Gray()
+		m["gray_degrades"] = float64(g.Degrades)
+		m["hedges"] = float64(g.Hedges)
+		m["eject_served"] = float64(g.EjectServed)
 	}
 	return m, nil
 }

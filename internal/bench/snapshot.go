@@ -105,6 +105,13 @@ func BuildSnapshot(res *RunResult, pr int, title, description, command, date str
 			if sum, ok := c.Summary["updates_applied"]; ok {
 				entry["updates_applied"] = round(sum.Mean, 0)
 			}
+			// Gray-failure cells carry their mitigation evidence; these
+			// are counters, not latencies, so CompareMetrics skips them.
+			for _, k := range []string{"gray_degrades", "hedges", "eject_served"} {
+				if sum, ok := c.Summary[k]; ok {
+					entry[k] = round(sum.Mean, 0)
+				}
+			}
 			if c.VarianceFlagged {
 				entry["variance_flagged"] = true
 			}

@@ -60,11 +60,15 @@ type RouterExp struct {
 	CacheShards  []int     `json:"cache_shards,omitempty"`  // axis: shards; 0 = router default
 	UpdateRates  []float64 `json:"update_rates,omitempty"`  // axis: rate (updates/sec, 0 = no churn)
 	CorruptRates []float64 `json:"corrupt_rates,omitempty"` // axis: corrupt (fill corruption prob)
+	SlowLCs      []int     `json:"slow_lcs,omitempty"`      // axis: slow (browned-out LC id; -1 = none)
+	Hedge        []bool    `json:"hedge,omitempty"`         // axis: hedge (gray-failure subsystem on)
 
-	TablePrefixes int    `json:"table_prefixes,omitempty"` // default 20000
-	WarmupLookups int    `json:"warmup_lookups,omitempty"` // default 20000
-	Lookups       int    `json:"lookups,omitempty"`        // timed lookups per run (default 50000)
-	Seed          uint64 `json:"seed,omitempty"`           // default 1
+	TablePrefixes int     `json:"table_prefixes,omitempty"` // default 20000
+	WarmupLookups int     `json:"warmup_lookups,omitempty"` // default 20000
+	Lookups       int     `json:"lookups,omitempty"`        // timed lookups per run (default 50000)
+	SlowFactor    float64 `json:"slow_factor,omitempty"`    // brownout severity for slow cells (default 10)
+	TimeoutMS     float64 `json:"timeout_ms,omitempty"`     // request timeout override, ms (0 = router default)
+	Seed          uint64  `json:"seed,omitempty"`           // default 1
 }
 
 // SimExp runs the trace-driven cycle simulator of the paper's Sec. 5.
@@ -94,6 +98,10 @@ type RouterCell struct {
 	CacheShards   int
 	UpdateRate    float64
 	CorruptRate   float64
+	SlowLC        int // browned-out LC (-1 = none)
+	Hedge         bool
+	SlowFactor    float64
+	TimeoutMS     float64
 	TablePrefixes int
 	WarmupLookups int
 	Lookups       int
@@ -189,6 +197,12 @@ func (s *GridSpec) applyDefaults() {
 		if len(e.CorruptRates) == 0 {
 			e.CorruptRates = []float64{0}
 		}
+		if len(e.SlowLCs) == 0 {
+			e.SlowLCs = []int{-1}
+		}
+		if len(e.Hedge) == 0 {
+			e.Hedge = []bool{false}
+		}
 		if e.TablePrefixes <= 0 {
 			e.TablePrefixes = 20000
 		}
@@ -199,6 +213,9 @@ func (s *GridSpec) applyDefaults() {
 		}
 		if e.Lookups <= 0 {
 			e.Lookups = 50000
+		}
+		if e.SlowFactor <= 1 {
+			e.SlowFactor = 10
 		}
 		if e.Seed == 0 {
 			e.Seed = 1
@@ -280,6 +297,19 @@ func (s *GridSpec) validate() error {
 			if r < 0 {
 				return fmt.Errorf("router experiment %q: rates must be >= 0", e.Name)
 			}
+		}
+		for _, slow := range e.SlowLCs {
+			if slow < -1 {
+				return fmt.Errorf("router experiment %q: slow_lcs entries must be >= -1", e.Name)
+			}
+			for _, n := range e.LCs {
+				if slow >= n {
+					return fmt.Errorf("router experiment %q: slow LC %d outside [0,%d)", e.Name, slow, n)
+				}
+			}
+		}
+		if e.TimeoutMS < 0 {
+			return fmt.Errorf("router experiment %q: timeout_ms must be >= 0", e.Name)
 		}
 	}
 	for _, e := range s.Sim {
@@ -369,45 +399,57 @@ func (e RouterExp) cells() []Cell {
 				for _, shards := range e.CacheShards {
 					for _, rate := range e.UpdateRates {
 						for _, corrupt := range e.CorruptRates {
-							var parts []string
-							add := func(axis, val string, multi bool) {
-								if multi {
-									parts = append(parts, axis+"="+val)
+							for _, slow := range e.SlowLCs {
+								for _, hedge := range e.Hedge {
+									var parts []string
+									add := func(axis, val string, multi bool) {
+										if multi {
+											parts = append(parts, axis+"="+val)
+										}
+									}
+									add("engine", eng, len(e.Engines) > 1)
+									add("lcs", axisVal(lcs), len(e.LCs) > 1)
+									add("batch", axisVal(batch), len(e.Batch) > 1)
+									add("shards", axisVal(shards), len(e.CacheShards) > 1)
+									add("rate", axisVal(rate), len(e.UpdateRates) > 1)
+									add("corrupt", axisVal(corrupt), len(e.CorruptRates) > 1)
+									add("slow", axisVal(slow), len(e.SlowLCs) > 1)
+									add("hedge", axisVal(hedge), len(e.Hedge) > 1)
+									rc := &RouterCell{
+										Name:          cellName(e.Name, parts),
+										Engine:        eng,
+										LCs:           lcs,
+										Batch:         batch,
+										CacheShards:   shards,
+										UpdateRate:    rate,
+										CorruptRate:   corrupt,
+										SlowLC:        slow,
+										Hedge:         hedge,
+										SlowFactor:    e.SlowFactor,
+										TimeoutMS:     e.TimeoutMS,
+										TablePrefixes: e.TablePrefixes,
+										WarmupLookups: e.WarmupLookups,
+										Lookups:       e.Lookups,
+										Seed:          e.Seed,
+									}
+									out = append(out, Cell{
+										Name: rc.Name,
+										Kind: "router",
+										Params: map[string]string{
+											"experiment": e.Name,
+											"engine":     eng,
+											"lcs":        axisVal(lcs),
+											"batch":      axisVal(batch),
+											"shards":     axisVal(shards),
+											"rate":       axisVal(rate),
+											"corrupt":    axisVal(corrupt),
+											"slow":       axisVal(slow),
+											"hedge":      axisVal(hedge),
+										},
+										Router: rc,
+									})
 								}
 							}
-							add("engine", eng, len(e.Engines) > 1)
-							add("lcs", axisVal(lcs), len(e.LCs) > 1)
-							add("batch", axisVal(batch), len(e.Batch) > 1)
-							add("shards", axisVal(shards), len(e.CacheShards) > 1)
-							add("rate", axisVal(rate), len(e.UpdateRates) > 1)
-							add("corrupt", axisVal(corrupt), len(e.CorruptRates) > 1)
-							rc := &RouterCell{
-								Name:          cellName(e.Name, parts),
-								Engine:        eng,
-								LCs:           lcs,
-								Batch:         batch,
-								CacheShards:   shards,
-								UpdateRate:    rate,
-								CorruptRate:   corrupt,
-								TablePrefixes: e.TablePrefixes,
-								WarmupLookups: e.WarmupLookups,
-								Lookups:       e.Lookups,
-								Seed:          e.Seed,
-							}
-							out = append(out, Cell{
-								Name: rc.Name,
-								Kind: "router",
-								Params: map[string]string{
-									"experiment": e.Name,
-									"engine":     eng,
-									"lcs":        axisVal(lcs),
-									"batch":      axisVal(batch),
-									"shards":     axisVal(shards),
-									"rate":       axisVal(rate),
-									"corrupt":    axisVal(corrupt),
-								},
-								Router: rc,
-							})
 						}
 					}
 				}

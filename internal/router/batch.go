@@ -280,6 +280,12 @@ func (r *Router) handleBatch(lc *lineCard, m message) {
 		// Coalesce onto an in-flight miss (covers both HitWaiting and the
 		// cache-bypass case, exactly like handleLookup).
 		if wl, ok := lc.pending[addr]; ok {
+			if wl.hedged {
+				// The waitlist was already answered by a hedge; parking here
+				// would strand this slot (see hedgeAnswerLocal).
+				r.hedgeAnswerLocal(lc, message{addr: addr, bd: bd, slot: slot, start: bd.start, tr: tr})
+				continue
+			}
 			if r.waitlistFull(wl) {
 				r.shedLocal(lc.id, message{addr: addr, bd: bd, slot: slot, tr: tr}, shedWaitlistOverflow)
 				continue
@@ -340,6 +346,7 @@ func (r *Router) handleBatch(lc *lineCard, m message) {
 			continue
 		}
 		wl.attempts = 1
+		wl.sentAt = now
 		wl.deadline = now.Add(r.timeout)
 		wl.tr.Record(tracing.EvFabricSend, int64(home), 1)
 		fb := sc.byHome[home]
@@ -349,6 +356,14 @@ func (r *Router) handleBatch(lc *lineCard, m message) {
 			sc.homes = append(sc.homes, home)
 		}
 		fb.addrs = append(fb.addrs, addr)
+		if r.grayPol.Eject && r.gray[home].ejected.Load() {
+			// Ejected home: answer this slot from the fallback engine now
+			// (same contract as dispatch — the accumulated request still
+			// goes out and its reply lands as a suppressed hedged primary).
+			wl.tr.Record(tracing.EvEject, int64(home), 0)
+			r.ejectServed.Add(1)
+			r.hedgeResolve(lc, addr, wl)
+		}
 	}
 	// One engine sweep answers every same-home miss (BatchEngine engines
 	// run it level-synchronously; others fall back per key).
@@ -423,6 +438,10 @@ func (r *Router) handleBatchRequest(lc *lineCard, m message) {
 				continue
 			case cache.HitWaiting:
 				wl := r.park(lc, addr)
+				if wl.hedged {
+					r.hedgeAnswerRemote(lc, rw, addr)
+					continue
+				}
 				if r.waitlistFull(wl) {
 					r.shedCount(lc.id, shedWaitlistOverflow)
 					continue
@@ -436,6 +455,10 @@ func (r *Router) handleBatchRequest(lc *lineCard, m message) {
 			}
 		}
 		if wl, ok := lc.pending[addr]; ok {
+			if wl.hedged {
+				r.hedgeAnswerRemote(lc, rw, addr)
+				continue
+			}
 			if r.waitlistFull(wl) {
 				r.shedCount(lc.id, shedWaitlistOverflow)
 				continue
@@ -493,23 +516,41 @@ func (r *Router) handleBatchReply(lc *lineCard, m message) {
 		lc.stats.StaleReplies.Add(int64(len(fb.addrs)))
 		return
 	}
+	if r.grayPol.Enabled && !r.gray[lc.id].degraded.Load() {
+		// One fabric message, one round-trip sample: the first address's
+		// waitlist carries the send timestamp for the whole batch. A
+		// degraded requester abstains — see the mirror site in router.go.
+		if wl, ok := lc.pending[fb.addrs[0]]; ok && wl.attempts == 1 && !wl.sentAt.IsZero() {
+			r.rtt[m.from].observe(time.Since(wl.sentAt).Nanoseconds())
+		}
+	}
 	if r.ov.Enabled {
 		// One successful fabric round trip, one breaker/budget credit —
 		// the batch is a single message on the wire.
 		r.breakerSuccess(lc, m.from)
 		r.budgetRefill(lc)
 	}
+	if r.grayPol.Hedge {
+		r.refillHedge(lc)
+	}
 	// The gen guard is per message too: the whole batch was computed
-	// against one table generation at the home LC. A quarantined
-	// responder never catches up until rebuilt, so its stale replies are
-	// final — delivered, not re-driven (see fillStaleRelease).
+	// against one table generation at the home LC. A quarantined (or
+	// ejected) responder never catches up until rebuilt or restored, so
+	// its stale replies are final — delivered, not re-driven (see
+	// fillStaleRelease).
 	stale := m.gen < lc.gen
-	final := stale && r.life[m.from].state.Load() == LCQuarantined
+	final := stale && r.genPinned(m.from)
 	for k, addr := range fb.addrs {
-		if r.tracer != nil {
-			if wl, ok := lc.pending[addr]; ok && wl.tr != nil {
-				wl.tr.Record(tracing.EvFabricRecv, int64(m.from), 0)
-			}
+		wl, parked := lc.pending[addr]
+		if parked && wl.hedged {
+			// A hedge (or eject dispatch) already answered this address;
+			// the batch carries its suppressed primary.
+			r.hedgePrimaryLate.Add(1)
+			r.dropHedged(lc, addr)
+			continue
+		}
+		if r.tracer != nil && parked && wl.tr != nil {
+			wl.tr.Record(tracing.EvFabricRecv, int64(m.from), 0)
 		}
 		if stale {
 			r.fillStaleRelease(lc, addr, fb.nhs[k], fb.oks[k], cache.REM, ServedByRemote, m.gen, final)

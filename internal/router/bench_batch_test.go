@@ -78,6 +78,30 @@ func BenchmarkLookupBatchCacheHit(b *testing.B) {
 	}
 }
 
+// BenchmarkLookupBatchCacheHitGray: the same warmed cache-hit batch with
+// the gray-failure subsystem enabled — detection/hedging bookkeeping on
+// the hit path must stay free: 0 allocs/op (CI gates on it alongside the
+// plain cache-hit bench).
+func BenchmarkLookupBatchCacheHitGray(b *testing.B) {
+	tbl := rtable.Small(2000, 7)
+	r := benchRouter(b, tbl, WithLCs(1), WithDefaultCache(), WithGray(DefaultGrayPolicy()))
+	addrs := benchAddrs(b, tbl, 3)
+	out := make([]Verdict, len(addrs))
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if err := r.LookupBatchInto(ctx, 0, addrs, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.LookupBatchInto(ctx, 0, addrs, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkLookupBatchLocalHome: a 64-address batch resolved by the
 // local home's batched FE sweep (no cache), per engine. Must report
 // 0 allocs/op (CI gates on the flat case).

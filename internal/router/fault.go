@@ -9,6 +9,7 @@
 package router
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -95,6 +96,124 @@ func SeededFaults(cfg FaultConfig) FaultInjector {
 		d.Duplicate = draw(21) < cfg.DupRate
 		if cfg.MaxDelay > 0 && draw(42) < cfg.DelayRate {
 			d.Delay = time.Duration(splitmix64(h) % uint64(cfg.MaxDelay))
+		}
+		return d
+	}
+}
+
+// LinkFaultConfig parameterizes one directed fabric link (from → to) of
+// a LinkFaults matrix. The zero value is a clean link.
+type LinkFaultConfig struct {
+	// DropRate, DupRate and DelayRate are per-message probabilities in
+	// [0, 1] for messages traversing this directed link.
+	DropRate, DupRate, DelayRate float64
+	// Delay is the base injected delay when a DelayRate draw fires (or
+	// always, when DelayRate is 0 and Delay > 0 — a deterministic slow
+	// link). Jitter adds a seeded uniform extra in [0, Jitter).
+	Delay, Jitter time.Duration
+}
+
+// LinkFaults is a per-directed-link fault matrix: each (from, to) pair
+// can carry its own drop/delay/jitter mix, so A→B can be fully
+// partitioned or browned out while B→A stays clean — the asymmetric
+// gray failures real fabrics exhibit. Decisions are drawn from a
+// seeded counter stream like SeededFaults, so a run is replayable in
+// aggregate. Safe for concurrent use; links and brownouts may be
+// reconfigured while the router is live.
+type LinkFaults struct {
+	// Nominal is the baseline one-way fabric latency used to scale
+	// SlowLC brownouts: a browned-out LC's links add
+	// (factor − 1) × Nominal of delay per message, modelling a link
+	// running at 1/factor of its clean speed. Defaults to 100µs when
+	// left zero at first use.
+	Nominal time.Duration
+
+	seed uint64
+	n    atomic.Uint64
+
+	mu    sync.RWMutex
+	links map[[2]int]LinkFaultConfig
+	slow  map[int]float64
+}
+
+// NewLinkFaults returns an empty (perfect-fabric) matrix whose decision
+// stream is seeded like SeededFaults.
+func NewLinkFaults(seed uint64) *LinkFaults {
+	return &LinkFaults{seed: seed}
+}
+
+// SetLink installs cfg on the directed link from → to, replacing any
+// previous configuration. A zero cfg restores the link to clean.
+func (lf *LinkFaults) SetLink(from, to int, cfg LinkFaultConfig) {
+	lf.mu.Lock()
+	defer lf.mu.Unlock()
+	if lf.links == nil {
+		lf.links = make(map[[2]int]LinkFaultConfig)
+	}
+	lf.links[[2]int{from, to}] = cfg
+}
+
+// SlowLC puts line card i into a sustained brownout: every non-heartbeat
+// message to or from it is delayed by (factor − 1) × Nominal, i.e. its
+// fabric links run at 1/factor speed in both directions. factor ≤ 1
+// clears the brownout. Heartbeats are never slowed — a browned-out LC
+// still looks alive to the lifecycle monitor, which is exactly what
+// makes the failure "gray".
+func (lf *LinkFaults) SlowLC(i int, factor float64) {
+	lf.mu.Lock()
+	defer lf.mu.Unlock()
+	if factor <= 1 {
+		delete(lf.slow, i)
+		return
+	}
+	if lf.slow == nil {
+		lf.slow = make(map[int]float64)
+	}
+	lf.slow[i] = factor
+}
+
+// Injector returns the FaultInjector view of the matrix, suitable for
+// WithFaultInjector. The injector reads the live matrix, so SetLink and
+// SlowLC calls take effect on subsequent messages.
+func (lf *LinkFaults) Injector() FaultInjector {
+	return func(m FabricMessage) FaultDecision {
+		var d FaultDecision
+		lf.mu.RLock()
+		cfg, hasLink := lf.links[[2]int{m.From, m.To}]
+		factor := lf.slow[m.From]
+		if f := lf.slow[m.To]; f > factor {
+			factor = f
+		}
+		nominal := lf.Nominal
+		lf.mu.RUnlock()
+		if m.Heartbeat {
+			// Brownout spares heartbeats (see SlowLC); explicit link
+			// faults still apply so a heartbeat-starving partition
+			// remains expressible.
+			factor = 0
+		}
+		if !hasLink && factor == 0 {
+			return d
+		}
+		h := splitmix64(lf.seed ^ lf.n.Add(1))
+		draw := func(shift uint) float64 {
+			return float64((h>>shift)&0x1f_ffff) / float64(1<<21)
+		}
+		if hasLink {
+			d.Drop = draw(0) < cfg.DropRate
+			d.Duplicate = draw(21) < cfg.DupRate
+			if cfg.Delay > 0 && (cfg.DelayRate == 0 || draw(42) < cfg.DelayRate) {
+				d.Delay = cfg.Delay
+				if cfg.Jitter > 0 {
+					d.Delay += time.Duration(splitmix64(h) % uint64(cfg.Jitter))
+				}
+			}
+		}
+		if factor > 1 {
+			if nominal <= 0 {
+				nominal = 100 * time.Microsecond
+			}
+			d.Delay += time.Duration((factor - 1) * float64(nominal))
 		}
 		return d
 	}

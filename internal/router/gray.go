@@ -1,0 +1,569 @@
+// Gray-failure immunity: brownout detection, hedged remote lookups, and
+// outlier ejection.
+//
+// The failure model here is the one the lifecycle and integrity planes
+// cannot see: a line card (or the fabric path to it) that is alive,
+// heartbeating, and answering *correctly* — just slowly. No deadline
+// necessarily fires (the brownout may sit well under RequestTimeout), no
+// scrub mismatch appears, yet every remote lookup homed on the browned
+// element drags the router-wide tail. Three mechanisms close the gap:
+//
+//   - Detection: every fabric reply whose request was sent exactly once
+//     carries an unambiguous round-trip sample, attributed to the home LC
+//     that answered. A per-home ring of recent samples (EWMA for the
+//     trend, windowed quantiles for decisions) is scored on the health
+//     ticker against the fleet median: an LC whose windowed p50 exceeds
+//     DegradeFactor × the fleet median (and an absolute floor, so
+//     microsecond jitter never trips it) for DegradeAfter consecutive
+//     cycles is marked degraded. The ratio-to-fleet comparison is what
+//     keeps global overload from faking a brownout: when every LC slows
+//     down together, the median moves with them and nobody is an outlier.
+//     Degraded is a health *signal*, orthogonal to the lifecycle states —
+//     a degraded LC is never demoted toward Down by this plane.
+//
+//   - Hedging: a remote lookup still unanswered after the hedge delay
+//     (operator-fixed, or adaptively derived each cycle from the fleet's
+//     median p99) is answered immediately from the router-wide full-table
+//     fallback engine — the same always-current authority the
+//     deadline/retry plane already trusts — while the fabric request
+//     stays tracked. The waitlist flips to hedged: waiters are gone, but
+//     the entry remains so the primary reply is recognized when it lands
+//     (counted primary_late and suppressed — the duplicate-suppression
+//     rule the batch descriptors use: exactly one owner answers) or
+//     counted primary_lost when it never does. Hedges spend a per-LC
+//     token bucket refilled by successful fabric round trips, mirroring
+//     the retry budget: a fabric already in trouble cannot be melted by
+//     its own mitigation.
+//
+//   - Ejection: when detection marks an LC degraded (and Eject is on),
+//     the router steers cacheable traffic off it using the machinery
+//     quarantine already proved: the router generation advances and every
+//     *other* LC adopts it, pinning the ejected LC's replies out of peer
+//     caches, while new remote lookups homed on it are answered from the
+//     fallback engine at dispatch time (the request is still sent, so
+//     round-trip samples keep flowing and recovery stays observable).
+//     When the LC's score recovers for RecoverAfter consecutive cycles it
+//     is restored: the flag clears and a generation catch-up message
+//     lifts the pin. No partition moves in either direction — ejection is
+//     deliberately cheaper and more reversible than re-homing.
+package router
+
+import (
+	"context"
+	"log/slog"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spal/internal/cache"
+	"spal/internal/ip"
+	"spal/internal/rtable"
+	"spal/internal/tracing"
+)
+
+// GrayPolicy configures the gray-failure subsystem. The zero value
+// disables it entirely: no round-trip sampling, no scorer work on the
+// health ticker, no hedging, no new metric families.
+type GrayPolicy struct {
+	// Enabled turns on round-trip sampling and the per-home latency
+	// scorer (the degraded signal and the RTT metrics). Hedge and Eject
+	// are gated on it too.
+	Enabled bool
+	// Window is the per-home ring of retained round-trip samples the
+	// windowed quantiles are computed over. <= 0 selects the default (64).
+	Window int
+	// MinSamples is how many samples a home LC's window must hold before
+	// it is scored at all; fewer and the LC is skipped this cycle. <= 0
+	// selects the default (8).
+	MinSamples int
+	// DegradeFactor: an LC is "over" when its windowed p50 exceeds this
+	// multiple of the fleet median p50. <= 1 selects the default (3).
+	DegradeFactor float64
+	// MinRTT is the absolute degradation floor: an LC whose p50 is below
+	// it is never marked degraded no matter the ratio, so microsecond
+	// jitter between healthy in-process LCs cannot trip the scorer. <= 0
+	// selects the default (200µs).
+	MinRTT time.Duration
+	// DegradeAfter / RecoverAfter are the consecutive scorer cycles an LC
+	// must be over (resp. back under) the threshold before the degraded
+	// signal sets (resp. clears). <= 0 selects the defaults (3 and 3).
+	DegradeAfter int
+	RecoverAfter int
+	// Hedge enables hedged remote lookups.
+	Hedge bool
+	// HedgeAfter is the fixed hedge delay; 0 derives it adaptively each
+	// scorer cycle as HedgeMultiplier × the fleet median p99, clamped to
+	// [MinRTT, RequestTimeout]. Until the first adaptive value exists the
+	// delay sits at RequestTimeout, i.e. hedging is effectively off.
+	HedgeAfter time.Duration
+	// HedgeMultiplier scales the adaptive hedge delay. <= 0 selects the
+	// default (2).
+	HedgeMultiplier float64
+	// HedgeBudgetRatio is how many hedge tokens a successful fabric round
+	// trip refills (the retry-budget pattern: mitigation is paid for by
+	// evidence the fabric still works). <= 0 selects the default (0.5).
+	HedgeBudgetRatio float64
+	// HedgeBudgetBurst caps the per-LC hedge token bucket. <= 0 selects
+	// the default (32).
+	HedgeBudgetBurst float64
+	// Eject enables outlier ejection of degraded home LCs.
+	Eject bool
+}
+
+// DefaultGrayPolicy enables detection, hedging, and ejection with the
+// default thresholds.
+func DefaultGrayPolicy() GrayPolicy {
+	return GrayPolicy{Enabled: true, Hedge: true, Eject: true}
+}
+
+func normalizeGray(p GrayPolicy) GrayPolicy {
+	if !p.Enabled {
+		return GrayPolicy{}
+	}
+	if p.Window <= 0 {
+		p.Window = 64
+	}
+	if p.MinSamples <= 0 {
+		p.MinSamples = 8
+	}
+	if p.MinSamples > p.Window {
+		p.MinSamples = p.Window
+	}
+	if p.DegradeFactor <= 1 {
+		p.DegradeFactor = 3
+	}
+	if p.MinRTT <= 0 {
+		p.MinRTT = 200 * time.Microsecond
+	}
+	if p.DegradeAfter <= 0 {
+		p.DegradeAfter = 3
+	}
+	if p.RecoverAfter <= 0 {
+		p.RecoverAfter = 3
+	}
+	if p.HedgeMultiplier <= 0 {
+		p.HedgeMultiplier = 2
+	}
+	if p.HedgeBudgetRatio <= 0 {
+		p.HedgeBudgetRatio = 0.5
+	}
+	if p.HedgeBudgetBurst <= 0 {
+		p.HedgeBudgetBurst = 32
+	}
+	return p
+}
+
+// WithGray configures the gray-failure subsystem: per-home round-trip
+// scoring with a fleet-relative degraded signal, hedged remote lookups
+// against the full-table fallback engine, and outlier ejection of
+// browned-out home LCs. Pass DefaultGrayPolicy() for the defaults. See
+// gray.go.
+func WithGray(p GrayPolicy) Option {
+	return func(c *Config) { c.Gray = p }
+}
+
+// lcRTT holds one home LC's fabric round-trip samples. observe is called
+// by requester LC goroutines (any of them — the mutex is the arbitration
+// between ψ−1 writers and the monitor's reader); the quantile gauges are
+// atomics so Metrics reads them without the lock.
+type lcRTT struct {
+	mu   sync.Mutex
+	ring []int64
+	n    int64 // total samples ever observed
+	idx  int
+
+	ewma atomic.Int64 // ns, α = 1/8
+	p50  atomic.Int64 // last windowed quantiles, computed by the scorer
+	p99  atomic.Int64
+}
+
+// observe records one unambiguous round trip (request sent exactly once).
+func (s *lcRTT) observe(ns int64) {
+	s.mu.Lock()
+	s.ring[s.idx] = ns
+	s.idx = (s.idx + 1) % len(s.ring)
+	s.n++
+	s.mu.Unlock()
+	for {
+		old := s.ewma.Load()
+		nv := ns
+		if old != 0 {
+			nv = old + (ns-old)/8
+		}
+		if s.ewma.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// window copies the live samples into buf (cold monitor path).
+func (s *lcRTT) window(buf []int64) []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := int(s.n)
+	if k > len(s.ring) {
+		k = len(s.ring)
+	}
+	return append(buf[:0], s.ring[:k]...)
+}
+
+// lcGray is one home LC's gray-failure state. degraded/ejected are
+// atomics (set by the monitor, read by dispatch paths and Metrics); the
+// streaks are monitor-only under r.mu.
+type lcGray struct {
+	degraded    atomic.Bool
+	ejected     atomic.Bool
+	overStreak  int
+	underStreak int
+}
+
+// quantileNS picks the q-quantile of a sorted sample window.
+func quantileNS(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// maybeGrayLocked is the health ticker's gray-failure hook: recompute
+// every home LC's windowed quantiles, rescore them against the fleet
+// median, drive the degraded signal and its eject/restore side effects,
+// and refresh the adaptive hedge delay. r.mu must be held.
+func (r *Router) maybeGrayLocked(now time.Time) {
+	if !r.grayPol.Enabled {
+		return
+	}
+	type scored struct {
+		i        int
+		p50, p99 int64
+	}
+	var valid []scored
+	buf := make([]int64, 0, r.grayPol.Window)
+	for i := range r.lcs {
+		buf = r.rtt[i].window(buf)
+		if len(buf) == 0 {
+			continue
+		}
+		sort.Slice(buf, func(a, b int) bool { return buf[a] < buf[b] })
+		p50, p99 := quantileNS(buf, 0.50), quantileNS(buf, 0.99)
+		r.rtt[i].p50.Store(p50)
+		r.rtt[i].p99.Store(p99)
+		if len(buf) < r.grayPol.MinSamples {
+			continue
+		}
+		if st := r.life[i].state.Load(); st == LCDown || st == LCDraining {
+			continue
+		}
+		valid = append(valid, scored{i, p50, p99})
+	}
+	if len(valid) < 2 {
+		// With fewer than two scored homes there is no fleet to compare
+		// against; a single slow LC is indistinguishable from a slow
+		// fabric, so the scorer abstains rather than guess.
+		return
+	}
+	meds := make([]int64, len(valid))
+	for k, v := range valid {
+		meds[k] = v.p50
+	}
+	sort.Slice(meds, func(a, b int) bool { return meds[a] < meds[b] })
+	fleetP50 := quantileNS(meds, 0.5)
+	for k, v := range valid {
+		meds[k] = v.p99
+	}
+	sort.Slice(meds, func(a, b int) bool { return meds[a] < meds[b] })
+	fleetP99 := quantileNS(meds, 0.5)
+
+	if r.grayPol.Hedge && r.grayPol.HedgeAfter <= 0 {
+		hd := int64(r.grayPol.HedgeMultiplier * float64(fleetP99))
+		if min := int64(r.grayPol.MinRTT); hd < min {
+			hd = min
+		}
+		if max := int64(r.timeout); hd > max {
+			hd = max
+		}
+		r.hedgeDelayNS.Store(hd)
+	}
+
+	for _, v := range valid {
+		g := r.gray[v.i]
+		over := float64(v.p50) > r.grayPol.DegradeFactor*float64(fleetP50) &&
+			v.p50 >= int64(r.grayPol.MinRTT)
+		if over {
+			g.overStreak++
+			g.underStreak = 0
+			if !g.degraded.Load() && g.overStreak >= r.grayPol.DegradeAfter {
+				g.degraded.Store(true)
+				r.grayDegrades.Add(1)
+				r.grayLog("degraded", slog.Int("lc", v.i),
+					slog.Int64("p50_ns", v.p50), slog.Int64("fleet_p50_ns", fleetP50))
+				if r.grayPol.Eject && !g.ejected.Load() {
+					r.ejectLocked(v.i)
+				}
+			}
+		} else {
+			g.underStreak++
+			g.overStreak = 0
+			if g.degraded.Load() && g.underStreak >= r.grayPol.RecoverAfter {
+				g.degraded.Store(false)
+				r.grayRecovers.Add(1)
+				r.grayLog("recovered", slog.Int("lc", v.i), slog.Int64("p50_ns", v.p50))
+				if g.ejected.Load() {
+					r.restoreEjectedLocked(v.i)
+				}
+			}
+		}
+	}
+}
+
+// ejectLocked steers cacheable traffic off a browned-out home LC by
+// reusing the quarantine generation pin: the router generation advances
+// and every *other* LC adopts it via an empty mApplyUpdates, while the
+// ejected LC's generation stays pinned (see handleApplyUpdates), so its
+// replies remain deliverable but never enter a peer cache. Dispatch-time
+// steering (the fallback answer for lookups homed on it) keys off the
+// ejected flag directly. r.mu must be held.
+func (r *Router) ejectLocked(i int) {
+	r.gray[i].ejected.Store(true)
+	r.ejections.Add(1)
+	r.grayLog("eject", slog.Int("lc", i))
+	r.gen++
+	dones := make([]chan struct{}, r.cfg.NumLCs)
+	for j := 0; j < r.cfg.NumLCs; j++ {
+		if j == i {
+			continue
+		}
+		dones[j] = make(chan struct{})
+		if !r.sendCtrlSwap(j, message{kind: mApplyUpdates, gen: r.gen, swapDone: dones[j]}) {
+			return
+		}
+	}
+	for j, d := range dones {
+		if d == nil {
+			continue
+		}
+		select {
+		case <-d:
+		case <-r.life[j].exited:
+			// Crashed; the reborn slot adopts the current generation.
+		case <-r.quit:
+			return
+		}
+	}
+}
+
+// restoreEjectedLocked lifts an ejection: the flag clears first (so the
+// generation catch-up below is not refused by the pin), then the LC
+// adopts the current router generation via an empty mApplyUpdates —
+// after which its replies are cacheable again and dispatch stops
+// steering around it. r.mu must be held.
+func (r *Router) restoreEjectedLocked(i int) {
+	r.gray[i].ejected.Store(false)
+	r.restores.Add(1)
+	r.grayLog("restore", slog.Int("lc", i))
+	done := make(chan struct{})
+	if !r.sendCtrlSwap(i, message{kind: mApplyUpdates, gen: r.gen, swapDone: done}) {
+		return
+	}
+	select {
+	case <-done:
+	case <-r.life[i].exited:
+		// Crashed; rehoming rebuilds the slot at the current generation.
+	case <-r.quit:
+	}
+}
+
+// genPinned reports whether LC id's table generation is pinned behind the
+// router's: quarantined (integrity) or ejected (gray failure). A pinned
+// LC's replies carry a trailing generation, which is exactly how peers
+// keep them out of their caches; pinned replies are also final — the
+// trailing state will not resolve by re-driving (see fillStaleRelease).
+func (r *Router) genPinned(id int) bool {
+	if r.life[id].state.Load() == LCQuarantined {
+		return true
+	}
+	return r.grayPol.Enabled && r.gray[id].ejected.Load()
+}
+
+// hedgeDelay is the current delay after which an unanswered remote
+// lookup is hedged.
+func (r *Router) hedgeDelay() time.Duration {
+	return time.Duration(r.hedgeDelayNS.Load())
+}
+
+// takeHedgeToken spends one hedge token from the LC's private bucket.
+func (r *Router) takeHedgeToken(lc *lineCard) bool {
+	if lc.hedgeTokens < 1 {
+		return false
+	}
+	lc.hedgeTokens--
+	return true
+}
+
+// refillHedge credits the hedge bucket for one successful fabric round
+// trip, mirroring budgetRefill's evidence-based pacing.
+func (r *Router) refillHedge(lc *lineCard) {
+	if lc.hedgeTokens += r.grayPol.HedgeBudgetRatio; lc.hedgeTokens > r.grayPol.HedgeBudgetBurst {
+		lc.hedgeTokens = r.grayPol.HedgeBudgetBurst
+	}
+}
+
+// hedgeResolve answers every waiter parked on addr from the full-table
+// fallback engine and flips the waitlist to hedged: waiters are emptied
+// (each delivered a ServedByHedge verdict) but the entry stays pending
+// with its deadline armed, so the primary fabric reply is recognized and
+// suppressed when it lands — or counted lost when the deadline passes
+// first. The fallback engine always reflects the current generation
+// (UpdateTable and ApplyUpdates both refresh it before returning), so
+// the verdict is correct under churn.
+func (r *Router) hedgeResolve(lc *lineCard, addr ip.Addr, wl *waitlist) {
+	nh, _, ok := r.fallback.Load().eng.Lookup(addr)
+	if !ok {
+		nh = rtable.NoNextHop
+	}
+	if lc.cache != nil {
+		lc.cache.Fill(addr, nh, cache.REM)
+	}
+	lc.waiters.Add(-int64(len(wl.locals) + len(wl.remotes)))
+	wl.tr.Record(tracing.EvFill, int64(cache.REM), int64(ServedByHedge))
+	v := Verdict{Addr: addr, NextHop: nh, OK: ok, ServedBy: ServedByHedge}
+	for _, w := range wl.locals {
+		lc.lat.observe(ServedByHedge, w.start, traceID(w.tr))
+		r.finishTrace(w.tr, ServedByHedge, ok)
+		if w.bd != nil {
+			w.bd.out[w.slot] = v
+			r.bdResolve(w.bd)
+		} else {
+			w.ch <- v
+		}
+	}
+	if wl.trLate {
+		r.finishTrace(wl.tr, ServedByHedge, ok)
+	}
+	for _, rw := range wl.remotes {
+		r.sendReply(lc, rw, addr, nh, ok, 0, lc.gen)
+	}
+	wl.locals = wl.locals[:0]
+	wl.remotes = wl.remotes[:0]
+	wl.tr = nil
+	wl.trLate = false
+	wl.hedged = true
+}
+
+// dropHedged retires a hedged pending entry once its primary reply
+// landed (suppressed) or its deadline passed (lost).
+func (r *Router) dropHedged(lc *lineCard, addr ip.Addr) {
+	delete(lc.pending, addr)
+	lc.pendingDepth.Store(int64(len(lc.pending)))
+}
+
+// hedgeAnswerLocal serves a local lookup that coalesced onto a hedged
+// waitlist: the waiters were already answered and the entry only tracks
+// the primary reply, so parking here would strand the straggler — answer
+// it from the fallback engine immediately instead. Rare: the hedge fill
+// put the value in the cache, so stragglers normally hit there first.
+func (r *Router) hedgeAnswerLocal(lc *lineCard, m message) {
+	nh, _, ok := r.fallback.Load().eng.Lookup(m.addr)
+	if !ok {
+		nh = rtable.NoNextHop
+	}
+	if m.tr != nil {
+		m.tr.Record(tracing.EvFill, int64(cache.REM), int64(ServedByHedge))
+		r.finishTrace(m.tr, ServedByHedge, ok)
+	}
+	lc.lat.observe(ServedByHedge, m.start, traceID(m.tr))
+	r.deliver(m, Verdict{Addr: m.addr, NextHop: nh, OK: ok, ServedBy: ServedByHedge})
+}
+
+// hedgeAnswerRemote is hedgeAnswerLocal for a remote waiter.
+func (r *Router) hedgeAnswerRemote(lc *lineCard, rw remoteWaiter, addr ip.Addr) {
+	nh, _, ok := r.fallback.Load().eng.Lookup(addr)
+	if !ok {
+		nh = rtable.NoNextHop
+	}
+	r.sendReply(lc, rw, addr, nh, ok, 0, lc.gen)
+}
+
+// grayLog emits a gray-failure lifecycle record through the tracing
+// plane's structured-log sink when one is installed (WithLogger).
+func (r *Router) grayLog(event string, attrs ...slog.Attr) {
+	if r.cfg.TraceLogger == nil {
+		return
+	}
+	r.cfg.TraceLogger.LogAttrs(context.Background(), slog.LevelWarn, "spal gray "+event, attrs...)
+}
+
+// LCGrayStatus is one home LC's gray-failure record.
+type LCGrayStatus struct {
+	LC       int
+	Degraded bool
+	Ejected  bool
+	// Samples is how many fabric round trips have been attributed to this
+	// home LC; RTTp50/RTTp99 are its latest windowed quantiles and EWMA
+	// the smoothed trend.
+	Samples int64
+	RTTp50  time.Duration
+	RTTp99  time.Duration
+	EWMA    time.Duration
+}
+
+// GrayReport is the router-wide gray-failure snapshot behind the
+// spal_router_hedges_total / eject / degraded metrics and the CLI
+// summary line.
+type GrayReport struct {
+	// Degrades / Recovers count degraded-signal transitions; Ejections /
+	// Restores count the eject lifecycle (a restore requires a recover,
+	// so Restores <= Recovers).
+	Degrades  int64
+	Recovers  int64
+	Ejections int64
+	Restores  int64
+	// Hedges counts hedge verdicts fired from the deadline ticker;
+	// HedgePrimaryLate are primaries that landed after their hedge (the
+	// suppressed duplicates), HedgePrimaryLost primaries that never
+	// landed, HedgeBudgetDenied hedges refused by the token bucket.
+	// EjectServed counts lookups answered at dispatch time because their
+	// home LC was ejected.
+	Hedges            int64
+	HedgePrimaryLate  int64
+	HedgePrimaryLost  int64
+	HedgeBudgetDenied int64
+	EjectServed       int64
+	// HedgeDelay is the current (fixed or adaptive) hedge delay.
+	HedgeDelay time.Duration
+	LCs        []LCGrayStatus
+}
+
+// Gray returns the current gray-failure snapshot. Zero-valued when the
+// subsystem is disabled.
+func (r *Router) Gray() GrayReport {
+	rep := GrayReport{}
+	if !r.grayPol.Enabled {
+		return rep
+	}
+	rep.Degrades = r.grayDegrades.Load()
+	rep.Recovers = r.grayRecovers.Load()
+	rep.Ejections = r.ejections.Load()
+	rep.Restores = r.restores.Load()
+	rep.Hedges = r.hedges.Load()
+	rep.HedgePrimaryLate = r.hedgePrimaryLate.Load()
+	rep.HedgePrimaryLost = r.hedgePrimaryLost.Load()
+	rep.HedgeBudgetDenied = r.hedgeBudgetDenied.Load()
+	rep.EjectServed = r.ejectServed.Load()
+	rep.HedgeDelay = r.hedgeDelay()
+	for i := range r.lcs {
+		st := r.rtt[i]
+		rep.LCs = append(rep.LCs, LCGrayStatus{
+			LC:       i,
+			Degraded: r.gray[i].degraded.Load(),
+			Ejected:  r.gray[i].ejected.Load(),
+			Samples:  func() int64 { st.mu.Lock(); defer st.mu.Unlock(); return st.n }(),
+			RTTp50:   time.Duration(st.p50.Load()),
+			RTTp99:   time.Duration(st.p99.Load()),
+			EWMA:     time.Duration(st.ewma.Load()),
+		})
+	}
+	return rep
+}

@@ -1,0 +1,528 @@
+// Gray-failure chaos tests: a line card that is alive, heartbeating and
+// answering correctly — just slowly — must be detected by the RTT
+// scorer, mitigated by hedged lookups and outlier ejection, and must
+// never be confused with a dead LC (lifecycle) or a corrupted one
+// (integrity). CI's gray-chaos job runs this file under -race across the
+// SPAL_CHAOS_SEED matrix.
+package router
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"spal/internal/ip"
+	"spal/internal/lpm"
+	"spal/internal/rtable"
+	"spal/internal/stats"
+	"spal/internal/tracing"
+)
+
+// TestGrayAsymmetricPartition: the 0→1 directed link drops everything
+// while 1→0 stays clean — the classic one-way fiber fault. Every lookup
+// must still resolve to the oracle verdict (retry → fallback, or a hedge
+// ahead of the lost primary), and because heartbeats ride the control
+// plane, neither endpoint may be demoted out of Healthy.
+func TestGrayAsymmetricPartition(t *testing.T) {
+	tbl := rtable.Small(2000, 7)
+	oracle := lpm.NewReference(tbl)
+	for _, seed := range chaosSeeds(t) {
+		t.Run("seed="+strconv.FormatUint(seed, 10), func(t *testing.T) {
+			lf := NewLinkFaults(seed)
+			lf.SetLink(0, 1, LinkFaultConfig{DropRate: 1})
+			r, err := New(tbl, WithLCs(4), WithDefaultCache(),
+				WithFaultInjector(lf.Injector()),
+				WithRequestTimeout(2*time.Millisecond), WithMaxRetries(1),
+				WithGray(DefaultGrayPolicy()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Stop()
+
+			var wg sync.WaitGroup
+			errs := make(chan string, 64)
+			for lc := 0; lc < 4; lc++ {
+				wg.Add(1)
+				go func(lc int) {
+					defer wg.Done()
+					rng := stats.NewRNG(seed + uint64(lc)*131)
+					for i := 0; i < 400; i++ {
+						var a ip.Addr
+						if i%3 == 0 {
+							a = rng.Uint32()
+						} else {
+							a = tbl.RandomMatchedAddr(rng)
+						}
+						v, err := r.Lookup(lc, a)
+						if err != nil {
+							errs <- err.Error()
+							return
+						}
+						if !verdictMatches(v, oracle, a) {
+							errs <- "wrong verdict for " + ip.FormatAddr(a) + " served by " + v.ServedBy.String()
+							return
+						}
+					}
+				}(lc)
+			}
+			wg.Wait()
+			close(errs)
+			for e := range errs {
+				t.Fatal(e)
+			}
+
+			// The partition must have been survivable without demoting
+			// either endpoint: requests 0→1 (and replies 0→1) vanished,
+			// but both cards kept heartbeating over the control plane.
+			for i, st := range r.LCStates() {
+				if st != LCHealthy {
+					t.Errorf("LC %d left Healthy (%s) under a data-plane-only partition", i, st)
+				}
+			}
+			g := r.Gray()
+			s := r.Metrics()
+			if g.HedgePrimaryLost == 0 && s.Sum(MetricFallbacks) == 0 {
+				t.Error("100% 0→1 drops produced neither lost hedged primaries nor fallbacks")
+			}
+		})
+	}
+}
+
+// TestGrayBrownoutHeadline is the acceptance scenario of the gray-failure
+// plane: LC 1 browned out to 10x fabric latency while route churn and
+// overload-bounded inboxes run — the detector must flag it within a
+// bounded number of ticker cycles, the lifecycle monitor must NOT mark it
+// (or anything else) Down, and every non-shed verdict must match a table
+// version live during its lookup window.
+func TestGrayBrownoutHeadline(t *testing.T) {
+	tbl := rtable.Small(1500, 71)
+	for _, seed := range chaosSeeds(t) {
+		t.Run("seed="+strconv.FormatUint(seed, 10), func(t *testing.T) {
+			lf := NewLinkFaults(seed)
+			// Batched round trips include the home's 64-address FE sweep,
+			// so the clean baseline is hundreds of microseconds (more
+			// under -race); scale the 10x brownout against a matching
+			// nominal so the contrast survives the instrumented build,
+			// while keeping the browned RTT (~2x nominal x factor plus
+			// baseline) under RequestTimeout — a first-attempt reply must
+			// beat the deadline retry or it never yields an RTT sample.
+			lf.Nominal = 300 * time.Microsecond
+			lf.SlowLC(1, 10)
+			r, err := New(tbl, WithLCs(4), WithDefaultCache(), WithEngineName("bintrie"),
+				WithFaultInjector(lf.Injector()),
+				WithRequestTimeout(15*time.Millisecond),
+				WithOverload(OverloadPolicy{QueueDepth: 512}),
+				WithGray(DefaultGrayPolicy()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Stop()
+
+			oracle := newVersionedOracle(tbl)
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			var wrong, served, shed atomic.Int64
+			var sawDown atomic.Bool
+
+			// Churn: seeded incremental batches, paced — an unpaced
+			// ApplyUpdates loop keeps every LC goroutine busy swapping
+			// (engine rebuilds, two-phase barriers), which under -race
+			// inflates every home's RTT uniformly and hides the outlier.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rng := stats.NewRNG(seed * 31)
+				cur := tbl
+				for {
+					select {
+					case <-stop:
+						return
+					case <-time.After(2 * time.Millisecond):
+					}
+					stream := churnStream(cur, rng.Uint64())
+					if len(stream) == 0 {
+						continue
+					}
+					next := cur.ApplyAll(stream)
+					if next.Len() == 0 {
+						continue
+					}
+					oracle.announce(next)
+					if err := r.ApplyUpdates(stream); err != nil {
+						return // stopping
+					}
+					oracle.settle()
+					cur = next
+				}
+			}()
+
+			// Lifecycle watchdog: a brownout must never read as a crash.
+			// Only Down counts — Suspect is the monitor's documented
+			// transient for late beats (a -race scheduler stall can fake
+			// one) and heals itself when beats resume; Down requires a
+			// provably exited goroutine, which a browned-out LC never is.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					for _, st := range r.LCStates() {
+						if st == LCDown {
+							sawDown.Store(true)
+						}
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}()
+
+			// Lookups: the coalesced batch plane at every LC.
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rng := stats.NewRNG(seed + 1000 + uint64(w)*17)
+					addrs := make([]ip.Addr, 64)
+					out := make([]Verdict, 64)
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						for i := range addrs {
+							if rng.Intn(4) == 0 {
+								addrs[i] = rng.Uint32()
+							} else {
+								addrs[i] = tbl.RandomMatchedAddr(rng)
+							}
+						}
+						// Pace the load: an unthrottled 4x64 flood saturates
+						// the bounded inboxes and queueing delay swamps the
+						// fabric RTT *uniformly* — which the ratio scorer
+						// correctly refuses to call a gray failure (that is
+						// TestGrayGlobalOverloadNoFalsePositive's scenario).
+						// This test measures the brownout, so stay below
+						// saturation.
+						time.Sleep(500 * time.Microsecond)
+						lo, _ := oracle.window()
+						err := r.LookupBatchInto(context.Background(), w, addrs, out)
+						if err == ErrOverloaded {
+							shed.Add(int64(len(addrs)))
+							continue
+						}
+						if err != nil {
+							return // stopping
+						}
+						_, hi := oracle.window()
+						for i, v := range out {
+							if v.ServedBy == ServedByShed {
+								shed.Add(1)
+								continue
+							}
+							served.Add(1)
+							if !oracle.matches(v, addrs[i], lo, hi) {
+								wrong.Add(1)
+							}
+						}
+					}
+				}(w)
+			}
+
+			// Detection bound: the scorer ticks with the deadline sweep
+			// (timeout/4 = 2ms), needs MinSamples per window and
+			// DegradeAfter consecutive over-threshold ticks — well under
+			// a second of sustained traffic.
+			detected := func() bool { return r.Gray().Degrades > 0 }
+			deadline := time.Now().Add(5 * time.Second)
+			for time.Now().Before(deadline) && !detected() {
+				time.Sleep(2 * time.Millisecond)
+			}
+			time.Sleep(100 * time.Millisecond) // let mitigation serve a while
+			close(stop)
+			wg.Wait()
+
+			if w := wrong.Load(); w != 0 {
+				t.Fatalf("%d wrong verdicts among %d served", w, served.Load())
+			}
+			if served.Load() == 0 {
+				t.Fatal("no lookups served")
+			}
+			g := r.Gray()
+			if g.Degrades == 0 {
+				for _, l := range g.LCs {
+					t.Logf("LC%d degraded=%v ejected=%v samples=%d p50=%v p99=%v ewma=%v",
+						l.LC, l.Degraded, l.Ejected, l.Samples, l.RTTp50, l.RTTp99, l.EWMA)
+				}
+				t.Fatal("browned-out LC 1 was never flagged degraded")
+			}
+			if sawDown.Load() {
+				t.Error("a browned-out (alive, correct) LC was demoted to Down")
+			}
+			if g.Hedges+g.EjectServed == 0 {
+				t.Error("detection fired but no hedge or eject-served mitigation did")
+			}
+			t.Logf("served=%d shed=%d degrades=%d ejections=%d hedges=%d ejectServed=%d hedgeDelay=%v",
+				served.Load(), shed.Load(), g.Degrades, g.Ejections, g.Hedges, g.EjectServed, g.HedgeDelay)
+		})
+	}
+}
+
+// TestGrayHedgeTraceReconciliation pins the observability contract: at
+// trace rate 1.0 with a journal large enough to hold every lookup, the
+// hedge and eject events recorded across all journaled traces must equal
+// the router's own counters exactly — Counts survive event-array
+// overflow, so this holds under retry storms too.
+func TestGrayHedgeTraceReconciliation(t *testing.T) {
+	tbl := rtable.Small(2000, 7)
+	oracle := lpm.NewReference(tbl)
+	for _, seed := range chaosSeeds(t) {
+		t.Run("seed="+strconv.FormatUint(seed, 10), func(t *testing.T) {
+			lf := NewLinkFaults(seed)
+			lf.SlowLC(1, 10)
+			r, err := New(tbl, WithLCs(4), WithDefaultCache(),
+				WithFaultInjector(lf.Injector()),
+				WithRequestTimeout(8*time.Millisecond),
+				WithGray(DefaultGrayPolicy()),
+				WithTraceSampling(1), WithTraceJournal(1<<15))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Stop()
+
+			var wg sync.WaitGroup
+			for lc := 0; lc < 4; lc++ {
+				wg.Add(1)
+				go func(lc int) {
+					defer wg.Done()
+					rng := stats.NewRNG(seed ^ uint64(lc)*977)
+					for i := 0; i < 500; i++ {
+						a := tbl.RandomMatchedAddr(rng)
+						v, err := r.Lookup(lc, a)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						if !verdictMatches(v, oracle, a) {
+							t.Errorf("wrong verdict for %s served by %s", ip.FormatAddr(a), v.ServedBy)
+							return
+						}
+					}
+				}(lc)
+			}
+			wg.Wait()
+
+			g := r.Gray()
+			var hedges, ejects int
+			for _, tr := range r.Traces() {
+				hedges += tr.CountKind(tracing.EvHedge)
+				ejects += tr.CountKind(tracing.EvEject)
+			}
+			if int64(hedges) != g.Hedges {
+				t.Errorf("traces record %d hedge events, counter says %d", hedges, g.Hedges)
+			}
+			if int64(ejects) != g.EjectServed {
+				t.Errorf("traces record %d eject events, counter says %d", ejects, g.EjectServed)
+			}
+			if g.Hedges+g.EjectServed == 0 {
+				t.Error("brownout produced no hedges or eject-serves; reconciliation is vacuous")
+			}
+		})
+	}
+}
+
+// TestGrayGlobalOverloadNoFalsePositive: when EVERY directed link is
+// equally slow (a router-wide overload, not a gray failure), the
+// ratio-to-fleet-median scorer must abstain — no LC is an outlier, so no
+// degrade, no ejection, no steering away from healthy cards.
+func TestGrayGlobalOverloadNoFalsePositive(t *testing.T) {
+	tbl := rtable.Small(2000, 7)
+	seed := chaosSeeds(t)[0]
+	lf := NewLinkFaults(seed)
+	for from := 0; from < 4; from++ {
+		for to := 0; to < 4; to++ {
+			if from != to {
+				lf.SetLink(from, to, LinkFaultConfig{Delay: time.Millisecond})
+			}
+		}
+	}
+	r, err := New(tbl, WithLCs(4), WithoutCache(),
+		WithFaultInjector(lf.Injector()),
+		WithRequestTimeout(10*time.Millisecond),
+		WithGray(DefaultGrayPolicy()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+
+	var wg sync.WaitGroup
+	for lc := 0; lc < 4; lc++ {
+		wg.Add(1)
+		go func(lc int) {
+			defer wg.Done()
+			rng := stats.NewRNG(seed + uint64(lc)*11)
+			for i := 0; i < 200; i++ {
+				if _, err := r.Lookup(lc, tbl.RandomMatchedAddr(rng)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(lc)
+	}
+	wg.Wait()
+
+	g := r.Gray()
+	var sampled int64
+	for _, l := range g.LCs {
+		sampled += l.Samples
+	}
+	if sampled == 0 {
+		t.Fatal("no RTT samples accumulated; test is vacuous")
+	}
+	if g.Degrades != 0 || g.Ejections != 0 {
+		t.Errorf("uniform slowness flagged degrades=%d ejections=%d; global overload must not read as a gray failure",
+			g.Degrades, g.Ejections)
+	}
+}
+
+// TestGrayEjectRestoreLifecycle drives a full brownout round trip:
+// detect → eject → brownout lifts → recover → restore, with traffic from
+// the other LCs keeping LC 1's round-trip rings fresh throughout (a
+// recovering card is judged by its peers' samples of it).
+func TestGrayEjectRestoreLifecycle(t *testing.T) {
+	tbl := rtable.Small(2000, 7)
+	seed := chaosSeeds(t)[0]
+	lf := NewLinkFaults(seed)
+	lf.SlowLC(1, 10)
+	gp := DefaultGrayPolicy()
+	r, err := New(tbl, WithLCs(4), WithoutCache(),
+		WithFaultInjector(lf.Injector()),
+		WithRequestTimeout(8*time.Millisecond),
+		WithGray(gp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for lc := 0; lc < 4; lc++ {
+		wg.Add(1)
+		go func(lc int) {
+			defer wg.Done()
+			rng := stats.NewRNG(seed + uint64(lc)*101)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := r.Lookup(lc, tbl.RandomMatchedAddr(rng)); err != nil {
+					return
+				}
+			}
+		}(lc)
+	}
+
+	waitFor(t, "LC 1 ejected", func() bool { return r.Gray().LCs[1].Ejected })
+	lf.SlowLC(1, 1) // brownout lifts
+	waitFor(t, "LC 1 restored", func() bool {
+		g := r.Gray()
+		return !g.LCs[1].Ejected && g.Restores > 0
+	})
+	close(stop)
+	wg.Wait()
+
+	g := r.Gray()
+	if g.Degrades == 0 || g.Recovers == 0 || g.Ejections == 0 || g.Restores == 0 {
+		t.Errorf("incomplete lifecycle: %+v", g)
+	}
+	for i, st := range r.LCStates() {
+		if st != LCHealthy {
+			t.Errorf("LC %d left Healthy (%s) across an eject/restore cycle", i, st)
+		}
+	}
+}
+
+// TestGrayMetricsFamiliesGolden pins the /metrics surface: the family set
+// of a default (gray-disabled) router must match the committed golden
+// list exactly — proving the gray subsystem adds nothing when off — and a
+// gray-enabled router must add exactly the documented new families. Set
+// SPAL_UPDATE_GOLDEN=1 to regenerate.
+func TestGrayMetricsFamiliesGolden(t *testing.T) {
+	families := func(opts ...Option) []string {
+		tbl := rtable.Small(500, 3)
+		r, err := New(tbl, append([]Option{WithLCs(2), WithDefaultCache()}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Stop()
+		if _, err := r.Lookup(0, tbl.RandomMatchedAddr(stats.NewRNG(1))); err != nil {
+			t.Fatal(err)
+		}
+		seen := map[string]bool{}
+		for _, ln := range strings.Split(r.Metrics().PrometheusText(), "\n") {
+			if name, ok := strings.CutPrefix(ln, "# HELP "); ok {
+				seen[strings.Fields(name)[0]] = true
+			}
+		}
+		out := make([]string, 0, len(seen))
+		for f := range seen {
+			out = append(out, f)
+		}
+		sort.Strings(out)
+		return out
+	}
+
+	def := families()
+	goldenPath := filepath.Join("testdata", "metric_families_default.golden")
+	if os.Getenv("SPAL_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(strings.Join(def, "\n")+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden: %v (regenerate with SPAL_UPDATE_GOLDEN=1)", err)
+	}
+	if got := strings.Join(def, "\n") + "\n"; got != string(want) {
+		t.Errorf("default metric families drifted from %s:\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+	}
+	for _, f := range def {
+		if strings.Contains(f, "rtt") || strings.Contains(f, "hedge") || strings.Contains(f, "eject") || strings.Contains(f, "gray") || strings.Contains(f, "degraded") {
+			t.Errorf("gray family %q leaked into the default snapshot", f)
+		}
+	}
+
+	grayOnly := map[string]bool{}
+	for _, f := range families(WithGray(DefaultGrayPolicy())) {
+		grayOnly[f] = true
+	}
+	for _, f := range def {
+		delete(grayOnly, f)
+	}
+	for _, f := range []string{MetricFabricRTTp50, MetricFabricRTTp99, MetricLCDegraded,
+		MetricHedges, MetricEjectServed, MetricEjections, MetricEjectRestores,
+		MetricGrayDegrades, MetricGrayRecovers} {
+		if !grayOnly[f] {
+			t.Errorf("gray-enabled snapshot is missing family %q", f)
+		}
+		delete(grayOnly, f)
+	}
+	for f := range grayOnly {
+		t.Errorf("gray-enabled snapshot added undocumented family %q", f)
+	}
+}

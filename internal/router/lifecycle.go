@@ -192,6 +192,7 @@ func (r *Router) healthCheck(now time.Time) {
 	r.maybeInjectLocked()
 	r.maybeScrubLocked(now)
 	r.maybeRebalanceLocked(now)
+	r.maybeGrayLocked(now)
 }
 
 // rehomeLocked declares LC dead, re-homes its partition onto the

@@ -11,7 +11,7 @@ import (
 // the result came from. The histograms are lock-free: the LC goroutine
 // records, Metrics reads concurrently.
 type lcLatency struct {
-	cache, fe, remote, fallback metrics.Histogram
+	cache, fe, remote, fallback, hedge metrics.Histogram
 }
 
 // observe records one completed lookup. Zero start times (no submission
@@ -43,6 +43,8 @@ func (l *lcLatency) hist(s ServedBy) *metrics.Histogram {
 		return &l.remote
 	case ServedByFallback:
 		return &l.fallback
+	case ServedByHedge:
+		return &l.hedge
 	}
 	return nil
 }
@@ -110,6 +112,18 @@ const (
 	MetricQuarantines         = "spal_router_quarantines_total"
 	MetricRebuilds            = "spal_router_rebuilds_total"
 	MetricCorruptions         = "spal_router_corruptions_injected_total"
+	// Gray-failure metrics (see gray.go). Emitted only when the gray
+	// subsystem is enabled, so snapshots of a default router are
+	// byte-identical to earlier releases.
+	MetricFabricRTTp50  = "spal_router_fabric_rtt_p50_ns"
+	MetricFabricRTTp99  = "spal_router_fabric_rtt_p99_ns"
+	MetricLCDegraded    = "spal_router_lc_degraded"
+	MetricHedges        = "spal_router_hedges_total"
+	MetricEjectServed   = "spal_router_eject_served_total"
+	MetricEjections     = "spal_router_ejections_total"
+	MetricEjectRestores = "spal_router_eject_restores_total"
+	MetricGrayDegrades  = "spal_router_gray_degrades_total"
+	MetricGrayRecovers  = "spal_router_gray_recovers_total"
 )
 
 // Metrics returns an immutable snapshot of every router metric: the
@@ -209,6 +223,20 @@ func (r *Router) Metrics() *metrics.Snapshot {
 		s.Hist(MetricLatency, latHelp, lc.lat.remote.Snapshot(), lbl, metrics.L("served_by", "remote"))
 		s.Hist(MetricLatency, latHelp, lc.lat.fallback.Snapshot(), lbl, metrics.L("served_by", "fallback"))
 
+		if r.grayPol.Enabled {
+			s.Hist(MetricLatency, latHelp, lc.lat.hedge.Snapshot(), lbl, metrics.L("served_by", "hedge"))
+			s.Gauge(MetricFabricRTTp50, "Windowed p50 fabric round trip to this home LC, nanoseconds.",
+				float64(r.rtt[i].p50.Load()), lbl)
+			s.Gauge(MetricFabricRTTp99, "Windowed p99 fabric round trip to this home LC, nanoseconds.",
+				float64(r.rtt[i].p99.Load()), lbl)
+			degraded := 0.0
+			if r.gray[i].degraded.Load() {
+				degraded = 1
+			}
+			s.Gauge(MetricLCDegraded, "Gray-failure degraded signal: 1 while this LC's fabric RTT is an outlier.",
+				degraded, lbl)
+		}
+
 		if r.ov.Enabled {
 			for why, name := range shedReasonNames {
 				s.Counter(MetricShed, "Messages/lookups shed by overload control, by reason.",
@@ -266,6 +294,19 @@ func (r *Router) Metrics() *metrics.Snapshot {
 		s.Counter(MetricCorruptions, corrHelp, float64(r.engineFlips.Load()), metrics.L("kind", "engine_flip"))
 		s.Counter(MetricCorruptions, corrHelp, wrongFills, metrics.L("kind", "wrong_fill"))
 		s.Counter(MetricCorruptions, corrHelp, droppedInv, metrics.L("kind", "dropped_invalidate"))
+	}
+	if r.grayPol.Enabled {
+		hedgeHelp := "Hedged remote lookups, by outcome."
+		s.Counter(MetricHedges, hedgeHelp, float64(r.hedges.Load()), metrics.L("outcome", "fired"))
+		s.Counter(MetricHedges, hedgeHelp, float64(r.hedgePrimaryLate.Load()), metrics.L("outcome", "primary_late"))
+		s.Counter(MetricHedges, hedgeHelp, float64(r.hedgePrimaryLost.Load()), metrics.L("outcome", "primary_lost"))
+		s.Counter(MetricHedges, hedgeHelp, float64(r.hedgeBudgetDenied.Load()), metrics.L("outcome", "budget_denied"))
+		s.Counter(MetricEjectServed, "Lookups answered from the fallback engine because their home LC was ejected.",
+			float64(r.ejectServed.Load()))
+		s.Counter(MetricEjections, "Browned-out LC ejections (gen-pin steering engaged).", float64(r.ejections.Load()))
+		s.Counter(MetricEjectRestores, "Ejections lifted after the LC's RTT score recovered.", float64(r.restores.Load()))
+		s.Counter(MetricGrayDegrades, "Degraded-signal onsets across all LCs.", float64(r.grayDegrades.Load()))
+		s.Counter(MetricGrayRecovers, "Degraded-signal recoveries across all LCs.", float64(r.grayRecovers.Load()))
 	}
 	for _, v := range views {
 		s.Append(v)

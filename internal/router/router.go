@@ -173,6 +173,10 @@ type Config struct {
 	// zero value keeps it disabled and leaves every engine and cache
 	// unwrapped.
 	Corruption CorruptionPolicy
+	// Gray configures the gray-failure subsystem (per-home fabric RTT
+	// scoring, the degraded health signal, hedged remote lookups, outlier
+	// ejection; see gray.go). The zero value keeps it disabled.
+	Gray GrayPolicy
 }
 
 // Robustness defaults, chosen so that a healthy in-process fabric (tens
@@ -296,6 +300,14 @@ type waitlist struct {
 	tr     *tracing.LookupTrace
 	trLate bool
 	feNS   int64
+	// Gray-failure bookkeeping (see gray.go). sentAt is when the first
+	// fabric request for this address left (zero when none did, or after
+	// a retry made the round trip ambiguous it simply stops being
+	// sampled via the attempts==1 guard). hedged means the waiters were
+	// already answered from the fallback engine and the entry only
+	// persists to recognize — and suppress — the primary reply.
+	sentAt time.Time
+	hedged bool
 }
 
 type lineCard struct {
@@ -330,6 +342,11 @@ type lineCard struct {
 	// atomic; its token bucket and breaker bookkeeping follow the same
 	// ownership rule as pending above.
 	ov *lcOverload
+
+	// hedgeTokens is this LC's hedge budget (see gray.go): spent by
+	// ticker hedges, refilled by successful fabric round trips.
+	// Goroutine-private like pending.
+	hedgeTokens float64
 }
 
 // fallbackEngine boxes the router-wide read-only full-table engine so it
@@ -418,6 +435,23 @@ type Router struct {
 	lastScrub     time.Time
 	scrubAuth     lpm.Engine
 	scrubAuthGen  uint64
+
+	// Gray-failure plane (see gray.go): the normalized policy, per-home
+	// round-trip sample windows, per-LC degraded/ejected state, the
+	// current hedge delay, and the hedge/eject counters.
+	grayPol           GrayPolicy
+	rtt               []*lcRTT
+	gray              []*lcGray
+	hedgeDelayNS      atomic.Int64
+	hedges            atomic.Int64
+	hedgePrimaryLate  atomic.Int64
+	hedgePrimaryLost  atomic.Int64
+	hedgeBudgetDenied atomic.Int64
+	ejectServed       atomic.Int64
+	grayDegrades      atomic.Int64
+	grayRecovers      atomic.Int64
+	ejections         atomic.Int64
+	restores          atomic.Int64
 }
 
 // New builds and starts a router over tbl. Defaults: one line card, the
@@ -504,6 +538,17 @@ func NewWithConfig(cfg Config) (*Router, error) {
 	r.rebalance = normalizeRebalance(cfg.Rebalance)
 	r.scrubPol = normalizeScrub(cfg.Scrub, r.tickEvery)
 	r.corruptPol = cfg.Corruption
+	r.grayPol = normalizeGray(cfg.Gray)
+	if r.grayPol.Hedge {
+		// The fixed delay applies immediately; the adaptive one starts at
+		// the timeout (effectively no hedging) until the scorer has a
+		// fleet p99 to derive it from.
+		if r.grayPol.HedgeAfter > 0 {
+			r.hedgeDelayNS.Store(int64(r.grayPol.HedgeAfter))
+		} else {
+			r.hedgeDelayNS.Store(int64(r.timeout))
+		}
+	}
 	r.baselineRepl = r.part.Stats().Replication
 	r.lastRebalance = time.Now()
 	// Build every per-LC structure before starting any goroutine: the LC
@@ -541,7 +586,10 @@ func NewWithConfig(cfg Config) (*Router, error) {
 			}
 		}
 		lc.ov = newLCOverload(r.ov, cfg.NumLCs)
+		lc.hedgeTokens = r.grayPol.HedgeBudgetBurst
 		r.scrub = append(r.scrub, &lcScrub{})
+		r.rtt = append(r.rtt, &lcRTT{ring: make([]int64, max(r.grayPol.Window, 1))})
+		r.gray = append(r.gray, &lcGray{})
 		life := &lcLife{die: make(chan struct{}), exited: make(chan struct{})}
 		life.lastBeat.Store(now)
 		if r.ov.Enabled {
@@ -717,6 +765,38 @@ func (r *Router) lcLoop(lc *lineCard, inbox, ctrl <-chan message, die, exited ch
 // matter what the fabric lost.
 func (r *Router) checkDeadlines(lc *lineCard, now time.Time) {
 	for addr, wl := range lc.pending {
+		if wl.hedged {
+			// The waiters were already answered by a hedge (or an eject
+			// dispatch); the entry only tracks the primary reply. Past the
+			// deadline the primary is declared lost and the entry retired —
+			// hedged lookups are never retried, that is the point of them.
+			if !wl.deadline.IsZero() && !now.Before(wl.deadline) {
+				r.hedgePrimaryLost.Add(1)
+				r.dropHedged(lc, addr)
+			}
+			continue
+		}
+		if r.grayPol.Hedge && !wl.deadline.IsZero() && now.Before(wl.deadline) &&
+			wl.attempts >= 1 && !wl.sentAt.IsZero() && now.Sub(wl.sentAt) >= r.hedgeDelay() {
+			if home := lc.homeOf(addr); home != lc.id {
+				// The request has been in flight past the hedge delay:
+				// answer the waiters from the fallback engine now and keep
+				// tracking the primary — token-budgeted so hedges cannot
+				// melt a fabric that is merely overloaded.
+				if !r.takeHedgeToken(lc) {
+					r.hedgeBudgetDenied.Add(1)
+				} else {
+					if wl.tr == nil && r.tracer != nil {
+						wl.tr = r.lateTrace(lc.id, addr)
+						wl.trLate = wl.tr != nil
+					}
+					wl.tr.Record(tracing.EvHedge, int64(home), int64(wl.attempts))
+					r.hedges.Add(1)
+					r.hedgeResolve(lc, addr, wl)
+				}
+				continue
+			}
+		}
 		if wl.deadline.IsZero() || now.Before(wl.deadline) {
 			continue
 		}
@@ -816,12 +896,24 @@ func (r *Router) handle(lc *lineCard, m message) {
 			lc.stats.StaleReplies.Add(1)
 			return
 		}
-		if r.tracer != nil {
-			if wl, ok := lc.pending[m.addr]; ok && wl.tr != nil {
-				wl.tr.Record(tracing.EvFabricRecv, int64(m.from), int64(m.hops))
-				if m.feNS > 0 {
-					wl.tr.Record(tracing.EvFEExec, m.feNS, int64(m.from))
-				}
+		wl, pending := lc.pending[m.addr]
+		if r.grayPol.Enabled && pending && wl.attempts == 1 && !wl.sentAt.IsZero() &&
+			!r.gray[lc.id].degraded.Load() {
+			// Exactly one request went out, so this round trip is
+			// unambiguous: attribute it to the responding home LC. Sampled
+			// before the generation and hedge guards so an ejected LC's
+			// recovery stays observable. A requester that is itself marked
+			// degraded abstains: its round trips ride its own browned-out
+			// links, so charging them to the responding home would drag
+			// every clean ring toward the brownout and mask the true
+			// outlier (its recovery is judged by other requesters' samples
+			// of it, not by its own observations).
+			r.rtt[m.from].observe(time.Since(wl.sentAt).Nanoseconds())
+		}
+		if r.tracer != nil && pending && wl.tr != nil {
+			wl.tr.Record(tracing.EvFabricRecv, int64(m.from), int64(m.hops))
+			if m.feNS > 0 {
+				wl.tr.Record(tracing.EvFEExec, m.feNS, int64(m.from))
 			}
 		}
 		if r.ov.Enabled {
@@ -831,16 +923,27 @@ func (r *Router) handle(lc *lineCard, m message) {
 			r.breakerSuccess(lc, m.from)
 			r.budgetRefill(lc)
 		}
+		if r.grayPol.Hedge {
+			r.refillHedge(lc)
+		}
+		if pending && wl.hedged {
+			// The hedge already answered every waiter; this primary is the
+			// suppressed duplicate (exactly one owner delivers a verdict —
+			// the batch-descriptor rule applied to hedging).
+			r.hedgePrimaryLate.Add(1)
+			r.dropHedged(lc, m.addr)
+			return
+		}
 		if m.gen < lc.gen {
 			// The responder computed this value before applying an update
 			// batch we have already applied (and invalidated for): the
 			// parked lookups may still observe it — they were in flight
 			// during the update window — but it must not survive as a
-			// cache entry. A quarantined responder stays behind until it
-			// is rebuilt, so its replies are final: delivered to every
-			// waiter rather than re-driven back at it.
-			final := r.life[m.from].state.Load() == LCQuarantined
-			r.fillStaleRelease(lc, m.addr, m.nextHop, m.ok, cache.REM, ServedByRemote, m.gen, final)
+			// cache entry. A quarantined (or ejected) responder stays
+			// behind until it is rebuilt or restored, so its replies are
+			// final: delivered to every waiter rather than re-driven back
+			// at it.
+			r.fillStaleRelease(lc, m.addr, m.nextHop, m.ok, cache.REM, ServedByRemote, m.gen, r.genPinned(m.from))
 			return
 		}
 		r.fillAndRelease(lc, m.addr, m.nextHop, m.ok, cache.REM, ServedByRemote)
@@ -907,6 +1010,13 @@ func (r *Router) handleLookup(lc *lineCard, m message) {
 			return
 		case cache.HitWaiting:
 			wl := r.park(lc, m.addr)
+			if wl.hedged {
+				// The waitlist was already answered by a hedge and only
+				// tracks the primary reply; parking here would strand this
+				// straggler, so answer it directly (see hedgeAnswerLocal).
+				r.hedgeAnswerLocal(lc, m)
+				return
+			}
 			if r.waitlistFull(wl) {
 				r.shedLocal(lc.id, m, shedWaitlistOverflow)
 				return
@@ -941,6 +1051,10 @@ func (r *Router) handleLookup(lc *lineCard, m message) {
 	// but a dispatch for this address is already outstanding — a second
 	// dispatch would duplicate the FE execution and the fabric request.
 	if wl, ok := lc.pending[m.addr]; ok {
+		if wl.hedged {
+			r.hedgeAnswerLocal(lc, m)
+			return
+		}
 		if r.waitlistFull(wl) {
 			r.shedLocal(lc.id, m, shedWaitlistOverflow)
 			return
@@ -1004,6 +1118,10 @@ func (r *Router) handleRequest(lc *lineCard, m message) {
 			return
 		case cache.HitWaiting:
 			wl := r.park(lc, m.addr)
+			if wl.hedged {
+				r.hedgeAnswerRemote(lc, rw, m.addr)
+				return
+			}
 			if r.waitlistFull(wl) {
 				// Drop the remote waiter: the requester's deadline
 				// machinery retries or degrades, so the lookup still
@@ -1022,6 +1140,10 @@ func (r *Router) handleRequest(lc *lineCard, m message) {
 	// Same bypass coalescing as handleLookup: never dispatch twice for
 	// one in-flight address.
 	if wl, ok := lc.pending[m.addr]; ok {
+		if wl.hedged {
+			r.hedgeAnswerRemote(lc, rw, m.addr)
+			return
+		}
 		if r.waitlistFull(wl) {
 			r.shedCount(lc.id, shedWaitlistOverflow)
 			return
@@ -1086,9 +1208,21 @@ func (r *Router) dispatch(lc *lineCard, addr ip.Addr, wl *waitlist) {
 	}
 	lc.stats.RequestsSent.Add(1)
 	wl.attempts = 1
-	wl.deadline = time.Now().Add(r.timeout)
+	wl.sentAt = time.Now()
+	wl.deadline = wl.sentAt.Add(r.timeout)
 	wl.tr.Record(tracing.EvFabricSend, int64(home), 1)
 	r.sendFabric(home, message{kind: mRequest, addr: addr, from: lc.id, epoch: lc.epoch})
+	if r.grayPol.Eject && r.gray[home].ejected.Load() {
+		// The home is ejected: answer the waiters from the fallback engine
+		// right now instead of paying its browned-out round trip. The
+		// request above still went out — its reply keeps RTT samples
+		// flowing so recovery stays observable, and arrives as a suppressed
+		// hedged primary. No hedge token is spent: ejection is a scorer
+		// decision, not a per-lookup gamble.
+		wl.tr.Record(tracing.EvEject, int64(home), 0)
+		r.ejectServed.Add(1)
+		r.hedgeResolve(lc, addr, wl)
+	}
 }
 
 // fillAndRelease installs a result and answers everything parked on it.

@@ -31,11 +31,19 @@ const (
 	// ErrOverloaded; only batch/async callers observe it directly. Only
 	// routers built WithOverload ever produce it.
 	ServedByShed
+	// ServedByHedge: the gray-failure plane answered the lookup from the
+	// full-table fallback engine ahead of a slow fabric primary — either
+	// a ticker hedge past the hedge delay or a dispatch-time answer for
+	// an ejected home LC (see gray.go). Like ServedByFallback the verdict
+	// is correct (same engine), but it was taken to *cut* latency rather
+	// than after paying the full deadline. Only routers built WithGray
+	// ever produce it.
+	ServedByHedge
 )
 
 // servedByNames are the wire/report names, aligned with the legacy
 // string constants.
-var servedByNames = [...]string{"unknown", "cache", "fe", "remote", "fallback", "shed"}
+var servedByNames = [...]string{"unknown", "cache", "fe", "remote", "fallback", "shed", "hedge"}
 
 // String implements fmt.Stringer with the legacy names.
 func (s ServedBy) String() string {

@@ -181,15 +181,16 @@ func (r *Router) handleApplyUpdates(lc *lineCard, m message) {
 		}
 		lc.stats.UpdatesApplied.Add(int64(len(m.updates)))
 	}
-	if r.life[lc.id].state.Load() != LCQuarantined {
-		// The quarantine fence is the generation gap itself: peers keep
-		// a quarantined LC's replies out of their caches because its gen
-		// trails theirs. Advancing it here would silently re-arm caching
-		// of a known-damaged engine's verdicts on the next routine batch,
-		// so a quarantined LC's gen stays pinned — the engine delta and
-		// cache invalidation still land, keeping served verdicts as
-		// fresh as possible — and catches up only through the rebuild
-		// swap (mSwapEngine).
+	if !r.genPinned(lc.id) {
+		// The quarantine/ejection fence is the generation gap itself:
+		// peers keep a pinned LC's replies out of their caches because its
+		// gen trails theirs. Advancing it here would silently re-arm
+		// caching of a known-damaged (or browned-out — see gray.go)
+		// engine's verdicts on the next routine batch, so a pinned LC's
+		// gen stays put — the engine delta and cache invalidation still
+		// land, keeping served verdicts as fresh as possible — and catches
+		// up only through the rebuild swap (mSwapEngine) or the ejection
+		// restore's catch-up message.
 		lc.gen = m.gen
 	}
 	if lc.cache != nil {

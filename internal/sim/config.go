@@ -131,6 +131,18 @@ type Config struct {
 	// the concurrent router's scrub plane.
 	ScrubEveryCycles int64
 
+	// SlowLC and SlowFactor model a browned-out line card — the gray
+	// failure the concurrent router's detection plane (router/gray.go)
+	// targets. When SlowFactor > 1, every fabric message to or from
+	// SlowLC pays (SlowFactor-1) x FabricLatency extra cycles, so the
+	// card stays alive and correct but its remote lookups crawl. The
+	// cycle simulator has no hedging; these knobs measure the *exposure*
+	// a brownout creates (latency skew for traffic homed at the slow
+	// card), the baseline the router's mitigation is judged against.
+	// SlowFactor 0 (or 1) disables the model; SlowLC then is ignored.
+	SlowLC     int
+	SlowFactor float64
+
 	// DisableEarlyRecording turns off the paper's "early cache block
 	// recording" (Sec. 3.2): misses no longer reserve a W-bit block, so
 	// concurrent lookups for one address each run the full miss path.
@@ -234,6 +246,12 @@ func (c Config) normalize() (Config, error) {
 		if c.UpdateNewPrefixProb == 0 {
 			c.UpdateNewPrefixProb = 0.2
 		}
+	}
+	if c.SlowFactor < 0 {
+		return c, fmt.Errorf("sim: negative SlowFactor %v", c.SlowFactor)
+	}
+	if c.SlowFactor > 1 && (c.SlowLC < 0 || c.SlowLC >= c.NumLCs) {
+		return c, fmt.Errorf("sim: SlowLC %d outside [0,%d)", c.SlowLC, c.NumLCs)
 	}
 	if c.CorruptRate < 0 || c.CorruptRate > 1 {
 		return c, fmt.Errorf("sim: CorruptRate %v outside [0,1]", c.CorruptRate)

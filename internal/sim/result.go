@@ -75,6 +75,15 @@ type Result struct {
 	// VerifyNextHops is set; without corruption a wrong verdict panics
 	// instead).
 	CorruptionsInjected, ScrubCycles, ScrubMismatches, ScrubRepairs, WrongVerdicts int64
+	// Brownout accounting (SlowFactor > 1): fabric messages that paid
+	// the slow-link penalty, the penalty in cycles, and the latency skew
+	// the brownout created — mean lookup time of packets homed at the
+	// slow LC against the mean over everything else. The skew ratio is
+	// the exposure the concurrent router's hedging plane removes.
+	SlowDelayedMessages int64
+	SlowExtraCycles     int64
+	SlowHomeMeanCycles  float64
+	CleanHomeMeanCycles float64
 	// PerLC holds per-line-card breakdowns.
 	PerLC []LCStats
 	// Samples is the latency time series (SampleWindowCycles > 0): the
@@ -110,6 +119,29 @@ func (r *Router) result() *Result {
 	res.ScrubMismatches = r.scrubMismatches
 	res.ScrubRepairs = r.scrubRepairs
 	res.WrongVerdicts = r.wrongVerdicts
+	if r.slowExtra > 0 {
+		res.SlowDelayedMessages = r.slowDelayed
+		res.SlowExtraCycles = r.slowExtra
+		var slowSum, slowN, cleanSum, cleanN int64
+		for i := range r.packets {
+			p := &r.packets[i]
+			if p.completeCycle < 0 {
+				continue
+			}
+			lat := p.completeCycle - p.arrivalCycle + 1
+			if int(p.homeLC) == r.cfg.SlowLC {
+				slowSum, slowN = slowSum+lat, slowN+1
+			} else {
+				cleanSum, cleanN = cleanSum+lat, cleanN+1
+			}
+		}
+		if slowN > 0 {
+			res.SlowHomeMeanCycles = float64(slowSum) / float64(slowN)
+		}
+		if cleanN > 0 {
+			res.CleanHomeMeanCycles = float64(cleanSum) / float64(cleanN)
+		}
+	}
 	if res.MeanLookupCycles > 0 {
 		res.DerivedMppsPerLC = 1e3 / (res.MeanLookupCycles * r.cfg.CycleNS)
 		res.DerivedMppsRouter = res.DerivedMppsPerLC * float64(r.cfg.NumLCs)
@@ -197,6 +229,11 @@ func (res *Result) Snapshot() *metrics.Snapshot {
 		s.Counter("spal_sim_scrub_repairs_total", "Mismatched cache entries evicted by the scrubber.", float64(res.ScrubRepairs))
 		s.Counter("spal_sim_wrong_verdicts_total", "Packets completed with a next hop the oracle rejects.", float64(res.WrongVerdicts))
 	}
+	if res.cfg.SlowFactor > 1 {
+		s.Counter("spal_sim_slow_messages_total", "Fabric messages that paid the brownout penalty.", float64(res.SlowDelayedMessages))
+		s.Gauge("spal_sim_slow_home_mean_cycles", "Mean lookup time of packets homed at the slow LC.", res.SlowHomeMeanCycles)
+		s.Gauge("spal_sim_clean_home_mean_cycles", "Mean lookup time of packets homed elsewhere.", res.CleanHomeMeanCycles)
+	}
 	for i, l := range res.PerLC {
 		lbl := metrics.L("lc", strconv.Itoa(i))
 		s.Counter("spal_sim_generated_total", "Packets generated at this LC.", float64(l.Generated), lbl)
@@ -243,6 +280,15 @@ func (res *Result) String() string {
 	if res.cfg.CorruptRate > 0 || res.cfg.ScrubEveryCycles > 0 {
 		fmt.Fprintf(&b, "  integrity = %d fills corrupted, %d scrubs found %d mismatches (%d evicted), %d wrong verdicts served\n",
 			res.CorruptionsInjected, res.ScrubCycles, res.ScrubMismatches, res.ScrubRepairs, res.WrongVerdicts)
+	}
+	if res.cfg.SlowFactor > 1 {
+		skew := 0.0
+		if res.CleanHomeMeanCycles > 0 {
+			skew = res.SlowHomeMeanCycles / res.CleanHomeMeanCycles
+		}
+		fmt.Fprintf(&b, "  brownout = LC %d at %.1fx fabric latency (+%d cycles/msg), %d messages delayed, home-LC mean %.1f vs %.1f cycles (%.2fx skew)\n",
+			res.cfg.SlowLC, res.cfg.SlowFactor, res.SlowExtraCycles, res.SlowDelayedMessages,
+			res.SlowHomeMeanCycles, res.CleanHomeMeanCycles, skew)
 	}
 	return b.String()
 }

@@ -126,6 +126,11 @@ type Router struct {
 
 	corruptions, scrubCycles, scrubMismatches, scrubRepairs, wrongVerdicts int64
 
+	// Brownout model (SlowFactor > 1): the extra fabric cycles each
+	// message touching SlowLC pays, and how many messages paid it.
+	slowExtra   int64
+	slowDelayed int64
+
 	packets   []packet
 	stages    []stageStamp // parallel to packets; nil unless StageAccounting
 	completed int64
@@ -194,6 +199,12 @@ func New(cfg Config) (*Router, error) {
 			NewPrefixProb: cfg.UpdateNewPrefixProb,
 			Seed:          cfg.Seed ^ 0xc1124,
 		})
+	}
+	if cfg.SlowFactor > 1 {
+		r.slowExtra = int64((cfg.SlowFactor - 1) * float64(cfg.FabricLatency))
+		if r.slowExtra < 1 {
+			r.slowExtra = 1 // a brownout must be observable even on a 1-cycle fabric
+		}
 	}
 	r.pool = trace.NewPool(cfg.Table, cfg.TraceConfig)
 	root := stats.NewRNG(cfg.Seed ^ 0x5e3d)
@@ -349,10 +360,19 @@ func (r *Router) step() {
 		l.sampleQueues()
 	}
 
-	// 7. Fabric injection: one message per LC per cycle.
+	// 7. Fabric injection: one message per LC per cycle. A browned-out
+	// LC (SlowFactor > 1) degrades every directed link touching it —
+	// both the requests it receives and the replies it sends — so the
+	// slowdown is asymmetric per flow but symmetric per card, matching
+	// the router's SlowLC injector.
 	for _, l := range r.lcs {
 		if m, ok := l.outQ.pop(); ok {
-			r.pipe.Send(now, m)
+			var extra int64
+			if r.slowExtra > 0 && (m.Src == r.cfg.SlowLC || m.Dst == r.cfg.SlowLC) {
+				extra = r.slowExtra
+				r.slowDelayed++
+			}
+			r.pipe.SendDelayed(now, extra, m)
 			l.counters.Get("fabric.sent").Inc()
 		}
 	}

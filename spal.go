@@ -134,6 +134,21 @@ type (
 	IntegrityReport = router.IntegrityReport
 	// LCIntegrity is one line card's row in an IntegrityReport.
 	LCIntegrity = router.LCIntegrity
+	// LinkFaults is a per-directed-link fabric fault matrix supporting
+	// asymmetric drop/delay/jitter and sustained per-LC brownouts
+	// (SlowLC); see NewLinkFaults.
+	LinkFaults = router.LinkFaults
+	// LinkFaultConfig parameterizes one directed link of a LinkFaults
+	// matrix.
+	LinkFaultConfig = router.LinkFaultConfig
+	// GrayPolicy configures gray-failure immunity: per-home fabric RTT
+	// scoring, the degraded signal, hedged remote lookups, and outlier
+	// ejection (see WithRouterGray).
+	GrayPolicy = router.GrayPolicy
+	// GrayReport is the router's gray-failure snapshot (see Router.Gray).
+	GrayReport = router.GrayReport
+	// LCGrayStatus is one line card's row in a GrayReport.
+	LCGrayStatus = router.LCGrayStatus
 )
 
 // Update kinds.
@@ -154,6 +169,10 @@ const (
 	// ServedByShed marks a lookup refused by overload control after
 	// admission; synchronous Lookup calls surface it as ErrOverloaded.
 	ServedByShed = router.ServedByShed
+	// ServedByHedge marks a verdict the gray-failure plane served from
+	// the fallback engine ahead of a slow fabric primary (hedge or
+	// ejection; see WithRouterGray).
+	ServedByHedge = router.ServedByHedge
 )
 
 // Shed modes for OverloadPolicy.Mode.
@@ -365,6 +384,28 @@ func GenerateUpdates(tbl *Table, cfg UpdateStreamConfig) []Update {
 // counter-keyed hash of cfg.Seed, so a chaos run is reproducible from its
 // seed alone.
 func SeededFaults(cfg FaultConfig) FaultInjector { return router.SeededFaults(cfg) }
+
+// NewLinkFaults builds an empty per-directed-link fault matrix drawing
+// its decisions from a SeededFaults-style counter stream. Configure
+// individual links with SetLink (asymmetric drop/delay/jitter — A→B can
+// be partitioned while B→A is clean) or brown out a whole line card with
+// SlowLC, then install the matrix via
+// WithRouterFaultInjector(lf.Injector()).
+func NewLinkFaults(seed uint64) *LinkFaults { return router.NewLinkFaults(seed) }
+
+// WithRouterGray enables the gray-failure subsystem: per-home-LC fabric
+// round-trip scoring against the fleet median driving a degraded health
+// signal, hedged remote lookups answered from the full-table fallback
+// engine after an adaptive (or fixed) hedge delay, and outlier ejection
+// that steers cacheable traffic off a browned-out line card until its
+// score recovers. Pass DefaultGrayPolicy() for the defaults.
+func WithRouterGray(p GrayPolicy) RouterOption { return router.WithGray(p) }
+
+// DefaultGrayPolicy returns the gray-failure defaults: detection, hedging
+// and ejection all enabled (64-sample windows, degrade at 3× the fleet
+// median p50 for 3 cycles, adaptive hedge delay of 2× the fleet p99,
+// hedge budget of 0.5 tokens per successful round trip, burst 32).
+func DefaultGrayPolicy() GrayPolicy { return router.DefaultGrayPolicy() }
 
 // TracePresets lists the five paper traces.
 func TracePresets() []TracePreset { return trace.Presets }
